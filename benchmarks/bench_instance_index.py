@@ -1,0 +1,101 @@
+"""Experiment P6 (ablation) — why instance identification is a design axis.
+
+Sec. 3.2: "Monitoring can require subtly different criteria for mapping
+packets to states" — the approaches differ precisely in *how* an event
+finds its instance (indexed state tables, hash functions, per-instance
+tables).  This ablation contrasts the engine's hash-indexed instance store
+with a linear scan as the live-instance population grows: the indexed
+store's candidate examinations stay flat per event, the scan's grow
+linearly — the same asymmetry that separates OpenState-style indexed state
+from Varanus's scan-all-tables pipeline.
+"""
+
+import pytest
+
+from repro.core import Monitor
+from repro.packet import ethernet
+from repro.props import firewall_basic
+from repro.switch.events import PacketArrival, PacketDrop
+from repro.packet import tcp_packet
+
+POPULATIONS = (50, 200, 800)
+
+
+def drive(strategy, population):
+    """Create ``population`` firewall instances, then probe with events
+    that must be checked against the stage-1 waiting set."""
+    monitor = Monitor(store_strategy=strategy)
+    monitor.add_property(firewall_basic())
+    t = 0.0
+    for i in range(population):
+        t += 1e-4
+        monitor.observe(PacketArrival(
+            switch_id="s", time=t,
+            packet=tcp_packet(1, 2, f"10.0.{i // 250}.{i % 250 + 1}",
+                              "198.51.100.9", 1000, 80),
+            in_port=1))
+    before = monitor.stats.candidates_examined
+    probes = 50
+    for i in range(probes):
+        t += 1e-4
+        monitor.observe(PacketDrop(
+            switch_id="s", time=t,
+            packet=tcp_packet(2, 1, "198.51.100.9",
+                              f"10.0.9.{i + 1}", 80, 1000),
+            in_port=2, reason="x"))
+    per_event = (monitor.stats.candidates_examined - before) / probes
+    return per_event
+
+
+def test_indexed_store_flat_examinations(benchmark):
+    def sweep():
+        return [(n, drive("indexed", n)) for n in POPULATIONS]
+
+    series = benchmark(sweep)
+    print("\nindexed store: population -> candidates examined per event")
+    for n, per_event in series:
+        print(f"  {n:6d} -> {per_event:8.1f}")
+    assert all(per_event <= 1.0 for _, per_event in series)
+
+
+def test_linear_store_examinations_grow(benchmark):
+    def sweep():
+        return [(n, drive("linear", n)) for n in POPULATIONS]
+
+    series = benchmark(sweep)
+    print("\nlinear store: population -> candidates examined per event")
+    for n, per_event in series:
+        print(f"  {n:6d} -> {per_event:8.1f}")
+    # Linear in population (the probes miss, so every instance is checked).
+    assert series[-1][1] / series[0][1] == pytest.approx(
+        POPULATIONS[-1] / POPULATIONS[0], rel=0.1
+    )
+
+
+def test_same_verdicts_both_stores():
+    """The ablation changes cost only — replays must agree (spot check;
+    the hypothesis suite proves this on random streams)."""
+    from repro.switch.events import PacketDrop
+
+    def verdicts(strategy):
+        monitor = Monitor(store_strategy=strategy)
+        monitor.add_property(firewall_basic())
+        out = tcp_packet(1, 2, "10.0.0.1", "198.51.100.9", 1000, 80)
+        back = tcp_packet(2, 1, "198.51.100.9", "10.0.0.1", 80, 1000)
+        monitor.observe(PacketArrival(switch_id="s", time=0.0, packet=out,
+                                      in_port=1))
+        monitor.observe(PacketDrop(switch_id="s", time=1.0, packet=back,
+                                   in_port=2, reason="x"))
+        return [(v.property_name, v.time) for v in monitor.violations]
+
+    assert verdicts("indexed") == verdicts("linear")
+
+
+def test_wallclock_gap_at_scale(benchmark):
+    """Wall-clock confirmation of the asymptotic gap at the largest
+    population."""
+
+    def indexed():
+        return drive("indexed", POPULATIONS[-1])
+
+    benchmark(indexed)

@@ -1,0 +1,125 @@
+"""Experiment P5 — monitor engine throughput by property class.
+
+Sec. 3.3 frames monitoring's cost as intrinsic: matching and state
+requirements "go beyond even relatively new proposals for stateful
+forwarding."  This bench quantifies the engine's event-processing rate for
+each instance-identification class of Table 1 (exact / symmetric /
+wandering / multiple match), plus the full Table-1 catalog loaded at once —
+the per-event price of each matching discipline.
+"""
+
+import pytest
+
+from repro.core import Monitor
+from repro.netsim.workload import l2_pairs, tcp_conversations
+from repro.packet import arp_request, dhcp_packet, DhcpMessageType, ethernet, tcp_packet
+from repro.props import (
+    ArpKnowledge,
+    arp_known_not_forwarded,
+    build_table1,
+    firewall_basic,
+    knocking_invalidated,
+    learned_unicast_port,
+    link_down_clears_learning,
+)
+from repro.props.dhcp_arp import arp_cache_preloaded
+from repro.switch.events import (
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketEgress,
+)
+
+NUM_EVENTS = 1500
+
+
+def mixed_event_stream():
+    """Arrivals/egresses/OOB events exercising L2-L7 and all match kinds."""
+    events = []
+    t = 0.0
+    for i in range(NUM_EVENTS // 5):
+        src, dst = i % 40 + 1, (i * 3) % 40 + 1
+        t += 1e-4
+        events.append(PacketArrival(
+            switch_id="s", time=t, packet=ethernet(src, dst), in_port=src % 4 + 1))
+        t += 1e-4
+        p = tcp_packet(src, dst, f"10.0.0.{src}", f"198.51.100.{dst}",
+                       1000 + i % 100, 80)
+        events.append(PacketArrival(switch_id="s", time=t, packet=p, in_port=1))
+        t += 1e-4
+        events.append(PacketEgress(
+            switch_id="s", time=t, packet=p, out_port=2, in_port=1,
+            action=EgressAction.UNICAST))
+        t += 1e-4
+        events.append(PacketArrival(
+            switch_id="s", time=t,
+            packet=arp_request(src, f"10.0.0.{src}", f"10.0.0.{dst}"),
+            in_port=1))
+        t += 1e-4
+        if i % 37 == 0:
+            events.append(OutOfBandEvent(
+                switch_id="s", time=t, oob_kind=OobKind.PORT_DOWN, port=2))
+        else:
+            events.append(PacketEgress(
+                switch_id="s", time=t,
+                packet=dhcp_packet(src, DhcpMessageType.ACK,
+                                   yiaddr=f"10.0.0.{100 + src}"),
+                out_port=1, in_port=0, action=EgressAction.UNICAST))
+    return events
+
+
+EVENTS = mixed_event_stream()
+
+
+def run_with(*props):
+    monitor = Monitor()
+    for prop in props:
+        monitor.add_property(prop)
+    for event in EVENTS:
+        monitor.observe(event)
+    return monitor
+
+
+def test_throughput_exact_match(benchmark):
+    monitor = benchmark(lambda: run_with(knocking_invalidated()))
+    assert monitor.stats.events == len(EVENTS)
+
+
+def test_throughput_symmetric_match(benchmark):
+    monitor = benchmark(lambda: run_with(firewall_basic()))
+    assert monitor.stats.events == len(EVENTS)
+
+
+def test_throughput_wandering_match(benchmark):
+    monitor = benchmark(lambda: run_with(arp_cache_preloaded()))
+    assert monitor.stats.events == len(EVENTS)
+
+
+def test_throughput_multiple_match(benchmark):
+    monitor = benchmark(lambda: run_with(link_down_clears_learning()))
+    assert monitor.stats.events == len(EVENTS)
+
+
+def test_throughput_learning_switch(benchmark):
+    monitor = benchmark(lambda: run_with(learned_unicast_port()))
+    assert monitor.stats.events == len(EVENTS)
+
+
+def test_throughput_full_catalog(benchmark):
+    """All thirteen Table-1 properties monitored simultaneously."""
+
+    def run():
+        monitor = Monitor()
+        for entry in build_table1():
+            monitor.add_property(entry.prop)
+        for event in EVENTS:
+            monitor.observe(event)
+        return monitor
+
+    monitor = benchmark(run)
+    assert monitor.stats.events == len(EVENTS)
+    print(f"\nfull catalog: {monitor.stats.events} events, "
+          f"{monitor.stats.instances_created} instances created, "
+          f"{monitor.stats.violations} violations, "
+          f"{monitor.stats.candidates_examined} candidates examined")

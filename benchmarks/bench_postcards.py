@@ -1,0 +1,128 @@
+"""Experiment P7 (extension) — postcard provenance vs on-switch FULL.
+
+Sec. 3.2 suggests NetSight-style postcards as the way to get complete
+provenance without per-instance event retention on the switch.  This bench
+quantifies the trade on a violation-sparse workload (many partial chains,
+few violations — the regime where on-switch FULL retention is pure waste):
+
+* on-switch retained events (FULL) vs on-switch retained events under
+  postcards (zero — the switch runs LIMITED);
+* postcard bandwidth (cards shipped) and collector memory before/after
+  garbage collection;
+* wall-clock for both configurations.
+"""
+
+import pytest
+
+from repro.core import Bind, Const, EventKind, EventPattern, FieldEq, Monitor, Observe, PropertySpec, ProvenanceLevel, Var
+from repro.core.postcards import PostcardCollector, PostcardMonitor
+from repro.packet import ethernet
+from repro.switch.events import PacketArrival
+
+CHAINS = 400
+VIOLATING_EVERY = 20  # 1 in 20 chains completes (sparse violations)
+
+
+def chain_property():
+    return PropertySpec(
+        name="chain", description="",
+        stages=(
+            Observe("s0", EventPattern(
+                kind=EventKind.ARRIVAL, binds=(Bind("S", "eth.src"),),
+                guards=(FieldEq("eth.type", Const(0x9000)),))),
+            Observe("s1", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.src", Var("S")),
+                        FieldEq("eth.type", Const(0x9001))))),
+            Observe("s2", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.src", Var("S")),
+                        FieldEq("eth.type", Const(0x9002))))),
+        ),
+        key_vars=("S",),
+    )
+
+
+def workload():
+    events = []
+    t = 0.0
+    for chain in range(CHAINS):
+        src = chain + 1
+        stages = 3 if chain % VIOLATING_EVERY == 0 else 2  # most stall at s1
+        for k in range(stages):
+            t += 1e-4
+            events.append(PacketArrival(
+                switch_id="s", time=t,
+                packet=ethernet(src, 2, ethertype=0x9000 + k), in_port=1))
+    return events
+
+
+EVENTS = workload()
+EXPECTED_VIOLATIONS = CHAINS // VIOLATING_EVERY
+
+
+def run_full_onswitch():
+    monitor = Monitor(provenance=ProvenanceLevel.FULL)
+    monitor.add_property(chain_property())
+    for event in EVENTS:
+        monitor.observe(event)
+    return monitor
+
+
+def run_postcards():
+    collector = PostcardCollector(retention=1e9)
+    pm = PostcardMonitor(collector)
+    pm.add_property(chain_property())
+    for event in EVENTS:
+        pm.observe(event)
+    return pm, collector
+
+
+def retained_events_onswitch(monitor):
+    """Events held in live instances' provenance (the on-switch cost)."""
+    return sum(
+        sum(1 for r in inst.provenance if r.event is not None)
+        for inst in monitor.store("chain").all()
+    )
+
+
+def test_full_onswitch_retains_events(benchmark):
+    monitor = benchmark.pedantic(run_full_onswitch, rounds=5, iterations=1)
+    retained = retained_events_onswitch(monitor)
+    print(f"\nFULL on-switch: {retained} whole events held by live instances")
+    # Every stalled chain holds its events on-switch forever.
+    assert retained >= (CHAINS - EXPECTED_VIOLATIONS)
+    assert len(monitor.violations) == EXPECTED_VIOLATIONS
+
+
+def test_postcards_keep_switch_flat(benchmark):
+    pm, collector = benchmark.pedantic(run_postcards, rounds=5, iterations=1)
+    retained = retained_events_onswitch(pm.monitor)
+    print(f"\npostcards: {retained} events on-switch, "
+          f"{collector.postcards_received} cards shipped, "
+          f"{collector.stored_postcards} pending at collector")
+    assert retained == 0  # the switch holds no events at all
+    assert len(pm.violations) == EXPECTED_VIOLATIONS
+    assert len(collector.reconstructed) == EXPECTED_VIOLATIONS
+    # Every reconstruction is complete (all three stages).
+    assert all(len(r.history) == 3 for r in collector.reconstructed)
+
+
+def test_collector_gc_bounds_memory():
+    collector = PostcardCollector(retention=0.001)  # tiny horizon
+    pm = PostcardMonitor(collector)
+    pm.add_property(chain_property())
+    for event in EVENTS:
+        pm.observe(event)
+    before = collector.stored_postcards
+    dropped = collector.collect_garbage()
+    after = collector.stored_postcards
+    print(f"\ncollector GC: {before} -> {after} (dropped {dropped})")
+    assert after < before
+
+
+def test_postcard_bandwidth_tracks_advancements():
+    pm, collector = run_postcards()
+    # One card per stage reached: violating chains contribute 3, stalled 2.
+    expected = EXPECTED_VIOLATIONS * 3 + (CHAINS - EXPECTED_VIOLATIONS) * 2
+    assert collector.postcards_received == expected

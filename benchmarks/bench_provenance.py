@@ -1,0 +1,113 @@
+"""Experiment P4 (Feature 10 / Sec. 3.2) — provenance cost.
+
+The paper: "recording each packet that advances an observation is not
+feasible", but "limited provenance could be recovered without added cost:
+since some header information is retained for matching purposes, those
+values could be conveyed along with the final event."
+
+We measure, per provenance level (NONE / LIMITED / FULL), on a
+violation-heavy workload:
+
+* event-processing wall-clock (FULL pays per-stage recording),
+* retained provenance objects (FULL holds whole events; LIMITED tiny
+  summaries; NONE nothing),
+* and confirm LIMITED still delivers the bound values "for free".
+"""
+
+import pytest
+
+from repro.core import Bind, EventKind, EventPattern, FieldEq, Monitor, Observe, PropertySpec, ProvenanceLevel, Var
+from repro.packet import ethernet
+from repro.switch.events import PacketArrival
+
+NUM_CHAINS = 300
+
+
+def chain_property(stages=4):
+    """A property with several positive stages, to deepen provenance."""
+    specs = [
+        Observe("s0", EventPattern(kind=EventKind.ARRIVAL,
+                                   binds=(Bind("S", "eth.src"),)))
+    ]
+    for i in range(1, stages):
+        specs.append(Observe(
+            f"s{i}",
+            EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.src", Var("S")),
+                        FieldEq("eth.type", _const_for(i))),
+            ),
+        ))
+    return PropertySpec(name="chain", description="", stages=tuple(specs),
+                        key_vars=("S",))
+
+
+def _const_for(i):
+    from repro.core import Const
+
+    return Const(0x9000 + i)
+
+
+def drive(level, stages=4):
+    monitor = Monitor(provenance=level)
+    monitor.add_property(chain_property(stages))
+    t = 0.0
+    for chain in range(NUM_CHAINS):
+        src = chain + 1
+        monitor.observe(PacketArrival(
+            switch_id="s", time=t, packet=ethernet(src, 2), in_port=1))
+        t += 1e-4
+        for i in range(1, stages):
+            monitor.observe(PacketArrival(
+                switch_id="s", time=t,
+                packet=ethernet(src, 2, ethertype=0x9000 + i), in_port=1))
+            t += 1e-4
+    return monitor
+
+
+@pytest.mark.parametrize("level", [ProvenanceLevel.NONE,
+                                   ProvenanceLevel.LIMITED,
+                                   ProvenanceLevel.FULL])
+def test_provenance_level_throughput(benchmark, level):
+    monitor = benchmark.pedantic(
+        lambda: drive(level), rounds=5, iterations=1
+    )
+    assert len(monitor.violations) == NUM_CHAINS
+
+
+def test_retained_history_scales_with_level():
+    results = {}
+    for level in ProvenanceLevel:
+        monitor = drive(level)
+        histories = [len(v.history) for v in monitor.violations]
+        full_events = sum(
+            1 for v in monitor.violations for r in v.history
+            if r.event is not None
+        )
+        results[level] = (sum(histories), full_events)
+    print(f"\nretained (records, whole-events) per level: "
+          f"{ {k.value: v for k, v in results.items()} }")
+    assert results[ProvenanceLevel.NONE] == (0, 0)
+    records_limited, events_limited = results[ProvenanceLevel.LIMITED]
+    records_full, events_full = results[ProvenanceLevel.FULL]
+    assert records_limited == records_full  # same per-stage record count
+    assert events_limited == 0              # ...but no events retained
+    assert events_full == records_full      # FULL keeps every event
+
+
+def test_limited_provenance_is_free_match_state():
+    """LIMITED conveys the values already held for matching: every
+    violation carries its bound variables even with no event history."""
+    monitor = drive(ProvenanceLevel.LIMITED)
+    for v in monitor.violations:
+        assert "S" in v.bindings
+        assert all(r.summary for r in v.history)
+
+
+def test_full_provenance_grows_with_chain_length():
+    short = drive(ProvenanceLevel.FULL, stages=2)
+    long = drive(ProvenanceLevel.FULL, stages=6)
+    short_records = sum(len(v.history) for v in short.violations)
+    long_records = sum(len(v.history) for v in long.violations)
+    print(f"\nFULL records: 2-stage={short_records} 6-stage={long_records}")
+    assert long_records == 3 * short_records  # 6 records vs 2 per chain

@@ -1,0 +1,141 @@
+"""Experiment P3 (Feature 9 / Sec. 3.3) — split vs inline processing.
+
+The paper: "If the switch splits processing, the monitor has minimal
+impact on throughput, but its state might lag behind any packets issued in
+response, leading to monitor errors.  In contrast, if the switch inlines
+updates, its state will be up to date, but at the expense of increased
+forwarding latency."
+
+We drive request/response pairs whose response gap sweeps across the
+split lag and measure:
+
+* the monitor *error rate* (missed violations) in split mode — rises to
+  100% as responses race ahead of state updates;
+* the *forwarding latency* added by inline monitoring vs split — inline
+  pays per-event update cost on the packet's critical path.
+"""
+
+import pytest
+
+from repro.core import Bind, EventKind, EventPattern, FieldEq, Monitor, Observe, PropertySpec, Var
+from repro.packet import ethernet
+from repro.switch.events import PacketArrival
+from repro.switch.registers import StateCostMeter
+from repro.switch.switch import ProcessingMode
+
+SPLIT_LAG = 500e-6
+PAIRS = 200
+
+
+def echo_property():
+    return PropertySpec(
+        name="echo", description="response to a request",
+        stages=(
+            Observe("request", EventPattern(
+                kind=EventKind.ARRIVAL, binds=(Bind("S", "eth.src"),))),
+            Observe("response", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.dst", Var("S")),))),
+        ),
+        key_vars=("S",),
+    )
+
+
+def drive_pairs(mode, response_gap):
+    """PAIRS request/response pairs; every pair is a true violation."""
+    monitor = Monitor(mode=mode, split_lag=SPLIT_LAG)
+    monitor.add_property(echo_property())
+    t = 0.0
+    for i in range(PAIRS):
+        src = i + 1
+        monitor.observe(PacketArrival(
+            switch_id="s", time=t, packet=ethernet(src, 0xFFFF), in_port=1))
+        monitor.observe(PacketArrival(
+            switch_id="s", time=t + response_gap,
+            packet=ethernet(0xEEEE, src), in_port=2))
+        t += 0.01
+    monitor.advance_to(t + 10.0)
+    return monitor
+
+
+def error_rate(monitor):
+    return 1.0 - len(monitor.violations) / PAIRS
+
+
+def test_split_error_rate_vs_response_gap(benchmark):
+    def sweep():
+        series = []
+        for gap in (1e-5, 1e-4, 4e-4, 6e-4, 1e-3, 1e-2):
+            monitor = drive_pairs(ProcessingMode.SPLIT, gap)
+            series.append((gap, error_rate(monitor)))
+        return series
+
+    series = benchmark(sweep)
+    print("\nsplit mode: response gap -> monitor error rate "
+          f"(state-update lag {SPLIT_LAG:.0e}s)")
+    for gap, err in series:
+        print(f"  {gap:9.0e}s -> {err:6.1%}")
+    # Responses faster than the lag are all missed; slower ones all caught.
+    assert series[0][1] == 1.0
+    assert series[-1][1] == 0.0
+    # The crossover falls exactly at the lag.
+    fast_gaps = [err for gap, err in series if gap < SPLIT_LAG]
+    slow_gaps = [err for gap, err in series if gap > SPLIT_LAG]
+    assert all(err == 1.0 for err in fast_gaps)
+    assert all(err == 0.0 for err in slow_gaps)
+
+
+def test_inline_mode_is_always_correct(benchmark):
+    def sweep():
+        return [
+            error_rate(drive_pairs(ProcessingMode.INLINE, gap))
+            for gap in (1e-5, 1e-4, 1e-3)
+        ]
+
+    errors = benchmark(sweep)
+    print(f"\ninline mode error rates across gaps: {errors}")
+    assert errors == [0.0, 0.0, 0.0]
+
+
+def test_inline_charges_latency_split_does_not():
+    """The other side of the trade: inline monitoring puts update cost on
+    the packet path (meter ticks accrued synchronously with events)."""
+    inline_meter, split_meter = StateCostMeter(), StateCostMeter()
+
+    inline = Monitor(mode=ProcessingMode.INLINE, meter=inline_meter,
+                     slow_path_updates=True)
+    inline.add_property(echo_property())
+    split = Monitor(mode=ProcessingMode.SPLIT, split_lag=SPLIT_LAG,
+                    meter=split_meter, slow_path_updates=True)
+    split.add_property(echo_property())
+
+    event = PacketArrival(switch_id="s", time=0.0,
+                          packet=ethernet(1, 2), in_port=1)
+    inline.observe(event)
+    split.observe(event)
+    # At the instant the packet is processed, inline has already paid for
+    # the state update; split has deferred it off the packet path.
+    assert inline_meter.slow_updates == 1
+    assert split_meter.slow_updates == 0
+    split.advance_to(1.0)
+    assert split_meter.slow_updates == 1  # paid later, asynchronously
+
+
+def test_split_throughput_advantage(benchmark):
+    """Wall-clock: processing an event batch in split mode defers the
+    per-op application work off the intake path."""
+    events = [
+        PacketArrival(switch_id="s", time=i * 1e-4,
+                      packet=ethernet(i % 100 + 1, 0xFFFF), in_port=1)
+        for i in range(500)
+    ]
+
+    def intake_split():
+        monitor = Monitor(mode=ProcessingMode.SPLIT, split_lag=1e9)
+        monitor.add_property(echo_property())
+        for event in events:
+            monitor.observe(event)
+        return monitor
+
+    monitor = benchmark(intake_split)
+    assert monitor.stats.ops_applied == 0  # nothing applied during intake

@@ -1,0 +1,121 @@
+"""Experiment P2 (Sec. 3.3) — slow-path vs fast-path state updates.
+
+The paper: Varanus "remains intractable so long as it stores and updates
+its state using OpenFlow rules, which cannot be modified at line rate.  A
+scalable implementation would need more rapid state mechanisms, such as
+the register-based approach in P4."
+
+Two measurements:
+
+* the simulated cost model — per-update ticks of a flow-rule installation
+  (learn / flow-mod through the OpenFlow machinery) vs a register write,
+  on a real per-packet-state workload;
+* wall-clock throughput of the two mechanisms in this implementation
+  (the learn path manipulates rule tables; the register path writes an
+  array cell) — the *shape* (slow path well below fast path) is the claim.
+"""
+
+import pytest
+
+from repro.backends import P4Program, P4Stage
+from repro.netsim import EventScheduler
+from repro.packet import ethernet
+from repro.switch.actions import FieldRef, Learn, Output, RegisterWrite
+from repro.switch.events import PacketArrival
+from repro.switch.match import MatchSpec
+from repro.switch.pipeline import MissPolicy
+from repro.switch.registers import (
+    FAST_PATH_UPDATE_COST,
+    SLOW_PATH_UPDATE_COST,
+)
+from repro.switch.switch import Switch
+
+NUM_PACKETS = 300
+
+
+def _packets():
+    return [ethernet(i % 50 + 1, (i * 7) % 50 + 1) for i in range(NUM_PACKETS)]
+
+
+def slow_path_switch():
+    """Per-packet state via the learn action (FAST/Varanus style)."""
+    sw = Switch("slow", EventScheduler(), num_ports=2, num_tables=2,
+                miss_policy=MissPolicy.FLOOD)
+    learn = Learn(table_id=1, match=(("eth.dst", FieldRef("eth.src")),),
+                  actions=(Output(FieldRef("in_port")),))
+    sw.install_rule(MatchSpec(), [learn], table_id=0, priority=1)
+    return sw
+
+
+def fast_path_switch():
+    """Per-packet state via register writes (P4 style)."""
+    sw = Switch("fast", EventScheduler(), num_ports=2, num_tables=2,
+                miss_policy=MissPolicy.FLOOD)
+    sw.install_rule(
+        MatchSpec(),
+        [RegisterWrite("seen", FieldRef("eth.src"), 1)],
+        table_id=0, priority=1,
+    )
+    return sw
+
+
+def drive(sw):
+    for i, packet in enumerate(_packets()):
+        sw.receive(packet, in_port=1)
+        sw.scheduler.run()
+    return sw
+
+
+def test_cost_model_ratio():
+    """The abstract cost model matches the paper's qualitative gap."""
+    assert SLOW_PATH_UPDATE_COST / FAST_PATH_UPDATE_COST >= 100
+
+
+def test_slow_path_updates_dominate_cost(benchmark):
+    sw = benchmark(lambda: drive(slow_path_switch()))
+    assert sw.meter.slow_updates >= NUM_PACKETS
+    assert sw.meter.slow_update_ticks > sw.meter.lookup_ticks
+    print(f"\nslow path: {sw.meter.slow_updates} updates, "
+          f"{sw.meter.total_ticks} total ticks")
+
+
+def test_fast_path_updates_cheap(benchmark):
+    sw = benchmark(lambda: drive(fast_path_switch()))
+    assert sw.meter.fast_updates >= NUM_PACKETS
+    assert sw.meter.fast_update_ticks < sw.meter.lookup_ticks
+    print(f"\nfast path: {sw.meter.fast_updates} updates, "
+          f"{sw.meter.total_ticks} total ticks")
+
+
+def test_simulated_forwarding_latency_gap():
+    """Inline slow-path updates inflate per-packet forwarding latency far
+    beyond the register version — the line-rate argument."""
+    slow = drive(slow_path_switch())
+    fast = drive(fast_path_switch())
+    ratio = (slow.stats.mean_forward_latency
+             / fast.stats.mean_forward_latency)
+    print(f"\nmean forwarding latency: slow={slow.stats.mean_forward_latency:.2e}s "
+          f"fast={fast.stats.mean_forward_latency:.2e}s ratio={ratio:.1f}x")
+    assert ratio > 5
+
+
+def test_register_program_wallclock(benchmark):
+    """Wall-clock: a P4-style register program handles the same workload
+    entirely on the fast path."""
+    program = P4Program(register_size=1024)
+    program.add_stage(P4Stage(
+        guard=lambda f: "eth.src" in f,
+        array="seen", key_fields=("eth.src",),
+        update=lambda old, f: old + 1,
+    ))
+    events = [
+        PacketArrival(switch_id="s", time=i * 1e-5, packet=p, in_port=1)
+        for i, p in enumerate(_packets())
+    ]
+
+    def run():
+        for event in events:
+            program.process(event)
+
+    benchmark(run)
+    assert program.meter.slow_updates == 0

@@ -1,0 +1,43 @@
+"""Experiment T2 — regenerate Table 2.
+
+Run the conformance harness (feature probes against every backend's
+executable capability model) and compare against the paper's table.  The
+benchmark times one full conformance sweep — every probe compiles (or is
+rejected by) every backend and, where it compiles, replays a witness trace
+to confirm detection.
+"""
+
+import pytest
+
+from repro.backends import build_table2, diff_against_paper, render_table2
+
+
+def test_table2_reproduces_paper(benchmark):
+    table = benchmark(build_table2)
+
+    print("\n=== Table 2 (computed from backend probes) ===")
+    print(render_table2(table))
+
+    diffs = diff_against_paper(table)
+    assert diffs == [], diffs
+    print("\nall 13 rows x 7 approaches match the paper cell-for-cell")
+
+
+def test_probe_outcomes_are_executable(benchmark):
+    """Every ✓ cell in the semantic rows was earned by an actual violation
+    detection, not by metadata — re-run the probes standalone."""
+    from repro.backends import PROBES, all_backends, run_probe
+
+    def sweep():
+        results = {}
+        for backend in all_backends():
+            for probe in PROBES:
+                results[(backend.caps.name, probe.row)] = run_probe(
+                    backend, probe
+                )
+        return results
+
+    results = benchmark(sweep)
+    # Varanus earns Y on every probe by detecting each witness trace.
+    varanus_cells = [v for (name, _), v in results.items() if name == "Varanus"]
+    assert all(c == "Y" for c in varanus_cells)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compiling a property to pure switch rules — Varanus's mechanism, live.
+
+The other examples monitor through the engine (an idealized on-switch
+monitor).  This one uses the Varanus *compiler*: the property becomes
+actual flow rules — a static entry rule whose recursive learn unrolls one
+fresh table per instance, watcher rules that advance by deleting and
+re-learning themselves, and (for the negative observation) a timer rule
+whose expiry raises the violation.  No engine runs; the alerts come out of
+the dataplane.
+
+It then shows the price the paper pays for this design: pipeline depth
+after the traffic equals the number of instances unrolled.
+
+Run:  python examples/compiled_monitor.py
+"""
+
+from repro.backends import compile_property
+from repro.core import (
+    Absent,
+    Bind,
+    Const,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    Observe,
+    PropertySpec,
+    Var,
+)
+from repro.netsim import EventScheduler
+from repro.packet import tcp_syn
+from repro.switch.pipeline import MissPolicy
+from repro.switch.switch import Switch
+
+
+def knock_must_be_answered(T: float = 2.0) -> PropertySpec:
+    """A 7001 knock must be followed by a 7002 knock within T seconds."""
+    return PropertySpec(
+        name="knock-answered",
+        description=f"a 7001 knock is followed by 7002 within {T}s",
+        stages=(
+            Observe("knock", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("tcp.dst", Const(7001)),),
+                binds=(Bind("knocker", "ipv4.src"),))),
+            Absent("no_followup", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("ipv4.src", Var("knocker")),
+                        FieldEq("tcp.dst", Const(7002)))),
+                within=T),
+        ),
+        key_vars=("knocker",),
+    )
+
+
+def main() -> None:
+    scheduler = EventScheduler()
+    switch = Switch("mon", scheduler, num_ports=2, num_tables=1,
+                    miss_policy=MissPolicy.FLOOD)
+    compile_property(switch, knock_must_be_answered())
+
+    alerts = []
+    switch.add_alert_sink(alerts.append)
+
+    def knock(when, src, dport):
+        scheduler.call_at(
+            when,
+            lambda: switch.receive(
+                tcp_syn(1, 2, src, "10.0.0.99", 30000, dport), 1))
+
+    print(f"pipeline depth before traffic: {switch.pipeline.depth}")
+
+    # Three knockers; only one follows up in time.
+    knock(0.0, "10.0.0.1", 7001)
+    knock(0.5, "10.0.0.2", 7001)
+    knock(0.8, "10.0.0.3", 7001)
+    knock(1.0, "10.0.0.1", 7002)  # answered: instance discharged
+    scheduler.run()
+
+    print(f"pipeline depth after traffic : {switch.pipeline.depth} "
+          "(one unrolled table per instance)")
+    print(f"slow-path rule updates       : {switch.meter.slow_updates}")
+    print(f"\ndataplane alerts: {len(alerts)} (expected 2 — hosts .2 and .3 "
+          "never followed up)")
+    for alert in alerts:
+        print(f"  [{alert.message}] carried: "
+              f"{ {k: str(v) for k, v in alert.carried.items()} }")
+    assert len(alerts) == 2
+    assert str(alerts[0].carried["ipv4.src"]) != str(alerts[1].carried["ipv4.src"])
+    print("\nno monitor engine was involved: the violations were raised by "
+          "rule timers the compiler installed (Feature 7, on real rules).")
+
+
+if __name__ == "__main__":
+    main()

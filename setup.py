@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; setuptools>=61 reads it from there.
+This file exists so `pip install -e . --no-use-pep517` works offline.
+"""
+from setuptools import setup
+
+setup()

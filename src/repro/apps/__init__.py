@@ -1,0 +1,42 @@
+"""The monitored network functions.
+
+Each application is a controller-style program (:class:`SwitchApp`) with
+explicit fault-injection knobs — the bugs that *create* the property
+violations the monitor catches.  These are the systems whose correctness
+the paper's properties describe: learning switch, stateful firewall, NAT,
+ARP cache proxy, DHCP server, load balancer, port-knocking gateway, FTP
+gateway.
+"""
+
+from .arp_proxy import ArpProxyApp, DhcpSnooper
+from .dhcp_server import DhcpServerApp, Lease
+from .faults import FaultPlan, always, no_faults, sometimes
+from .ftp_helper import FtpAlgApp, ftp_session
+from .learning_switch import LearningSwitchApp, install_dataplane_learning
+from .load_balancer import BalanceMode, LoadBalancerApp, flow_hash
+from .nat import NatApp, Translation
+from .port_knocking import PortKnockingApp
+from .stateful_firewall import Pinhole, StatefulFirewallApp
+
+__all__ = [
+    "ArpProxyApp",
+    "DhcpSnooper",
+    "DhcpServerApp",
+    "Lease",
+    "FaultPlan",
+    "always",
+    "no_faults",
+    "sometimes",
+    "FtpAlgApp",
+    "ftp_session",
+    "LearningSwitchApp",
+    "install_dataplane_learning",
+    "BalanceMode",
+    "LoadBalancerApp",
+    "flow_hash",
+    "NatApp",
+    "Translation",
+    "PortKnockingApp",
+    "Pinhole",
+    "StatefulFirewallApp",
+]

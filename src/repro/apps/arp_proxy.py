@@ -1,0 +1,136 @@
+"""ARP cache proxy — the worked example of Sec. 2.3 and Table 1's first
+property group.
+
+The proxy learns IP-to-MAC mappings from ARP replies (and gratuitously from
+request senders), answers requests for *known* addresses directly from the
+cache, and forwards (floods) requests for *unknown* addresses.  An optional
+:class:`DhcpSnooper` hookup pre-loads the cache from observed DHCP leases —
+the wandering-match "DHCP + ARP Proxy" rows of Table 1.
+
+Fault knobs:
+
+* ``forward_known`` (rate)   — flood a request it should have answered
+  (violates "requests for known addresses are not forwarded");
+* ``suppress_reply`` (rate)  — neither answer nor forward (violates both
+  "requests for unknown addresses are forwarded" and, for known addresses,
+  "reply within T" — the negative observation / timeout action case);
+* ``reply_delay`` (value via ``FaultPlan.rates['reply_delay']`` seconds,
+  interpreted as a delay, not a probability) — answer, but late;
+* ``skip_preload`` (flag)    — ignore DHCP-derived knowledge (violates
+  "pre-load ARP cache with leased addresses");
+* ``reply_unknown`` (flag)   — fabricate replies for addresses it has no
+  knowledge of (violates "no direct reply if neither pre-loaded nor prior
+  reply seen").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..packet.addresses import IPv4Address, MACAddress
+from ..packet.builder import arp_reply
+from ..packet.headers import Arp
+from ..packet.packet import Packet
+from ..switch.events import OutOfBandEvent
+from ..switch.switch import Switch
+from .faults import FaultPlan, no_faults
+
+#: MAC the proxy answers with when fabricating replies (reply_unknown).
+_FABRICATED_MAC = MACAddress(0xBADBADBAD)
+
+
+class ArpProxyApp:
+    """Proxy-ARP with a learned (and optionally DHCP-preloaded) cache."""
+
+    def __init__(self, faults: Optional[FaultPlan] = None) -> None:
+        self.faults = faults if faults is not None else no_faults()
+        self.cache: Dict[IPv4Address, MACAddress] = {}
+
+    # -- SwitchApp interface ---------------------------------------------------------
+    def setup(self, switch: Switch) -> None:
+        self.cache.clear()
+
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        arp = packet.find(Arp)
+        if arp is None:
+            switch.flood(packet, in_port)  # proxy only interprets ARP
+            return
+        if arp.is_reply:
+            self.cache[arp.sender_ip] = arp.sender_mac
+            switch.flood(packet, in_port)
+            return
+        # A request: learn the sender opportunistically, then decide.
+        self.cache.setdefault(arp.sender_ip, arp.sender_mac)
+        known = self.cache.get(arp.target_ip)
+        if known is not None:
+            if self.faults.fires("forward_known"):
+                switch.flood(packet, in_port)
+                return
+            if self.faults.fires("suppress_reply"):
+                switch.drop(packet, in_port, reason="proxy-bug-suppressed")
+                return
+            self._answer(switch, in_port, arp, known)
+            return
+        if self.faults.enabled("reply_unknown"):
+            self._answer(switch, in_port, arp, _FABRICATED_MAC)
+            return
+        if self.faults.fires("suppress_reply"):
+            switch.drop(packet, in_port, reason="proxy-bug-suppressed")
+            return
+        switch.flood(packet, in_port)
+
+    def on_oob(self, switch: Switch, event: OutOfBandEvent) -> None:
+        pass
+
+    # -- cache management --------------------------------------------------------------
+    def preload(self, ip: IPv4Address, mac: MACAddress) -> None:
+        """Install a mapping from out-of-band knowledge (DHCP snooping)."""
+        if self.faults.enabled("skip_preload"):
+            return
+        self.cache[ip] = mac
+
+    def _answer(
+        self, switch: Switch, in_port: int, arp: Arp, mac: MACAddress
+    ) -> None:
+        reply = arp_reply(
+            sender_mac=mac,
+            sender_ip=arp.target_ip,
+            target_mac=arp.sender_mac,
+            target_ip=arp.sender_ip,
+        )
+        delay = self.faults.value("reply_delay")
+        if delay > 0:
+            switch.scheduler.call_after(
+                delay, lambda: switch.inject(reply, in_port), label="late-arp-reply"
+            )
+        else:
+            switch.inject(reply, in_port)
+
+    # -- introspection --------------------------------------------------------------------
+    def knows(self, ip: IPv4Address) -> bool:
+        return ip in self.cache
+
+
+class DhcpSnooper:
+    """Tap that feeds observed DHCP ACKs into an ARP proxy's cache.
+
+    Attach with ``switch.add_tap(snooper.observe)``.  This is the substrate
+    behaviour behind Table 1's "Pre-load ARP cache with leased addresses":
+    the *property* checks that the proxy actually honours this knowledge.
+    """
+
+    def __init__(self, proxy: ArpProxyApp) -> None:
+        self.proxy = proxy
+        self.leases_seen: Dict[IPv4Address, MACAddress] = {}
+
+    def observe(self, event) -> None:
+        from ..packet.dhcp import Dhcp
+        from ..switch.events import PacketEgress
+
+        if not isinstance(event, PacketEgress):
+            return
+        dhcp = event.packet.find(Dhcp)
+        if dhcp is None or not dhcp.is_ack:
+            return
+        self.leases_seen[dhcp.yiaddr] = dhcp.client_mac
+        self.proxy.preload(dhcp.yiaddr, dhcp.client_mac)

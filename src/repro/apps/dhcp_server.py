@@ -1,0 +1,203 @@
+"""DHCP server — Table 1's DHCP property group.
+
+A lease-pool server speaking the DISCOVER/OFFER/REQUEST/ACK handshake with
+lease expiry and RELEASE handling.  Running *two* servers with overlapping
+pools (plus the ``overlap_pool`` fault) produces the "no lease overlap
+between DHCP servers" violation.
+
+Fault knobs:
+
+* ``reply_delay`` (value, seconds) — ACK later than the property's T
+  (violates "reply to lease request within T seconds");
+* ``no_reply`` (rate)             — silently ignore a REQUEST;
+* ``reuse_leased`` (flag)         — hand out an address that is still
+  leased to another client (violates "leased addresses never re-used until
+  expiration or release");
+* ``ignore_release`` (flag)       — keep a lease alive after RELEASE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..packet.addresses import IPv4Address, MACAddress
+from ..packet.builder import dhcp_packet
+from ..packet.dhcp import Dhcp, DhcpMessageType
+from ..packet.packet import Packet
+from ..switch.events import OutOfBandEvent
+from ..switch.switch import Switch
+from .faults import FaultPlan, no_faults
+
+
+@dataclass
+class Lease:
+    """One active address lease."""
+
+    ip: IPv4Address
+    client: MACAddress
+    granted_at: float
+    duration: float
+
+    def expired(self, now: float) -> bool:
+        return now >= self.granted_at + self.duration
+
+
+class DhcpServerApp:
+    """A pool-managed DHCP server bound to one switch."""
+
+    def __init__(
+        self,
+        server_id: IPv4Address,
+        pool_start: IPv4Address,
+        pool_size: int,
+        lease_time: float = 60.0,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.server_id = server_id
+        # A stable MAC for the server, derived from its identifier, so
+        # replies carry proper server->client Ethernet addressing (the DHCP
+        # properties bind the client from eth.src/eth.dst).
+        self.server_mac = MACAddress((0xFE << 40) | (int(server_id) & 0xFFFFFFFF))
+        self.pool: List[IPv4Address] = [
+            IPv4Address(int(pool_start) + i) for i in range(pool_size)
+        ]
+        self.lease_time = lease_time
+        self.faults = faults if faults is not None else no_faults()
+        self.leases: Dict[IPv4Address, Lease] = {}
+        self.by_client: Dict[MACAddress, Lease] = {}
+
+    # -- SwitchApp interface ----------------------------------------------------------
+    def setup(self, switch: Switch) -> None:
+        self.leases.clear()
+        self.by_client.clear()
+
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        dhcp = packet.find(Dhcp)
+        if dhcp is None:
+            switch.flood(packet, in_port)
+            return
+        now = switch.now
+        self._reap(now)
+        if dhcp.is_discover:
+            self._offer(switch, in_port, dhcp, now)
+        elif dhcp.is_request:
+            self._ack(switch, in_port, dhcp, now)
+        elif dhcp.is_release:
+            self._release(dhcp)
+        # other message types are ignored by this server
+
+    def on_oob(self, switch: Switch, event: OutOfBandEvent) -> None:
+        pass
+
+    # -- protocol steps -------------------------------------------------------------------
+    def _pick_address(self, client: MACAddress, now: float) -> Optional[IPv4Address]:
+        held = self.by_client.get(client)
+        if held is not None and not held.expired(now):
+            return held.ip
+        for ip in self.pool:
+            lease = self.leases.get(ip)
+            if lease is None or lease.expired(now):
+                return ip
+            if self.faults.enabled("reuse_leased") and lease.client != client:
+                return ip  # hand out someone else's live lease — the bug
+        return None
+
+    def _offer(
+        self, switch: Switch, in_port: int, dhcp: Dhcp, now: float
+    ) -> None:
+        ip = self._pick_address(dhcp.client_mac, now)
+        if ip is None:
+            return  # pool exhausted: silence (clients retry)
+        reply = dhcp_packet(
+            client_mac=dhcp.client_mac,
+            msg_type=DhcpMessageType.OFFER,
+            xid=dhcp.xid,
+            src_mac=self.server_mac,
+            dst_mac=dhcp.client_mac,
+            yiaddr=ip,
+            lease_time=int(self.lease_time),
+            server_id=self.server_id,
+            src_ip=self.server_id,
+        )
+        self._send(switch, in_port, reply)
+
+    def _ack(self, switch: Switch, in_port: int, dhcp: Dhcp, now: float) -> None:
+        if dhcp.server_id is not None and dhcp.server_id != self.server_id:
+            return  # request addressed to a different server
+        if self.faults.fires("no_reply"):
+            return
+        ip = dhcp.requested_ip or self._pick_address(dhcp.client_mac, now)
+        if ip is None:
+            return
+        lease_ok = self._grant(ip, dhcp.client_mac, now)
+        if not lease_ok:
+            nak = dhcp_packet(
+                client_mac=dhcp.client_mac,
+                msg_type=DhcpMessageType.NAK,
+                xid=dhcp.xid,
+                src_mac=self.server_mac,
+                dst_mac=dhcp.client_mac,
+                server_id=self.server_id,
+                src_ip=self.server_id,
+            )
+            self._send(switch, in_port, nak)
+            return
+        ack = dhcp_packet(
+            client_mac=dhcp.client_mac,
+            msg_type=DhcpMessageType.ACK,
+            xid=dhcp.xid,
+            src_mac=self.server_mac,
+            dst_mac=dhcp.client_mac,
+            yiaddr=ip,
+            lease_time=int(self.lease_time),
+            server_id=self.server_id,
+            src_ip=self.server_id,
+        )
+        self._send(switch, in_port, ack)
+
+    def _grant(self, ip: IPv4Address, client: MACAddress, now: float) -> bool:
+        if ip not in self.pool:
+            return False
+        lease = self.leases.get(ip)
+        if (
+            lease is not None
+            and not lease.expired(now)
+            and lease.client != client
+            and not self.faults.enabled("reuse_leased")
+        ):
+            return False
+        new_lease = Lease(ip=ip, client=client, granted_at=now,
+                          duration=self.lease_time)
+        self.leases[ip] = new_lease
+        self.by_client[client] = new_lease
+        return True
+
+    def _release(self, dhcp: Dhcp) -> None:
+        if self.faults.enabled("ignore_release"):
+            return
+        lease = self.by_client.pop(dhcp.client_mac, None)
+        if lease is not None:
+            self.leases.pop(lease.ip, None)
+
+    def _send(self, switch: Switch, port: int, reply: Packet) -> None:
+        delay = self.faults.value("reply_delay")
+        if delay > 0:
+            switch.scheduler.call_after(
+                delay, lambda: switch.inject(reply, port), label="late-dhcp-reply"
+            )
+        else:
+            switch.inject(reply, port)
+
+    def _reap(self, now: float) -> None:
+        expired = [ip for ip, lease in self.leases.items() if lease.expired(now)]
+        for ip in expired:
+            lease = self.leases.pop(ip)
+            if self.by_client.get(lease.client) is lease:
+                del self.by_client[lease.client]
+
+    # -- introspection -----------------------------------------------------------------------
+    def active_leases(self, now: float) -> int:
+        return sum(1 for lease in self.leases.values() if not lease.expired(now))

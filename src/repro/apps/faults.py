@@ -1,0 +1,68 @@
+"""Deterministic fault injection for the monitored applications.
+
+Every app takes a :class:`FaultPlan` describing the bugs to inject; a
+correct app uses :func:`no_faults`.  Faults are what *create* property
+violations — the monitor's job is to catch them.  All randomness is seeded
+so violation traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class FaultPlan:
+    """A seeded source of injected-failure decisions.
+
+    ``rates`` maps fault names to probabilities in [0, 1]; ``flags`` are
+    always-on behavioural bugs; ``values`` carry fault *parameters* with
+    units (e.g. ``reply_delay`` in seconds).  Apps consult :meth:`fires`
+    (probabilistic), :meth:`enabled` (boolean), and :meth:`value`.
+    """
+
+    rates: Dict[str, float] = field(default_factory=dict)
+    flags: Dict[str, bool] = field(default_factory=dict)
+    values: Dict[str, float] = field(default_factory=dict)
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        for name, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {name}={rate!r} outside [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def fires(self, name: str) -> bool:
+        """Roll the dice for a probabilistic fault (False if unconfigured)."""
+        rate = self.rates.get(name, 0.0)
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def enabled(self, name: str) -> bool:
+        return self.flags.get(name, False)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Read a fault parameter (e.g. a delay in seconds)."""
+        return self.values.get(name, default)
+
+    def count(self, name: str, n: int) -> int:
+        """Expected firing count helper for tests (not consuming RNG)."""
+        return int(round(self.rates.get(name, 0.0) * n))
+
+
+def no_faults() -> FaultPlan:
+    """A plan that never injects anything: the correct implementation."""
+    return FaultPlan()
+
+
+def always(name: str) -> FaultPlan:
+    """A plan with one always-on flag fault."""
+    return FaultPlan(flags={name: True})
+
+
+def sometimes(name: str, rate: float, seed: int = 1234) -> FaultPlan:
+    """A plan with one probabilistic fault."""
+    return FaultPlan(rates={name: rate}, seed=seed)

@@ -1,0 +1,136 @@
+"""FTP application-level gateway and session workload — Table 1's FTP row
+(taken by the paper from FAST).
+
+The property "data L4 port matches L4 port given in control stream" checks
+*endpoint* behaviour: a client advertising PORT a,b,c,d,p1,p2 must open its
+data connection from/to that port.  The :class:`FtpAlgApp` forwards control
+and data traffic (optionally enforcing the pinhole like a real ALG);
+:func:`ftp_session` generates the two-host workload, with a ``mismatch``
+knob that makes the client open the data connection on the wrong port —
+the violation the monitor should catch even when the ALG itself doesn't.
+
+Fault knobs on the ALG:
+
+* ``no_enforce`` (flag) — forward any data connection regardless of the
+  advertised endpoint (an ALG that doesn't enforce; the monitor then is
+  the only line of defence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.workload import TimedPacket
+from ..packet.addresses import IPv4Address, MACAddress
+from ..packet.builder import ftp_control_packet, tcp_syn
+from ..packet.ftp import FTP_CONTROL_PORT, FtpControl, encode_port_command
+from ..packet.headers import TCP, IPv4
+from ..packet.packet import Packet
+from ..switch.events import OutOfBandEvent
+from ..switch.switch import Switch
+from .faults import FaultPlan, no_faults
+
+
+class FtpAlgApp:
+    """Forwarder that tracks advertised FTP data endpoints."""
+
+    def __init__(
+        self,
+        client_port: int = 1,
+        server_port: int = 2,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.client_port = client_port
+        self.server_port = server_port
+        self.faults = faults if faults is not None else no_faults()
+        #: (client_ip, server_ip) -> advertised data port
+        self.expected: Dict[Tuple[IPv4Address, IPv4Address], int] = {}
+
+    def setup(self, switch: Switch) -> None:
+        self.expected.clear()
+
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        out_port = (
+            self.server_port if in_port == self.client_port else self.client_port
+        )
+        ftp = packet.find(FtpControl)
+        ip = packet.find(IPv4)
+        if ftp is not None and ip is not None and ftp.advertises_endpoint:
+            self.expected[(ip.src, ip.dst)] = ftp.data_port  # type: ignore[assignment]
+        tcp = packet.find(TCP)
+        if (
+            tcp is not None
+            and ip is not None
+            and ftp is None
+            and not self.faults.enabled("no_enforce")
+        ):
+            key = (ip.src, ip.dst)
+            advertised = self.expected.get(key)
+            is_data = tcp.dst_port != FTP_CONTROL_PORT and tcp.src_port != FTP_CONTROL_PORT
+            if is_data and advertised is not None and tcp.src_port != advertised:
+                switch.drop(packet, in_port, reason="alg-port-mismatch")
+                return
+        switch.inject(packet, out_port)
+
+    def on_oob(self, switch: Switch, event: OutOfBandEvent) -> None:
+        pass
+
+
+def ftp_session(
+    client_mac: MACAddress,
+    server_mac: MACAddress,
+    client_ip: IPv4Address,
+    server_ip: IPv4Address,
+    advertised_port: int,
+    actual_port: Optional[int] = None,
+    client_host: int = 1,
+    server_host: int = 2,
+    start: float = 0.0,
+    step: float = 0.01,
+) -> List[TimedPacket]:
+    """One active-mode FTP session as a timed workload.
+
+    Control handshake, a PORT command advertising ``advertised_port``, the
+    server's 200 reply, then the client's data connection opened from
+    ``actual_port`` (defaults to the advertised one — pass a different
+    value to create the property violation).
+    """
+    if actual_port is None:
+        actual_port = advertised_port
+    ctl_port = 51000
+    t = start
+    out: List[TimedPacket] = []
+
+    def control(line: str, to_server: bool) -> Packet:
+        src = (client_mac, client_ip) if to_server else (server_mac, server_ip)
+        dst = (server_mac, server_ip) if to_server else (client_mac, client_ip)
+        return ftp_control_packet(
+            src[0], dst[0], src[1], dst[1], ctl_port, line, to_server=to_server
+        )
+
+    out.append(TimedPacket(t, client_host, control("USER anonymous", True)))
+    t += step
+    out.append(TimedPacket(t, server_host, control("331 Please specify password", False)))
+    t += step
+    out.append(
+        TimedPacket(
+            t, client_host, control(encode_port_command(client_ip, advertised_port), True)
+        )
+    )
+    t += step
+    out.append(TimedPacket(t, server_host, control("200 PORT command successful", False)))
+    t += step
+    out.append(TimedPacket(t, client_host, control("RETR file.txt", True)))
+    t += step
+    # Active mode: the server opens the data connection from port 20 toward
+    # the client's advertised port.  ``actual_port`` different from the
+    # advertised one is the property violation.
+    out.append(
+        TimedPacket(
+            t,
+            server_host,
+            tcp_syn(server_mac, client_mac, server_ip, client_ip,
+                    20, actual_port),
+        )
+    )
+    return out

@@ -1,0 +1,123 @@
+"""L4 load balancer — Table 1's load-balancing property group.
+
+Traffic to a virtual service address is spread over backend ports either by
+5-tuple hash or round-robin; an established flow is pinned to its backend
+until it closes.  The three Table 1 properties check exactly those
+behaviours: "new flows go to hashed port", "new flows go to round-robin
+port", and "no change in port until flow closed".
+
+Fault knobs:
+
+* ``misroute_new`` (rate)  — send a brand-new flow to the wrong backend;
+* ``rebalance_midflow`` (rate) — re-pick the backend for a live flow;
+* ``forget_pin`` (flag)    — never pin: every packet re-hashes (with hash
+  mode this is invisible; with round-robin it violates pinning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..packet.addresses import IPv4Address
+from ..packet.headers import TCP, IPv4
+from ..packet.packet import Packet
+from ..switch.events import OutOfBandEvent
+from ..switch.switch import Switch
+from .faults import FaultPlan, no_faults
+
+FlowKey = Tuple[IPv4Address, int, IPv4Address, int, int]
+
+
+class BalanceMode(Enum):
+    HASH = "hash"
+    ROUND_ROBIN = "round-robin"
+
+
+def flow_hash(key: FlowKey, num_backends: int) -> int:
+    """The deterministic hash the 'hashed port' property checks against.
+
+    A simple FNV-1a over the 5-tuple: stable across runs, available to both
+    the app and the property specification.
+    """
+    h = 0xCBF29CE484222325
+    for part in (int(key[0]), key[1], int(key[2]), key[3], key[4]):
+        for shift in (0, 8, 16, 24):
+            h ^= (part >> shift) & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h % num_backends
+
+
+class LoadBalancerApp:
+    """Flow-pinning load balancer in hash or round-robin mode."""
+
+    def __init__(
+        self,
+        vip: IPv4Address,
+        backend_ports: Sequence[int],
+        mode: BalanceMode = BalanceMode.HASH,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if len(backend_ports) < 2:
+            raise ValueError("load balancer needs at least two backends")
+        self.vip = vip
+        self.backend_ports = tuple(backend_ports)
+        self.mode = mode
+        self.faults = faults if faults is not None else no_faults()
+        self.flows: Dict[FlowKey, int] = {}
+        self._rr_next = 0
+
+    # -- SwitchApp interface -----------------------------------------------------------
+    def setup(self, switch: Switch) -> None:
+        self.flows.clear()
+        self._rr_next = 0
+
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        ip = packet.find(IPv4)
+        five = packet.five_tuple()
+        if ip is None or five is None or ip.dst != self.vip:
+            switch.flood(packet, in_port)
+            return
+        port = self._pick(five)
+        switch.inject(packet, port)
+        if self._is_close(packet):
+            self.flows.pop(five, None)
+
+    def on_oob(self, switch: Switch, event: OutOfBandEvent) -> None:
+        pass
+
+    # -- balancing ------------------------------------------------------------------------
+    def _fresh_choice(self, key: FlowKey) -> int:
+        if self.mode is BalanceMode.HASH:
+            return self.backend_ports[flow_hash(key, len(self.backend_ports))]
+        choice = self.backend_ports[self._rr_next % len(self.backend_ports)]
+        self._rr_next += 1
+        return choice
+
+    def _wrong_choice(self, right: int) -> int:
+        others = [p for p in self.backend_ports if p != right]
+        return others[0]
+
+    def _pick(self, key: FlowKey) -> int:
+        pinned = None if self.faults.enabled("forget_pin") else self.flows.get(key)
+        if pinned is not None:
+            if self.faults.fires("rebalance_midflow"):
+                moved = self._wrong_choice(pinned)
+                self.flows[key] = moved
+                return moved
+            return pinned
+        choice = self._fresh_choice(key)
+        if self.faults.fires("misroute_new"):
+            choice = self._wrong_choice(choice)
+        self.flows[key] = choice
+        return choice
+
+    @staticmethod
+    def _is_close(packet: Packet) -> bool:
+        tcp = packet.find(TCP)
+        return tcp is not None and (tcp.is_fin or tcp.is_rst)
+
+    # -- introspection -----------------------------------------------------------------------
+    def pinned_backend(self, key: FlowKey) -> Optional[int]:
+        return self.flows.get(key)

@@ -1,0 +1,138 @@
+"""Network address translation — the worked example of Sec. 2.2.
+
+Outbound packets (internal port) get a fresh public (address, port) pair
+per (A, P, B, Q) flow; inbound packets addressed to a translation's public
+endpoint are rewritten back to (A, P).  Rewrites go through
+:func:`repro.switch.rewrite.rewrite_field`, which preserves the packet
+``uid`` — so the NAT property's "the same packet" observations (Feature 5)
+hold across the rewrite.
+
+Fault knobs:
+
+* ``corrupt_reverse`` (rate) — rewrite a return packet's destination to the
+  wrong internal port (P'' != P): the four-observation NAT property's
+  violation;
+* ``corrupt_reverse_ip`` (rate) — rewrite to the wrong internal address
+  (A'' != A), the other arm of the property's final disjunction;
+* ``drop_unknown`` vs default: inbound packets with no matching translation
+  are always dropped (that is correct NAT behaviour, not a fault).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..packet.addresses import IPv4Address
+from ..packet.headers import IPv4
+from ..packet.packet import Packet
+from ..switch.events import OutOfBandEvent
+from ..switch.rewrite import rewrite_field
+from ..switch.switch import Switch
+from .faults import FaultPlan, no_faults
+
+FlowKey = Tuple[IPv4Address, int, IPv4Address, int]  # (A, P, B, Q)
+PublicKey = Tuple[IPv4Address, int]  # (A', P')
+
+
+@dataclass(frozen=True)
+class Translation:
+    """One active NAT mapping."""
+
+    internal_ip: IPv4Address
+    internal_port: int
+    public_ip: IPv4Address
+    public_port: int
+    remote_ip: IPv4Address
+    remote_port: int
+
+
+class NatApp:
+    """Port-translating NAT between an internal and an external port."""
+
+    def __init__(
+        self,
+        public_ip: IPv4Address,
+        internal_port: int = 1,
+        external_port: int = 2,
+        port_base: int = 40000,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.public_ip = public_ip
+        self.internal_port = internal_port
+        self.external_port = external_port
+        self.port_base = port_base
+        self.faults = faults if faults is not None else no_faults()
+        self.by_flow: Dict[FlowKey, Translation] = {}
+        self.by_public: Dict[PublicKey, Translation] = {}
+        self._next_port = port_base
+
+    # -- SwitchApp interface -------------------------------------------------------
+    def setup(self, switch: Switch) -> None:
+        self.by_flow.clear()
+        self.by_public.clear()
+        self._next_port = self.port_base
+
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        ip = packet.find(IPv4)
+        sport, dport = packet.l4_sport, packet.l4_dport
+        if ip is None or sport is None or dport is None:
+            switch.drop(packet, in_port, reason="not-translatable")
+            return
+        if in_port == self.internal_port:
+            self._outbound(switch, packet, ip, sport, dport)
+        elif in_port == self.external_port:
+            self._inbound(switch, packet, ip, sport, dport)
+        else:
+            switch.drop(packet, in_port, reason="unknown-port")
+
+    def on_oob(self, switch: Switch, event: OutOfBandEvent) -> None:
+        pass
+
+    # -- translation ------------------------------------------------------------------
+    def _allocate(self, key: FlowKey) -> Translation:
+        translation = self.by_flow.get(key)
+        if translation is not None:
+            return translation
+        public_port = self._next_port
+        self._next_port += 1
+        translation = Translation(
+            internal_ip=key[0],
+            internal_port=key[1],
+            public_ip=self.public_ip,
+            public_port=public_port,
+            remote_ip=key[2],
+            remote_port=key[3],
+        )
+        self.by_flow[key] = translation
+        self.by_public[(self.public_ip, public_port)] = translation
+        return translation
+
+    def _outbound(
+        self, switch: Switch, packet: Packet, ip: IPv4, sport: int, dport: int
+    ) -> None:
+        translation = self._allocate((ip.src, sport, ip.dst, dport))
+        rewritten = rewrite_field(packet, "ipv4.src", translation.public_ip)
+        rewritten = rewrite_field(rewritten, "l4.src", translation.public_port)
+        switch.inject(rewritten, self.external_port)
+
+    def _inbound(
+        self, switch: Switch, packet: Packet, ip: IPv4, sport: int, dport: int
+    ) -> None:
+        translation = self.by_public.get((ip.dst, dport))
+        if translation is None:
+            switch.drop(packet, self.external_port, reason="nat-no-mapping")
+            return
+        dst_ip = translation.internal_ip
+        dst_port = translation.internal_port
+        if self.faults.fires("corrupt_reverse"):
+            dst_port = translation.internal_port + 1  # P'' != P
+        if self.faults.fires("corrupt_reverse_ip"):
+            dst_ip = IPv4Address(int(translation.internal_ip) + 1)  # A'' != A
+        rewritten = rewrite_field(packet, "ipv4.dst", dst_ip)
+        rewritten = rewrite_field(rewritten, "l4.dst", dst_port)
+        switch.inject(rewritten, self.internal_port)
+
+    # -- introspection ------------------------------------------------------------------
+    def translation_count(self) -> int:
+        return len(self.by_flow)

@@ -1,0 +1,99 @@
+"""Port-knocking gateway — Table 1's port-knocking property group
+(originally from Varanus).
+
+A client earns access to the protected port by hitting a secret sequence of
+knock ports in order; any wrong guess in between invalidates the progress.
+The two properties check each half: "intervening guesses invalidate
+sequence" and "recognize valid sequence".
+
+Fault knobs:
+
+* ``ignore_wrong_guess`` (flag) — progress survives an out-of-sequence
+  knock (violates invalidation);
+* ``never_open`` (flag)         — completing the sequence grants nothing
+  (violates recognition);
+* ``open_after_partial`` (flag) — grant access after only the first knock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ..packet.addresses import IPv4Address
+from ..packet.headers import TCP, UDP, IPv4
+from ..packet.packet import Packet
+from ..switch.events import OutOfBandEvent
+from ..switch.switch import Switch
+from .faults import FaultPlan, no_faults
+
+
+class PortKnockingApp:
+    """Knock-sequence gatekeeper in front of a protected TCP port."""
+
+    def __init__(
+        self,
+        knock_sequence: Sequence[int],
+        protected_port: int,
+        server_port: int = 2,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if len(knock_sequence) < 2:
+            raise ValueError("knock sequence needs at least two ports")
+        if protected_port in knock_sequence:
+            raise ValueError("protected port cannot be part of the sequence")
+        self.knock_sequence = tuple(knock_sequence)
+        self.protected_port = protected_port
+        self.server_port = server_port
+        self.faults = faults if faults is not None else no_faults()
+        self.progress: Dict[IPv4Address, int] = {}
+        self.granted: Set[IPv4Address] = set()
+
+    # -- SwitchApp interface --------------------------------------------------------
+    def setup(self, switch: Switch) -> None:
+        self.progress.clear()
+        self.granted.clear()
+
+    def on_packet_in(self, switch: Switch, packet: Packet, in_port: int) -> None:
+        ip = packet.find(IPv4)
+        dport = packet.l4_dport
+        if ip is None or dport is None:
+            switch.drop(packet, in_port, reason="pk-non-l4")
+            return
+        src = ip.src
+        if dport == self.protected_port:
+            if src in self.granted:
+                switch.inject(packet, self.server_port)
+            else:
+                switch.drop(packet, in_port, reason="pk-denied")
+            return
+        self._knock(src, dport)
+        # Knock packets themselves are absorbed (standard knockd behaviour).
+        switch.drop(packet, in_port, reason="pk-knock")
+
+    def on_oob(self, switch: Switch, event: OutOfBandEvent) -> None:
+        pass
+
+    # -- sequence tracking -------------------------------------------------------------
+    def _knock(self, src: IPv4Address, dport: int) -> None:
+        at = self.progress.get(src, 0)
+        expected = self.knock_sequence[at] if at < len(self.knock_sequence) else None
+        if dport == expected:
+            at += 1
+            self.progress[src] = at
+            if self.faults.enabled("open_after_partial") and at >= 1:
+                self.granted.add(src)
+                return
+            if at == len(self.knock_sequence):
+                if not self.faults.enabled("never_open"):
+                    self.granted.add(src)
+                self.progress[src] = 0
+            return
+        # A wrong guess: reset progress (unless the bug says otherwise).
+        if not self.faults.enabled("ignore_wrong_guess"):
+            self.progress[src] = 0
+            self.granted.discard(src)
+
+    # -- introspection --------------------------------------------------------------------
+    def has_access(self, src: IPv4Address) -> bool:
+        return src in self.granted

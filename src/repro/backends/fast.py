@@ -1,0 +1,134 @@
+"""FAST — flow-level state machines via the Open vSwitch ``learn`` action
+(Table 2).
+
+FAST encodes per-flow state machines by letting a rule install the rule
+for the *next* state as packets are seen — the ``learn`` action — plus
+hash functions for mapping packets to state.  Because the state lives in
+OpenFlow rules, every state transition is a **slow-path** update (the
+flow-table modification machinery), which is the performance wall Sec. 3.3
+hits; and because ``learn`` in stock OVS offers no timeout actions and its
+rule timeouts silently expire mid-machine (FAST's design omits them),
+Table 2 marks rule timeouts ✗.
+
+:class:`FastStateMachine` compiles a transition list into actual ``Learn``
+rules on a :class:`~repro.switch.switch.Switch` — a genuine executable
+model used by the tests; :class:`FastBackend` is the capability column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..switch.actions import Action, FieldRef, GotoTable, Learn
+from ..switch.match import MatchSpec
+from ..switch.switch import Switch
+from .base import Backend, Capabilities
+
+
+@dataclass(frozen=True)
+class FastTransition:
+    """One state transition compiled to a learn rule.
+
+    ``trigger`` matches the packet that causes the transition (in the
+    state's table); ``key_fields`` maps the installed next-state rule's
+    match fields to the triggering packet's fields (FieldRef template) —
+    FAST's per-flow keying, including the hash-like cross-field mappings
+    that give it symmetric match.
+    """
+
+    from_state: int
+    trigger: MatchSpec
+    to_state: int
+    key_fields: Tuple[Tuple[str, str], ...]  # (match field, trigger field)
+    actions: Tuple[Action, ...] = ()
+
+
+class FastStateMachine:
+    """Compile per-flow state machines onto switch tables via learn.
+
+    State *s* occupies ingress table ``base_table + s``; a transition from
+    state *s* installs (via ``learn``) a rule in state *s+1*'s table keyed
+    by the triggering packet.  The pipeline chains tables with GotoTable,
+    so a packet consults every state's table in order — one lookup per
+    state, mirroring FAST's pipeline organization.
+    """
+
+    def __init__(self, switch: Switch, base_table: int = 0) -> None:
+        self.switch = switch
+        self.base_table = base_table
+        self.num_states = 0
+
+    def install(self, transitions: Sequence[FastTransition]) -> None:
+        if not transitions:
+            raise ValueError("state machine needs at least one transition")
+        self.num_states = max(t.to_state for t in transitions) + 1
+        # Chain the state tables so each packet traverses all of them.
+        for state in range(self.num_states):
+            table_id = self.base_table + state
+            if state < self.num_states - 1:
+                self.switch.install_rule(
+                    MatchSpec(),
+                    [GotoTable(table_id + 1)],
+                    table_id=table_id,
+                    priority=1,
+                    cookie=f"fast-chain-{state}",
+                )
+        for transition in transitions:
+            self._install_transition(transition)
+
+    def _install_transition(self, transition: FastTransition) -> None:
+        table_id = self.base_table + transition.from_state
+        learn = Learn(
+            table_id=self.base_table + transition.to_state,
+            match=tuple(
+                (match_field, FieldRef(trigger_field))
+                for match_field, trigger_field in transition.key_fields
+            ),
+            actions=transition.actions,
+            priority=200,
+            cookie=f"fast-state-{transition.to_state}",
+        )
+        goto: Tuple[Action, ...] = ()
+        if transition.to_state > transition.from_state:
+            goto = (GotoTable(self.base_table + transition.from_state + 1),)
+        self.switch.install_rule(
+            transition.trigger,
+            [learn] + list(goto),
+            table_id=table_id,
+            priority=100,
+            cookie=f"fast-trigger-{transition.from_state}",
+        )
+
+    def state_rule_count(self) -> int:
+        """Installed per-flow state rules (the slow-path-updated state)."""
+        return sum(
+            1
+            for table in self.switch.pipeline.tables
+            for rule in table.rules
+            if rule.cookie.startswith("fast-state-")
+        )
+
+
+class FastBackend(Backend):
+    """Capability column for FAST."""
+
+    def __init__(self) -> None:
+        self.caps = Capabilities(
+            name="FAST",
+            state_mechanism="Learn action",
+            update_datapath="Slow path",
+            processing_mode="Inline",
+            event_history=True,
+            related_events=None,  # blank in the paper
+            field_access="Fixed",
+            negative_match=True,
+            rule_timeouts=False,
+            timeout_actions=False,
+            symmetric_match=True,
+            wandering_match=False,
+            out_of_band=False,
+            full_provenance=False,
+            drop_visibility=False,
+        )
+        super().__init__()

@@ -1,0 +1,121 @@
+"""POF / P4 — protocol-independent pipelines with register state (Table 2).
+
+P4 (and POF, which the paper groups with it) programs define the parser
+*and* the match-action pipeline: dynamic field access to any depth, and
+per-flow persistent state in register arrays updated on the **fast path**.
+P4's egress pipeline can match on switch metadata (output port) — the
+paper singles it out as "unique in considering this requirement" — so this
+backend has drop/egress visibility.  What the architecture still lacks for
+monitoring: timeout actions, out-of-band events, and full provenance;
+wandering-match support is target-dependent (blank).
+
+:class:`P4Program` is a small executable model of the primitive: a
+programmable parser depth, register arrays indexed by a header-field hash,
+and stateful match-action stages — used by the register-update benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.refs import event_fields
+from ..switch.events import DataplaneEvent
+from ..switch.registers import RegisterArray, StateCostMeter
+from .base import Backend, Capabilities
+
+
+def fnv1a(values: Tuple) -> int:
+    """The hash P4 programs typically use for register indexing."""
+    h = 0xCBF29CE484222325
+    for value in values:
+        v = int(value) if not isinstance(value, str) else hash(value)
+        for shift in (0, 8, 16, 24, 32, 40):
+            h ^= (v >> shift) & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+@dataclass
+class P4Stage:
+    """One match-action stage: a guard plus a register update."""
+
+    guard: Callable[[Mapping[str, object]], bool]
+    array: str
+    key_fields: Tuple[str, ...]
+    update: Callable[[int, Mapping[str, object]], int]  # old value -> new
+    label: str = ""
+
+
+class P4Program:
+    """A register-based stateful program over the dataplane event stream."""
+
+    def __init__(
+        self,
+        parse_depth: int = 7,
+        register_size: int = 4096,
+        meter: Optional[StateCostMeter] = None,
+    ) -> None:
+        self.parse_depth = parse_depth
+        self.register_size = register_size
+        self.meter = meter if meter is not None else StateCostMeter()
+        self.stages: List[P4Stage] = []
+        self._arrays: Dict[str, RegisterArray] = {}
+
+    def array(self, name: str) -> RegisterArray:
+        if name not in self._arrays:
+            self._arrays[name] = RegisterArray(
+                name, self.register_size, meter=self.meter
+            )
+        return self._arrays[name]
+
+    def add_stage(self, stage: P4Stage) -> None:
+        self.stages.append(stage)
+
+    def index_for(self, stage: P4Stage, fields: Mapping[str, object]) -> Optional[int]:
+        try:
+            key = tuple(fields[name] for name in stage.key_fields)
+        except KeyError:
+            return None
+        return fnv1a(key) % self.register_size
+
+    def process(self, event: DataplaneEvent) -> int:
+        """Run one event through all stages; returns updates performed."""
+        fields = event_fields(event, max_layer=self.parse_depth)
+        updates = 0
+        for stage in self.stages:
+            self.meter.charge_lookup()
+            if not stage.guard(fields):
+                continue
+            index = self.index_for(stage, fields)
+            if index is None:
+                continue
+            array = self.array(stage.array)
+            old = array.read(index)
+            array.write(index, stage.update(old, fields))  # fast path
+            updates += 1
+        return updates
+
+
+class P4Backend(Backend):
+    """Capability column for POF and P4."""
+
+    def __init__(self) -> None:
+        self.caps = Capabilities(
+            name="POF and P4",
+            state_mechanism="Flow registers",
+            update_datapath="Fast path",
+            processing_mode="",  # blank: target-dependent
+            event_history=True,
+            related_events=True,
+            field_access="Dynamic",
+            negative_match=True,
+            rule_timeouts=True,
+            timeout_actions=False,
+            symmetric_match=True,
+            wandering_match=None,  # blank: hash support is target-dependent
+            out_of_band=False,
+            full_provenance=False,
+            drop_visibility=True,  # egress-pipeline metadata matching
+        )
+        super().__init__()

@@ -1,0 +1,110 @@
+"""SNAP — stateful network-wide abstractions over global arrays (Table 2).
+
+SNAP programs read and write persistent *global arrays* indexed by header
+fields, with stateful tests, compiled down to register-machine targets
+(P4/POF among them) under a "one big switch" abstraction.  It inherits
+those targets' strengths (fast-path updates, dynamic fields, symmetric
+match) and their monitoring gaps (no timeout actions, no out-of-band
+events, no provenance) — and the paper notes its compiler hides individual
+switch behaviour, which a monitor may specifically care about.
+
+:class:`SnapProgram` is an executable model of the abstraction: named
+global arrays plus ``on(guard) do read/write/test`` statements over the
+event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.refs import event_fields
+from ..switch.events import DataplaneEvent
+from ..switch.registers import GlobalArrays, StateCostMeter
+from .base import Backend, Capabilities
+
+
+@dataclass
+class SnapStatement:
+    """One guarded array operation.
+
+    ``test`` (if given) reads ``array[key]`` and, when the test returns
+    True, fires ``on_match``; ``write`` (if given) computes the new cell
+    value from the old one.  This mirrors SNAP's read/test/write atoms.
+    """
+
+    guard: Callable[[Mapping[str, object]], bool]
+    array: str
+    key_fields: Tuple[str, ...]
+    write: Optional[Callable[[object, Mapping[str, object]], object]] = None
+    test: Optional[Callable[[object], bool]] = None
+    on_match: Optional[Callable[[Mapping[str, object]], None]] = None
+    label: str = ""
+
+
+class SnapProgram:
+    """Global-array stateful program over the dataplane event stream."""
+
+    def __init__(self, meter: Optional[StateCostMeter] = None) -> None:
+        self.meter = meter if meter is not None else StateCostMeter()
+        self.arrays = GlobalArrays(meter=self.meter)
+        self.statements: List[SnapStatement] = []
+        self.matches = 0
+
+    def add(self, statement: SnapStatement) -> None:
+        self.statements.append(statement)
+
+    def _key(
+        self, statement: SnapStatement, fields: Mapping[str, object]
+    ) -> Optional[Tuple]:
+        try:
+            return tuple(fields[name] for name in statement.key_fields)
+        except KeyError:
+            return None
+
+    def process(self, event: DataplaneEvent) -> int:
+        """Run one event through every statement; returns writes done."""
+        fields = event_fields(event, max_layer=7)
+        writes = 0
+        for statement in self.statements:
+            self.meter.charge_lookup()
+            if not statement.guard(fields):
+                continue
+            key = self._key(statement, fields)
+            if key is None:
+                continue
+            current = self.arrays.read(statement.array, key)
+            if statement.test is not None and statement.test(current):
+                self.matches += 1
+                if statement.on_match is not None:
+                    statement.on_match(fields)
+            if statement.write is not None:
+                self.arrays.write(
+                    statement.array, key, statement.write(current, fields)
+                )
+                writes += 1
+        return writes
+
+
+class SnapBackend(Backend):
+    """Capability column for SNAP."""
+
+    def __init__(self) -> None:
+        self.caps = Capabilities(
+            name="SNAP",
+            state_mechanism="Global arrays",
+            update_datapath="Fast path",
+            processing_mode="",  # blank: target-dependent
+            event_history=True,
+            related_events=True,
+            field_access="Dynamic",
+            negative_match=True,
+            rule_timeouts=False,
+            timeout_actions=False,
+            symmetric_match=True,
+            wandering_match=None,  # blank: target-dependent
+            out_of_band=False,
+            full_provenance=False,
+            drop_visibility=False,
+        )
+        super().__init__()

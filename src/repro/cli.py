@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+::
+
+    python -m repro tables              # regenerate Tables 1 and 2
+    python -m repro survey              # which backends host which properties
+    python -m repro check FILE [...]    # compile + analyze DSL property files
+    python -m repro record OUT [--packets N --hosts H --seed S]
+                                        # simulate traffic, save a JSONL trace
+    python -m repro replay TRACE FILE   # replay a trace against DSL properties
+
+Named predicates available to DSL files via ``check``/``replay``:
+``@internal`` (RFC1918 source, public destination), ``@tcp_syn``,
+``@tcp_close``, ``@dhcp_request``, ``@dhcp_ack``, ``@dhcp_release``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import Monitor, analyze
+from .lang import compile_source
+
+
+def _predicates():
+    """The full catalog predicate environment (fresh auxiliary state).
+
+    Knowledge-backed predicates (@known/@unknown/@lease_unknown) and the
+    load-balancer expectations are included so every shipped .prop file
+    checks and replays; their auxiliary state starts empty, which is the
+    right default for replaying a standalone trace.
+    """
+    from .props import ArpKnowledge, LeaseKnowledge, RoundRobinExpectation
+    from .props.catalog import CATALOG_BACKENDS, CATALOG_VIP
+    from .props.dsl_sources import dsl_predicates
+
+    return dsl_predicates(
+        ArpKnowledge(), LeaseKnowledge(),
+        RoundRobinExpectation(CATALOG_VIP, CATALOG_BACKENDS))
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from .backends import diff_against_paper, render_table2
+    from .props import build_table1, render_table1
+
+    print("=== Table 1: properties and required features ===\n")
+    print(render_table1())
+    entries = build_table1()
+    ok1 = sum(1 for e in entries if e.matches_paper())
+    print(f"\n{ok1}/{len(entries)} rows match the paper\n")
+
+    print("=== Table 2: approaches and supported features ===\n")
+    print(render_table2())
+    diffs = diff_against_paper()
+    print(f"\n{'all cells match the paper' if not diffs else diffs}")
+    return 0 if ok1 == len(entries) and not diffs else 1
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    from .backends import UnsupportedFeature, all_backends
+    from .props import build_table1
+
+    backends = all_backends()
+    width = max(len(b.caps.name) for b in backends) + 2
+    for backend in backends:
+        hosted = 0
+        blockers: dict = {}
+        for entry in build_table1():
+            try:
+                backend.check(entry.prop)
+                hosted += 1
+            except UnsupportedFeature as exc:
+                blockers[exc.feature] = blockers.get(exc.feature, 0) + 1
+        top = ", ".join(f"{k} x{v}" for k, v in
+                        sorted(blockers.items(), key=lambda kv: -kv[1])[:3])
+        print(f"{backend.caps.name:<{width}} hosts {hosted:2d}/13"
+              + (f"   blocked by: {top}" if top else ""))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                props = compile_source(fp.read(), _predicates())
+        except Exception as exc:  # surface parse/compile errors per file
+            print(f"{path}: ERROR: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        for prop in props:
+            req = analyze(prop)
+            print(f"{path}: {prop.name}")
+            print(f"    stages        : {prop.num_stages} "
+                  f"({', '.join(s.name for s in prop.stages)})")
+            print(f"    instance key  : {', '.join(prop.key_vars)}")
+            print(f"    parse depth   : L{req.max_layer}")
+            flags = [
+                name for name, on in [
+                    ("history", req.history), ("timeouts", req.timeouts),
+                    ("obligation", req.obligation), ("identity", req.identity),
+                    ("negative-match", req.negative_match),
+                    ("timeout-actions", req.timeout_actions),
+                    ("multiple-match", req.multiple_match),
+                    ("out-of-band", req.out_of_band),
+                    ("drop-visibility", req.drop_visibility),
+                ] if on
+            ]
+            print(f"    features      : {', '.join(flags) or 'none'}")
+            print(f"    inst. id      : {req.match_kind.value}")
+    return status
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from .apps import LearningSwitchApp, sometimes
+    from .netsim import TraceRecorder, single_switch_network
+    from .netsim.serialize import save_trace
+    from .netsim.workload import l2_pairs, send_all
+    from .switch.pipeline import MissPolicy
+
+    net, switch, hosts = single_switch_network(
+        args.hosts, switch_kwargs={"miss_policy": MissPolicy.CONTROLLER})
+    faults = sometimes("wrong_port", args.fault_rate, seed=args.seed)
+    switch.set_app(LearningSwitchApp(faults=faults))
+    recorder = TraceRecorder()
+    switch.add_tap(recorder)
+    send_all(hosts, l2_pairs(args.hosts, args.packets, seed=args.seed))
+    net.run()
+    count = save_trace(recorder.events, args.out)
+    print(f"recorded {count} events "
+          f"({len(recorder.arrivals)} arrivals) to {args.out}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .netsim.serialize import read_trace
+
+    with open(args.properties, "r", encoding="utf-8") as fp:
+        props = compile_source(fp.read(), _predicates())
+    events = read_trace(args.trace)
+    monitor = Monitor()
+    for prop in props:
+        monitor.add_property(prop)
+    for event in events:
+        monitor.observe(event)
+    if events:
+        monitor.advance_to(events[-1].time + args.settle)
+    print(f"replayed {len(events)} events against "
+          f"{len(props)} propert{'y' if len(props) == 1 else 'ies'}")
+    print(f"violations: {len(monitor.violations)}")
+    for violation in monitor.violations:
+        print()
+        print(violation.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stateful property monitoring on software switches "
+                    "(reproduction of 'Switches are Monitors Too!', "
+                    "HotNets 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate Tables 1 and 2") \
+        .set_defaults(fn=cmd_tables)
+    sub.add_parser("survey", help="which backends host which properties") \
+        .set_defaults(fn=cmd_survey)
+
+    check = sub.add_parser("check", help="compile + analyze DSL files")
+    check.add_argument("files", nargs="+")
+    check.set_defaults(fn=cmd_check)
+
+    record = sub.add_parser("record",
+                            help="simulate a learning switch, save a trace")
+    record.add_argument("out")
+    record.add_argument("--packets", type=int, default=100)
+    record.add_argument("--hosts", type=int, default=4)
+    record.add_argument("--seed", type=int, default=7)
+    record.add_argument("--fault-rate", type=float, default=0.2)
+    record.set_defaults(fn=cmd_record)
+
+    replay = sub.add_parser("replay",
+                            help="replay a trace against DSL properties")
+    replay.add_argument("trace")
+    replay.add_argument("properties")
+    replay.add_argument("--settle", type=float, default=60.0,
+                        help="virtual seconds to run timers past the trace")
+    replay.set_defaults(fn=cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""Monitor instances and instance stores (Feature 8).
+
+An *instance* is a partially completed attempt to witness a violation: the
+values bound so far, plus the next observation stage to match (the paper's
+definition in Sec. 2.4).  When an event arrives, the monitor must decide
+which instances it advances — the instance-identification problem whose
+variants (exact / symmetric / wandering / multiple match) Table 1
+catalogues.
+
+Two store implementations share one interface:
+
+* :class:`IndexedInstanceStore` — builds, per stage, an *index plan* from
+  the stage's variable-referencing equality guards (plus the packet-uid
+  linkage of ``same_packet_as``), and hashes waiting instances by their
+  bound values for those variables.  An event yields candidates by direct
+  lookup.  Stages with no indexable guards (e.g. an out-of-band link-down,
+  which must advance *every* instance — multiple match) fall back to
+  scanning that stage's population.
+
+* :class:`LinearInstanceStore` — always scans.  It exists as the ablation
+  baseline for ``benchmarks/bench_instance_index.py``, quantifying why
+  instance identification is a switch-design axis and not a lookup detail.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .refs import EventPattern
+from .spec import PropertySpec, Stage
+
+_instance_ids = itertools.count(1)
+
+#: env key under which each packet stage records its packet uid, enabling
+#: Feature 5 (packet identity) linkage via ``same_packet_as``.
+def uid_var(stage_name: str) -> str:
+    return f"__uid_{stage_name}"
+
+
+class Instance:
+    """One partially-completed violation witness."""
+
+    __slots__ = (
+        "prop",
+        "key",
+        "env",
+        "stage",
+        "deadline",
+        "deadline_kind",
+        "provenance",
+        "created_at",
+        "advanced_at",
+        "alive",
+        "instance_id",
+    )
+
+    def __init__(
+        self,
+        prop: PropertySpec,
+        key: Tuple,
+        env: Dict[str, object],
+        created_at: float,
+    ) -> None:
+        self.prop = prop
+        self.key = key
+        self.env = env
+        self.stage = 1  # index of the next stage to match
+        self.deadline: Optional[float] = None
+        self.deadline_kind: str = ""  # "expire" (F3) or "advance" (F7)
+        self.provenance: List[object] = []
+        self.created_at = created_at
+        self.advanced_at = created_at
+        self.alive = True
+        self.instance_id = next(_instance_ids)
+
+    @property
+    def complete(self) -> bool:
+        return self.stage >= self.prop.num_stages
+
+    def current_stage(self) -> Optional[Stage]:
+        if self.complete:
+            return None
+        return self.prop.stages[self.stage]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Instance({self.prop.name}, key={self.key}, stage={self.stage}, "
+            f"alive={self.alive})"
+        )
+
+
+def stage_index_plan(stage: Stage) -> Tuple[Tuple[str, str], ...]:
+    """The (event_field, env_var) pairs an index can hash this stage on."""
+    plan = list(stage.pattern.env_guards())
+    if stage.pattern.same_packet_as is not None:
+        plan.append(("uid", uid_var(stage.pattern.same_packet_as)))
+    return tuple(plan)
+
+
+class InstanceStore:
+    """Interface: tracks live instances of ONE property."""
+
+    def __init__(self, prop: PropertySpec) -> None:
+        self.prop = prop
+        self._by_key: Dict[Tuple, Instance] = {}
+
+    # -- shared key-based access ------------------------------------------
+    def by_key(self, key: Tuple) -> Optional[Instance]:
+        return self._by_key.get(key)
+
+    def add(self, instance: Instance) -> None:
+        existing = self._by_key.get(instance.key)
+        if existing is not None and existing.alive:
+            raise ValueError(f"duplicate live instance for key {instance.key!r}")
+        self._by_key[instance.key] = instance
+        self._index_add(instance)
+
+    def remove(self, instance: Instance) -> None:
+        instance.alive = False
+        if self._by_key.get(instance.key) is instance:
+            del self._by_key[instance.key]
+        self._index_remove(instance)
+
+    def reindex(self, instance: Instance, old_stage: int) -> None:
+        """Called after an instance advances stages."""
+        self._index_move(instance, old_stage)
+
+    def candidates(
+        self, stage_idx: int, fields: Mapping[str, object]
+    ) -> Iterable[Instance]:
+        raise NotImplementedError
+
+    def at_stage(self, stage_idx: int) -> Iterable[Instance]:
+        return [i for i in self._by_key.values() if i.alive and i.stage == stage_idx]
+
+    def all(self) -> Iterable[Instance]:
+        return [i for i in self._by_key.values() if i.alive]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    # -- hooks --------------------------------------------------------------
+    def _index_add(self, instance: Instance) -> None:
+        pass
+
+    def _index_remove(self, instance: Instance) -> None:
+        pass
+
+    def _index_move(self, instance: Instance, old_stage: int) -> None:
+        pass
+
+
+class LinearInstanceStore(InstanceStore):
+    """Ablation baseline: candidate lookup is a full scan of the stage."""
+
+    def candidates(
+        self, stage_idx: int, fields: Mapping[str, object]
+    ) -> Iterable[Instance]:
+        return self.at_stage(stage_idx)
+
+
+class IndexedInstanceStore(InstanceStore):
+    """Hash-indexed store keyed on each stage's index plan."""
+
+    def __init__(self, prop: PropertySpec) -> None:
+        super().__init__(prop)
+        self._plans: Dict[int, Tuple[Tuple[str, str], ...]] = {
+            i: stage_index_plan(stage)
+            for i, stage in enumerate(prop.stages)
+            if i >= 1
+        }
+        # stage -> index_key (or None for unindexable) -> instances, as an
+        # insertion-ordered dict keyed by instance id.  NOT a set: default
+        # object hashing would make candidate iteration order (and thus
+        # same-timestamp violation order) depend on memory addresses,
+        # breaking run-to-run determinism.
+        self._buckets: Dict[int, Dict[Optional[Tuple], Dict[int, Instance]]] = {
+            i: {} for i in self._plans
+        }
+
+    def _instance_index_key(self, instance: Instance) -> Optional[Tuple]:
+        plan = self._plans.get(instance.stage, ())
+        if not plan:
+            return None
+        try:
+            return tuple(instance.env[var] for _, var in plan)
+        except KeyError:
+            # A plan variable is not bound (possible only for patterns whose
+            # binding stage was skipped — spec validation prevents it, but a
+            # scan bucket keeps the store safe regardless).
+            return None
+
+    def _index_add(self, instance: Instance) -> None:
+        if instance.complete or instance.stage not in self._buckets:
+            return
+        key = self._instance_index_key(instance)
+        bucket = self._buckets[instance.stage].setdefault(key, {})
+        bucket[instance.instance_id] = instance
+
+    def _index_remove(self, instance: Instance) -> None:
+        for stage_buckets in self._buckets.values():
+            for bucket in stage_buckets.values():
+                bucket.pop(instance.instance_id, None)
+
+    def _index_move(self, instance: Instance, old_stage: int) -> None:
+        buckets = self._buckets.get(old_stage)
+        if buckets is not None:
+            for bucket in buckets.values():
+                bucket.pop(instance.instance_id, None)
+        self._index_add(instance)
+
+    def candidates(
+        self, stage_idx: int, fields: Mapping[str, object]
+    ) -> Iterable[Instance]:
+        buckets = self._buckets.get(stage_idx)
+        if buckets is None:
+            return ()
+        plan = self._plans[stage_idx]
+        out: List[Instance] = []
+        if plan:
+            try:
+                key = tuple(fields[field] for field, _ in plan)
+            except KeyError:
+                key = None  # event lacks an indexed field: equality can't hold
+            if key is not None:
+                out.extend(i for i in buckets.get(key, {}).values() if i.alive)
+        # The scan bucket holds instances whose stage is unindexable; for an
+        # empty plan this is the whole stage population (multiple match).
+        out.extend(i for i in buckets.get(None, {}).values() if i.alive)
+        return out
+
+
+def make_store(prop: PropertySpec, strategy: str = "indexed") -> InstanceStore:
+    """Factory: ``"indexed"`` (default) or ``"linear"`` (ablation)."""
+    if strategy == "indexed":
+        return IndexedInstanceStore(prop)
+    if strategy == "linear":
+        return LinearInstanceStore(prop)
+    raise ValueError(f"unknown instance store strategy {strategy!r}")

@@ -1,0 +1,485 @@
+"""The property-monitor engine — the paper's "ideal switch monitor".
+
+The :class:`Monitor` consumes the dataplane event stream (attach it to a
+switch with ``switch.add_tap(monitor.observe)``, or replay a recorded trace
+into it) and tracks, per property, a population of instances — partially
+completed violation witnesses.  It implements all the semantic features of
+Sec. 2:
+
+* F1  field access        — guards read the flat event field map, truncated
+                            at the monitor's ``max_layer`` parse capability;
+* F2  event history       — instances persist across packets;
+* F3  timeouts            — ``Observe.within`` expires stale instances, and
+                            re-seeing stage 0 for an existing key refreshes;
+* F4  persistent obligation — ``unless`` patterns cancel waiting instances;
+* F5  packet identity     — ``same_packet_as`` compares packet uids;
+* F6  negative match      — ``FieldNe`` / ``MismatchAny`` guards;
+* F7  timeout actions     — ``Absent`` stages advance (and may fire a
+                            violation) when their timer elapses with no
+                            discharging event;
+* F8  instance identification — exact/symmetric/wandering matching via the
+                            indexed store; multiple match via scan stages;
+* F9  side-effect control — ``ProcessingMode.INLINE`` applies monitor state
+                            transitions atomically with event processing;
+                            ``SPLIT`` defers them by ``split_lag`` seconds,
+                            letting monitor state lag behind the traffic
+                            (observable monitor errors, per the paper);
+* F10 provenance          — NONE / LIMITED / FULL per-stage recording.
+
+Timer ordering: when an event at time *t* arrives, all timers with deadline
+``<= t`` fire first.  This is what makes "a drop that comes after a valid
+timeout will still trigger a violation" come out *false* once the property
+carries its timeout — the instance is gone before the late drop is seen.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..netsim.scheduler import EventScheduler
+from ..switch.events import DataplaneEvent
+from ..switch.registers import StateCostMeter
+from ..switch.switch import ProcessingMode
+from .instances import Instance, InstanceStore, make_store, uid_var
+from .provenance import ProvenanceLevel, StageRecord, record_stage
+from .refs import EventKind, EventPattern, event_fields, kind_matches
+from .spec import Absent, Observe, PropertySpec
+from .violations import Violation
+
+ViolationSink = Callable[[Violation], None]
+
+
+@dataclass
+class MonitorStats:
+    """Counters the benchmarks read."""
+
+    events: int = 0
+    violations: int = 0
+    instances_created: int = 0
+    instances_expired: int = 0
+    instances_discharged: int = 0
+    instances_cancelled: int = 0
+    timer_advances: int = 0
+    refreshes: int = 0
+    candidates_examined: int = 0
+    ops_applied: int = 0
+    peak_live_instances: int = 0
+    peak_pending_ops: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Planned state transitions (the unit Feature 9 defers)
+# ---------------------------------------------------------------------------
+@dataclass
+class _Op:
+    kind: str  # "create" | "advance" | "kill" | "refresh"
+    prop: PropertySpec
+    instance: Optional[Instance] = None
+    key: Tuple = ()
+    env: Dict[str, object] = field(default_factory=dict)
+    binds: Dict[str, object] = field(default_factory=dict)
+    event: Optional[DataplaneEvent] = None
+    reason: str = ""
+    time: float = 0.0
+
+
+class Monitor:
+    """Cross-packet property monitor over a dataplane event stream."""
+
+    def __init__(
+        self,
+        scheduler: Optional[EventScheduler] = None,
+        provenance: ProvenanceLevel = ProvenanceLevel.LIMITED,
+        store_strategy: str = "indexed",
+        mode: ProcessingMode = ProcessingMode.INLINE,
+        split_lag: float = 500e-6,
+        max_layer: int = 7,
+        meter: Optional[StateCostMeter] = None,
+        slow_path_updates: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.provenance = provenance
+        self.store_strategy = store_strategy
+        self.mode = mode
+        self.split_lag = split_lag
+        self.max_layer = max_layer
+        self.meter = meter
+        self.slow_path_updates = slow_path_updates
+        self.stats = MonitorStats()
+        self.violations: List[Violation] = []
+        self._sinks: List[ViolationSink] = []
+        self._props: Dict[str, PropertySpec] = {}
+        self._stores: Dict[str, InstanceStore] = {}
+        self._wheel: List[Tuple[float, int, Instance, int]] = []
+        self._wheel_seq = itertools.count()
+        self._timer_gens: Dict[int, int] = {}  # instance_id -> generation
+        self._pending: List[Tuple[float, int, _Op]] = []  # split-mode queue
+        self._pending_seq = itertools.count()
+        self._now = 0.0
+
+    # -- configuration -------------------------------------------------------
+    def add_property(self, prop: PropertySpec) -> None:
+        if prop.name in self._props:
+            raise ValueError(f"duplicate property {prop.name!r}")
+        self._props[prop.name] = prop
+        self._stores[prop.name] = make_store(prop, self.store_strategy)
+
+    def on_violation(self, sink: ViolationSink) -> None:
+        self._sinks.append(sink)
+
+    def store(self, prop_name: str) -> InstanceStore:
+        return self._stores[prop_name]
+
+    def live_instances(self) -> int:
+        return sum(len(list(s.all())) for s in self._stores.values())
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event intake ----------------------------------------------------------
+    def observe(self, event: DataplaneEvent) -> None:
+        """Process one dataplane event (the tap entry point)."""
+        self.advance_to(event.time)
+        self.stats.events += 1
+        fields = event_fields(event, max_layer=self.max_layer)
+        ops = self._evaluate(event, fields)
+        if self.mode is ProcessingMode.INLINE:
+            for op in ops:
+                self._apply(op)
+        else:
+            apply_at = event.time + self.split_lag
+            for op in ops:
+                heapq.heappush(
+                    self._pending, (apply_at, next(self._pending_seq), op)
+                )
+            self.stats.peak_pending_ops = max(
+                self.stats.peak_pending_ops, len(self._pending)
+            )
+            if self.scheduler is not None:
+                self.scheduler.call_at(
+                    apply_at, lambda t=apply_at: self.advance_to(t),
+                    label="monitor-split-apply",
+                )
+        self._track_peak()
+
+    def advance_to(self, when: float) -> None:
+        """Move monitor time forward, firing due timers and pending ops.
+
+        Pending split-mode ops and timer deadlines are interleaved in time
+        order, so a deferred creation still arms its timer before a later
+        deadline fires.
+        """
+        if when < self._now:
+            return  # events carry non-decreasing times; tolerate equal
+        while True:
+            next_pending = self._pending[0][0] if self._pending else None
+            next_timer = self._wheel[0][0] if self._wheel else None
+            candidates = [t for t in (next_pending, next_timer) if t is not None]
+            if not candidates:
+                break
+            t = min(candidates)
+            if t > when:
+                break
+            if next_pending is not None and next_pending <= t:
+                _, _, op = heapq.heappop(self._pending)
+                self._now = max(self._now, next_pending)
+                self._apply(op)
+                continue
+            deadline, _, instance, gen = heapq.heappop(self._wheel)
+            self._now = max(self._now, deadline)
+            self._fire_timer(instance, gen, deadline)
+        self._now = max(self._now, when)
+
+    # -- evaluation (read-only against current state) ---------------------------
+    def _evaluate(
+        self, event: DataplaneEvent, fields: Mapping[str, object]
+    ) -> List[_Op]:
+        ops: List[_Op] = []
+        t = event.time
+        for prop in self._props.values():
+            store = self._stores[prop.name]
+            doomed: Set[int] = set()
+
+            # 1. Cancellations: unless patterns (Feature 4) and Absent
+            #    discharges (the awaited event happened: obligation met).
+            for stage_idx in range(1, prop.num_stages):
+                stage = prop.stages[stage_idx]
+                unless = getattr(stage, "unless", ())
+                if unless:
+                    for inst in store.at_stage(stage_idx):
+                        if inst.instance_id in doomed:
+                            continue
+                        for pattern in unless:
+                            if self._pattern_matches(pattern, event, fields, inst):
+                                doomed.add(inst.instance_id)
+                                ops.append(_Op("kill", prop, instance=inst,
+                                               reason="unless", time=t))
+                                break
+                if isinstance(stage, Absent) and kind_matches(
+                    stage.pattern.kind, event
+                ):
+                    for inst in store.candidates(stage_idx, fields):
+                        if inst.stage != stage_idx or inst.instance_id in doomed:
+                            continue
+                        self.stats.candidates_examined += 1
+                        if self._pattern_matches(stage.pattern, event, fields, inst):
+                            doomed.add(inst.instance_id)
+                            ops.append(_Op("kill", prop, instance=inst,
+                                           reason="discharged", time=t))
+
+            # 2. Advancement of positive stages.
+            for stage_idx in range(1, prop.num_stages):
+                stage = prop.stages[stage_idx]
+                if isinstance(stage, Absent):
+                    continue
+                if not kind_matches(stage.pattern.kind, event):
+                    continue
+                for inst in store.candidates(stage_idx, fields):
+                    if inst.stage != stage_idx or inst.instance_id in doomed:
+                        continue
+                    self.stats.candidates_examined += 1
+                    if not self._pattern_matches(stage.pattern, event, fields, inst):
+                        continue
+                    if not stage.pattern.bindable(fields):
+                        continue
+                    binds = dict(stage.pattern.capture(fields))
+                    if "uid" in fields:
+                        binds[uid_var(stage.name)] = fields["uid"]
+                    doomed.add(inst.instance_id)  # at most one transition/event
+                    ops.append(_Op("advance", prop, instance=inst, binds=binds,
+                                   event=event, time=t))
+
+            # 3. Creation / refresh at stage 0.
+            stage0 = prop.stages[0]
+            pattern0 = stage0.pattern
+            if (
+                kind_matches(pattern0.kind, event)
+                and pattern0.matches(event, fields, {})
+                and pattern0.bindable(fields)
+            ):
+                env0 = pattern0.capture(fields)
+                if "uid" in fields:
+                    env0[uid_var(stage0.name)] = fields["uid"]
+                key = tuple(env0[k] for k in prop.key_vars)
+                existing = store.by_key(key)
+                if existing is not None and existing.alive:
+                    if existing.stage == 1 and existing.instance_id not in doomed:
+                        if self._should_refresh(prop, stage0):
+                            ops.append(_Op("refresh", prop, instance=existing,
+                                           binds=env0, event=event, time=t))
+                else:
+                    ops.append(_Op("create", prop, key=key, env=env0,
+                                   event=event, time=t))
+        return ops
+
+    def _should_refresh(self, prop: PropertySpec, stage0: Observe) -> bool:
+        if not stage0.refresh_on_repeat or prop.num_stages < 2:
+            return False
+        stage1 = prop.stages[1]
+        if isinstance(stage1, Absent):
+            # Feature 7 subtlety: with the sound "never" policy a repeated
+            # prior observation must NOT reset the negative-observation
+            # timer, or a request storm every T-1 seconds evades detection.
+            return stage1.refresh == "on_prior"
+        return True
+
+    def _pattern_matches(
+        self,
+        pattern: EventPattern,
+        event: DataplaneEvent,
+        fields: Mapping[str, object],
+        instance: Instance,
+    ) -> bool:
+        if pattern.same_packet_as is not None:
+            expected = instance.env.get(uid_var(pattern.same_packet_as))
+            if expected is None or fields.get("uid") != expected:
+                return False
+        return pattern.matches(event, fields, instance.env)
+
+    # -- state transitions -------------------------------------------------------
+    def _apply(self, op: _Op) -> None:
+        self.stats.ops_applied += 1
+        self._charge()
+        if op.kind == "create":
+            self._apply_create(op)
+        elif op.kind == "advance":
+            self._apply_advance(op)
+        elif op.kind == "kill":
+            self._apply_kill(op)
+        elif op.kind == "refresh":
+            self._apply_refresh(op)
+        else:  # pragma: no cover - internal invariant
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def _charge(self) -> None:
+        if self.meter is None:
+            return
+        if self.slow_path_updates:
+            self.meter.charge_slow_update()
+        else:
+            self.meter.charge_fast_update()
+
+    def _apply_create(self, op: _Op) -> None:
+        store = self._stores[op.prop.name]
+        existing = store.by_key(op.key)
+        if existing is not None and existing.alive:
+            return  # split-mode race: created twice before first applied
+        instance = Instance(op.prop, op.key, dict(op.env), created_at=op.time)
+        record = record_stage(
+            self.provenance, op.prop.stages[0].name, op.time, op.event
+        )
+        if record is not None:
+            instance.provenance.append(record)
+        store.add(instance)
+        self.stats.instances_created += 1
+        if instance.complete:  # single-stage property: immediate violation
+            self._violate(instance, op.event, op.time)
+            store.remove(instance)
+            return
+        self._arm_timer(instance, op.time)
+
+    def _apply_advance(self, op: _Op) -> None:
+        instance = op.instance
+        assert instance is not None
+        if not instance.alive:
+            return  # split-mode race: advanced after expiry
+        store = self._stores[op.prop.name]
+        old_stage = instance.stage
+        stage = op.prop.stages[old_stage]
+        instance.env.update(op.binds)
+        instance.stage += 1
+        instance.advanced_at = op.time
+        self._bump_gen(instance)
+        record = record_stage(self.provenance, stage.name, op.time, op.event)
+        if record is not None:
+            instance.provenance.append(record)
+        if instance.complete:
+            self._violate(instance, op.event, op.time)
+            store.remove(instance)
+            return
+        store.reindex(instance, old_stage)
+        self._arm_timer(instance, op.time)
+
+    def _apply_kill(self, op: _Op) -> None:
+        instance = op.instance
+        assert instance is not None
+        if not instance.alive:
+            return
+        self._stores[op.prop.name].remove(instance)
+        if op.reason == "discharged":
+            self.stats.instances_discharged += 1
+        else:
+            self.stats.instances_cancelled += 1
+
+    def _apply_refresh(self, op: _Op) -> None:
+        instance = op.instance
+        assert instance is not None
+        if not instance.alive or instance.stage != 1:
+            return
+        instance.env.update(op.binds)
+        # Re-binding may change indexed values (a re-learned port, or the
+        # stage-0 packet uid that a same_packet stage keys on): the store's
+        # index must follow, or the refreshed instance becomes unfindable.
+        self._stores[op.prop.name].reindex(instance, instance.stage)
+        self.stats.refreshes += 1
+        self._arm_timer(instance, op.time)
+
+    # -- timers ---------------------------------------------------------------------
+    def _bump_gen(self, instance: Instance) -> int:
+        gen = self._timer_gens.get(instance.instance_id, 0) + 1
+        self._timer_gens[instance.instance_id] = gen
+        return gen
+
+    def _arm_timer(self, instance: Instance, now: float) -> None:
+        stage = instance.current_stage()
+        gen = self._bump_gen(instance)
+        if stage is None:
+            return
+        if isinstance(stage, Absent):
+            deadline = now + stage.within
+            instance.deadline = deadline
+            instance.deadline_kind = "advance"
+        elif stage.within is not None:
+            deadline = now + stage.within
+            instance.deadline = deadline
+            instance.deadline_kind = "expire"
+        else:
+            instance.deadline = None
+            instance.deadline_kind = ""
+            return
+        heapq.heappush(self._wheel, (deadline, next(self._wheel_seq), instance, gen))
+        if self.scheduler is not None and instance.deadline_kind == "advance":
+            # Only negative observations need a live wakeup: their firing
+            # produces externally-visible behaviour (possibly a violation)
+            # even if no further packets arrive.  Expiry is lazy.
+            self.scheduler.call_at(
+                deadline, lambda d=deadline: self.advance_to(d),
+                label="monitor-timeout-action",
+            )
+
+    def _fire_timer(self, instance: Instance, gen: int, deadline: float) -> None:
+        if not instance.alive or self._timer_gens.get(instance.instance_id) != gen:
+            return  # stale wheel entry (lazy cancellation)
+        store = self._stores[instance.prop.name]
+        if instance.deadline_kind == "expire":
+            store.remove(instance)
+            self.stats.instances_expired += 1
+            return
+        # Timeout action (Feature 7): the negative observation is satisfied.
+        self.stats.timer_advances += 1
+        old_stage = instance.stage
+        stage = instance.prop.stages[old_stage]
+        instance.stage += 1
+        instance.advanced_at = deadline
+        self._bump_gen(instance)
+        record = record_stage(self.provenance, stage.name, deadline, None)
+        if record is not None:
+            instance.provenance.append(record)
+        if instance.complete:
+            self._violate(instance, None, deadline)
+            store.remove(instance)
+            return
+        store.reindex(instance, old_stage)
+        self._arm_timer(instance, deadline)
+
+    # -- violations ------------------------------------------------------------------
+    def _violate(
+        self,
+        instance: Instance,
+        trigger: Optional[DataplaneEvent],
+        when: float,
+    ) -> None:
+        bindings = {
+            k: v for k, v in instance.env.items() if not k.startswith("__")
+        }
+        violation = Violation(
+            property_name=instance.prop.name,
+            time=when,
+            bindings=bindings,
+            message=instance.prop.violation_message
+            or instance.prop.description,
+            trigger=trigger if self.provenance is not ProvenanceLevel.NONE else None,
+            history=tuple(instance.provenance),
+        )
+        self.violations.append(violation)
+        self.stats.violations += 1
+        for sink in self._sinks:
+            sink(violation)
+
+    def _track_peak(self) -> None:
+        live = self.live_instances()
+        if live > self.stats.peak_live_instances:
+            self.stats.peak_live_instances = live
+
+    # -- conveniences ------------------------------------------------------------------
+    def attach(self, switch) -> None:
+        """Attach to a switch's dataplane event stream."""
+        switch.add_tap(self.observe)
+
+    def flush(self, until: float) -> None:
+        """Drive monitor time to ``until`` (fires due timers/pending ops)."""
+        self.advance_to(until)

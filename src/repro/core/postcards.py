@@ -1,0 +1,220 @@
+"""NetSight-style postcards: full provenance off-switch (Feature 10).
+
+Sec. 3.2: on-switch full provenance "is clearly challenging due to the
+extra state required ... A more complete provenance could be selectively
+constructed via an approach like NetSight, which sends postcards to a
+central monitoring server."
+
+This module implements that design point:
+
+* switches run their monitors at **LIMITED** provenance (no per-event
+  retention on-switch), but each instance advancement additionally emits a
+  small :class:`Postcard` — (property, instance key, stage, time, packet
+  uid, a one-line digest) — to a central :class:`PostcardCollector`;
+* on a violation, the collector *selectively reconstructs* the full
+  history for exactly that instance from its postcard log, discarding the
+  rest after a retention horizon.
+
+The result is the middle point of the provenance spectrum the paper asks
+for: on-switch memory stays flat (LIMITED), yet every violation report
+carries a full per-stage history — at the price of postcard bandwidth,
+which ``benchmarks/bench_postcards.py`` measures against on-switch FULL
+retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..switch.events import DataplaneEvent
+from .instances import Instance
+from .monitor import Monitor
+from .provenance import ProvenanceLevel, StageRecord
+from .spec import PropertySpec
+from .violations import Violation
+
+
+@dataclass(frozen=True)
+class Postcard:
+    """One instance advancement, as shipped to the collector.
+
+    Deliberately tiny: NetSight postcards carry a header digest, not the
+    packet.  ``digest`` here is the one-line packet description (or
+    ``"timer"`` for Feature-7 advancements).
+    """
+
+    property_name: str
+    instance_key: Tuple
+    stage_name: str
+    time: float
+    packet_uid: Optional[int]
+    digest: str
+
+
+@dataclass(frozen=True)
+class ReconstructedViolation:
+    """A violation plus the full history rebuilt from postcards."""
+
+    violation: Violation
+    history: Tuple[Postcard, ...]
+
+    def describe(self) -> str:
+        lines = [self.violation.describe()]
+        lines.append("  reconstructed from postcards:")
+        lines.extend(
+            f"    [{p.time:.6f}] {p.stage_name}: {p.digest}"
+            for p in self.history
+        )
+        return "\n".join(lines)
+
+
+class PostcardCollector:
+    """The central server: receives postcards, reconstructs on violation.
+
+    ``retention`` bounds memory: postcards older than ``retention`` seconds
+    (relative to the newest postcard seen) are garbage-collected, since any
+    instance they belong to has either violated already or expired.
+    """
+
+    def __init__(self, retention: float = 300.0) -> None:
+        if retention <= 0:
+            raise ValueError("retention must be positive")
+        self.retention = retention
+        self._log: Dict[Tuple[str, Tuple], List[Postcard]] = {}
+        self.postcards_received = 0
+        self.postcards_dropped = 0
+        self.reconstructed: List[ReconstructedViolation] = []
+        self._newest = 0.0
+
+    # -- ingest ------------------------------------------------------------
+    def receive(self, postcard: Postcard) -> None:
+        self.postcards_received += 1
+        self._newest = max(self._newest, postcard.time)
+        key = (postcard.property_name, postcard.instance_key)
+        self._log.setdefault(key, []).append(postcard)
+
+    def collect_garbage(self) -> int:
+        """Drop postcard chains whose newest entry fell off the horizon."""
+        horizon = self._newest - self.retention
+        stale = [
+            key for key, chain in self._log.items()
+            if chain[-1].time < horizon
+        ]
+        dropped = 0
+        for key in stale:
+            dropped += len(self._log.pop(key))
+        self.postcards_dropped += dropped
+        return dropped
+
+    # -- reconstruction -------------------------------------------------------
+    def on_violation(self, violation: Violation, instance_key: Tuple) -> None:
+        chain = tuple(
+            self._log.pop((violation.property_name, instance_key), ())
+        )
+        self.reconstructed.append(
+            ReconstructedViolation(violation=violation, history=chain)
+        )
+
+    @property
+    def stored_postcards(self) -> int:
+        return sum(len(chain) for chain in self._log.values())
+
+
+class PostcardMonitor:
+    """A monitor that ships per-advancement postcards to a collector.
+
+    Wraps the core engine at LIMITED provenance (flat on-switch memory)
+    and emits one postcard per stage advancement by diffing instance
+    provenance after each event — the integration point a real switch
+    would implement as a mirror-to-collector action.
+    """
+
+    def __init__(
+        self,
+        collector: PostcardCollector,
+        scheduler=None,
+        **monitor_kwargs,
+    ) -> None:
+        monitor_kwargs.setdefault("provenance", ProvenanceLevel.LIMITED)
+        self.collector = collector
+        self.monitor = Monitor(scheduler=scheduler, **monitor_kwargs)
+        self._seen_records: Dict[int, int] = {}  # instance id -> records sent
+        self._key_of: Dict[int, Tuple] = {}
+        self.monitor.on_violation(self._forward_violation)
+        self._last_violation_key: Optional[Tuple] = None
+
+    # -- configuration ---------------------------------------------------------
+    def add_property(self, prop: PropertySpec) -> None:
+        self.monitor.add_property(prop)
+
+    def attach(self, switch) -> None:
+        switch.add_tap(self.observe)
+
+    # -- event path ---------------------------------------------------------------
+    def observe(self, event: DataplaneEvent) -> None:
+        self.monitor.observe(event)
+        self._ship_new_records()
+
+    def advance_to(self, when: float) -> None:
+        self.monitor.advance_to(when)
+        self._ship_new_records()
+
+    def _ship_new_records(self) -> None:
+        for prop_name, store in self.monitor._stores.items():
+            for instance in store.all():
+                self._ship_instance(prop_name, instance)
+
+    def _ship_instance(self, prop_name: str, instance: Instance) -> None:
+        sent = self._seen_records.get(instance.instance_id, 0)
+        records = instance.provenance
+        if len(records) <= sent:
+            return
+        self._key_of[instance.instance_id] = instance.key
+        for record in records[sent:]:
+            self.collector.receive(self._postcard(prop_name, instance, record))
+        self._seen_records[instance.instance_id] = len(records)
+
+    def _postcard(
+        self, prop_name: str, instance: Instance, record: StageRecord
+    ) -> Postcard:
+        return Postcard(
+            property_name=prop_name,
+            instance_key=instance.key,
+            stage_name=record.stage_name,
+            time=record.time,
+            packet_uid=None,
+            digest=record.summary or "timer",
+        )
+
+    def _forward_violation(self, violation: Violation) -> None:
+        # The violated instance is gone from the store by now; its key is
+        # recoverable from the violation's bindings via the property spec.
+        prop = self.monitor._props[violation.property_name]
+        try:
+            key = tuple(violation.bindings[k] for k in prop.key_vars)
+        except KeyError:
+            key = ()
+        # Ship the final stage's record too (it never appears in the store).
+        final_stage = prop.stages[-1].name
+        self.collector.receive(Postcard(
+            property_name=violation.property_name,
+            instance_key=key,
+            stage_name=final_stage,
+            time=violation.time,
+            packet_uid=None,
+            digest=(violation.trigger.packet.describe()
+                    if violation.trigger is not None
+                    and hasattr(violation.trigger, "packet")
+                    else "timer"),
+        ))
+        self.collector.on_violation(violation, key)
+
+    # -- results -------------------------------------------------------------------
+    @property
+    def violations(self) -> List[Violation]:
+        return self.monitor.violations
+
+    @property
+    def reconstructed(self) -> List[ReconstructedViolation]:
+        return self.collector.reconstructed

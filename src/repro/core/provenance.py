@@ -1,0 +1,64 @@
+"""Provenance recording (Feature 10).
+
+Once a violation fires, what can the monitor say about *how it got there*?
+The paper identifies the spectrum:
+
+* ``NONE``    — only the final trigger event is reported;
+* ``LIMITED`` — "recovered without added cost": the values already retained
+  for matching (the instance's bound variables) ride along with the final
+  event, plus per-stage timestamps — cheap, because the match state already
+  holds them;
+* ``FULL``    — every event that advanced the instance is recorded
+  verbatim.  Maximal debuggability, linear memory per instance — the cost
+  the paper deems infeasible on switches, measurable here via
+  ``benchmarks/bench_provenance.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from ..switch.events import DataplaneEvent
+
+
+class ProvenanceLevel(Enum):
+    NONE = "none"
+    LIMITED = "limited"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage's contribution to an instance's history."""
+
+    stage_name: str
+    time: float
+    event: Optional[DataplaneEvent] = None  # populated only at FULL
+    summary: str = ""
+
+    def describe(self) -> str:
+        if self.event is not None:
+            return f"[{self.time:.6f}] {self.stage_name}: {self.event!r}"
+        return f"[{self.time:.6f}] {self.stage_name}: {self.summary}"
+
+
+def record_stage(
+    level: ProvenanceLevel,
+    stage_name: str,
+    time: float,
+    event: Optional[DataplaneEvent],
+) -> Optional[StageRecord]:
+    """Build the provenance record one advancement contributes (or None)."""
+    if level is ProvenanceLevel.NONE:
+        return None
+    if level is ProvenanceLevel.FULL:
+        return StageRecord(stage_name=stage_name, time=time, event=event)
+    summary = ""
+    if event is not None:
+        packet = getattr(event, "packet", None)
+        summary = packet.describe() if packet is not None else event.kind
+    else:
+        summary = "timer"
+    return StageRecord(stage_name=stage_name, time=time, summary=summary)

@@ -1,0 +1,38 @@
+"""Violation reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..switch.events import DataplaneEvent
+from .provenance import StageRecord
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A completed witness: the property failed.
+
+    ``bindings`` carries the instance's environment (minus internal uid
+    variables) — the paper's "limited provenance" that comes for free;
+    ``history`` is whatever the configured provenance level preserved;
+    ``trigger`` is the final event (None when a timeout action fired the
+    final stage — there *is* no packet in that case).
+    """
+
+    property_name: str
+    time: float
+    bindings: Dict[str, object]
+    message: str = ""
+    trigger: Optional[DataplaneEvent] = None
+    history: Tuple[StageRecord, ...] = ()
+
+    def describe(self) -> str:
+        binds = ", ".join(f"{k}={v}" for k, v in sorted(self.bindings.items()))
+        head = f"VIOLATION {self.property_name} at t={self.time:.6f} [{binds}]"
+        if self.message:
+            head += f": {self.message}"
+        if self.history:
+            lines = "\n  ".join(r.describe() for r in self.history)
+            head += f"\n  {lines}"
+        return head

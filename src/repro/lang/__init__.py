@@ -1,0 +1,56 @@
+"""The property language: a Varanus-flavoured textual surface syntax.
+
+Example::
+
+    property firewall_timed "pinhole return traffic passes"
+    key A, B
+    observe outbound : arrival
+        where @internal
+        bind A = ipv4.src, B = ipv4.dst
+    observe return_dropped : drop within 30
+        where ipv4.src == $B and ipv4.dst == $A
+        unless arrival where ipv4.src == $A and ipv4.dst == $B and @tcp_close
+
+Compile with :func:`compile_one` / :func:`compile_source`, supplying named
+predicates (``@internal`` above) via a ``{name: Predicate}`` environment.
+"""
+
+from .ast import (
+    AnyDiffers,
+    BindAst,
+    Comparison,
+    Literal,
+    NamedPredicate,
+    PatternAst,
+    PropertyAst,
+    StageAst,
+    VarRef,
+)
+from .compile import CompileError, compile_ast, compile_one, compile_source
+from .format import FormatError, format_property
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse, parse_one
+
+__all__ = [
+    "AnyDiffers",
+    "BindAst",
+    "Comparison",
+    "Literal",
+    "NamedPredicate",
+    "PatternAst",
+    "PropertyAst",
+    "StageAst",
+    "VarRef",
+    "CompileError",
+    "FormatError",
+    "format_property",
+    "compile_ast",
+    "compile_one",
+    "compile_source",
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "parse_one",
+]

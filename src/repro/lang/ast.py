@@ -1,0 +1,97 @@
+"""Abstract syntax for the property language.
+
+The surface syntax maps one-to-one onto the core IR; the AST keeps source
+positions for error reporting and stays independent of the IR so the
+elaborator (:mod:`repro.lang.compile`) owns all semantic decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str  # without the $
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # int, float, str, IPv4Address, MACAddress
+
+
+Value = Union[VarRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``field == value`` or ``field != value``."""
+
+    field: str
+    op: str  # "==" or "!="
+    value: Value
+
+
+@dataclass(frozen=True)
+class AnyDiffers:
+    """``any_differs(f == $x, g == $y)`` — the disjunctive negative match."""
+
+    pairs: Tuple[Tuple[str, Value], ...]
+
+
+@dataclass(frozen=True)
+class NamedPredicate:
+    """``@name`` — resolved against the caller's predicate environment."""
+
+    name: str  # without the @
+
+
+Condition = Union[Comparison, AnyDiffers, NamedPredicate]
+
+
+@dataclass(frozen=True)
+class BindAst:
+    var: str
+    field: str
+
+
+@dataclass(frozen=True)
+class PatternAst:
+    """An event pattern: kind plus conditions/binds/modifiers."""
+
+    kind: str  # arrival | egress | drop | oob | packet
+    conditions: Tuple[Condition, ...] = ()
+    binds: Tuple[BindAst, ...] = ()
+    same_packet_as: Optional[str] = None
+    action: Optional[str] = None  # unicast | flood
+    not_action: Optional[str] = None
+    oob_kind: Optional[str] = None  # port_down | port_up | link_down | link_up
+
+
+@dataclass(frozen=True)
+class StageAst:
+    """One ``observe`` or ``absent`` clause."""
+
+    negative: bool  # True for absent
+    name: str
+    pattern: PatternAst
+    within: Optional[float] = None
+    refresh: Optional[str] = None  # never | on_prior (absent only)
+    semantic: bool = False  # absent only: deadline is part of the property
+    no_refresh: bool = False  # observe only: stage-0 rematch does not refresh
+    unless: Tuple[PatternAst, ...] = ()
+
+
+@dataclass(frozen=True)
+class PropertyAst:
+    name: str
+    description: str
+    key_vars: Tuple[str, ...]
+    stages: Tuple[StageAst, ...]
+    message: str = ""
+    #: "annotate obligation true|false" — pins the F4 judgement (see
+    #: PropertySpec.obligation_override)
+    obligation: Optional[bool] = None
+    #: "annotate instance exact|symmetric|wandering"
+    match_kind: Optional[str] = None

@@ -1,0 +1,154 @@
+"""Elaboration: property-language ASTs to core IR specifications."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.refs import (
+    Bind,
+    Const,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    FieldNe,
+    MismatchAny,
+    Predicate,
+    Var,
+)
+from ..core.spec import Absent, Observe, PropertySpec
+from ..switch.events import EgressAction, OobKind
+from .ast import (
+    AnyDiffers,
+    Comparison,
+    Literal,
+    NamedPredicate,
+    PatternAst,
+    PropertyAst,
+    StageAst,
+    Value,
+    VarRef,
+)
+from .parser import parse, parse_one
+
+
+class CompileError(ValueError):
+    """Raised when an AST cannot be elaborated."""
+
+
+_KIND_MAP = {
+    "arrival": EventKind.ARRIVAL,
+    "egress": EventKind.EGRESS,
+    "drop": EventKind.DROP,
+    "oob": EventKind.OOB,
+    "packet": EventKind.ANY_PACKET,
+}
+
+_OOB_MAP = {
+    "port_down": OobKind.PORT_DOWN,
+    "port_up": OobKind.PORT_UP,
+    "link_down": OobKind.LINK_DOWN,
+    "link_up": OobKind.LINK_UP,
+}
+
+_ACTION_MAP = {"unicast": EgressAction.UNICAST, "flood": EgressAction.FLOOD}
+
+PredicateEnv = Mapping[str, Predicate]
+
+
+def _value(value: Value):
+    if isinstance(value, VarRef):
+        return Var(value.name)
+    return Const(value.value)
+
+
+def _pattern(ast: PatternAst, predicates: PredicateEnv) -> EventPattern:
+    guards = []
+    for condition in ast.conditions:
+        if isinstance(condition, Comparison):
+            ref = _value(condition.value)
+            if condition.op == "==":
+                guards.append(FieldEq(condition.field, ref))
+            else:
+                guards.append(FieldNe(condition.field, ref))
+        elif isinstance(condition, AnyDiffers):
+            guards.append(
+                MismatchAny(
+                    tuple((field, _value(v)) for field, v in condition.pairs)
+                )
+            )
+        elif isinstance(condition, NamedPredicate):
+            if condition.name not in predicates:
+                raise CompileError(
+                    f"unknown predicate @{condition.name} (available: "
+                    f"{sorted(predicates)})"
+                )
+            guards.append(predicates[condition.name])
+        else:  # pragma: no cover - AST is closed
+            raise CompileError(f"unknown condition {condition!r}")
+    return EventPattern(
+        kind=_KIND_MAP[ast.kind],
+        guards=tuple(guards),
+        binds=tuple(Bind(b.var, b.field) for b in ast.binds),
+        same_packet_as=ast.same_packet_as,
+        egress_action=_ACTION_MAP.get(ast.action) if ast.action else None,
+        not_egress_action=_ACTION_MAP.get(ast.not_action) if ast.not_action else None,
+        oob_kind=_OOB_MAP.get(ast.oob_kind) if ast.oob_kind else None,
+    )
+
+
+def _stage(ast: StageAst, predicates: PredicateEnv):
+    pattern = _pattern(ast.pattern, predicates)
+    unless = tuple(_pattern(u, predicates) for u in ast.unless)
+    if ast.negative:
+        if ast.within is None:
+            raise CompileError(f"absent stage {ast.name!r} needs `within`")
+        return Absent(
+            name=ast.name,
+            pattern=pattern,
+            within=ast.within,
+            refresh=ast.refresh or "never",
+            semantic_deadline=ast.semantic,
+            unless=unless,
+        )
+    if ast.refresh is not None:
+        raise CompileError(
+            f"observe stage {ast.name!r}: `refresh` applies to absent stages"
+        )
+    return Observe(
+        name=ast.name,
+        pattern=pattern,
+        within=ast.within,
+        unless=unless,
+        refresh_on_repeat=not ast.no_refresh,
+    )
+
+
+def compile_ast(
+    ast: PropertyAst, predicates: Optional[PredicateEnv] = None
+) -> PropertySpec:
+    """Elaborate one parsed property to a monitor-ready specification."""
+    env = dict(predicates or {})
+    return PropertySpec(
+        name=ast.name,
+        description=ast.description,
+        stages=tuple(_stage(s, env) for s in ast.stages),
+        key_vars=ast.key_vars,
+        violation_message=ast.message,
+        obligation_override=ast.obligation,
+        match_kind_override=ast.match_kind,
+    )
+
+
+def compile_source(
+    source: str, predicates: Optional[PredicateEnv] = None
+) -> Tuple[PropertySpec, ...]:
+    """Parse and elaborate property-language source (possibly several
+    properties) into specifications."""
+    return tuple(compile_ast(ast, predicates) for ast in parse(source))
+
+
+def compile_one(
+    source: str, predicates: Optional[PredicateEnv] = None
+) -> PropertySpec:
+    """Parse and elaborate source containing exactly one property."""
+    return compile_ast(parse_one(source), predicates)

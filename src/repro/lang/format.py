@@ -1,0 +1,195 @@
+"""Formatting: core IR specifications back to property-language text.
+
+The inverse of :mod:`repro.lang.compile`: render a
+:class:`~repro.core.spec.PropertySpec` as DSL source.  Structural guards
+(equality, inequality, ``any_differs``) render directly; opaque
+:class:`~repro.core.refs.Predicate` guards cannot be textualized, so the
+formatter assigns them fresh ``@p<N>`` names and returns the accompanying
+predicate environment — compiling the rendered text with that environment
+reproduces the property.
+
+``tests/property/test_format_roundtrip.py`` holds the invariant:
+``analyze(compile(format(spec))) == analyze(spec)`` for the whole catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.refs import (
+    Const,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    FieldNe,
+    MismatchAny,
+    Predicate,
+    Var,
+)
+from ..core.spec import Absent, Observe, PropertySpec
+from ..packet.addresses import IPv4Address, MACAddress
+from ..switch.events import EgressAction, OobKind
+
+_KIND_TEXT = {
+    EventKind.ARRIVAL: "arrival",
+    EventKind.EGRESS: "egress",
+    EventKind.DROP: "drop",
+    EventKind.OOB: "oob",
+    EventKind.ANY_PACKET: "packet",
+}
+
+_OOB_TEXT = {
+    OobKind.PORT_DOWN: "port_down",
+    OobKind.PORT_UP: "port_up",
+    OobKind.LINK_DOWN: "link_down",
+    OobKind.LINK_UP: "link_up",
+}
+
+_ACTION_TEXT = {EgressAction.UNICAST: "unicast", EgressAction.FLOOD: "flood"}
+
+
+class FormatError(ValueError):
+    """Raised when a specification cannot be rendered."""
+
+
+class _Formatter:
+    def __init__(self) -> None:
+        self.predicates: Dict[str, Predicate] = {}
+        self._next_pred = 0
+
+    # -- values ------------------------------------------------------------
+    def value(self, ref) -> str:
+        if isinstance(ref, Var):
+            return f"${ref.name}"
+        if not isinstance(ref, Const):
+            raise FormatError(f"cannot render value reference {ref!r}")
+        v = ref.value
+        if isinstance(v, bool):
+            raise FormatError("boolean constants are not DSL values")
+        if isinstance(v, (IPv4Address,)):
+            return str(v)
+        if isinstance(v, MACAddress):
+            return f'"{v}"'
+        if isinstance(v, int):
+            return str(v)
+        if isinstance(v, float):
+            return repr(v)
+        if isinstance(v, str):
+            return f'"{v}"'
+        # Enum-valued constants (e.g. ArpOp) render as their integer value.
+        try:
+            return str(int(v))
+        except (TypeError, ValueError):
+            raise FormatError(f"cannot render constant {v!r}") from None
+
+    # -- guards ------------------------------------------------------------------
+    def condition(self, guard) -> str:
+        if isinstance(guard, FieldEq):
+            return f"{guard.field} == {self.value(guard.value)}"
+        if isinstance(guard, FieldNe):
+            return f"{guard.field} != {self.value(guard.value)}"
+        if isinstance(guard, MismatchAny):
+            pairs = ", ".join(
+                f"{field} == {self.value(ref)}" for field, ref in guard.pairs
+            )
+            return f"any_differs({pairs})"
+        if isinstance(guard, Predicate):
+            name = f"p{self._next_pred}"
+            self._next_pred += 1
+            self.predicates[name] = guard
+            return f"@{name}"
+        raise FormatError(f"cannot render guard {guard!r}")
+
+    # -- patterns -----------------------------------------------------------------
+    def pattern_head(self, pattern: EventPattern, extra_mods: str = "") -> str:
+        head = _KIND_TEXT[pattern.kind]
+        if pattern.oob_kind is not None:
+            head += f"({_OOB_TEXT[pattern.oob_kind]})"
+        if extra_mods:
+            head += f" {extra_mods}"
+        if pattern.same_packet_as is not None:
+            head += f" samepacket {pattern.same_packet_as}"
+        if pattern.egress_action is not None:
+            head += f" action {_ACTION_TEXT[pattern.egress_action]}"
+        if pattern.not_egress_action is not None:
+            head += f" not_action {_ACTION_TEXT[pattern.not_egress_action]}"
+        return head
+
+    def where_clause(self, pattern: EventPattern, indent: str) -> List[str]:
+        if not pattern.guards:
+            return []
+        rendered = " and ".join(self.condition(g) for g in pattern.guards)
+        return [f"{indent}where {rendered}"]
+
+    def bind_clause(self, pattern: EventPattern, indent: str) -> List[str]:
+        if not pattern.binds:
+            return []
+        rendered = ", ".join(f"{b.var} = {b.field}" for b in pattern.binds)
+        return [f"{indent}bind {rendered}"]
+
+    def unless_clauses(self, stage, indent: str) -> List[str]:
+        lines = []
+        for unless in getattr(stage, "unless", ()):
+            head = self.pattern_head(unless)
+            conditions = " and ".join(
+                self.condition(g) for g in unless.guards
+            )
+            line = f"{indent}unless {head}"
+            if conditions:
+                line += f" where {conditions}"
+            lines.append(line)
+        return lines
+
+    # -- stages -------------------------------------------------------------------
+    def stage(self, stage) -> List[str]:
+        mods = []
+        if isinstance(stage, Absent):
+            keyword = "absent"
+            mods.append(f"within {_num(stage.within)}")
+            if stage.refresh != "never":
+                mods.append(f"refresh {stage.refresh}")
+            if stage.semantic_deadline:
+                mods.append("semantic")
+        else:
+            keyword = "observe"
+            if stage.within is not None:
+                mods.append(f"within {_num(stage.within)}")
+            if not stage.refresh_on_repeat:
+                mods.append("no_refresh")
+        head = self.pattern_head(stage.pattern, " ".join(mods))
+        lines = [f"{keyword} {stage.name} : {head}"]
+        lines += self.where_clause(stage.pattern, "    ")
+        lines += self.bind_clause(stage.pattern, "    ")
+        lines += self.unless_clauses(stage, "    ")
+        return lines
+
+
+def _num(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def format_property(prop: PropertySpec) -> Tuple[str, Dict[str, Predicate]]:
+    """Render a specification as DSL text.
+
+    Returns ``(source, predicates)``: compile the source with the returned
+    predicate environment to reconstruct the property.
+    """
+    formatter = _Formatter()
+    lines = [f'property {prop.name.replace("-", "_")} "{prop.description}"']
+    if prop.key_vars:
+        lines.append(f"key {', '.join(prop.key_vars)}")
+    if prop.violation_message:
+        lines.append(f'message "{prop.violation_message}"')
+    if prop.obligation_override is not None:
+        lines.append(
+            f"annotate obligation "
+            f"{'true' if prop.obligation_override else 'false'}"
+        )
+    if prop.match_kind_override is not None:
+        lines.append(f"annotate instance {prop.match_kind_override}")
+    for stage in prop.stages:
+        lines.append("")
+        lines.extend(formatter.stage(stage))
+    return "\n".join(lines) + "\n", formatter.predicates

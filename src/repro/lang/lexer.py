@@ -1,0 +1,95 @@
+"""Tokenizer for the property language.
+
+The language is a small Varanus-flavoured surface syntax for
+:class:`~repro.core.spec.PropertySpec`.  Token kinds:
+
+* ``IDENT``   — bare identifiers and keywords (``observe``, ``where``, …);
+* ``FIELD``   — dotted names (``ipv4.src``);
+* ``VAR``     — ``$``-prefixed variables (``$A``);
+* ``PRED``    — ``@``-prefixed named predicates (``@internal``);
+* ``NUMBER``  — integers and floats;
+* ``IP``      — dotted-quad literals (``10.0.0.1``);
+* ``STRING``  — double-quoted strings;
+* punctuation — ``:`` ``,`` ``(`` ``)`` ``==`` ``!=`` ``=``.
+
+Comments run from ``#`` to end of line.  Newlines are insignificant.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+class LexError(ValueError):
+    """Raised on unrecognized input."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+_TOKEN_SPEC: Tuple[Tuple[str, str], ...] = (
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("IP", r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}"),
+    ("NUMBER", r"\d+(?:\.\d+)?"),
+    ("FIELD", r"[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("VAR", r"\$[A-Za-z_][A-Za-z0-9_]*"),
+    ("PRED", r"@[A-Za-z_][A-Za-z0-9_]*"),
+    ("EQ", r"=="),
+    ("NE", r"!="),
+    ("ASSIGN", r"="),
+    ("COLON", r":"),
+    ("COMMA", r","),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+)
+
+_MASTER = re.compile("|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC))
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a property-language source string."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(source):
+        match = _MASTER.match(source, pos)
+        if match is None:
+            raise LexError(
+                f"unexpected character {source[pos]!r}", line, pos - line_start + 1
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        column = pos - line_start + 1
+        if kind == "WS":
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rfind("\n") + 1
+        elif kind == "COMMENT":
+            pass
+        elif kind == "STRING":
+            tokens.append(Token("STRING", text[1:-1], line, column))
+        else:
+            tokens.append(Token(kind, text, line, column))
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,352 @@
+"""Recursive-descent parser for the property language.
+
+Grammar (EBNF, newline-insensitive)::
+
+    property   := "property" IDENT [STRING]
+                  ["key" IDENT ("," IDENT)*]
+                  ["message" STRING]
+                  stage+
+    stage      := ("observe" | "absent") IDENT ":" kind modifier*
+                  clause*
+    kind       := "arrival" | "egress" | "drop" | "packet"
+                | "oob" ["(" IDENT ")"]
+    modifier   := "within" NUMBER
+                | "refresh" ("never" | "on_prior")
+                | "semantic"
+                | "no_refresh"
+                | "samepacket" IDENT
+                | "action" ("unicast" | "flood")
+                | "not_action" ("unicast" | "flood")
+    clause     := "where" condition ("and" condition)*
+                | "bind" binding ("," binding)*
+                | "unless" kind modifier* ["where" condition ("and" condition)*]
+    condition  := FIELD ("==" | "!=") value
+                | "any_differs" "(" FIELD "==" value ("," FIELD "==" value)* ")"
+                | PRED
+    binding    := IDENT "=" FIELD
+    value      := VAR | NUMBER | IP | STRING
+
+A file may contain several properties; :func:`parse` returns them all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..packet.addresses import IPv4Address, MACAddress
+from .ast import (
+    AnyDiffers,
+    BindAst,
+    Comparison,
+    Literal,
+    NamedPredicate,
+    PatternAst,
+    PropertyAst,
+    StageAst,
+    Value,
+    VarRef,
+)
+from .lexer import Token, tokenize
+
+_KINDS = ("arrival", "egress", "drop", "oob", "packet")
+_OOB_KINDS = ("port_down", "port_up", "link_down", "link_up")
+_ACTIONS = ("unicast", "flood")
+
+_MAC_LIKE = __import__("re").compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid property text."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at line {token.line} (near {token.value!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want}", token)
+        return self.advance()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "IDENT" and token.value in words
+
+    # -- grammar ---------------------------------------------------------------
+    def parse_file(self) -> List[PropertyAst]:
+        props = []
+        while self.peek().kind != "EOF":
+            props.append(self.parse_property())
+        if not props:
+            raise ParseError("empty property file", self.peek())
+        return props
+
+    def parse_property(self) -> PropertyAst:
+        self.expect("IDENT", "property")
+        name = self.expect("IDENT").value
+        description = ""
+        if self.peek().kind == "STRING":
+            description = self.advance().value
+        key_vars: Tuple[str, ...] = ()
+        message = ""
+        obligation = None
+        match_kind = None
+        while self.at_keyword("key", "message", "annotate"):
+            word = self.advance().value
+            if word == "key":
+                names = [self.expect("IDENT").value]
+                while self.accept("COMMA"):
+                    names.append(self.expect("IDENT").value)
+                key_vars = tuple(names)
+            elif word == "message":
+                message = self.expect("STRING").value
+            else:  # annotate
+                what = self.expect("IDENT")
+                if what.value == "obligation":
+                    flag = self.expect("IDENT")
+                    if flag.value not in ("true", "false"):
+                        raise ParseError("obligation must be true or false",
+                                         flag)
+                    obligation = flag.value == "true"
+                elif what.value == "instance":
+                    kind = self.expect("IDENT")
+                    if kind.value not in ("exact", "symmetric", "wandering"):
+                        raise ParseError("unknown instance kind", kind)
+                    match_kind = kind.value
+                else:
+                    raise ParseError(
+                        "annotate takes 'obligation' or 'instance'", what)
+        stages = []
+        while self.at_keyword("observe", "absent"):
+            stages.append(self.parse_stage())
+        if not stages:
+            raise ParseError(f"property {name!r} has no stages", self.peek())
+        return PropertyAst(
+            name=name,
+            description=description or name,
+            key_vars=key_vars,
+            stages=tuple(stages),
+            message=message,
+            obligation=obligation,
+            match_kind=match_kind,
+        )
+
+    def parse_stage(self) -> StageAst:
+        negative = self.expect("IDENT").value == "absent"
+        name = self.expect("IDENT").value
+        self.expect("COLON")
+        pattern, within, refresh, semantic, no_refresh = self.parse_pattern_head()
+        conditions: Tuple = ()
+        binds: Tuple = ()
+        unless: List[PatternAst] = []
+        while self.at_keyword("where", "bind", "unless"):
+            word = self.advance().value
+            if word == "where":
+                conditions = conditions + self.parse_conditions()
+            elif word == "bind":
+                binds = binds + self.parse_bindings()
+            else:
+                unless.append(self.parse_unless_pattern())
+        pattern = PatternAst(
+            kind=pattern.kind,
+            conditions=conditions,
+            binds=binds,
+            same_packet_as=pattern.same_packet_as,
+            action=pattern.action,
+            not_action=pattern.not_action,
+            oob_kind=pattern.oob_kind,
+        )
+        return StageAst(
+            negative=negative,
+            name=name,
+            pattern=pattern,
+            within=within,
+            refresh=refresh,
+            semantic=semantic,
+            no_refresh=no_refresh,
+            unless=tuple(unless),
+        )
+
+    def parse_pattern_head(self):
+        """kind + modifiers (shared by stages and unless patterns)."""
+        kind_token = self.expect("IDENT")
+        if kind_token.value not in _KINDS:
+            raise ParseError(f"unknown event kind {kind_token.value!r}", kind_token)
+        kind = kind_token.value
+        oob_kind = None
+        if kind == "oob" and self.accept("LPAREN"):
+            oob = self.expect("IDENT")
+            if oob.value not in _OOB_KINDS:
+                raise ParseError(f"unknown oob kind {oob.value!r}", oob)
+            oob_kind = oob.value
+            self.expect("RPAREN")
+        within: Optional[float] = None
+        refresh: Optional[str] = None
+        semantic = False
+        no_refresh = False
+        same_packet: Optional[str] = None
+        action: Optional[str] = None
+        not_action: Optional[str] = None
+        while self.at_keyword(
+            "within", "refresh", "semantic", "no_refresh", "samepacket",
+            "action", "not_action",
+        ):
+            word = self.advance().value
+            if word == "within":
+                within = float(self.expect("NUMBER").value)
+            elif word == "refresh":
+                token = self.expect("IDENT")
+                if token.value not in ("never", "on_prior"):
+                    raise ParseError("refresh must be never or on_prior", token)
+                refresh = token.value
+            elif word == "semantic":
+                semantic = True
+            elif word == "no_refresh":
+                no_refresh = True
+            elif word == "samepacket":
+                same_packet = self.expect("IDENT").value
+            elif word in ("action", "not_action"):
+                token = self.expect("IDENT")
+                if token.value not in _ACTIONS:
+                    raise ParseError("action must be unicast or flood", token)
+                if word == "action":
+                    action = token.value
+                else:
+                    not_action = token.value
+        pattern = PatternAst(
+            kind=kind,
+            same_packet_as=same_packet,
+            action=action,
+            not_action=not_action,
+            oob_kind=oob_kind,
+        )
+        return pattern, within, refresh, semantic, no_refresh
+
+    def parse_unless_pattern(self) -> PatternAst:
+        pattern, within, refresh, semantic, no_refresh = self.parse_pattern_head()
+        if within is not None or refresh is not None or semantic or no_refresh:
+            raise ParseError("unless patterns take no timing modifiers", self.peek())
+        conditions: Tuple = ()
+        if self.at_keyword("where"):
+            self.advance()
+            conditions = self.parse_conditions()
+        return PatternAst(
+            kind=pattern.kind,
+            conditions=conditions,
+            same_packet_as=pattern.same_packet_as,
+            action=pattern.action,
+            not_action=pattern.not_action,
+            oob_kind=pattern.oob_kind,
+        )
+
+    def parse_conditions(self) -> Tuple:
+        conditions = [self.parse_condition()]
+        while self.at_keyword("and"):
+            self.advance()
+            conditions.append(self.parse_condition())
+        return tuple(conditions)
+
+    def parse_condition(self):
+        token = self.peek()
+        if token.kind == "PRED":
+            self.advance()
+            return NamedPredicate(token.value[1:])
+        if token.kind == "IDENT" and token.value == "any_differs":
+            self.advance()
+            self.expect("LPAREN")
+            pairs = [self.parse_differ_pair()]
+            while self.accept("COMMA"):
+                pairs.append(self.parse_differ_pair())
+            self.expect("RPAREN")
+            return AnyDiffers(tuple(pairs))
+        field = self.parse_field_name()
+        op_token = self.peek()
+        if op_token.kind == "EQ":
+            op = "=="
+        elif op_token.kind == "NE":
+            op = "!="
+        else:
+            raise ParseError("expected == or !=", op_token)
+        self.advance()
+        return Comparison(field=field, op=op, value=self.parse_value())
+
+    def parse_differ_pair(self) -> Tuple[str, Value]:
+        field = self.parse_field_name()
+        self.expect("EQ")
+        return field, self.parse_value()
+
+    def parse_field_name(self) -> str:
+        token = self.peek()
+        if token.kind in ("FIELD", "IDENT"):
+            self.advance()
+            return token.value
+        raise ParseError("expected a field name", token)
+
+    def parse_bindings(self) -> Tuple[BindAst, ...]:
+        binds = [self.parse_binding()]
+        while self.accept("COMMA"):
+            binds.append(self.parse_binding())
+        return tuple(binds)
+
+    def parse_binding(self) -> BindAst:
+        var = self.expect("IDENT").value
+        self.expect("ASSIGN")
+        return BindAst(var=var, field=self.parse_field_name())
+
+    def parse_value(self) -> Value:
+        token = self.peek()
+        if token.kind == "VAR":
+            self.advance()
+            return VarRef(token.value[1:])
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "IP":
+            self.advance()
+            return Literal(IPv4Address(token.value))
+        if token.kind == "STRING":
+            self.advance()
+            if _MAC_LIKE.match(token.value):
+                return Literal(MACAddress(token.value))
+            return Literal(token.value)
+        raise ParseError("expected a value", token)
+
+
+def parse(source: str) -> List[PropertyAst]:
+    """Parse property-language source into ASTs (one per property)."""
+    return _Parser(tokenize(source)).parse_file()
+
+
+def parse_one(source: str) -> PropertyAst:
+    """Parse source expected to contain exactly one property."""
+    props = parse(source)
+    if len(props) != 1:
+        raise ParseError(
+            f"expected exactly one property, found {len(props)}",
+            Token("EOF", "", 0, 0),
+        )
+    return props[0]

@@ -1,0 +1,51 @@
+"""Network simulation substrate: virtual time, scheduling, topology, traces."""
+
+from .clock import ClockError, VirtualClock
+from .scheduler import EventScheduler, ScheduledEvent
+from .topology import Host, Network, SwitchLink, single_switch_network
+from .serialize import (
+    TraceFormatError,
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    read_trace,
+    save_trace,
+)
+from .trace import TraceRecorder, TraceReplayer
+from .workload import (
+    TimedPacket,
+    arp_request_storm,
+    l2_pairs,
+    poisson_arrivals,
+    send_all,
+    tcp_conversations,
+    udp_flows,
+)
+
+__all__ = [
+    "ClockError",
+    "VirtualClock",
+    "EventScheduler",
+    "ScheduledEvent",
+    "Host",
+    "Network",
+    "SwitchLink",
+    "single_switch_network",
+    "TraceFormatError",
+    "dump_trace",
+    "event_from_dict",
+    "event_to_dict",
+    "load_trace",
+    "read_trace",
+    "save_trace",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TimedPacket",
+    "arp_request_storm",
+    "l2_pairs",
+    "poisson_arrivals",
+    "send_all",
+    "tcp_conversations",
+    "udp_flows",
+]

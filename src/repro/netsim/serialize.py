@@ -1,0 +1,129 @@
+"""Trace serialization: dataplane event streams as JSON lines.
+
+Recorded traces can be written to disk and replayed later (or on another
+machine) into any monitor — the repository's stand-in for pcap capture.
+Packets are serialized via their wire encoding (hex), so a reloaded trace
+re-parses through the same codecs the live path uses.  Packet uids are
+preserved explicitly: identity (Feature 5) must survive the round trip,
+and re-parsing alone would mint fresh uids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, List, Union
+
+from ..packet.packet import Packet
+from ..packet.parser import encode as wire_encode
+from ..packet.parser import parse as wire_parse
+from ..switch.events import (
+    DataplaneEvent,
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+    TimerFired,
+)
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace lines."""
+
+
+def event_to_dict(event: DataplaneEvent) -> dict:
+    """One event as a JSON-serializable dict."""
+    base = {"kind": type(event).__name__, "switch": event.switch_id,
+            "time": event.time}
+    if isinstance(event, PacketArrival):
+        base.update(packet=wire_encode(event.packet).hex(),
+                    uid=event.packet.uid, in_port=event.in_port)
+    elif isinstance(event, PacketEgress):
+        base.update(packet=wire_encode(event.packet).hex(),
+                    uid=event.packet.uid, in_port=event.in_port,
+                    out_port=event.out_port, action=event.action.value)
+    elif isinstance(event, PacketDrop):
+        base.update(packet=wire_encode(event.packet).hex(),
+                    uid=event.packet.uid, in_port=event.in_port,
+                    reason=event.reason)
+    elif isinstance(event, OutOfBandEvent):
+        base.update(oob_kind=event.oob_kind.value, port=event.port)
+    elif isinstance(event, TimerFired):
+        base.update(timer_id=event.timer_id,
+                    instance_key=list(event.instance_key))
+    else:  # pragma: no cover - taxonomy is closed
+        raise TraceFormatError(f"unknown event type {type(event).__name__}")
+    return base
+
+
+def event_from_dict(data: dict, max_layer: int = 7) -> DataplaneEvent:
+    """Rebuild one event from its dict form."""
+    try:
+        kind = data["kind"]
+        switch_id = data["switch"]
+        time = float(data["time"])
+    except KeyError as exc:
+        raise TraceFormatError(f"trace line missing field {exc}") from exc
+
+    def packet() -> Packet:
+        parsed = wire_parse(bytes.fromhex(data["packet"]), max_layer=max_layer)
+        return Packet(headers=parsed.headers, payload=parsed.payload,
+                      uid=int(data["uid"]))
+
+    if kind == "PacketArrival":
+        return PacketArrival(switch_id=switch_id, time=time, packet=packet(),
+                             in_port=int(data["in_port"]))
+    if kind == "PacketEgress":
+        return PacketEgress(
+            switch_id=switch_id, time=time, packet=packet(),
+            in_port=int(data["in_port"]), out_port=int(data["out_port"]),
+            action=EgressAction(data["action"]))
+    if kind == "PacketDrop":
+        return PacketDrop(switch_id=switch_id, time=time, packet=packet(),
+                          in_port=int(data["in_port"]),
+                          reason=data.get("reason", ""))
+    if kind == "OutOfBandEvent":
+        return OutOfBandEvent(switch_id=switch_id, time=time,
+                              oob_kind=OobKind(data["oob_kind"]),
+                              port=data.get("port"))
+    if kind == "TimerFired":
+        return TimerFired(switch_id=switch_id, time=time,
+                          timer_id=data.get("timer_id", ""),
+                          instance_key=tuple(data.get("instance_key", ())))
+    raise TraceFormatError(f"unknown event kind {kind!r}")
+
+
+def dump_trace(events: Iterable[DataplaneEvent], fp: IO[str]) -> int:
+    """Write events as JSON lines; returns the count written."""
+    count = 0
+    for event in events:
+        fp.write(json.dumps(event_to_dict(event), sort_keys=True))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def load_trace(fp: IO[str], max_layer: int = 7) -> List[DataplaneEvent]:
+    """Read a JSONL trace; returns events in file order."""
+    events: List[DataplaneEvent] = []
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        events.append(event_from_dict(data, max_layer=max_layer))
+    return events
+
+
+def save_trace(events: Iterable[DataplaneEvent], path: str) -> int:
+    with open(path, "w", encoding="utf-8") as fp:
+        return dump_trace(events, fp)
+
+
+def read_trace(path: str, max_layer: int = 7) -> List[DataplaneEvent]:
+    with open(path, "r", encoding="utf-8") as fp:
+        return load_trace(fp, max_layer=max_layer)

@@ -1,0 +1,87 @@
+"""Event traces: recording, replay, and inspection.
+
+A :class:`TraceRecorder` is a tap that appends every dataplane event to a
+list; tests and benchmarks assert over the recorded sequences, and
+:class:`TraceReplayer` feeds a recorded (or synthesized) event stream
+directly into a monitor without a live switch — the harness used to
+exercise monitor semantics in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Type
+
+from ..switch.events import (
+    DataplaneEvent,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+    TimerFired,
+)
+
+
+class TraceRecorder:
+    """Tap that records the dataplane event stream in arrival order."""
+
+    def __init__(self) -> None:
+        self.events: List[DataplaneEvent] = []
+
+    def __call__(self, event: DataplaneEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, event_type: Type[DataplaneEvent]) -> List[DataplaneEvent]:
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    @property
+    def arrivals(self) -> List[PacketArrival]:
+        return self.of_kind(PacketArrival)  # type: ignore[return-value]
+
+    @property
+    def egresses(self) -> List[PacketEgress]:
+        return self.of_kind(PacketEgress)  # type: ignore[return-value]
+
+    @property
+    def drops(self) -> List[PacketDrop]:
+        return self.of_kind(PacketDrop)  # type: ignore[return-value]
+
+    @property
+    def oob(self) -> List[OutOfBandEvent]:
+        return self.of_kind(OutOfBandEvent)  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[DataplaneEvent]:
+        return iter(self.events)
+
+
+class TraceReplayer:
+    """Feed a pre-built event sequence into monitor-like consumers."""
+
+    def __init__(self, events: Sequence[DataplaneEvent]) -> None:
+        self.events = list(events)
+        self._validate()
+
+    def _validate(self) -> None:
+        last = float("-inf")
+        for event in self.events:
+            if event.time < last:
+                raise ValueError(
+                    f"trace events out of time order at t={event.time}"
+                )
+            last = event.time
+
+    def replay(self, *sinks: Callable[[DataplaneEvent], None]) -> int:
+        """Deliver every event, in order, to each sink.  Returns count."""
+        for event in self.events:
+            for sink in sinks:
+                sink(event)
+        return len(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

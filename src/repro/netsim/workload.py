@@ -1,0 +1,192 @@
+"""Synthetic workload generators.
+
+The paper has no released traces, so every benchmark drives the system with
+synthetic workloads generated here (DESIGN.md records this substitution).
+All generators are deterministic given a seed and produce timestamped
+packets (or packet thunks) on virtual time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..packet.addresses import IPv4Address, MACAddress
+from ..packet.builder import (
+    arp_request,
+    ethernet,
+    tcp_fin,
+    tcp_packet,
+    tcp_syn,
+    udp_packet,
+)
+from ..packet.headers import TCPFlags
+from ..packet.packet import Packet
+
+
+@dataclass(frozen=True)
+class TimedPacket:
+    """One scheduled transmission: (virtual time, sending port, packet)."""
+
+    time: float
+    src_host: int  # 1-based host index == switch port in the canonical topo
+    packet: Packet
+
+
+def _host_mac(i: int) -> MACAddress:
+    return MACAddress(i)
+
+
+def _host_ip(i: int, base: str = "10.0.0.") -> IPv4Address:
+    return IPv4Address(f"{base}{i}")
+
+
+def _ext_ip(i: int) -> IPv4Address:
+    return IPv4Address(f"198.51.100.{i}")
+
+
+def l2_pairs(
+    num_hosts: int,
+    num_packets: int,
+    seed: int = 7,
+    start: float = 0.0,
+    interval: float = 0.001,
+) -> List[TimedPacket]:
+    """Plain L2 frames between random host pairs (learning-switch fodder)."""
+    rng = random.Random(seed)
+    out: List[TimedPacket] = []
+    for k in range(num_packets):
+        src = rng.randrange(1, num_hosts + 1)
+        dst = rng.randrange(1, num_hosts + 1)
+        while dst == src:
+            dst = rng.randrange(1, num_hosts + 1)
+        out.append(
+            TimedPacket(
+                time=start + k * interval,
+                src_host=src,
+                packet=ethernet(_host_mac(src), _host_mac(dst)),
+            )
+        )
+    return out
+
+
+def tcp_conversations(
+    num_flows: int,
+    packets_per_flow: int = 4,
+    seed: int = 11,
+    start: float = 0.0,
+    interval: float = 0.001,
+    internal_host: int = 1,
+    external_host: int = 2,
+    close_fraction: float = 0.0,
+) -> List[TimedPacket]:
+    """Bidirectional TCP conversations between an internal and external host.
+
+    Each flow: SYN out, then alternating data packets in both directions,
+    optionally a FIN from a random side (``close_fraction`` of flows) —
+    the workload exercising the stateful-firewall property family.
+    """
+    rng = random.Random(seed)
+    out: List[TimedPacket] = []
+    t = start
+    for flow in range(num_flows):
+        sport = 10000 + flow
+        dport = 80
+        a_ip, b_ip = _host_ip(internal_host), _ext_ip(flow % 200 + 1)
+        a_mac, b_mac = _host_mac(internal_host), _host_mac(external_host)
+        out.append(TimedPacket(t, internal_host,
+                               tcp_syn(a_mac, b_mac, a_ip, b_ip, sport, dport)))
+        t += interval
+        for k in range(packets_per_flow):
+            if k % 2 == 0:
+                out.append(TimedPacket(t, external_host,
+                                       tcp_packet(b_mac, a_mac, b_ip, a_ip, dport, sport)))
+            else:
+                out.append(TimedPacket(t, internal_host,
+                                       tcp_packet(a_mac, b_mac, a_ip, b_ip, sport, dport)))
+            t += interval
+        if rng.random() < close_fraction:
+            out.append(TimedPacket(t, internal_host,
+                                   tcp_fin(a_mac, b_mac, a_ip, b_ip, sport, dport)))
+            t += interval
+    return out
+
+
+def udp_flows(
+    num_flows: int,
+    num_hosts: int = 4,
+    seed: int = 13,
+    start: float = 0.0,
+    interval: float = 0.001,
+    dst_port: int = 8080,
+) -> List[TimedPacket]:
+    """Distinct UDP 5-tuples toward one service — load-balancer fodder."""
+    rng = random.Random(seed)
+    out: List[TimedPacket] = []
+    for flow in range(num_flows):
+        src = rng.randrange(1, num_hosts + 1)
+        out.append(
+            TimedPacket(
+                time=start + flow * interval,
+                src_host=src,
+                packet=udp_packet(
+                    _host_mac(src),
+                    MACAddress(0xFE),
+                    _host_ip(src),
+                    IPv4Address("10.0.0.100"),
+                    src_port=20000 + flow,
+                    dst_port=dst_port,
+                ),
+            )
+        )
+    return out
+
+
+def arp_request_storm(
+    requester: int,
+    target_ip: IPv4Address,
+    count: int,
+    period: float,
+    start: float = 0.0,
+) -> List[TimedPacket]:
+    """Repeated ARP requests every ``period`` seconds.
+
+    With ``period = T - epsilon`` this is exactly the refresh-storm the
+    paper warns about in Feature 7: a never-answered request stream that a
+    naively-refreshing timeout would fail to flag.
+    """
+    return [
+        TimedPacket(
+            time=start + k * period,
+            src_host=requester,
+            packet=arp_request(_host_mac(requester), _host_ip(requester), target_ip),
+        )
+        for k in range(count)
+    ]
+
+
+def poisson_arrivals(
+    rate: float,
+    duration: float,
+    seed: int = 17,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Timestamps of a Poisson process at ``rate`` events/second."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    rng = random.Random(seed)
+    t = start
+    end = start + duration
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end:
+            return
+        yield t
+
+
+def send_all(hosts: Sequence, workload: Sequence[TimedPacket]) -> int:
+    """Schedule a workload onto hosts (1-based indices).  Returns count."""
+    for item in workload:
+        hosts[item.src_host - 1].send_at(item.time, item.packet)
+    return len(workload)

@@ -1,0 +1,210 @@
+"""Convenience constructors for well-formed packets.
+
+The apps, tests, and workload generators all build packets through these
+helpers so the header plumbing (ethertypes, protocol numbers, well-known
+ports) lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .addresses import IPv4Address, MACAddress
+from .dhcp import DHCP_CLIENT_PORT, DHCP_SERVER_PORT, Dhcp, DhcpMessageType, DhcpOp
+from .ftp import FTP_CONTROL_PORT, FtpControl
+from .headers import ICMP, TCP, UDP, Arp, ArpOp, Ethernet, EtherType, IPProto, IPv4, TCPFlags
+from .packet import Packet
+
+MacLike = Union[str, int, MACAddress]
+IpLike = Union[str, int, IPv4Address]
+
+
+def _mac(value: MacLike) -> MACAddress:
+    return value if isinstance(value, MACAddress) else MACAddress(value)
+
+
+def _ip(value: IpLike) -> IPv4Address:
+    return value if isinstance(value, IPv4Address) else IPv4Address(value)
+
+
+def ethernet(src: MacLike, dst: MacLike, ethertype: int = EtherType.IPV4) -> Packet:
+    """A bare L2 frame."""
+    return Packet.of(Ethernet(src=_mac(src), dst=_mac(dst), ethertype=ethertype))
+
+
+def arp_request(
+    sender_mac: MacLike, sender_ip: IpLike, target_ip: IpLike
+) -> Packet:
+    """A broadcast ARP who-has request."""
+    return Packet.of(
+        Ethernet(src=_mac(sender_mac), dst=MACAddress.BROADCAST, ethertype=EtherType.ARP),
+        Arp(
+            op=ArpOp.REQUEST,
+            sender_mac=_mac(sender_mac),
+            sender_ip=_ip(sender_ip),
+            target_mac=MACAddress.ZERO,
+            target_ip=_ip(target_ip),
+        ),
+    )
+
+
+def arp_reply(
+    sender_mac: MacLike, sender_ip: IpLike, target_mac: MacLike, target_ip: IpLike
+) -> Packet:
+    """A unicast ARP is-at reply."""
+    return Packet.of(
+        Ethernet(src=_mac(sender_mac), dst=_mac(target_mac), ethertype=EtherType.ARP),
+        Arp(
+            op=ArpOp.REPLY,
+            sender_mac=_mac(sender_mac),
+            sender_ip=_ip(sender_ip),
+            target_mac=_mac(target_mac),
+            target_ip=_ip(target_ip),
+        ),
+    )
+
+
+def tcp_packet(
+    src_mac: MacLike,
+    dst_mac: MacLike,
+    src_ip: IpLike,
+    dst_ip: IpLike,
+    src_port: int,
+    dst_port: int,
+    flags: int = TCPFlags.ACK,
+    payload: bytes = b"",
+    ttl: int = 64,
+    seq: int = 0,
+) -> Packet:
+    """A TCP segment over IPv4 over Ethernet."""
+    return Packet.of(
+        Ethernet(src=_mac(src_mac), dst=_mac(dst_mac), ethertype=EtherType.IPV4),
+        IPv4(src=_ip(src_ip), dst=_ip(dst_ip), proto=IPProto.TCP, ttl=ttl,
+             payload_len=20 + len(payload)),
+        TCP(src_port=src_port, dst_port=dst_port, flags=flags, seq=seq),
+        payload=payload,
+    )
+
+
+def tcp_syn(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, **kw) -> Packet:
+    return tcp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port,
+                      flags=TCPFlags.SYN, **kw)
+
+
+def tcp_fin(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, **kw) -> Packet:
+    return tcp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port,
+                      flags=TCPFlags.FIN | TCPFlags.ACK, **kw)
+
+
+def tcp_rst(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, **kw) -> Packet:
+    return tcp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port,
+                      flags=TCPFlags.RST, **kw)
+
+
+def udp_packet(
+    src_mac: MacLike,
+    dst_mac: MacLike,
+    src_ip: IpLike,
+    dst_ip: IpLike,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+    ttl: int = 64,
+) -> Packet:
+    """A UDP datagram over IPv4 over Ethernet."""
+    return Packet.of(
+        Ethernet(src=_mac(src_mac), dst=_mac(dst_mac), ethertype=EtherType.IPV4),
+        IPv4(src=_ip(src_ip), dst=_ip(dst_ip), proto=IPProto.UDP, ttl=ttl,
+             payload_len=8 + len(payload)),
+        UDP(src_port=src_port, dst_port=dst_port, payload_len=len(payload)),
+        payload=payload,
+    )
+
+
+def icmp_echo(
+    src_mac: MacLike,
+    dst_mac: MacLike,
+    src_ip: IpLike,
+    dst_ip: IpLike,
+    reply: bool = False,
+    ident: int = 0,
+    seq: int = 0,
+) -> Packet:
+    """An ICMP echo request (or reply) over IPv4."""
+    icmp_type = ICMP.TYPE_ECHO_REPLY if reply else ICMP.TYPE_ECHO_REQUEST
+    return Packet.of(
+        Ethernet(src=_mac(src_mac), dst=_mac(dst_mac), ethertype=EtherType.IPV4),
+        IPv4(src=_ip(src_ip), dst=_ip(dst_ip), proto=IPProto.ICMP, payload_len=8),
+        ICMP(icmp_type=icmp_type, ident=ident, seq=seq),
+    )
+
+
+def dhcp_packet(
+    client_mac: MacLike,
+    msg_type: int,
+    *,
+    src_mac: Optional[MacLike] = None,
+    dst_mac: MacLike = MACAddress.BROADCAST,
+    src_ip: IpLike = IPv4Address.ZERO,
+    dst_ip: IpLike = IPv4Address.BROADCAST,
+    xid: int = 1,
+    yiaddr: IpLike = IPv4Address.ZERO,
+    requested_ip: Optional[IpLike] = None,
+    lease_time: Optional[int] = None,
+    server_id: Optional[IpLike] = None,
+) -> Packet:
+    """A DHCP message over UDP/IPv4/Ethernet.
+
+    Client-originated message types go client-port -> server-port; server
+    replies the reverse.
+    """
+    from_client = msg_type in (
+        DhcpMessageType.DISCOVER,
+        DhcpMessageType.REQUEST,
+        DhcpMessageType.DECLINE,
+        DhcpMessageType.RELEASE,
+        DhcpMessageType.INFORM,
+    )
+    sport = DHCP_CLIENT_PORT if from_client else DHCP_SERVER_PORT
+    dport = DHCP_SERVER_PORT if from_client else DHCP_CLIENT_PORT
+    op = DhcpOp.BOOTREQUEST if from_client else DhcpOp.BOOTREPLY
+    dhcp = Dhcp(
+        op=op,
+        msg_type=msg_type,
+        xid=xid,
+        client_mac=_mac(client_mac),
+        yiaddr=_ip(yiaddr),
+        requested_ip=None if requested_ip is None else _ip(requested_ip),
+        lease_time=lease_time,
+        server_id=None if server_id is None else _ip(server_id),
+    )
+    return Packet.of(
+        Ethernet(
+            src=_mac(src_mac if src_mac is not None else client_mac),
+            dst=_mac(dst_mac),
+            ethertype=EtherType.IPV4,
+        ),
+        IPv4(src=_ip(src_ip), dst=_ip(dst_ip), proto=IPProto.UDP),
+        UDP(src_port=sport, dst_port=dport),
+        dhcp,
+    )
+
+
+def ftp_control_packet(
+    src_mac: MacLike,
+    dst_mac: MacLike,
+    src_ip: IpLike,
+    dst_ip: IpLike,
+    src_port: int,
+    line: str,
+    to_server: bool = True,
+) -> Packet:
+    """One FTP control line over TCP port 21."""
+    sport = src_port if to_server else FTP_CONTROL_PORT
+    dport = FTP_CONTROL_PORT if to_server else src_port
+    return Packet.of(
+        Ethernet(src=_mac(src_mac), dst=_mac(dst_mac), ethertype=EtherType.IPV4),
+        IPv4(src=_ip(src_ip), dst=_ip(dst_ip), proto=IPProto.TCP),
+        TCP(src_port=sport, dst_port=dport, flags=TCPFlags.ACK | TCPFlags.PSH),
+        FtpControl.from_line(line),
+    )

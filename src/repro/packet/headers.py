@@ -1,0 +1,398 @@
+"""Protocol header types, L2 through L4.
+
+Each header is a frozen dataclass with a ``LAYER`` class attribute (the OSI
+layer it belongs to), field accessors used by the monitor's field-extraction
+machinery (the paper's Feature 1), and ``encode``/``decode`` for a simple
+wire format.  The wire format follows the real protocols closely enough that
+parse-depth limits are meaningful, but checksums are carried verbatim rather
+than validated — the reproduction studies monitoring semantics, not
+checksumming.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+from typing import ClassVar, Dict, Optional, Tuple
+
+from .addresses import IPv4Address, MACAddress
+
+
+class HeaderError(ValueError):
+    """Raised on malformed wire bytes or invalid header field values."""
+
+
+class EtherType(IntEnum):
+    """Subset of IEEE 802 EtherTypes used by the reproduction."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+
+
+class IPProto(IntEnum):
+    """IPv4 protocol numbers used by the reproduction."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+class ArpOp(IntEnum):
+    REQUEST = 1
+    REPLY = 2
+
+
+class TCPFlags(IntEnum):
+    """Individual TCP flag bits (combinable with ``|``)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass(frozen=True)
+class Ethernet:
+    """Ethernet II header (no FCS)."""
+
+    LAYER: ClassVar[int] = 2
+    NAME: ClassVar[str] = "eth"
+
+    src: MACAddress
+    dst: MACAddress
+    ethertype: int
+
+    def encode(self) -> bytes:
+        return self.dst.packed() + self.src.packed() + struct.pack("!H", self.ethertype)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["Ethernet", bytes]:
+        if len(data) < 14:
+            raise HeaderError(f"ethernet header truncated: {len(data)} bytes")
+        dst = MACAddress(data[0:6])
+        src = MACAddress(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(src=src, dst=dst, ethertype=ethertype), data[14:]
+
+    def fields(self) -> Dict[str, object]:
+        return {
+            "eth.src": self.src,
+            "eth.dst": self.dst,
+            "eth.type": self.ethertype,
+        }
+
+
+@dataclass(frozen=True)
+class Vlan:
+    """802.1Q VLAN tag."""
+
+    LAYER: ClassVar[int] = 2
+    NAME: ClassVar[str] = "vlan"
+
+    vid: int
+    pcp: int = 0
+    ethertype: int = EtherType.IPV4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vid < 4096:
+            raise HeaderError(f"VLAN id out of range: {self.vid!r}")
+        if not 0 <= self.pcp < 8:
+            raise HeaderError(f"VLAN PCP out of range: {self.pcp!r}")
+
+    def encode(self) -> bytes:
+        tci = (self.pcp << 13) | self.vid
+        return struct.pack("!HH", tci, self.ethertype)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["Vlan", bytes]:
+        if len(data) < 4:
+            raise HeaderError("VLAN tag truncated")
+        tci, ethertype = struct.unpack("!HH", data[:4])
+        return cls(vid=tci & 0x0FFF, pcp=tci >> 13, ethertype=ethertype), data[4:]
+
+    def fields(self) -> Dict[str, object]:
+        return {"vlan.vid": self.vid, "vlan.pcp": self.pcp}
+
+
+@dataclass(frozen=True)
+class Arp:
+    """ARP for IPv4 over Ethernet."""
+
+    LAYER: ClassVar[int] = 3
+    NAME: ClassVar[str] = "arp"
+
+    op: int
+    sender_mac: MACAddress
+    sender_ip: IPv4Address
+    target_mac: MACAddress
+    target_ip: IPv4Address
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack("!HHBBH", 1, EtherType.IPV4, 6, 4, self.op)
+            + self.sender_mac.packed()
+            + self.sender_ip.packed()
+            + self.target_mac.packed()
+            + self.target_ip.packed()
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["Arp", bytes]:
+        if len(data) < 28:
+            raise HeaderError(f"ARP truncated: {len(data)} bytes")
+        htype, ptype, hlen, plen, op = struct.unpack("!HHBBH", data[:8])
+        if (htype, ptype, hlen, plen) != (1, EtherType.IPV4, 6, 4):
+            raise HeaderError("unsupported ARP hardware/protocol combination")
+        return (
+            cls(
+                op=op,
+                sender_mac=MACAddress(data[8:14]),
+                sender_ip=IPv4Address(data[14:18]),
+                target_mac=MACAddress(data[18:24]),
+                target_ip=IPv4Address(data[24:28]),
+            ),
+            data[28:],
+        )
+
+    @property
+    def is_request(self) -> bool:
+        return self.op == ArpOp.REQUEST
+
+    @property
+    def is_reply(self) -> bool:
+        return self.op == ArpOp.REPLY
+
+    def fields(self) -> Dict[str, object]:
+        return {
+            "arp.op": self.op,
+            "arp.sender_mac": self.sender_mac,
+            "arp.sender_ip": self.sender_ip,
+            "arp.target_mac": self.target_mac,
+            "arp.target_ip": self.target_ip,
+        }
+
+
+@dataclass(frozen=True)
+class IPv4:
+    """IPv4 header (options unsupported; total length derived at encode)."""
+
+    LAYER: ClassVar[int] = 3
+    NAME: ClassVar[str] = "ipv4"
+
+    src: IPv4Address
+    dst: IPv4Address
+    proto: int
+    ttl: int = 64
+    dscp: int = 0
+    ident: int = 0
+    payload_len: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 255:
+            raise HeaderError(f"TTL out of range: {self.ttl!r}")
+        if not 0 <= self.proto <= 255:
+            raise HeaderError(f"protocol out of range: {self.proto!r}")
+
+    def encode(self) -> bytes:
+        total_len = 20 + self.payload_len
+        return struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,
+            self.dscp << 2,
+            total_len,
+            self.ident,
+            0,
+            self.ttl,
+            self.proto,
+            0,  # checksum carried as zero; not validated
+            self.src.packed(),
+            self.dst.packed(),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["IPv4", bytes]:
+        if len(data) < 20:
+            raise HeaderError(f"IPv4 header truncated: {len(data)} bytes")
+        (ver_ihl, tos, total_len, ident, _frag, ttl, proto, _csum, src, dst) = (
+            struct.unpack("!BBHHHBBH4s4s", data[:20])
+        )
+        if ver_ihl >> 4 != 4:
+            raise HeaderError(f"not IPv4: version {ver_ihl >> 4}")
+        ihl = (ver_ihl & 0x0F) * 4
+        if ihl != 20:
+            raise HeaderError("IPv4 options unsupported in reproduction")
+        return (
+            cls(
+                src=IPv4Address(src),
+                dst=IPv4Address(dst),
+                proto=proto,
+                ttl=ttl,
+                dscp=tos >> 2,
+                ident=ident,
+                payload_len=max(0, total_len - 20),
+            ),
+            data[20:],
+        )
+
+    def decremented(self) -> "IPv4":
+        """Copy with TTL decreased by one (forwarding semantics)."""
+        if self.ttl <= 0:
+            raise HeaderError("TTL already zero")
+        return replace(self, ttl=self.ttl - 1)
+
+    def fields(self) -> Dict[str, object]:
+        return {
+            "ipv4.src": self.src,
+            "ipv4.dst": self.dst,
+            "ipv4.proto": self.proto,
+            "ipv4.ttl": self.ttl,
+            "ipv4.dscp": self.dscp,
+        }
+
+
+@dataclass(frozen=True)
+class TCP:
+    """TCP header (no options)."""
+
+    LAYER: ClassVar[int] = 4
+    NAME: ClassVar[str] = "tcp"
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    def __post_init__(self) -> None:
+        for name in ("src_port", "dst_port"):
+            value = getattr(self, name)
+            if not 0 <= value < 65536:
+                raise HeaderError(f"TCP {name} out of range: {value!r}")
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            5 << 4,
+            self.flags,
+            self.window,
+            0,
+            0,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["TCP", bytes]:
+        if len(data) < 20:
+            raise HeaderError(f"TCP header truncated: {len(data)} bytes")
+        sport, dport, seq, ack, offset, flags, window, _csum, _urg = struct.unpack(
+            "!HHIIBBHHH", data[:20]
+        )
+        doff = (offset >> 4) * 4
+        if doff < 20 or doff > len(data):
+            raise HeaderError(f"bad TCP data offset {doff}")
+        return (
+            cls(
+                src_port=sport,
+                dst_port=dport,
+                seq=seq,
+                ack=ack,
+                flags=flags,
+                window=window,
+            ),
+            data[doff:],
+        )
+
+    def has_flag(self, flag: int) -> bool:
+        return bool(self.flags & flag)
+
+    @property
+    def is_syn(self) -> bool:
+        return self.has_flag(TCPFlags.SYN) and not self.has_flag(TCPFlags.ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return self.has_flag(TCPFlags.FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return self.has_flag(TCPFlags.RST)
+
+    def fields(self) -> Dict[str, object]:
+        return {
+            "tcp.src": self.src_port,
+            "tcp.dst": self.dst_port,
+            "tcp.flags": self.flags,
+            "tcp.seq": self.seq,
+            "tcp.ack": self.ack,
+        }
+
+
+@dataclass(frozen=True)
+class UDP:
+    """UDP header."""
+
+    LAYER: ClassVar[int] = 4
+    NAME: ClassVar[str] = "udp"
+
+    src_port: int
+    dst_port: int
+    payload_len: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("src_port", "dst_port"):
+            value = getattr(self, name)
+            if not 0 <= value < 65536:
+                raise HeaderError(f"UDP {name} out of range: {value!r}")
+
+    def encode(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port, 8 + self.payload_len, 0)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["UDP", bytes]:
+        if len(data) < 8:
+            raise HeaderError(f"UDP header truncated: {len(data)} bytes")
+        sport, dport, length, _csum = struct.unpack("!HHHH", data[:8])
+        return (
+            cls(src_port=sport, dst_port=dport, payload_len=max(0, length - 8)),
+            data[8:],
+        )
+
+    def fields(self) -> Dict[str, object]:
+        return {"udp.src": self.src_port, "udp.dst": self.dst_port}
+
+
+@dataclass(frozen=True)
+class ICMP:
+    """ICMP header (echo-focused)."""
+
+    LAYER: ClassVar[int] = 4
+    NAME: ClassVar[str] = "icmp"
+
+    TYPE_ECHO_REPLY: ClassVar[int] = 0
+    TYPE_ECHO_REQUEST: ClassVar[int] = 8
+
+    icmp_type: int
+    code: int = 0
+    ident: int = 0
+    seq: int = 0
+
+    def encode(self) -> bytes:
+        return struct.pack("!BBHHH", self.icmp_type, self.code, 0, self.ident, self.seq)
+
+    @classmethod
+    def decode(cls, data: bytes) -> Tuple["ICMP", bytes]:
+        if len(data) < 8:
+            raise HeaderError(f"ICMP header truncated: {len(data)} bytes")
+        itype, code, _csum, ident, seq = struct.unpack("!BBHHH", data[:8])
+        return cls(icmp_type=itype, code=code, ident=ident, seq=seq), data[8:]
+
+    def fields(self) -> Dict[str, object]:
+        return {"icmp.type": self.icmp_type, "icmp.code": self.code}

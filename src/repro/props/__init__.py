@@ -1,0 +1,75 @@
+"""The property catalog: Table 1's thirteen properties plus the worked
+examples of Sec. 1 and Sec. 2, each as a monitor-ready specification."""
+
+from .arp import (
+    ArpKnowledge,
+    arp_known_not_forwarded,
+    arp_reply_within,
+    arp_unknown_forwarded,
+)
+from .catalog import (
+    CATALOG_BACKENDS,
+    CATALOG_VIP,
+    CatalogEntry,
+    TABLE1_HEADER,
+    build_table1,
+    render_table1,
+    worked_examples,
+)
+from .dhcp import dhcp_no_overlap, dhcp_no_reuse, dhcp_reply_within
+from .dhcp_arp import LeaseKnowledge, arp_cache_preloaded, no_unfounded_reply
+from .firewall import (
+    firewall_basic,
+    firewall_drops_after_close,
+    firewall_timed,
+    firewall_with_close,
+)
+from .ftp import ftp_data_port_matches
+from .learning import (
+    learned_no_flood,
+    learned_unicast_port,
+    link_down_clears_learning,
+)
+from .load_balancing import (
+    RoundRobinExpectation,
+    lb_hashed_port,
+    lb_round_robin_port,
+    lb_sticky_port,
+)
+from .nat import nat_reverse_translation
+from .port_knocking import knocking_invalidated, knocking_recognized
+
+__all__ = [
+    "ArpKnowledge",
+    "arp_known_not_forwarded",
+    "arp_reply_within",
+    "arp_unknown_forwarded",
+    "CATALOG_BACKENDS",
+    "CATALOG_VIP",
+    "CatalogEntry",
+    "TABLE1_HEADER",
+    "build_table1",
+    "render_table1",
+    "worked_examples",
+    "dhcp_no_overlap",
+    "dhcp_no_reuse",
+    "dhcp_reply_within",
+    "LeaseKnowledge",
+    "arp_cache_preloaded",
+    "no_unfounded_reply",
+    "firewall_basic",
+    "firewall_drops_after_close",
+    "firewall_timed",
+    "firewall_with_close",
+    "ftp_data_port_matches",
+    "learned_no_flood",
+    "learned_unicast_port",
+    "link_down_clears_learning",
+    "RoundRobinExpectation",
+    "lb_hashed_port",
+    "lb_round_robin_port",
+    "lb_sticky_port",
+    "nat_reverse_translation",
+    "knocking_invalidated",
+    "knocking_recognized",
+]

@@ -1,0 +1,381 @@
+"""The property catalog in the textual property language.
+
+DESIGN.md promises each catalog property "as both DSL text and IR": this
+module is the DSL half.  :data:`DSL_SOURCES` holds the text;
+:func:`dsl_table1` compiles all thirteen Table 1 rows (building the same
+auxiliary knowledge objects the programmatic catalog uses) and
+:func:`dsl_worked_examples` the Sec. 1/2 properties.
+``tests/integration/test_dsl_catalog.py`` asserts each DSL version
+analyzes identically to its programmatic twin — the two halves cannot
+drift apart silently.
+
+Named predicates (supplied by the loaders): ``@internal``, ``@tcp_syn``,
+``@tcp_close``, ``@not_close``, ``@dhcp_request``, ``@dhcp_ack``,
+``@dhcp_release``, ``@arp_request``, ``@arp_reply``, ``@known``,
+``@unknown``, ``@lease_unknown``, ``@forwarded``, ``@ftp_advertises``,
+``@wrong_hash_backend``, ``@wrong_rr_backend``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.refs import Predicate
+from ..core.spec import PropertySpec
+from ..lang import compile_one
+from .arp import ArpKnowledge, _is_arp_reply, _is_arp_request
+from .catalog import CATALOG_BACKENDS, CATALOG_VIP
+from .common import (
+    internal_to_external,
+    is_dhcp_ack,
+    is_dhcp_release,
+    is_dhcp_request,
+    is_not_tcp_close,
+    is_tcp_close,
+    is_tcp_syn,
+)
+from .dhcp_arp import LeaseKnowledge
+from .ftp import _advertises_endpoint
+from .load_balancing import RoundRobinExpectation
+
+DSL_SOURCES: Dict[str, str] = {}
+
+DSL_SOURCES["arp-known-not-forwarded"] = """
+property arp_known_not_forwarded "Requests for known addresses are not forwarded"
+key D
+observe resolved : egress
+    where @arp_reply
+    bind D = arp.sender_ip
+observe request_forwarded : egress
+    where @arp_request and arp.target_ip == $D and @forwarded
+"""
+
+DSL_SOURCES["arp-unknown-forwarded"] = """
+property arp_unknown_forwarded "Requests for unknown addresses are forwarded"
+key D
+annotate obligation true
+observe unknown_request : arrival
+    where @arp_request and @unknown
+    bind D = arp.target_ip
+absent never_forwarded : egress within 1 samepacket unknown_request
+    unless egress where @arp_reply and arp.sender_ip == $D
+"""
+
+DSL_SOURCES["knocking-invalidated"] = """
+property knocking_invalidated "Intervening guesses invalidate sequence"
+key knocker
+annotate obligation false
+observe first_knock : arrival
+    where tcp.dst == 7001
+    bind knocker = ipv4.src
+observe wrong_guess : arrival
+    where ipv4.src == $knocker and tcp.dst != 7002 and tcp.dst != 22
+observe second_knock : arrival
+    where ipv4.src == $knocker and tcp.dst == 7002
+observe access_granted : egress action unicast
+    where ipv4.src == $knocker and tcp.dst == 22
+"""
+
+DSL_SOURCES["knocking-recognized"] = """
+property knocking_recognized "Recognize valid sequence"
+key knocker
+annotate obligation true
+observe first_knock : arrival
+    where tcp.dst == 7001
+    bind knocker = ipv4.src
+observe second_knock : arrival
+    where ipv4.src == $knocker and tcp.dst == 7002
+    unless arrival where ipv4.src == $knocker and tcp.dst != 7002 and tcp.dst != 22
+observe access_denied : drop
+    where ipv4.src == $knocker and tcp.dst == 22
+    unless arrival where ipv4.src == $knocker and tcp.dst != 7002 and tcp.dst != 22
+"""
+
+DSL_SOURCES["lb-hashed-port"] = """
+property lb_hashed_port "New flows go to hashed port"
+key cip, cport, vip, vport
+annotate obligation true
+observe new_flow : arrival
+    where ipv4.dst == 10.0.0.100 and @tcp_syn
+    bind cip = ipv4.src, cport = tcp.src, vip = ipv4.dst, vport = tcp.dst
+observe wrong_backend : egress samepacket new_flow
+    where @wrong_hash_backend
+    unless arrival where ipv4.src == $cip and tcp.src == $cport and ipv4.dst == $vip and tcp.dst == $vport and @tcp_close
+    unless arrival where ipv4.dst == $cip and tcp.dst == $cport and @tcp_close
+"""
+
+DSL_SOURCES["lb-round-robin-port"] = """
+property lb_round_robin_port "New flows go to round-robin port"
+key cip, cport, vip, vport
+annotate obligation true
+observe new_flow : arrival
+    where ipv4.dst == 10.0.0.100 and @tcp_syn
+    bind cip = ipv4.src, cport = tcp.src, vip = ipv4.dst, vport = tcp.dst
+observe wrong_backend : egress samepacket new_flow
+    where @wrong_rr_backend
+    unless arrival where ipv4.src == $cip and tcp.src == $cport and ipv4.dst == $vip and tcp.dst == $vport and @tcp_close
+    unless arrival where ipv4.dst == $cip and tcp.dst == $cport and @tcp_close
+"""
+
+DSL_SOURCES["lb-sticky-port"] = """
+property lb_sticky_port "No change in port until flow closed"
+key cip, cport, vip, vport
+annotate obligation false
+observe pinned : egress
+    where ipv4.dst == 10.0.0.100 and @not_close
+    bind cip = ipv4.src, cport = tcp.src, vip = ipv4.dst, vport = tcp.dst, backend = out_port
+observe next_packet : arrival
+    where ipv4.src == $cip and tcp.src == $cport and ipv4.dst == $vip and tcp.dst == $vport
+    unless arrival where ipv4.src == $cip and tcp.src == $cport and ipv4.dst == $vip and tcp.dst == $vport and @tcp_close
+    unless arrival where ipv4.dst == $cip and tcp.dst == $cport and @tcp_close
+observe moved : egress samepacket next_packet
+    where out_port != $backend
+    unless arrival where ipv4.src == $cip and tcp.src == $cport and ipv4.dst == $vip and tcp.dst == $vport and @tcp_close
+    unless arrival where ipv4.dst == $cip and tcp.dst == $cport and @tcp_close
+    unless egress samepacket next_packet where out_port == $backend
+"""
+
+DSL_SOURCES["ftp-data-port-matches"] = """
+property ftp_data_port_matches "Data L4 port matches L4 port given in control stream"
+key client, server
+observe advertised : arrival
+    where @ftp_advertises
+    bind client = ipv4.src, server = ipv4.dst, dport = ftp.data_port
+observe wrong_data_port : arrival
+    where ipv4.src == $server and ipv4.dst == $client and @tcp_syn and tcp.dst != $dport
+"""
+
+DSL_SOURCES["dhcp-reply-within"] = """
+property dhcp_reply_within "Reply to lease request within T seconds"
+key client, xid
+annotate obligation false
+observe request : arrival
+    where @dhcp_request
+    bind client = eth.src, xid = dhcp.xid
+absent no_reply : egress within 2 semantic
+    where dhcp.xid == $xid and eth.dst == $client
+"""
+
+DSL_SOURCES["dhcp-no-reuse"] = """
+property dhcp_no_reuse "Leased addresses never re-used until expiration or release"
+key ip
+annotate obligation false
+observe leased : egress
+    where @dhcp_ack
+    bind ip = dhcp.yiaddr, holder = eth.dst
+observe re_leased : egress within 60
+    where @dhcp_ack and dhcp.yiaddr == $ip
+    unless egress where @dhcp_ack and dhcp.yiaddr == $ip and eth.dst == $holder
+    unless arrival where @dhcp_release and eth.src == $holder
+"""
+
+DSL_SOURCES["dhcp-no-overlap"] = """
+property dhcp_no_overlap "No lease overlap between DHCP servers"
+key ip
+annotate instance symmetric
+observe leased_by : egress
+    where @dhcp_ack
+    bind ip = dhcp.yiaddr, server = dhcp.server_id
+observe leased_by_other : egress
+    where @dhcp_ack and dhcp.yiaddr == $ip and dhcp.server_id != $server
+"""
+
+DSL_SOURCES["arp-cache-preloaded"] = """
+property arp_cache_preloaded "Pre-load ARP cache with leased addresses"
+key ip, holder_mac
+annotate obligation false
+observe leased : egress
+    where @dhcp_ack
+    bind ip = dhcp.yiaddr, holder_mac = dhcp.client_mac
+observe asked : arrival
+    where @arp_request and arp.target_ip == $ip and arp.sender_mac != $holder_mac
+    bind asker = arp.sender_mac
+absent no_correct_reply : egress within 1
+    where @arp_reply and arp.sender_ip == $ip and arp.sender_mac == $holder_mac and arp.target_mac == $asker
+"""
+
+DSL_SOURCES["no-unfounded-reply"] = """
+property no_unfounded_reply "No direct reply if neither pre-loaded nor prior reply seen"
+key ip, asker
+annotate obligation true
+observe unknown_asked : arrival
+    where @arp_request and @lease_unknown
+    bind ip = arp.target_ip, asker = arp.sender_mac
+observe unfounded_reply : egress
+    where @arp_reply and arp.sender_ip == $ip and arp.target_mac == $asker and in_port == 0
+    unless egress where @dhcp_ack and dhcp.yiaddr == $ip
+    unless arrival where @arp_reply and arp.sender_ip == $ip
+"""
+
+# -- worked examples (Sec. 1 / Sec. 2) ------------------------------------
+DSL_SOURCES["learned-unicast-port"] = """
+property learned_unicast_port "Packets to a learned destination use its port"
+key D
+observe learn : arrival
+    bind D = eth.src, p = in_port
+observe bad_egress : egress
+    where eth.dst == $D and out_port != $p
+"""
+
+DSL_SOURCES["learned-no-flood"] = """
+property learned_no_flood "Packets to a learned destination are not flooded"
+key D
+observe learn : arrival
+    bind D = eth.src, p = in_port
+observe flooded : egress action flood
+    where eth.dst == $D
+"""
+
+DSL_SOURCES["link-down-clears-learning"] = """
+property link_down_clears_learning "Link-down deletes the learned set"
+key D
+observe learn : arrival
+    bind D = eth.src
+observe link_down : oob(port_down)
+observe stale_unicast : egress action unicast
+    where eth.dst == $D
+    unless arrival where eth.src == $D
+"""
+
+DSL_SOURCES["firewall-basic"] = """
+property firewall_basic "Return traffic is not dropped"
+key A, B
+observe outbound : arrival
+    where @internal
+    bind A = ipv4.src, B = ipv4.dst
+observe return_dropped : drop
+    where ipv4.src == $B and ipv4.dst == $A
+"""
+
+DSL_SOURCES["firewall-timed"] = """
+property firewall_timed "Return traffic is not dropped within the window"
+key A, B
+observe outbound : arrival
+    where @internal
+    bind A = ipv4.src, B = ipv4.dst
+observe return_dropped : drop within 30
+    where ipv4.src == $B and ipv4.dst == $A
+"""
+
+DSL_SOURCES["firewall-with-close"] = """
+property firewall_with_close "Return traffic passes until timeout or close"
+key A, B
+observe outbound : arrival
+    where @internal
+    bind A = ipv4.src, B = ipv4.dst
+observe return_dropped : drop within 30
+    where ipv4.src == $B and ipv4.dst == $A
+    unless arrival where ipv4.src == $A and ipv4.dst == $B and @tcp_close
+    unless arrival where ipv4.src == $B and ipv4.dst == $A and @tcp_close
+"""
+
+DSL_SOURCES["nat-reverse-translation"] = """
+property nat_reverse_translation "Return packets use the original translation"
+key A, P, B, Q
+observe outbound_arrival : arrival
+    where in_port == 1
+    bind A = ipv4.src, P = tcp.src, B = ipv4.dst, Q = tcp.dst
+observe outbound_translated : egress samepacket outbound_arrival
+    where ipv4.dst == $B and tcp.dst == $Q
+    bind A2 = ipv4.src, P2 = tcp.src
+observe return_arrival : arrival
+    where in_port == 2 and ipv4.src == $B and tcp.src == $Q and ipv4.dst == $A2 and tcp.dst == $P2
+observe return_mistranslated : egress samepacket return_arrival
+    where any_differs(ipv4.dst == $A, tcp.dst == $P)
+"""
+
+
+def _lb_predicates(rr: RoundRobinExpectation) -> Dict[str, Predicate]:
+    from .load_balancing import flow_hash
+
+    backends = CATALOG_BACKENDS
+
+    def wrong_hash(fields, env):
+        key = (env["cip"], env["cport"], env["vip"], env["vport"], 6)
+        return fields.get("out_port") != backends[flow_hash(key, len(backends))]
+
+    def wrong_rr(fields, env):
+        expected = rr.expected(env)
+        return expected is not None and fields.get("out_port") != expected
+
+    return {
+        "wrong_hash_backend": Predicate(
+            wrong_hash, "egress port differs from hashed backend",
+            fields_used=("out_port",)),
+        "wrong_rr_backend": Predicate(
+            wrong_rr, "egress port differs from round-robin backend",
+            fields_used=("out_port",)),
+    }
+
+
+def dsl_predicates(
+    arp_knowledge: ArpKnowledge,
+    lease_knowledge: LeaseKnowledge,
+    rr: RoundRobinExpectation,
+) -> Dict[str, Predicate]:
+    """The full predicate environment for the DSL catalog."""
+    env: Dict[str, Predicate] = {
+        "internal": internal_to_external(),
+        "tcp_syn": is_tcp_syn(),
+        "tcp_close": is_tcp_close(),
+        "not_close": is_not_tcp_close(),
+        "dhcp_request": is_dhcp_request(),
+        "dhcp_ack": is_dhcp_ack(),
+        "dhcp_release": is_dhcp_release(),
+        "arp_request": _is_arp_request(),
+        "arp_reply": _is_arp_reply(),
+        "known": arp_knowledge.known_predicate(),
+        "unknown": arp_knowledge.unknown_predicate(),
+        "lease_unknown": lease_knowledge.unknown_predicate(),
+        "ftp_advertises": _advertises_endpoint(),
+        "forwarded": Predicate(
+            lambda fields, env: fields.get("in_port", 0) != 0,
+            "forwarded (not switch-originated)",
+            fields_used=("in_port",)),
+    }
+    env.update(_lb_predicates(rr))
+    return env
+
+
+#: catalog name -> the DSL source key above (Table 1 order)
+TABLE1_DSL_KEYS: Tuple[str, ...] = (
+    "arp-known-not-forwarded",
+    "arp-unknown-forwarded",
+    "knocking-invalidated",
+    "knocking-recognized",
+    "lb-hashed-port",
+    "lb-round-robin-port",
+    "lb-sticky-port",
+    "ftp-data-port-matches",
+    "dhcp-reply-within",
+    "dhcp-no-reuse",
+    "dhcp-no-overlap",
+    "arp-cache-preloaded",
+    "no-unfounded-reply",
+)
+
+WORKED_EXAMPLE_DSL_KEYS: Tuple[str, ...] = (
+    "learned-unicast-port",
+    "learned-no-flood",
+    "link-down-clears-learning",
+    "firewall-basic",
+    "firewall-timed",
+    "firewall-with-close",
+    "nat-reverse-translation",
+)
+
+
+def dsl_table1() -> List[Tuple[str, PropertySpec]]:
+    """Compile the thirteen Table 1 properties from their DSL sources."""
+    env = dsl_predicates(ArpKnowledge(), LeaseKnowledge(),
+                         RoundRobinExpectation(CATALOG_VIP, CATALOG_BACKENDS))
+    return [(key, compile_one(DSL_SOURCES[key], env))
+            for key in TABLE1_DSL_KEYS]
+
+
+def dsl_worked_examples() -> List[Tuple[str, PropertySpec]]:
+    """Compile the Sec. 1/2 worked examples from their DSL sources."""
+    env = dsl_predicates(ArpKnowledge(), LeaseKnowledge(),
+                         RoundRobinExpectation(CATALOG_VIP, CATALOG_BACKENDS))
+    return [(key, compile_one(DSL_SOURCES[key], env))
+            for key in WORKED_EXAMPLE_DSL_KEYS]

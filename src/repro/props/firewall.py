@@ -1,0 +1,172 @@
+"""Stateful-firewall properties — the worked example of Sec. 2.1, in the
+three refinements the paper walks through.
+
+* :func:`firewall_basic` — "After seeing traffic from internal host A to
+  external host B, packets from B to A are not dropped."  Two
+  observations; unsound against real firewalls with state expiry.
+
+* :func:`firewall_timed` — "...for T seconds after seeing traffic from A to
+  B" (Feature 3): the monitor keeps a separate timer per (A, B) pair,
+  reset whenever a new A-to-B packet is seen.
+
+* :func:`firewall_with_close` — "...for T seconds, or until the connection
+  is closed" (Feature 4): a close (FIN/RST in either direction) discharges
+  the obligation — the instance is cancelled, so a later drop is correct
+  behaviour, not a violation.
+
+* :func:`firewall_drops_after_close` — the converse check: once the
+  connection closed, return traffic must be *dropped*; forwarding it is
+  the violation (catches the ``ignore_close`` firewall fault).
+"""
+
+from __future__ import annotations
+
+from ..core.refs import Bind, EventKind, EventPattern, FieldEq, Var
+from ..core.spec import Observe, PropertySpec
+from .common import internal_to_external, is_tcp_close
+
+
+def _outbound_stage() -> Observe:
+    return Observe(
+        "outbound",
+        EventPattern(
+            kind=EventKind.ARRIVAL,
+            guards=(internal_to_external(),),
+            binds=(Bind("A", "ipv4.src"), Bind("B", "ipv4.dst")),
+        ),
+    )
+
+
+def _return_drop_pattern() -> EventPattern:
+    return EventPattern(
+        kind=EventKind.DROP,
+        guards=(FieldEq("ipv4.src", Var("B")), FieldEq("ipv4.dst", Var("A"))),
+    )
+
+
+def _close_patterns() -> tuple:
+    """Connection close observed in either direction (FIN or RST)."""
+    return (
+        EventPattern(
+            kind=EventKind.ARRIVAL,
+            guards=(
+                FieldEq("ipv4.src", Var("A")),
+                FieldEq("ipv4.dst", Var("B")),
+                is_tcp_close(),
+            ),
+        ),
+        EventPattern(
+            kind=EventKind.ARRIVAL,
+            guards=(
+                FieldEq("ipv4.src", Var("B")),
+                FieldEq("ipv4.dst", Var("A")),
+                is_tcp_close(),
+            ),
+        ),
+    )
+
+
+def firewall_basic(name: str = "firewall-basic") -> PropertySpec:
+    return PropertySpec(
+        name=name,
+        description=(
+            "After seeing traffic from internal A to external B, packets "
+            "from B to A are not dropped"
+        ),
+        stages=(
+            _outbound_stage(),
+            Observe("return_dropped", _return_drop_pattern()),
+        ),
+        key_vars=("A", "B"),
+        violation_message="valid return traffic was dropped",
+    )
+
+
+def firewall_timed(T: float = 30.0, name: str = "firewall-timed") -> PropertySpec:
+    return PropertySpec(
+        name=name,
+        description=(
+            f"For {T}s after traffic from A to B (timer reset on each new "
+            "A->B packet), packets from B to A are not dropped"
+        ),
+        stages=(
+            _outbound_stage(),
+            Observe("return_dropped", _return_drop_pattern(), within=T),
+        ),
+        key_vars=("A", "B"),
+        violation_message="return traffic dropped inside the pinhole window",
+    )
+
+
+def firewall_with_close(
+    T: float = 30.0, name: str = "firewall-with-close"
+) -> PropertySpec:
+    return PropertySpec(
+        name=name,
+        description=(
+            f"For {T}s after traffic from A to B, or until the connection "
+            "is closed, packets from B to A are not dropped"
+        ),
+        stages=(
+            _outbound_stage(),
+            Observe(
+                "return_dropped",
+                _return_drop_pattern(),
+                within=T,
+                unless=_close_patterns(),
+            ),
+        ),
+        key_vars=("A", "B"),
+        violation_message=(
+            "return traffic dropped although the pinhole was live and the "
+            "connection had not closed"
+        ),
+    )
+
+
+def firewall_drops_after_close(
+    name: str = "firewall-drops-after-close",
+) -> PropertySpec:
+    return PropertySpec(
+        name=name,
+        description=(
+            "After either side closes the connection, B-to-A packets are "
+            "dropped until A re-establishes it"
+        ),
+        stages=(
+            _outbound_stage(),
+            Observe(
+                "closed",
+                EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(
+                        FieldEq("ipv4.src", Var("A")),
+                        FieldEq("ipv4.dst", Var("B")),
+                        is_tcp_close(),
+                    ),
+                ),
+            ),
+            Observe(
+                "stale_forward",
+                EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(
+                        FieldEq("ipv4.src", Var("B")),
+                        FieldEq("ipv4.dst", Var("A")),
+                    ),
+                ),
+                unless=(
+                    # A re-establishes: forwarding is legitimate again.
+                    EventPattern(
+                        kind=EventKind.ARRIVAL,
+                        guards=(
+                            FieldEq("ipv4.src", Var("A")),
+                            FieldEq("ipv4.dst", Var("B")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        key_vars=("A", "B"),
+        violation_message="return traffic forwarded after the connection closed",
+    )

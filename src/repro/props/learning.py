@@ -1,0 +1,129 @@
+"""Learning-switch properties (Sec. 1 and the Feature 8 multiple-match
+example).
+
+* :func:`learned_unicast_port` — "Once a destination D is learned, packets
+  to D are unicast on the appropriate port."  Violation: a packet from D
+  arrives on port p (learning D), then a packet addressed to D leaves on
+  some port other than p — which covers both mis-learned unicast and
+  flooding (flood copies egress on wrong ports).
+
+* :func:`learned_no_flood` — the flood-specific variant, matching on the
+  switch's own output decision (``egress.action == FLOOD``): the
+  metadata-matching capability Sec. 3.2 identifies as a critical gap.
+
+* :func:`link_down_clears_learning` — "link-down messages delete the set of
+  learned destinations": after any port goes down, a unicast to a
+  previously-learned D (with no intervening re-learning packet from D) is a
+  violation.  The out-of-band stage has no instance-distinguishing guards,
+  so one link-down event advances *every* live instance — multiple match.
+"""
+
+from __future__ import annotations
+
+from ..core.refs import Bind, EventKind, EventPattern, FieldEq, FieldNe, Var
+from ..core.spec import Absent, Observe, PropertySpec
+from ..switch.events import EgressAction, OobKind
+
+
+def learned_unicast_port(name: str = "learned-unicast-port") -> PropertySpec:
+    return PropertySpec(
+        name=name,
+        description=(
+            "Once a destination D is learned on port p, packets to D egress "
+            "only on p"
+        ),
+        stages=(
+            Observe(
+                "learn",
+                EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    binds=(Bind("D", "eth.src"), Bind("p", "in_port")),
+                ),
+            ),
+            Observe(
+                "bad_egress",
+                EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(
+                        FieldEq("eth.dst", Var("D")),
+                        FieldNe("out_port", Var("p")),
+                    ),
+                ),
+            ),
+        ),
+        key_vars=("D",),
+        violation_message="packet to learned destination left on the wrong port",
+    )
+
+
+def learned_no_flood(name: str = "learned-no-flood") -> PropertySpec:
+    return PropertySpec(
+        name=name,
+        description="Once a destination D is learned, packets to D are not flooded",
+        stages=(
+            Observe(
+                "learn",
+                EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    binds=(Bind("D", "eth.src"), Bind("p", "in_port")),
+                ),
+            ),
+            Observe(
+                "flooded",
+                EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("D")),),
+                    egress_action=EgressAction.FLOOD,
+                ),
+            ),
+        ),
+        key_vars=("D",),
+        violation_message="packet to learned destination was flooded",
+    )
+
+
+def link_down_clears_learning(name: str = "link-down-clears-learning") -> PropertySpec:
+    return PropertySpec(
+        name=name,
+        description=(
+            "A link-down message deletes the set of learned destinations: "
+            "afterwards, unicasting to a previously-learned D without "
+            "re-learning is wrong"
+        ),
+        stages=(
+            Observe(
+                "learn",
+                EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    binds=(Bind("D", "eth.src"),),
+                ),
+            ),
+            # No guards reference the instance: one link-down advances every
+            # learned-D instance — the paper's multiple-match case.
+            Observe(
+                "link_down",
+                EventPattern(kind=EventKind.OOB, oob_kind=OobKind.PORT_DOWN),
+            ),
+            Observe(
+                "stale_unicast",
+                EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("D")),),
+                    egress_action=EgressAction.UNICAST,
+                ),
+                unless=(
+                    # A fresh packet from D re-learns it; the instance no
+                    # longer represents stale state.
+                    EventPattern(
+                        kind=EventKind.ARRIVAL,
+                        guards=(FieldEq("eth.src", Var("D")),),
+                    ),
+                ),
+            ),
+        ),
+        key_vars=("D",),
+        violation_message=(
+            "unicast to a destination whose learning should have been "
+            "cleared by link-down"
+        ),
+    )

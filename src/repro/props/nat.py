@@ -1,0 +1,98 @@
+"""NAT reverse-translation property — the worked example of Sec. 2.2.
+
+"Return packets are translated according to their corresponding initial
+outgoing translation."  Four observations, using packet identity (Feature
+5) to connect each arrival with its rewritten departure, and a disjunctive
+negative match (Feature 6) for the final "destination not equal to A, P":
+
+1. arrival A,P -> B,Q from the internal side;
+2. the same packet departing with its translated source A',P';
+3. an arrival B,Q -> A',P' from the external side;
+4. the same packet departing with destination A'',P'' where A'' != A or
+   P'' != P — the violation.
+"""
+
+from __future__ import annotations
+
+from ..core.refs import (
+    Bind,
+    Const,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    MismatchAny,
+    Var,
+)
+from ..core.spec import Observe, PropertySpec
+
+
+def nat_reverse_translation(
+    internal_port: int = 1,
+    external_port: int = 2,
+    name: str = "nat-reverse-translation",
+) -> PropertySpec:
+    """The four-observation NAT property over TCP flows."""
+    return PropertySpec(
+        name=name,
+        description=(
+            "Return packets are translated according to their corresponding "
+            "initial outgoing translation"
+        ),
+        stages=(
+            Observe(
+                "outbound_arrival",
+                EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldEq("in_port", Const(internal_port)),),
+                    binds=(
+                        Bind("A", "ipv4.src"),
+                        Bind("P", "tcp.src"),
+                        Bind("B", "ipv4.dst"),
+                        Bind("Q", "tcp.dst"),
+                    ),
+                ),
+            ),
+            Observe(
+                "outbound_translated",
+                EventPattern(
+                    kind=EventKind.EGRESS,
+                    same_packet_as="outbound_arrival",
+                    guards=(
+                        FieldEq("ipv4.dst", Var("B")),
+                        FieldEq("tcp.dst", Var("Q")),
+                    ),
+                    binds=(Bind("A2", "ipv4.src"), Bind("P2", "tcp.src")),
+                ),
+            ),
+            Observe(
+                "return_arrival",
+                EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(
+                        FieldEq("in_port", Const(external_port)),
+                        FieldEq("ipv4.src", Var("B")),
+                        FieldEq("tcp.src", Var("Q")),
+                        FieldEq("ipv4.dst", Var("A2")),
+                        FieldEq("tcp.dst", Var("P2")),
+                    ),
+                ),
+            ),
+            Observe(
+                "return_mistranslated",
+                EventPattern(
+                    kind=EventKind.EGRESS,
+                    same_packet_as="return_arrival",
+                    guards=(
+                        MismatchAny(
+                            (("ipv4.dst", Var("A")), ("tcp.dst", Var("P")))
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        key_vars=("A", "P", "B", "Q"),
+        violation_message=(
+            "return packet translated to the wrong internal endpoint "
+            "(A'' != A or P'' != P)"
+        ),
+    )

@@ -1,0 +1,129 @@
+"""Port-knocking properties — Table 1 (taken by the paper from Varanus).
+
+Both properties are **exact** matches: every stage constrains the same
+knocker address value, and L4 ports appear only as constants of the knock
+sequence.
+
+* :func:`knocking_invalidated` — "Intervening guesses invalidate sequence":
+  after a correct first knock, a wrong guess, and the remainder of the
+  sequence, the gateway must NOT grant access; a forwarded packet to the
+  protected port is the violation.
+
+* :func:`knocking_recognized` — "Recognize valid sequence": after the
+  complete correct sequence, a connection attempt to the protected port
+  must not be dropped.  An intervening wrong guess legitimately cancels
+  the expectation (the ``unless``), and watching for the eventual
+  connection attempt is a persistent obligation (F4 •, per the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..core.refs import Bind, Const, EventKind, EventPattern, FieldEq, FieldNe, Var
+from ..core.spec import Observe, PropertySpec
+from ..switch.events import EgressAction
+
+
+def _knock(port: int, first: bool = False) -> EventPattern:
+    guards: Tuple = (FieldEq("tcp.dst", Const(port)),)
+    if not first:
+        guards = (FieldEq("ipv4.src", Var("knocker")),) + guards
+    binds = (Bind("knocker", "ipv4.src"),) if first else ()
+    return EventPattern(kind=EventKind.ARRIVAL, guards=guards, binds=binds)
+
+
+def _wrong_guess(sequence: Sequence[int], next_port: int, protected: int) -> EventPattern:
+    """A knock from the same source that is not the expected next port (nor
+    the protected port itself)."""
+    return EventPattern(
+        kind=EventKind.ARRIVAL,
+        guards=(
+            FieldEq("ipv4.src", Var("knocker")),
+            FieldNe("tcp.dst", Const(next_port)),
+            FieldNe("tcp.dst", Const(protected)),
+        ),
+    )
+
+
+def knocking_invalidated(
+    sequence: Sequence[int] = (7001, 7002),
+    protected: int = 22,
+    name: str = "knocking-invalidated",
+) -> PropertySpec:
+    if len(sequence) != 2:
+        raise ValueError("the canonical encoding uses a two-knock sequence")
+    k1, k2 = sequence
+    return PropertySpec(
+        name=name,
+        description="Intervening guesses invalidate the knock sequence",
+        stages=(
+            Observe("first_knock", _knock(k1, first=True)),
+            Observe("wrong_guess", _wrong_guess(sequence, k2, protected)),
+            Observe("second_knock", _knock(k2)),
+            Observe(
+                "access_granted",
+                EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(
+                        FieldEq("ipv4.src", Var("knocker")),
+                        FieldEq("tcp.dst", Const(protected)),
+                    ),
+                    egress_action=EgressAction.UNICAST,
+                ),
+            ),
+        ),
+        key_vars=("knocker",),
+        violation_message=(
+            "access granted although a wrong guess invalidated the sequence"
+        ),
+        # Paper leaves Obligation blank for this row: the violation trace is
+        # purely positive observations.
+        obligation_override=False,
+    )
+
+
+def knocking_recognized(
+    sequence: Sequence[int] = (7001, 7002),
+    protected: int = 22,
+    name: str = "knocking-recognized",
+) -> PropertySpec:
+    if len(sequence) != 2:
+        raise ValueError("the canonical encoding uses a two-knock sequence")
+    k1, k2 = sequence
+    return PropertySpec(
+        name=name,
+        description="A valid knock sequence earns access to the protected port",
+        stages=(
+            Observe("first_knock", _knock(k1, first=True)),
+            Observe(
+                "second_knock",
+                _knock(k2),
+                unless=(
+                    # A wrong guess in between legitimately invalidates.
+                    _wrong_guess(sequence, k2, protected),
+                ),
+            ),
+            Observe(
+                "access_denied",
+                EventPattern(
+                    kind=EventKind.DROP,
+                    guards=(
+                        FieldEq("ipv4.src", Var("knocker")),
+                        FieldEq("tcp.dst", Const(protected)),
+                    ),
+                ),
+                unless=(
+                    # A wrong guess after completing the sequence resets it
+                    # on a strict gateway; the expectation lapses.
+                    _wrong_guess(sequence, k2, protected),
+                ),
+            ),
+        ),
+        key_vars=("knocker",),
+        violation_message=(
+            "connection dropped although the valid knock sequence completed"
+        ),
+        # F4 •: the monitor holds a pending access expectation per knocker.
+        obligation_override=True,
+    )

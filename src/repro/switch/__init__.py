@@ -1,0 +1,103 @@
+"""Software switch dataplane: matching, actions, tables, pipeline, events.
+
+The switch is the substrate the paper assumes: a match-action pipeline with
+pluggable state primitives, an egress stage, drop visibility, out-of-band
+events, learn actions (with the Varanus recursive/timeout extensions), and
+register state — everything the monitoring backends in
+:mod:`repro.backends` compile onto.
+"""
+
+from .actions import (
+    Action,
+    Deferred,
+    Drop,
+    FieldRef,
+    Flood,
+    GotoTable,
+    Learn,
+    Notify,
+    Output,
+    RegisterWrite,
+    SetField,
+    ToController,
+)
+from .events import (
+    DataplaneEvent,
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+    TimerFired,
+)
+from .match import ANY, FieldPredicate, MatchSpec
+from .pipeline import Alert, MissPolicy, Pipeline, PipelineError, PipelineResult, StateUpdate
+from .registers import (
+    FAST_PATH_UPDATE_COST,
+    SLOW_PATH_UPDATE_COST,
+    TABLE_LOOKUP_COST,
+    GlobalArrays,
+    RegisterArray,
+    StateCostMeter,
+)
+from .rewrite import RewriteError, rewritable_fields, rewrite_field
+from .switch import (
+    BASE_FORWARD_LATENCY,
+    TICK_SECONDS,
+    ProcessingMode,
+    Switch,
+    SwitchApp,
+    SwitchStats,
+)
+from .tables import ExpiredRule, FlowRule, FlowTable
+
+__all__ = [
+    "Action",
+    "Deferred",
+    "Drop",
+    "FieldRef",
+    "Flood",
+    "GotoTable",
+    "Learn",
+    "Notify",
+    "Output",
+    "RegisterWrite",
+    "SetField",
+    "ToController",
+    "DataplaneEvent",
+    "EgressAction",
+    "OobKind",
+    "OutOfBandEvent",
+    "PacketArrival",
+    "PacketDrop",
+    "PacketEgress",
+    "TimerFired",
+    "ANY",
+    "FieldPredicate",
+    "MatchSpec",
+    "Alert",
+    "MissPolicy",
+    "Pipeline",
+    "PipelineError",
+    "PipelineResult",
+    "StateUpdate",
+    "FAST_PATH_UPDATE_COST",
+    "SLOW_PATH_UPDATE_COST",
+    "TABLE_LOOKUP_COST",
+    "GlobalArrays",
+    "RegisterArray",
+    "StateCostMeter",
+    "RewriteError",
+    "rewritable_fields",
+    "rewrite_field",
+    "BASE_FORWARD_LATENCY",
+    "TICK_SECONDS",
+    "ProcessingMode",
+    "Switch",
+    "SwitchApp",
+    "SwitchStats",
+    "ExpiredRule",
+    "FlowRule",
+    "FlowTable",
+]

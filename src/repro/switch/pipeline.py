@@ -1,0 +1,438 @@
+"""The match-action pipeline: ingress tables, then egress tables.
+
+Execution model (OpenFlow-flavoured):
+
+* matching starts at the lowest-id ingress table; a rule's actions run in
+  order; ``GotoTable`` continues matching at a later table; the first
+  terminal action (``Output``/``Flood``/``Drop``/``ToController``) fixes the
+  packet's fate;
+* a table miss applies the pipeline's ``miss_policy``;
+* after the output decision, each departing copy traverses the egress
+  tables with ``out_port`` visible as metadata — OpenFlow 1.5's egress
+  pipeline, which the paper notes dropped packets never enter;
+* state-mutating actions (``Learn``, ``RegisterWrite``) are *collected*
+  into :class:`StateUpdate` records rather than applied inline.  Whether the
+  switch applies them before or after the packet departs is Feature 9
+  (side-effect control) and is decided by the switch, not the pipeline.
+
+The pipeline charges a :class:`~repro.switch.registers.StateCostMeter` per
+table traversed, which is what makes Varanus's depth-proportional-to-
+instances cost (Sec. 3.3) measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..packet.packet import Packet
+from .actions import (
+    Action,
+    DeleteRules,
+    Drop,
+    Flood,
+    GotoTable,
+    Learn,
+    Notify,
+    Output,
+    RegisterWrite,
+    SetField,
+    ToController,
+    keyed_cookie,
+    resolve_value,
+)
+
+
+def _resolve_learn(
+    action: Learn, fields: Mapping[str, object], current_table: int = 0
+) -> Learn:
+    """Bind a Learn template against the triggering packet's fields.
+
+    ``table_id == -2`` ("the table this rule lives in") resolves to
+    ``current_table`` now; ``-1`` (fresh table) stays for the switch.
+    """
+    return Learn(
+        table_id=current_table if action.table_id == -2 else action.table_id,
+        match=tuple(
+            (name, resolve_value(value, fields)) for name, value in action.match
+        ),
+        actions=action.build_actions(fields),
+        priority=action.priority,
+        negate=action.negate,
+        idle_timeout=action.idle_timeout,
+        hard_timeout=action.hard_timeout,
+        on_timeout=tuple(
+            DeleteRules(
+                cookie=keyed_cookie(a.cookie, a.cookie_fields, fields),
+                table_id=a.table_id,
+            )
+            if isinstance(a, DeleteRules) and a.cookie_fields
+            else a
+            for a in action.build_timeout_actions(fields)
+        ),
+        cookie=keyed_cookie(action.cookie, action.cookie_fields, fields),
+        extra=tuple(
+            _resolve_learn(e, fields, current_table) for e in action.extra
+        ),
+    )
+from .match import MatchSpec
+from .registers import StateCostMeter
+from .rewrite import RewriteError, rewrite_field
+from .tables import ExpiredRule, FlowRule, FlowTable
+
+
+class MissPolicy(Enum):
+    """What a table miss at the end of the ingress pipeline does."""
+
+    DROP = "drop"
+    FLOOD = "flood"
+    CONTROLLER = "controller"
+
+
+class PipelineError(Exception):
+    """Raised on malformed pipelines (e.g. GotoTable moving backwards)."""
+
+
+@dataclass(frozen=True)
+class StateUpdate:
+    """A deferred state mutation collected during pipeline execution."""
+
+    action: Action  # a resolved Learn or RegisterWrite
+    trigger_fields: Mapping[str, object]
+    slow_path: bool
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A dataplane-raised monitor notification (from a Notify action)."""
+
+    message: str
+    carried: Mapping[str, object]
+    packet_uid: int
+
+
+@dataclass
+class PipelineResult:
+    """Everything one packet's traversal produced."""
+
+    outputs: List[Tuple[int, Packet]] = field(default_factory=list)
+    flooded: bool = False
+    dropped: bool = False
+    drop_reason: str = ""
+    to_controller: bool = False
+    controller_reason: str = ""
+    updates: List[StateUpdate] = field(default_factory=list)
+    alerts: List[Alert] = field(default_factory=list)
+    tables_traversed: int = 0
+    matched_rules: List[FlowRule] = field(default_factory=list)
+
+    @property
+    def forwarded(self) -> bool:
+        return bool(self.outputs) or self.flooded
+
+
+class Pipeline:
+    """An ordered set of ingress tables plus an optional egress stage."""
+
+    def __init__(
+        self,
+        num_tables: int = 1,
+        num_egress_tables: int = 0,
+        miss_policy: MissPolicy = MissPolicy.DROP,
+        max_parse_layer: int = 7,
+        meter: Optional[StateCostMeter] = None,
+    ) -> None:
+        if num_tables < 1:
+            raise PipelineError("pipeline needs at least one ingress table")
+        self.tables: List[FlowTable] = [FlowTable(i) for i in range(num_tables)]
+        self.egress_tables: List[FlowTable] = [
+            FlowTable(1000 + i, name=f"egress-{i}") for i in range(num_egress_tables)
+        ]
+        self.miss_policy = miss_policy
+        self.max_parse_layer = max_parse_layer
+        self.meter = meter if meter is not None else StateCostMeter()
+
+    # -- table access -----------------------------------------------------
+    def table(self, table_id: int) -> FlowTable:
+        for t in self.tables:
+            if t.table_id == table_id:
+                return t
+        raise PipelineError(f"no ingress table with id {table_id}")
+
+    def egress_table(self, index: int) -> FlowTable:
+        return self.egress_tables[index]
+
+    def add_table(self) -> FlowTable:
+        """Append a new ingress table (Varanus unrolling grows the pipeline)."""
+        new_id = self.tables[-1].table_id + 1 if self.tables else 0
+        table = FlowTable(new_id)
+        self.tables.append(table)
+        return table
+
+    @property
+    def depth(self) -> int:
+        """Current ingress pipeline depth — Sec. 3.3's key scalability axis."""
+        return len(self.tables)
+
+    # -- execution ----------------------------------------------------------
+    def _packet_fields(
+        self, packet: Packet, extra: Mapping[str, object]
+    ) -> Dict[str, object]:
+        fields: Dict[str, object] = dict(packet.fields(max_layer=self.max_parse_layer))
+        fields.update(extra)
+        return fields
+
+    def process(
+        self,
+        packet: Packet,
+        in_port: int,
+        now: float,
+        metadata: Optional[Mapping[str, object]] = None,
+    ) -> PipelineResult:
+        """Run one packet through ingress matching and action execution."""
+        result = PipelineResult()
+        working = packet
+        meta: Dict[str, object] = {"in_port": in_port}
+        if metadata:
+            meta.update(metadata)
+
+        table_index = 0
+        decided = False
+        while table_index < len(self.tables):
+            table = self.tables[table_index]
+            result.tables_traversed += 1
+            self.meter.charge_lookup()
+            fields = self._packet_fields(working, meta)
+            rule = table.lookup(fields, now)
+            if rule is None:
+                table_index += 1
+                # Fall through to the next table only when the pipeline is
+                # a Varanus-style unrolled chain: standard OF semantics
+                # would stop at a miss. We model OF by applying the miss
+                # policy only after the *last* table; intermediate misses
+                # continue (a table with no match is transparent).
+                continue
+            result.matched_rules.append(rule)
+            goto: Optional[int] = None
+            for action in rule.actions:
+                working, goto, decided = self._apply(
+                    action, working, fields, result, decided,
+                    current_table=table.table_id,
+                )
+                if goto is not None:
+                    break
+            if goto is not None:
+                if goto <= table.table_id:
+                    raise PipelineError(
+                        f"GotoTable must move forward: {table.table_id} -> {goto}"
+                    )
+                table_index = next(
+                    (i for i, t in enumerate(self.tables) if t.table_id == goto),
+                    len(self.tables),
+                )
+                continue
+            if decided:
+                break
+            # A matched rule with no terminal action is transparent: the
+            # packet continues to later tables — the behaviour Varanus's
+            # unrolled instance chains rely on (one packet may advance
+            # watchers in several instance tables).
+            table_index += 1
+
+        if not decided and not result.forwarded:
+            self._apply_miss_policy(working, result)
+
+        self._run_egress(working, in_port, now, meta, result)
+        return result
+
+    def _apply(
+        self,
+        action: Action,
+        working: Packet,
+        fields: Mapping[str, object],
+        result: PipelineResult,
+        decided: bool,
+        current_table: int = 0,
+    ) -> Tuple[Packet, Optional[int], bool]:
+        """Apply one action; returns (packet, goto_table_or_None, decided)."""
+        if isinstance(action, SetField):
+            try:
+                working = rewrite_field(working, action.name, action.value)
+            except RewriteError as exc:
+                raise PipelineError(str(exc)) from exc
+            return working, None, decided
+        if isinstance(action, Output):
+            if not isinstance(action.port, int):
+                raise PipelineError(
+                    f"Output port unresolved at execution: {action.port!r}"
+                )
+            result.outputs.append((action.port, working))
+            return working, None, True
+        if isinstance(action, Flood):
+            result.flooded = True
+            return working, None, True
+        if isinstance(action, Drop):
+            result.dropped = True
+            result.drop_reason = action.reason
+            return working, None, True
+        if isinstance(action, ToController):
+            result.to_controller = True
+            result.controller_reason = action.reason
+            return working, None, True
+        if isinstance(action, GotoTable):
+            return working, action.table_id, decided
+        if isinstance(action, Learn):
+            result.updates.append(
+                StateUpdate(action=_resolve_learn(action, fields, current_table),
+                            trigger_fields=dict(fields), slow_path=True)
+            )
+            return working, None, decided
+        if isinstance(action, DeleteRules):
+            resolved_delete = DeleteRules(
+                cookie=keyed_cookie(action.cookie, action.cookie_fields, fields),
+                table_id=current_table if action.table_id == -2 else action.table_id,
+            )
+            result.updates.append(
+                StateUpdate(action=resolved_delete, trigger_fields=dict(fields),
+                            slow_path=True)
+            )
+            return working, None, decided
+        if isinstance(action, RegisterWrite):
+            resolved_write = RegisterWrite(
+                array=action.array,
+                index=resolve_value(action.index, fields),
+                value=resolve_value(action.value, fields),
+            )
+            result.updates.append(
+                StateUpdate(action=resolved_write, trigger_fields=dict(fields),
+                            slow_path=False)
+            )
+            return working, None, decided
+        if isinstance(action, Notify):
+            carried = dict(action.baked)
+            carried.update(
+                {name: fields[name] for name in action.carry if name in fields}
+            )
+            result.alerts.append(
+                Alert(message=action.message, carried=carried,
+                      packet_uid=working.uid)
+            )
+            return working, None, decided
+        raise PipelineError(f"unknown action {action!r}")
+
+    def _apply_miss_policy(self, packet: Packet, result: PipelineResult) -> None:
+        if self.miss_policy is MissPolicy.DROP:
+            result.dropped = True
+            result.drop_reason = "table-miss"
+        elif self.miss_policy is MissPolicy.FLOOD:
+            result.flooded = True
+        else:
+            result.to_controller = True
+            result.controller_reason = "table-miss"
+
+    def _run_egress(
+        self,
+        packet: Packet,
+        in_port: int,
+        now: float,
+        meta: Mapping[str, object],
+        result: PipelineResult,
+    ) -> None:
+        """Per-output egress matching with out_port metadata visible.
+
+        Faithful to OpenFlow 1.5: runs only for packets that are actually
+        departing; drops never enter the egress stage.
+        """
+        if not self.egress_tables or not result.outputs:
+            return
+        reprocessed: List[Tuple[int, Packet]] = []
+        for out_port, out_packet in result.outputs:
+            working = out_packet
+            for table in self.egress_tables:
+                result.tables_traversed += 1
+                self.meter.charge_lookup()
+                fields = self._packet_fields(working, {**meta, "out_port": out_port})
+                rule = table.lookup(fields, now)
+                if rule is None:
+                    continue
+                result.matched_rules.append(rule)
+                for action in rule.actions:
+                    if isinstance(action, SetField):
+                        working = rewrite_field(working, action.name, action.value)
+                    elif isinstance(action, Notify):
+                        carried = dict(action.baked)
+                        carried.update({
+                            name: fields[name]
+                            for name in action.carry
+                            if name in fields
+                        })
+                        result.alerts.append(
+                            Alert(message=action.message, carried=carried,
+                                  packet_uid=working.uid)
+                        )
+                    elif isinstance(action, DeleteRules):
+                        result.updates.append(
+                            StateUpdate(
+                                action=DeleteRules(
+                                    cookie=keyed_cookie(
+                                        action.cookie, action.cookie_fields,
+                                        fields),
+                                    table_id=(table.table_id
+                                              if action.table_id == -2
+                                              else action.table_id),
+                                ),
+                                trigger_fields=dict(fields),
+                                slow_path=True,
+                            )
+                        )
+                    elif isinstance(action, (Learn, RegisterWrite)):
+                        update_fields = dict(fields)
+                        if isinstance(action, Learn):
+                            result.updates.append(
+                                StateUpdate(
+                                    action=_resolve_learn(
+                                        action, update_fields, table.table_id),
+                                    trigger_fields=update_fields,
+                                    slow_path=True,
+                                )
+                            )
+                        else:
+                            result.updates.append(
+                                StateUpdate(
+                                    action=RegisterWrite(
+                                        array=action.array,
+                                        index=resolve_value(
+                                            action.index, update_fields),
+                                        value=resolve_value(
+                                            action.value, update_fields),
+                                    ),
+                                    trigger_fields=update_fields,
+                                    slow_path=False,
+                                )
+                            )
+                    elif isinstance(action, Drop):
+                        working = None  # type: ignore[assignment]
+                        break
+                if working is None:
+                    break
+            if working is not None:
+                reprocessed.append((out_port, working))
+        result.outputs = reprocessed
+
+    # -- expiry -------------------------------------------------------------
+    def expire(self, now: float) -> List[ExpiredRule]:
+        """Expire rules across all tables; returns expirations in order."""
+        expired: List[ExpiredRule] = []
+        for table in self.tables + self.egress_tables:
+            expired.extend(table.expire(now))
+        expired.sort(key=lambda e: (e.deadline, e.table_id, e.rule.rule_id))
+        return expired
+
+    def next_deadline(self) -> Optional[float]:
+        deadlines = [
+            d
+            for d in (t.next_deadline() for t in self.tables + self.egress_tables)
+            if d is not None
+        ]
+        return min(deadlines) if deadlines else None

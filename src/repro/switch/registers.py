@@ -1,0 +1,150 @@
+"""Register state: the fast-path alternative to flow-rule state.
+
+Sec. 3.3 of the paper concludes that Varanus "remains intractable so long
+as it stores and updates its state using OpenFlow rules, which cannot be
+modified at line rate; a scalable implementation would need more rapid
+state mechanisms, such as the register-based approach in P4."
+
+This module provides the two register flavours the surveyed architectures
+use, with an explicit **cost model** so the benchmarks can contrast
+slow-path rule updates against fast-path register updates:
+
+* :class:`RegisterArray` — P4/POF-style fixed-width arrays indexed by a
+  hash of header fields (per-flow registers);
+* :class:`GlobalArrays` — SNAP-style named persistent global arrays keyed
+  by arbitrary hashable tuples.
+
+Costs are abstract "update ticks" accumulated in a :class:`StateCostMeter`;
+the simulation converts ticks to virtual latency when a switch runs in
+inline mode (Feature 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+# Relative costs, calibrated to the paper's qualitative claim: rule-table
+# modification (slow path: flow_mod through OVS/OpenFlow machinery) is
+# orders of magnitude more expensive than a register write (fast path).
+FAST_PATH_UPDATE_COST = 1
+SLOW_PATH_UPDATE_COST = 250
+TABLE_LOOKUP_COST = 2
+
+
+@dataclass
+class StateCostMeter:
+    """Accumulates abstract processing cost for one switch."""
+
+    lookup_ticks: int = 0
+    fast_update_ticks: int = 0
+    slow_update_ticks: int = 0
+    lookups: int = 0
+    fast_updates: int = 0
+    slow_updates: int = 0
+
+    def charge_lookup(self, tables_traversed: int = 1) -> None:
+        self.lookups += tables_traversed
+        self.lookup_ticks += TABLE_LOOKUP_COST * tables_traversed
+
+    def charge_fast_update(self, count: int = 1) -> None:
+        self.fast_updates += count
+        self.fast_update_ticks += FAST_PATH_UPDATE_COST * count
+
+    def charge_slow_update(self, count: int = 1) -> None:
+        self.slow_updates += count
+        self.slow_update_ticks += SLOW_PATH_UPDATE_COST * count
+
+    @property
+    def total_ticks(self) -> int:
+        return self.lookup_ticks + self.fast_update_ticks + self.slow_update_ticks
+
+    def reset(self) -> None:
+        self.lookup_ticks = self.fast_update_ticks = self.slow_update_ticks = 0
+        self.lookups = self.fast_updates = self.slow_updates = 0
+
+
+class RegisterArray:
+    """A fixed-size integer register array (P4-style).
+
+    Indexing is modular, mirroring hardware hash-index truncation; cells
+    default to zero.  Every write charges the meter at fast-path cost.
+    """
+
+    def __init__(self, name: str, size: int, meter: Optional[StateCostMeter] = None):
+        if size <= 0:
+            raise ValueError(f"register array size must be positive, got {size!r}")
+        self.name = name
+        self.size = size
+        self._cells: List[int] = [0] * size
+        self._meter = meter
+
+    def _slot(self, index: int) -> int:
+        return int(index) % self.size
+
+    def read(self, index: int) -> int:
+        return self._cells[self._slot(index)]
+
+    def write(self, index: int, value: int) -> None:
+        self._cells[self._slot(index)] = int(value)
+        if self._meter is not None:
+            self._meter.charge_fast_update()
+
+    def increment(self, index: int, delta: int = 1) -> int:
+        slot = self._slot(index)
+        self._cells[slot] += delta
+        if self._meter is not None:
+            self._meter.charge_fast_update()
+        return self._cells[slot]
+
+    def clear(self) -> None:
+        self._cells = [0] * self.size
+
+    def nonzero(self) -> Iterator[Tuple[int, int]]:
+        """Yield (index, value) for populated cells."""
+        for i, v in enumerate(self._cells):
+            if v:
+                yield i, v
+
+
+class GlobalArrays:
+    """SNAP-style named persistent arrays keyed by hashable tuples.
+
+    Unlike :class:`RegisterArray`, keys are exact (no hash collisions) and
+    values are arbitrary — SNAP's abstraction is a map, the compiler's job
+    is to realize it on registers.  Writes still charge fast-path cost:
+    SNAP targets register-machine backends.
+    """
+
+    def __init__(self, meter: Optional[StateCostMeter] = None) -> None:
+        self._arrays: Dict[str, Dict[Hashable, object]] = {}
+        self._meter = meter
+
+    def array(self, name: str) -> Dict[Hashable, object]:
+        return self._arrays.setdefault(name, {})
+
+    def read(self, name: str, key: Hashable, default: object = 0) -> object:
+        return self.array(name).get(key, default)
+
+    def write(self, name: str, key: Hashable, value: object) -> None:
+        self.array(name)[key] = value
+        if self._meter is not None:
+            self._meter.charge_fast_update()
+
+    def delete(self, name: str, key: Hashable) -> bool:
+        arr = self.array(name)
+        if key in arr:
+            del arr[key]
+            if self._meter is not None:
+                self._meter.charge_fast_update()
+            return True
+        return False
+
+    def keys(self, name: str) -> Tuple[Hashable, ...]:
+        return tuple(self.array(name).keys())
+
+    def clear(self, name: Optional[str] = None) -> None:
+        if name is None:
+            self._arrays.clear()
+        else:
+            self._arrays.pop(name, None)

@@ -1,0 +1,190 @@
+"""Flow tables: priority-ordered rules with idle/hard timeouts.
+
+Timeout semantics follow OpenFlow: a *hard* timeout expires a rule a fixed
+interval after installation; an *idle* timeout expires it after a period
+with no matches (each match refreshes the clock).  On expiry, a rule's
+``on_timeout`` actions — the Varanus extension behind the paper's Feature 7
+— are handed to the switch for execution instead of the rule dying silently.
+
+Expiry is evaluated lazily against virtual time at lookup, plus eagerly via
+:meth:`FlowTable.expire` which the switch calls from scheduled timers, so
+timeout *actions* fire at their deadline even in quiet periods.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .actions import Action
+from .match import MatchSpec
+
+_rule_ids = itertools.count(1)
+
+
+@dataclass
+class FlowRule:
+    """One installed rule."""
+
+    match: MatchSpec
+    actions: Tuple[Action, ...]
+    priority: int = 100
+    idle_timeout: Optional[float] = None
+    hard_timeout: Optional[float] = None
+    on_timeout: Tuple[Action, ...] = ()
+    cookie: str = ""
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+    installed_at: float = 0.0
+    last_matched_at: float = 0.0
+    packet_count: int = 0
+
+    def expires_at(self) -> Optional[float]:
+        """Earliest virtual time this rule would expire, or None."""
+        candidates = []
+        if self.hard_timeout is not None:
+            candidates.append(self.installed_at + self.hard_timeout)
+        if self.idle_timeout is not None:
+            candidates.append(self.last_matched_at + self.idle_timeout)
+        return min(candidates) if candidates else None
+
+    def is_expired(self, now: float) -> bool:
+        deadline = self.expires_at()
+        return deadline is not None and now >= deadline
+
+    def record_match(self, now: float) -> None:
+        self.packet_count += 1
+        self.last_matched_at = now
+
+
+@dataclass(frozen=True)
+class ExpiredRule:
+    """Returned by :meth:`FlowTable.expire` for each rule that timed out."""
+
+    rule: FlowRule
+    table_id: int
+    deadline: float
+
+
+class FlowTable:
+    """A priority-ordered match-action table.
+
+    Lookup returns the highest-priority matching rule; ties break toward
+    the earliest-installed rule, keeping pipeline behaviour deterministic.
+    """
+
+    def __init__(self, table_id: int, name: str = "") -> None:
+        self.table_id = table_id
+        self.name = name or f"table-{table_id}"
+        self._rules: List[FlowRule] = []
+
+    # -- rule management ---------------------------------------------------
+    def install(
+        self,
+        match: MatchSpec,
+        actions: Sequence[Action],
+        priority: int = 100,
+        idle_timeout: Optional[float] = None,
+        hard_timeout: Optional[float] = None,
+        on_timeout: Sequence[Action] = (),
+        cookie: str = "",
+        now: float = 0.0,
+        replace: bool = True,
+    ) -> FlowRule:
+        """Install a rule; by default replaces an identical-match rule.
+
+        Replacement-on-identical-match mirrors OpenFlow ``OFPFC_ADD``
+        semantics and is what makes re-learning refresh state rather than
+        duplicate it.
+        """
+        if replace:
+            self._rules = [
+                r
+                for r in self._rules
+                if not (r.match == match and r.priority == priority)
+            ]
+        rule = FlowRule(
+            match=match,
+            actions=tuple(actions),
+            priority=priority,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            on_timeout=tuple(on_timeout),
+            cookie=cookie,
+            installed_at=now,
+            last_matched_at=now,
+        )
+        self._rules.append(rule)
+        return rule
+
+    def remove(self, rule: FlowRule) -> bool:
+        """Remove a specific rule; True if it was present."""
+        try:
+            self._rules.remove(rule)
+            return True
+        except ValueError:
+            return False
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        """Remove all rules with the given cookie; returns count removed."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.cookie != cookie]
+        return before - len(self._rules)
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    # -- lookup --------------------------------------------------------------
+    def lookup(
+        self, fields: Mapping[str, object], now: float
+    ) -> Optional[FlowRule]:
+        """Best live match for a flat field map, or None (table miss)."""
+        best: Optional[FlowRule] = None
+        for rule in self._rules:
+            if rule.is_expired(now):
+                continue
+            if best is not None and rule.priority <= best.priority:
+                if rule.priority < best.priority or rule.rule_id > best.rule_id:
+                    continue
+            if rule.match.matches_fields(fields):
+                if (
+                    best is None
+                    or rule.priority > best.priority
+                    or (rule.priority == best.priority and rule.rule_id < best.rule_id)
+                ):
+                    best = rule
+        if best is not None:
+            best.record_match(now)
+        return best
+
+    # -- expiry ---------------------------------------------------------------
+    def expire(self, now: float) -> List[ExpiredRule]:
+        """Remove expired rules, returning them (for timeout actions)."""
+        expired: List[ExpiredRule] = []
+        live: List[FlowRule] = []
+        for rule in self._rules:
+            if rule.is_expired(now):
+                expired.append(
+                    ExpiredRule(rule=rule, table_id=self.table_id,
+                                deadline=rule.expires_at() or now)
+                )
+            else:
+                live.append(rule)
+        self._rules = live
+        return expired
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest expiry among live rules (drives the expiry timer)."""
+        deadlines = [d for d in (r.expires_at() for r in self._rules) if d is not None]
+        return min(deadlines) if deadlines else None
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def rules(self) -> Tuple[FlowRule, ...]:
+        return tuple(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowTable(id={self.table_id}, rules={len(self._rules)})"

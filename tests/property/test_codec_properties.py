@@ -1,0 +1,130 @@
+"""Property-based tests: wire codecs and address types round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet import (
+    Dhcp,
+    DhcpMessageType,
+    FtpControl,
+    IPv4Address,
+    MACAddress,
+    TCP,
+    UDP,
+    dhcp_packet,
+    encode,
+    encode_port_command,
+    parse,
+    tcp_packet,
+    udp_packet,
+)
+from repro.packet.headers import Arp, ArpOp, Ethernet, IPv4
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MACAddress)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address)
+ports = st.integers(min_value=0, max_value=65535)
+
+
+class TestAddressRoundtrips:
+    @given(macs)
+    def test_mac_string_roundtrip(self, mac):
+        assert MACAddress(str(mac)) == mac
+
+    @given(macs)
+    def test_mac_packed_roundtrip(self, mac):
+        assert MACAddress(mac.packed()) == mac
+
+    @given(ips)
+    def test_ip_string_roundtrip(self, ip):
+        assert IPv4Address(str(ip)) == ip
+
+    @given(ips)
+    def test_ip_packed_roundtrip(self, ip):
+        assert IPv4Address(ip.packed()) == ip
+
+    @given(ips)
+    def test_ip_always_in_zero_prefix(self, ip):
+        assert ip.in_subnet(IPv4Address(0), 0)
+
+    @given(ips, st.integers(min_value=1, max_value=32))
+    def test_ip_in_its_own_subnet(self, ip, prefix):
+        assert ip.in_subnet(ip, prefix)
+
+
+class TestHeaderRoundtrips:
+    @given(macs, macs, st.integers(min_value=0, max_value=0xFFFF))
+    def test_ethernet(self, src, dst, ethertype):
+        eth = Ethernet(src=src, dst=dst, ethertype=ethertype)
+        decoded, rest = Ethernet.decode(eth.encode())
+        assert decoded == eth and rest == b""
+
+    @given(st.sampled_from([ArpOp.REQUEST, ArpOp.REPLY]), macs, ips, macs, ips)
+    def test_arp(self, op, smac, sip, tmac, tip):
+        arp = Arp(op=op, sender_mac=smac, sender_ip=sip,
+                  target_mac=tmac, target_ip=tip)
+        decoded, _ = Arp.decode(arp.encode())
+        assert decoded == arp
+
+    @given(ips, ips, st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_ipv4(self, src, dst, proto, ttl):
+        ip = IPv4(src=src, dst=dst, proto=proto, ttl=ttl)
+        decoded, _ = IPv4.decode(ip.encode())
+        assert decoded.src == src and decoded.dst == dst
+        assert decoded.proto == proto and decoded.ttl == ttl
+
+    @given(ports, ports, st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=0x3F))
+    def test_tcp(self, sport, dport, seq, flags):
+        tcp = TCP(src_port=sport, dst_port=dport, seq=seq, flags=flags)
+        decoded, _ = TCP.decode(tcp.encode())
+        assert decoded == tcp
+
+    @given(ports, ports)
+    def test_udp(self, sport, dport):
+        udp = UDP(src_port=sport, dst_port=dport)
+        decoded, _ = UDP.decode(udp.encode())
+        assert decoded == udp
+
+
+class TestFullPacketRoundtrips:
+    @given(macs, macs, ips, ips, ports, ports,
+           st.binary(max_size=64))
+    def test_tcp_packet_wire(self, smac, dmac, sip, dip, sport, dport,
+                             payload):
+        p = tcp_packet(smac, dmac, sip, dip, sport, dport, payload=payload)
+        q = parse(encode(p))
+        assert q.eth.src == smac and q.eth.dst == dmac
+        assert q.ip_src == sip and q.ip_dst == dip
+        assert q.l4_sport == sport and q.l4_dport == dport
+        assert q.payload == payload
+
+    @given(macs, st.sampled_from([DhcpMessageType.DISCOVER,
+                                  DhcpMessageType.REQUEST,
+                                  DhcpMessageType.RELEASE]),
+           st.integers(min_value=0, max_value=0xFFFFFFFF), ips)
+    def test_dhcp_packet_wire(self, client, msg_type, xid, requested):
+        p = dhcp_packet(client, msg_type, xid=xid, requested_ip=requested)
+        q = parse(encode(p))
+        dhcp = q.get(Dhcp)
+        assert dhcp.client_mac == client
+        assert dhcp.msg_type == msg_type
+        assert dhcp.xid == xid
+        assert dhcp.requested_ip == requested
+
+    @given(ips, ports)
+    def test_ftp_port_command(self, ip, port):
+        line = FtpControl.from_line(encode_port_command(ip, port))
+        assert line.data_ip == ip and line.data_port == port
+
+    @given(macs, macs, ips, ips, ports, ports)
+    def test_parse_depth_monotone(self, smac, dmac, sip, dip, sport, dport):
+        """Parsing shallower never invents headers: the header stacks are
+        prefixes of each other."""
+        raw = encode(tcp_packet(smac, dmac, sip, dip, sport, dport))
+        deep = parse(raw, max_layer=7)
+        for layer in (2, 3, 4):
+            shallow = parse(raw, max_layer=layer)
+            assert len(shallow.headers) <= len(deep.headers)
+            for a, b in zip(shallow.headers, deep.headers):
+                assert a == b

@@ -1,0 +1,607 @@
+"""Unit tests: the monitored network functions and their fault knobs."""
+
+import pytest
+
+from repro.apps import (
+    ArpProxyApp,
+    BalanceMode,
+    DhcpServerApp,
+    DhcpSnooper,
+    FaultPlan,
+    FtpAlgApp,
+    LearningSwitchApp,
+    LoadBalancerApp,
+    NatApp,
+    PortKnockingApp,
+    StatefulFirewallApp,
+    always,
+    flow_hash,
+    ftp_session,
+    install_dataplane_learning,
+    no_faults,
+    sometimes,
+)
+from repro.netsim import Network, TraceRecorder, single_switch_network
+from repro.packet import (
+    Arp,
+    Dhcp,
+    DhcpMessageType,
+    IPv4Address,
+    MACAddress,
+    TCP,
+    arp_reply,
+    arp_request,
+    dhcp_packet,
+    ethernet,
+    tcp_fin,
+    tcp_packet,
+    tcp_syn,
+    udp_packet,
+)
+from repro.switch.events import EgressAction
+from repro.switch.pipeline import MissPolicy
+
+
+class TestFaultPlan:
+    def test_no_faults_never_fires(self):
+        plan = no_faults()
+        assert not plan.fires("anything")
+        assert not plan.enabled("anything")
+
+    def test_always_flag(self):
+        assert always("bug").enabled("bug")
+        assert not always("bug").enabled("other")
+
+    def test_sometimes_rate_deterministic(self):
+        a = FaultPlan(rates={"f": 0.5}, seed=9)
+        b = FaultPlan(rates={"f": 0.5}, seed=9)
+        assert [a.fires("f") for _ in range(20)] == [b.fires("f") for _ in range(20)]
+
+    def test_rate_one_always_fires(self):
+        assert all(sometimes("f", 1.0).fires("f") for _ in range(5))
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rates={"f": 1.5})
+
+
+def controller_net(num_hosts, app, **kw):
+    kw.setdefault("switch_kwargs", {})
+    kw["switch_kwargs"].setdefault("miss_policy", MissPolicy.CONTROLLER)
+    net, sw, hosts = single_switch_network(num_hosts, **kw)
+    sw.set_app(app)
+    return net, sw, hosts
+
+
+class TestLearningSwitch:
+    def test_floods_unknown_then_unicasts(self):
+        app = LearningSwitchApp()
+        net, sw, hosts = controller_net(3, app)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(ethernet(1, 2))  # learns 1@1, floods
+        net.run()
+        assert any(e.action is EgressAction.FLOOD for e in rec.egresses)
+        rec.clear()
+        hosts[1].send(ethernet(2, 1))  # 1 is known: unicast on port 1
+        net.run()
+        assert [(e.out_port, e.action) for e in rec.egresses] == [
+            (1, EgressAction.UNICAST)
+        ]
+        assert app.learned_port(MACAddress(2)) == 2
+
+    def test_relearns_moved_host(self):
+        app = LearningSwitchApp()
+        net, sw, hosts = controller_net(3, app)
+        hosts[0].send(ethernet(1, 9))
+        net.run()
+        assert app.learned_port(MACAddress(1)) == 1
+        hosts[2].send(ethernet(1, 9))  # same MAC appears on port 3
+        net.run()
+        assert app.learned_port(MACAddress(1)) == 3
+
+    def test_broadcast_always_floods(self):
+        app = LearningSwitchApp()
+        net, sw, hosts = controller_net(3, app)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(ethernet(1, MACAddress.BROADCAST))
+        net.run()
+        assert all(e.action is EgressAction.FLOOD for e in rec.egresses)
+
+    def test_link_down_clears_learning(self):
+        app = LearningSwitchApp()
+        net, sw, hosts = controller_net(3, app)
+        hosts[0].send(ethernet(1, 9))
+        net.run()
+        sw.link_down(1)
+        assert app.learned_port(MACAddress(1)) is None
+
+    def test_keep_on_link_down_fault(self):
+        app = LearningSwitchApp(faults=always("keep_on_link_down"))
+        net, sw, hosts = controller_net(3, app)
+        hosts[0].send(ethernet(1, 9))
+        net.run()
+        sw.link_down(1)
+        assert app.learned_port(MACAddress(1)) == 1
+
+    def test_wrong_port_fault(self):
+        app = LearningSwitchApp(faults=sometimes("wrong_port", 1.0))
+        net, sw, hosts = controller_net(3, app)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(ethernet(1, 9))
+        net.run()
+        rec.clear()
+        hosts[1].send(ethernet(2, 1))
+        net.run()
+        assert rec.egresses[0].out_port != 1  # should have been port 1
+
+    def test_dataplane_learning_no_controller(self):
+        net, sw, hosts = single_switch_network(
+            3, switch_kwargs={"num_tables": 2, "miss_policy": MissPolicy.FLOOD}
+        )
+        install_dataplane_learning(sw)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(ethernet(1, 2))
+        net.run()
+        rec.clear()
+        hosts[1].send(ethernet(2, 1))
+        net.run()
+        unicasts = [e for e in rec.egresses if e.action is EgressAction.UNICAST]
+        assert [(e.out_port) for e in unicasts] == [1]
+        assert sw.stats.controller_punts == 0
+
+    def test_dataplane_learning_needs_two_tables(self):
+        net, sw, _ = single_switch_network(2)
+        with pytest.raises(ValueError):
+            install_dataplane_learning(sw)
+
+
+class TestStatefulFirewall:
+    def _net(self, **fw_kw):
+        app = StatefulFirewallApp(**fw_kw)
+        net, sw, hosts = controller_net(2, app)
+        return net, sw, hosts, app
+
+    def _out(self, flow=0):
+        return tcp_packet(1, 2, "10.0.0.1", "198.51.100.1", 10000 + flow, 80)
+
+    def _back(self, flow=0):
+        return tcp_packet(2, 1, "198.51.100.1", "10.0.0.1", 80, 10000 + flow)
+
+    def test_return_traffic_allowed_after_outbound(self):
+        net, sw, hosts, app = self._net()
+        hosts[0].send(self._out())
+        net.run()
+        hosts[1].send(self._back())
+        net.run()
+        assert len(hosts[0].received) == 1
+
+    def test_unsolicited_traffic_dropped(self):
+        net, sw, hosts, app = self._net()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[1].send(self._back())
+        net.run()
+        assert hosts[0].received == []
+        assert rec.drops[0].reason == "fw-no-state"
+
+    def test_pinhole_expires(self):
+        net, sw, hosts, app = self._net(state_timeout=5.0)
+        hosts[0].send(self._out())
+        net.run()
+        hosts[1].send_at(10.0, self._back())
+        net.run()
+        assert hosts[0].received == []
+
+    def test_close_tears_down(self):
+        net, sw, hosts, app = self._net()
+        hosts[0].send(self._out())
+        net.run()
+        hosts[0].send(tcp_fin(1, 2, "10.0.0.1", "198.51.100.1", 10000, 80))
+        net.run()
+        hosts[1].send(self._back())
+        net.run()
+        assert hosts[0].received == []
+
+    def test_ignore_close_fault(self):
+        net, sw, hosts, app = self._net(faults=always("ignore_close"))
+        hosts[0].send(self._out())
+        net.run()
+        hosts[0].send(tcp_fin(1, 2, "10.0.0.1", "198.51.100.1", 10000, 80))
+        net.run()
+        hosts[1].send(self._back())
+        net.run()
+        assert len(hosts[0].received) == 1  # wrongly forwarded
+
+    def test_drop_valid_fault(self):
+        net, sw, hosts, app = self._net(faults=sometimes("drop_valid", 1.0))
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(self._out())
+        net.run()
+        hosts[1].send(self._back())
+        net.run()
+        assert rec.drops[-1].reason == "fw-bug"
+
+    def test_same_ports_rejected(self):
+        with pytest.raises(ValueError):
+            StatefulFirewallApp(internal_port=1, external_port=1)
+
+
+class TestNat:
+    def _net(self, **nat_kw):
+        nat_kw.setdefault("public_ip", IPv4Address("203.0.113.1"))
+        app = NatApp(**nat_kw)
+        net, sw, hosts = controller_net(2, app)
+        return net, sw, hosts, app
+
+    def test_outbound_rewritten(self):
+        net, sw, hosts, app = self._net()
+        hosts[0].send(tcp_packet(1, 2, "10.0.0.1", "198.51.100.1", 5555, 80))
+        net.run()
+        out = hosts[1].received[0].packet
+        assert out.ip_src == IPv4Address("203.0.113.1")
+        assert out.get(TCP).src_port == 40000
+        assert app.translation_count() == 1
+
+    def test_reverse_translation(self):
+        net, sw, hosts, app = self._net()
+        hosts[0].send(tcp_packet(1, 2, "10.0.0.1", "198.51.100.1", 5555, 80))
+        net.run()
+        hosts[1].send(tcp_packet(2, 1, "198.51.100.1", "203.0.113.1", 80, 40000))
+        net.run()
+        back = hosts[0].received[0].packet
+        assert back.ip_dst == IPv4Address("10.0.0.1")
+        assert back.get(TCP).dst_port == 5555
+
+    def test_same_flow_reuses_mapping(self):
+        net, sw, hosts, app = self._net()
+        for _ in range(3):
+            hosts[0].send(tcp_packet(1, 2, "10.0.0.1", "198.51.100.1", 5555, 80))
+        net.run()
+        assert app.translation_count() == 1
+
+    def test_unknown_inbound_dropped(self):
+        net, sw, hosts, app = self._net()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[1].send(tcp_packet(2, 1, "198.51.100.1", "203.0.113.1", 80, 49999))
+        net.run()
+        assert rec.drops[0].reason == "nat-no-mapping"
+
+    def test_corrupt_reverse_fault(self):
+        net, sw, hosts, app = self._net(faults=sometimes("corrupt_reverse", 1.0))
+        hosts[0].send(tcp_packet(1, 2, "10.0.0.1", "198.51.100.1", 5555, 80))
+        net.run()
+        hosts[1].send(tcp_packet(2, 1, "198.51.100.1", "203.0.113.1", 80, 40000))
+        net.run()
+        assert hosts[0].received[0].packet.get(TCP).dst_port != 5555
+
+    def test_uid_preserved_across_rewrite(self):
+        net, sw, hosts, app = self._net()
+        p = tcp_packet(1, 2, "10.0.0.1", "198.51.100.1", 5555, 80)
+        hosts[0].send(p)
+        net.run()
+        assert hosts[1].received[0].packet.uid == p.uid
+
+
+class TestArpProxy:
+    def _net(self, **kw):
+        app = ArpProxyApp(**kw)
+        net, sw, hosts = controller_net(3, app)
+        return net, sw, hosts, app
+
+    def test_unknown_request_flooded(self):
+        net, sw, hosts, app = self._net()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(arp_request(1, "10.0.0.1", "10.0.0.3"))
+        net.run()
+        assert any(e.action is EgressAction.FLOOD for e in rec.egresses)
+
+    def test_known_request_answered_directly(self):
+        net, sw, hosts, app = self._net()
+        hosts[2].send(arp_reply(3, "10.0.0.3", 1, "10.0.0.1"))
+        net.run()
+        assert app.knows(IPv4Address("10.0.0.3"))
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(arp_request(1, "10.0.0.1", "10.0.0.3"))
+        net.run()
+        replies = [
+            e for e in rec.egresses
+            if e.packet.has(Arp) and e.packet.get(Arp).is_reply
+        ]
+        assert len(replies) == 1
+        assert replies[0].in_port == 0  # switch-originated
+        assert replies[0].packet.get(Arp).sender_mac == MACAddress(3)
+
+    def test_suppress_reply_fault(self):
+        net, sw, hosts, app = self._net(faults=sometimes("suppress_reply", 1.0))
+        hosts[2].send(arp_reply(3, "10.0.0.3", 1, "10.0.0.1"))
+        net.run()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(arp_request(1, "10.0.0.1", "10.0.0.3"))
+        net.run()
+        assert rec.egresses == []
+
+    def test_reply_unknown_fault_fabricates(self):
+        net, sw, hosts, app = self._net(faults=always("reply_unknown"))
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(arp_request(1, "10.0.0.1", "10.0.0.99"))
+        net.run()
+        replies = [e for e in rec.egresses if e.packet.has(Arp)
+                   and e.packet.get(Arp).is_reply]
+        assert len(replies) == 1
+
+    def test_dhcp_snooper_preloads(self):
+        app = ArpProxyApp()
+        snooper = DhcpSnooper(app)
+        net, sw, hosts = controller_net(3, app)
+        sw.add_tap(snooper.observe)
+        sw.inject(dhcp_packet(5, DhcpMessageType.ACK, yiaddr="10.0.0.42"), 1)
+        assert app.knows(IPv4Address("10.0.0.42"))
+
+    def test_skip_preload_fault(self):
+        app = ArpProxyApp(faults=always("skip_preload"))
+        app.preload(IPv4Address("10.0.0.42"), MACAddress(5))
+        assert not app.knows(IPv4Address("10.0.0.42"))
+
+
+class TestDhcpServer:
+    def _net(self, **kw):
+        kw.setdefault("server_id", IPv4Address("10.0.0.254"))
+        kw.setdefault("pool_start", IPv4Address("10.0.0.100"))
+        kw.setdefault("pool_size", 4)
+        app = DhcpServerApp(**kw)
+        net, sw, hosts = controller_net(2, app)
+        return net, sw, hosts, app
+
+    def _lease(self, hosts, net, mac=5, xid=1):
+        hosts[0].send(dhcp_packet(mac, DhcpMessageType.DISCOVER, xid=xid))
+        net.run()
+        hosts[0].send(dhcp_packet(mac, DhcpMessageType.REQUEST, xid=xid))
+        net.run()
+
+    def test_discover_offer_request_ack(self):
+        net, sw, hosts, app = self._net()
+        self._lease(hosts, net)
+        msgs = [r.packet.get(Dhcp) for r in hosts[0].received]
+        assert msgs[0].is_offer and msgs[1].is_ack
+        assert msgs[1].yiaddr == IPv4Address("10.0.0.100")
+        assert app.active_leases(net.now) == 1
+
+    def test_distinct_clients_distinct_addresses(self):
+        net, sw, hosts, app = self._net()
+        self._lease(hosts, net, mac=5, xid=1)
+        self._lease(hosts, net, mac=6, xid=2)
+        acks = [r.packet.get(Dhcp) for r in hosts[0].received
+                if r.packet.get(Dhcp).is_ack]
+        assert acks[0].yiaddr != acks[1].yiaddr
+
+    def test_release_frees_address(self):
+        net, sw, hosts, app = self._net(pool_size=1)
+        self._lease(hosts, net, mac=5)
+        hosts[0].send(dhcp_packet(5, DhcpMessageType.RELEASE))
+        net.run()
+        assert app.active_leases(net.now) == 0
+        self._lease(hosts, net, mac=6, xid=2)
+        assert app.active_leases(net.now) == 1
+
+    def test_lease_expiry_frees_address(self):
+        net, sw, hosts, app = self._net(pool_size=1, lease_time=5.0)
+        self._lease(hosts, net, mac=5)
+        hosts[0].send_at(10.0, dhcp_packet(6, DhcpMessageType.DISCOVER, xid=9))
+        net.run()
+        offers = [r.packet.get(Dhcp) for r in hosts[0].received
+                  if r.packet.get(Dhcp).is_offer]
+        assert len(offers) == 2  # the pool's only address re-offered
+
+    def test_pool_exhaustion_silent(self):
+        net, sw, hosts, app = self._net(pool_size=1)
+        self._lease(hosts, net, mac=5)
+        before = len(hosts[0].received)
+        hosts[0].send(dhcp_packet(6, DhcpMessageType.DISCOVER, xid=2))
+        net.run()
+        assert len(hosts[0].received) == before
+
+    def test_reuse_leased_fault(self):
+        net, sw, hosts, app = self._net(pool_size=1,
+                                        faults=always("reuse_leased"))
+        self._lease(hosts, net, mac=5)
+        self._lease(hosts, net, mac=6, xid=2)
+        acks = [r.packet.get(Dhcp) for r in hosts[0].received
+                if r.packet.get(Dhcp).is_ack]
+        assert len(acks) == 2
+        assert acks[0].yiaddr == acks[1].yiaddr  # the overlap bug
+
+    def test_reply_delay_fault(self):
+        net, sw, hosts, app = self._net(faults=FaultPlan(values={"reply_delay": 3.0}))
+        hosts[0].send(dhcp_packet(5, DhcpMessageType.REQUEST, xid=1))
+        net.run()
+        assert hosts[0].received[0].time >= 3.0
+
+    def test_replies_addressed_to_client(self):
+        net, sw, hosts, app = self._net()
+        self._lease(hosts, net, mac=5)
+        for r in hosts[0].received:
+            assert r.packet.eth.dst == MACAddress(5)
+            assert r.packet.eth.src == app.server_mac
+
+
+class TestLoadBalancer:
+    def _net(self, mode=BalanceMode.HASH, **kw):
+        app = LoadBalancerApp(vip=IPv4Address("10.0.0.100"),
+                              backend_ports=(2, 3, 4), mode=mode, **kw)
+        net, sw, hosts = controller_net(4, app)
+        return net, sw, hosts, app
+
+    def _flow_pkt(self, sport, flags=None):
+        kw = {} if flags is None else {"flags": flags}
+        return tcp_packet(1, 0xFE, "10.0.0.1", "10.0.0.100", sport, 8080, **kw)
+
+    def test_hash_mode_deterministic(self):
+        net, sw, hosts, app = self._net()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(self._flow_pkt(1000))
+        net.run()
+        key = (IPv4Address("10.0.0.1"), 1000, IPv4Address("10.0.0.100"), 8080, 6)
+        expected = (2, 3, 4)[flow_hash(key, 3)]
+        assert rec.egresses[0].out_port == expected
+
+    def test_flow_pinned_across_packets(self):
+        net, sw, hosts, app = self._net()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        for _ in range(3):
+            hosts[0].send(self._flow_pkt(1000))
+        net.run()
+        ports = {e.out_port for e in rec.egresses}
+        assert len(ports) == 1
+
+    def test_round_robin_cycles(self):
+        net, sw, hosts, app = self._net(mode=BalanceMode.ROUND_ROBIN)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        for sport in (1000, 1001, 1002, 1003):
+            hosts[0].send(self._flow_pkt(sport))
+        net.run()
+        assert [e.out_port for e in rec.egresses] == [2, 3, 4, 2]
+
+    def test_close_unpins(self):
+        net, sw, hosts, app = self._net(mode=BalanceMode.ROUND_ROBIN)
+        hosts[0].send(self._flow_pkt(1000))
+        net.run()
+        key = (IPv4Address("10.0.0.1"), 1000, IPv4Address("10.0.0.100"), 8080, 6)
+        assert app.pinned_backend(key) == 2
+        from repro.packet import TCPFlags
+
+        hosts[0].send(self._flow_pkt(1000, flags=TCPFlags.FIN | TCPFlags.ACK))
+        net.run()
+        assert app.pinned_backend(key) is None
+
+    def test_misroute_fault(self):
+        net, sw, hosts, app = self._net(faults=sometimes("misroute_new", 1.0))
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(self._flow_pkt(1000))
+        net.run()
+        key = (IPv4Address("10.0.0.1"), 1000, IPv4Address("10.0.0.100"), 8080, 6)
+        expected = (2, 3, 4)[flow_hash(key, 3)]
+        assert rec.egresses[0].out_port != expected
+
+    def test_rebalance_midflow_fault(self):
+        net, sw, hosts, app = self._net(
+            faults=sometimes("rebalance_midflow", 1.0))
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(self._flow_pkt(1000))
+        hosts[0].send(self._flow_pkt(1000))
+        net.run()
+        assert rec.egresses[0].out_port != rec.egresses[1].out_port
+
+    def test_non_vip_traffic_flooded(self):
+        net, sw, hosts, app = self._net()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(tcp_packet(1, 2, "10.0.0.1", "10.0.0.2", 1, 2))
+        net.run()
+        assert all(e.action is EgressAction.FLOOD for e in rec.egresses)
+
+    def test_needs_two_backends(self):
+        with pytest.raises(ValueError):
+            LoadBalancerApp(vip=IPv4Address("10.0.0.100"), backend_ports=(2,))
+
+
+class TestPortKnocking:
+    def _net(self, **kw):
+        kw.setdefault("knock_sequence", (7001, 7002))
+        kw.setdefault("protected_port", 22)
+        app = PortKnockingApp(**kw)
+        net, sw, hosts = controller_net(2, app)
+        return net, sw, hosts, app
+
+    def _pkt(self, dport):
+        return tcp_syn(1, 2, "10.0.0.1", "10.0.0.9", 30000, dport)
+
+    def test_correct_sequence_grants(self):
+        net, sw, hosts, app = self._net()
+        hosts[0].send(self._pkt(7001))
+        hosts[0].send(self._pkt(7002))
+        net.run()
+        assert app.has_access(IPv4Address("10.0.0.1"))
+        hosts[0].send(self._pkt(22))
+        net.run()
+        assert len(hosts[1].received) == 1
+
+    def test_wrong_guess_resets(self):
+        net, sw, hosts, app = self._net()
+        hosts[0].send(self._pkt(7001))
+        hosts[0].send(self._pkt(9999))
+        hosts[0].send(self._pkt(7002))
+        net.run()
+        assert not app.has_access(IPv4Address("10.0.0.1"))
+
+    def test_denied_connection_dropped(self):
+        net, sw, hosts, app = self._net()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        hosts[0].send(self._pkt(22))
+        net.run()
+        assert rec.drops[0].reason == "pk-denied"
+
+    def test_ignore_wrong_guess_fault(self):
+        net, sw, hosts, app = self._net(faults=always("ignore_wrong_guess"))
+        hosts[0].send(self._pkt(7001))
+        hosts[0].send(self._pkt(9999))
+        hosts[0].send(self._pkt(7002))
+        net.run()
+        assert app.has_access(IPv4Address("10.0.0.1"))  # the bug
+
+    def test_never_open_fault(self):
+        net, sw, hosts, app = self._net(faults=always("never_open"))
+        hosts[0].send(self._pkt(7001))
+        hosts[0].send(self._pkt(7002))
+        net.run()
+        assert not app.has_access(IPv4Address("10.0.0.1"))
+
+    def test_protected_in_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            PortKnockingApp(knock_sequence=(22, 7001), protected_port=22)
+
+
+class TestFtp:
+    def test_session_advertised_port_matches(self):
+        session = ftp_session(
+            MACAddress(1), MACAddress(2),
+            IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+            advertised_port=1025,
+        )
+        data = session[-1].packet
+        assert data.get(TCP).dst_port == 1025
+        assert data.get(TCP).is_syn
+
+    def test_session_mismatch_knob(self):
+        session = ftp_session(
+            MACAddress(1), MACAddress(2),
+            IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"),
+            advertised_port=1025, actual_port=2000,
+        )
+        assert session[-1].packet.get(TCP).dst_port == 2000
+
+    def test_alg_tracks_endpoint(self):
+        app = FtpAlgApp()
+        net, sw, hosts = controller_net(2, app)
+        from repro.netsim.workload import send_all
+
+        session = ftp_session(hosts[0].mac, hosts[1].mac, hosts[0].ip,
+                              hosts[1].ip, advertised_port=1025)
+        send_all(hosts, session)
+        net.run()
+        assert app.expected[(hosts[0].ip, hosts[1].ip)] == 1025

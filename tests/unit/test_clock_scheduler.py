@@ -1,0 +1,171 @@
+"""Unit tests: virtual clock and discrete-event scheduler."""
+
+import pytest
+
+from repro.netsim.clock import ClockError, VirtualClock
+from repro.netsim.scheduler import EventScheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now() == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.call_at(2.0, lambda: fired.append("b"))
+        sched.call_at(1.0, lambda: fired.append("a"))
+        sched.call_at(3.0, lambda: fired.append("c"))
+        assert sched.run() == 3
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        sched = EventScheduler()
+        fired = []
+        for name in "abc":
+            sched.call_at(1.0, lambda n=name: fired.append(n))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_times(self):
+        sched = EventScheduler()
+        times = []
+        sched.call_at(1.5, lambda: times.append(sched.clock.now()))
+        sched.call_at(4.0, lambda: times.append(sched.clock.now()))
+        sched.run()
+        assert times == [1.5, 4.0]
+
+    def test_call_after_is_relative(self):
+        sched = EventScheduler()
+        sched.clock.advance_to(10.0)
+        fired = []
+        sched.call_after(2.0, lambda: fired.append(sched.clock.now()))
+        sched.run()
+        assert fired == [12.0]
+
+    def test_scheduling_in_past_rejected(self):
+        sched = EventScheduler()
+        sched.clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            sched.call_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().call_after(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.call_at(1.0, lambda: fired.append("x"))
+        assert sched.cancel(handle) is True
+        sched.run()
+        assert fired == []
+
+    def test_cancel_twice_returns_false(self):
+        sched = EventScheduler()
+        handle = sched.call_at(1.0, lambda: None)
+        assert sched.cancel(handle) is True
+        assert sched.cancel(handle) is False
+
+    def test_cancel_after_fire_returns_false(self):
+        sched = EventScheduler()
+        handle = sched.call_at(1.0, lambda: None)
+        sched.run()
+        assert sched.cancel(handle) is False
+
+    def test_pending_counts_live_events(self):
+        sched = EventScheduler()
+        h1 = sched.call_at(1.0, lambda: None)
+        sched.call_at(2.0, lambda: None)
+        assert sched.pending() == 2
+        sched.cancel(h1)
+        assert sched.pending() == 1
+
+    def test_run_until_leaves_later_events(self):
+        sched = EventScheduler()
+        fired = []
+        sched.call_at(1.0, lambda: fired.append("a"))
+        sched.call_at(5.0, lambda: fired.append("b"))
+        assert sched.run(until=2.0) == 1
+        assert fired == ["a"]
+        assert sched.clock.now() == 2.0
+        assert sched.pending() == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        sched = EventScheduler()
+        sched.run(until=7.0)
+        assert sched.clock.now() == 7.0
+
+    def test_events_may_schedule_events(self):
+        sched = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sched.call_after(1.0, lambda: fired.append("second"))
+
+        sched.call_at(1.0, first)
+        sched.run()
+        assert fired == ["first", "second"]
+        assert sched.clock.now() == 2.0
+
+    def test_max_events_guard(self):
+        sched = EventScheduler()
+
+        def reschedule():
+            sched.call_after(0.001, reschedule)
+
+        sched.call_at(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sched.run(max_events=100)
+
+    def test_next_event_time(self):
+        sched = EventScheduler()
+        assert sched.next_event_time() is None
+        handle = sched.call_at(3.0, lambda: None)
+        sched.call_at(5.0, lambda: None)
+        assert sched.next_event_time() == 3.0
+        sched.cancel(handle)
+        assert sched.next_event_time() == 5.0
+
+    def test_step_returns_false_when_idle(self):
+        assert EventScheduler().step() is False

@@ -1,0 +1,193 @@
+"""Unit tests: L2-L4 header encode/decode and accessors."""
+
+import pytest
+
+from repro.packet.addresses import IPv4Address, MACAddress
+from repro.packet.headers import (
+    ICMP,
+    TCP,
+    UDP,
+    Arp,
+    ArpOp,
+    Ethernet,
+    EtherType,
+    HeaderError,
+    IPProto,
+    IPv4,
+    TCPFlags,
+    Vlan,
+)
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        eth = Ethernet(src=MACAddress(1), dst=MACAddress(2), ethertype=EtherType.IPV4)
+        decoded, rest = Ethernet.decode(eth.encode())
+        assert decoded == eth
+        assert rest == b""
+
+    def test_decode_leaves_tail(self):
+        eth = Ethernet(src=MACAddress(1), dst=MACAddress(2), ethertype=EtherType.ARP)
+        _, rest = Ethernet.decode(eth.encode() + b"tail")
+        assert rest == b"tail"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            Ethernet.decode(b"\x00" * 13)
+
+    def test_fields(self):
+        eth = Ethernet(src=MACAddress(1), dst=MACAddress(2), ethertype=0x0800)
+        fields = eth.fields()
+        assert fields["eth.src"] == MACAddress(1)
+        assert fields["eth.dst"] == MACAddress(2)
+        assert fields["eth.type"] == 0x0800
+
+
+class TestVlan:
+    def test_roundtrip(self):
+        vlan = Vlan(vid=100, pcp=3, ethertype=EtherType.IPV4)
+        decoded, rest = Vlan.decode(vlan.encode())
+        assert decoded == vlan
+
+    def test_bad_vid(self):
+        with pytest.raises(HeaderError):
+            Vlan(vid=4096)
+
+    def test_bad_pcp(self):
+        with pytest.raises(HeaderError):
+            Vlan(vid=1, pcp=8)
+
+
+class TestArp:
+    def _arp(self):
+        return Arp(
+            op=ArpOp.REQUEST,
+            sender_mac=MACAddress(1),
+            sender_ip=IPv4Address("10.0.0.1"),
+            target_mac=MACAddress.ZERO,
+            target_ip=IPv4Address("10.0.0.2"),
+        )
+
+    def test_roundtrip(self):
+        arp = self._arp()
+        decoded, _ = Arp.decode(arp.encode())
+        assert decoded == arp
+
+    def test_request_reply_predicates(self):
+        assert self._arp().is_request
+        reply = Arp(
+            op=ArpOp.REPLY,
+            sender_mac=MACAddress(2),
+            sender_ip=IPv4Address("10.0.0.2"),
+            target_mac=MACAddress(1),
+            target_ip=IPv4Address("10.0.0.1"),
+        )
+        assert reply.is_reply and not reply.is_request
+
+    def test_truncated_rejected(self):
+        with pytest.raises(HeaderError):
+            Arp.decode(b"\x00" * 27)
+
+    def test_wrong_hw_type_rejected(self):
+        data = bytearray(self._arp().encode())
+        data[1] = 99  # corrupt htype
+        with pytest.raises(HeaderError):
+            Arp.decode(bytes(data))
+
+
+class TestIPv4:
+    def _ip(self, **kw):
+        defaults = dict(
+            src=IPv4Address("10.0.0.1"), dst=IPv4Address("10.0.0.2"),
+            proto=IPProto.TCP,
+        )
+        defaults.update(kw)
+        return IPv4(**defaults)
+
+    def test_roundtrip(self):
+        ip = self._ip(ttl=17, dscp=10, ident=99, payload_len=40)
+        decoded, _ = IPv4.decode(ip.encode())
+        assert decoded.src == ip.src
+        assert decoded.dst == ip.dst
+        assert decoded.ttl == 17
+        assert decoded.dscp == 10
+        assert decoded.payload_len == 40
+
+    def test_bad_ttl(self):
+        with pytest.raises(HeaderError):
+            self._ip(ttl=256)
+
+    def test_decremented(self):
+        assert self._ip(ttl=5).decremented().ttl == 4
+
+    def test_decrement_zero_rejected(self):
+        with pytest.raises(HeaderError):
+            self._ip(ttl=0).decremented()
+
+    def test_non_v4_rejected(self):
+        data = bytearray(self._ip().encode())
+        data[0] = (6 << 4) | 5
+        with pytest.raises(HeaderError):
+            IPv4.decode(bytes(data))
+
+    def test_options_unsupported(self):
+        data = bytearray(self._ip().encode())
+        data[0] = (4 << 4) | 6  # ihl = 24 bytes
+        with pytest.raises(HeaderError):
+            IPv4.decode(bytes(data))
+
+
+class TestTCP:
+    def test_roundtrip(self):
+        tcp = TCP(src_port=1234, dst_port=80, seq=7, ack=9,
+                  flags=TCPFlags.SYN | TCPFlags.ACK, window=1000)
+        decoded, rest = TCP.decode(tcp.encode())
+        assert decoded == tcp
+        assert rest == b""
+
+    def test_port_range(self):
+        with pytest.raises(HeaderError):
+            TCP(src_port=65536, dst_port=80)
+
+    def test_flag_predicates(self):
+        assert TCP(src_port=1, dst_port=2, flags=TCPFlags.SYN).is_syn
+        assert not TCP(src_port=1, dst_port=2,
+                       flags=TCPFlags.SYN | TCPFlags.ACK).is_syn
+        assert TCP(src_port=1, dst_port=2, flags=TCPFlags.FIN | TCPFlags.ACK).is_fin
+        assert TCP(src_port=1, dst_port=2, flags=TCPFlags.RST).is_rst
+
+    def test_data_offset_skips_options(self):
+        tcp = TCP(src_port=1, dst_port=2)
+        raw = bytearray(tcp.encode() + b"\x01\x01\x01\x01payload")
+        raw[12] = 6 << 4  # 24-byte header: 4 bytes of options
+        decoded, rest = TCP.decode(bytes(raw))
+        assert decoded.src_port == 1
+        assert rest == b"payload"
+
+    def test_bad_offset_rejected(self):
+        raw = bytearray(TCP(src_port=1, dst_port=2).encode())
+        raw[12] = 4 << 4  # < 20 bytes
+        with pytest.raises(HeaderError):
+            TCP.decode(bytes(raw))
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        udp = UDP(src_port=53, dst_port=5353, payload_len=11)
+        decoded, _ = UDP.decode(udp.encode())
+        assert decoded == udp
+
+    def test_truncated(self):
+        with pytest.raises(HeaderError):
+            UDP.decode(b"\x00" * 7)
+
+
+class TestICMP:
+    def test_roundtrip(self):
+        icmp = ICMP(icmp_type=ICMP.TYPE_ECHO_REQUEST, ident=3, seq=4)
+        decoded, _ = ICMP.decode(icmp.encode())
+        assert decoded == icmp
+
+    def test_fields(self):
+        fields = ICMP(icmp_type=8, code=0).fields()
+        assert fields["icmp.type"] == 8

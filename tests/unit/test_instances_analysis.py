@@ -1,0 +1,223 @@
+"""Unit tests: instance stores (Feature 8 machinery) and static analysis."""
+
+import pytest
+
+from repro.core import (
+    Bind,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    MatchKind,
+    Observe,
+    PropertySpec,
+    Var,
+    analyze,
+    classify_match_kind,
+    field_family,
+    field_layer,
+    stage_index_plan,
+    uid_var,
+)
+from repro.core.instances import (
+    IndexedInstanceStore,
+    Instance,
+    LinearInstanceStore,
+    make_store,
+)
+from repro.props import (
+    build_table1,
+    firewall_basic,
+    firewall_timed,
+    firewall_with_close,
+    learned_unicast_port,
+    link_down_clears_learning,
+    nat_reverse_translation,
+)
+
+
+def simple_prop():
+    return PropertySpec(
+        name="sp", description="",
+        stages=(
+            Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                      binds=(Bind("S", "eth.src"),))),
+            Observe("b", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.dst", Var("S")),))),
+        ),
+        key_vars=("S",),
+    )
+
+
+class TestInstanceStores:
+    def _instance(self, prop, key=("k",), env=None):
+        return Instance(prop, key, dict(env or {"S": "k"}), created_at=0.0)
+
+    def test_add_and_by_key(self):
+        prop = simple_prop()
+        store = make_store(prop)
+        inst = self._instance(prop)
+        store.add(inst)
+        assert store.by_key(("k",)) is inst
+
+    def test_duplicate_live_key_rejected(self):
+        prop = simple_prop()
+        store = make_store(prop)
+        store.add(self._instance(prop))
+        with pytest.raises(ValueError):
+            store.add(self._instance(prop))
+
+    def test_dead_key_can_be_replaced(self):
+        prop = simple_prop()
+        store = make_store(prop)
+        first = self._instance(prop)
+        store.add(first)
+        store.remove(first)
+        second = self._instance(prop)
+        store.add(second)
+        assert store.by_key(("k",)) is second
+
+    def test_indexed_candidates_hit(self):
+        prop = simple_prop()
+        store = IndexedInstanceStore(prop)
+        inst = self._instance(prop, env={"S": "mac1"})
+        store.add(inst)
+        hits = list(store.candidates(1, {"eth.dst": "mac1"}))
+        assert hits == [inst]
+
+    def test_indexed_candidates_miss(self):
+        prop = simple_prop()
+        store = IndexedInstanceStore(prop)
+        store.add(self._instance(prop, env={"S": "mac1"}))
+        assert list(store.candidates(1, {"eth.dst": "other"})) == []
+
+    def test_indexed_candidates_event_missing_field(self):
+        prop = simple_prop()
+        store = IndexedInstanceStore(prop)
+        store.add(self._instance(prop, env={"S": "mac1"}))
+        assert list(store.candidates(1, {})) == []
+
+    def test_linear_candidates_scan_everything(self):
+        prop = simple_prop()
+        store = LinearInstanceStore(prop)
+        store.add(self._instance(prop, key=("a",), env={"S": "a"}))
+        store.add(self._instance(prop, key=("b",), env={"S": "b"}))
+        assert len(list(store.candidates(1, {"eth.dst": "a"}))) == 2
+
+    def test_make_store_strategies(self):
+        prop = simple_prop()
+        assert isinstance(make_store(prop, "indexed"), IndexedInstanceStore)
+        assert isinstance(make_store(prop, "linear"), LinearInstanceStore)
+        with pytest.raises(ValueError):
+            make_store(prop, "quantum")
+
+    def test_stage_index_plan_from_env_guards(self):
+        prop = simple_prop()
+        assert stage_index_plan(prop.stages[1]) == (("eth.dst", "S"),)
+
+    def test_stage_index_plan_includes_uid(self):
+        prop = nat_reverse_translation()
+        plan = stage_index_plan(prop.stages[1])
+        assert ("uid", uid_var("outbound_arrival")) in plan
+
+    def test_oob_stage_has_empty_plan(self):
+        prop = link_down_clears_learning()
+        assert stage_index_plan(prop.stages[1]) == ()
+
+    def test_reindex_moves_instance(self):
+        prop = simple_prop()
+        store = IndexedInstanceStore(prop)
+        inst = self._instance(prop, env={"S": "m"})
+        store.add(inst)
+        inst.stage = 2  # completes; no longer waits anywhere
+        store.reindex(inst, old_stage=1)
+        assert list(store.candidates(1, {"eth.dst": "m"})) == []
+
+
+class TestFieldClassification:
+    @pytest.mark.parametrize(
+        "field,layer",
+        [
+            ("eth.src", 2), ("vlan.vid", 2), ("arp.op", 3), ("ipv4.dst", 3),
+            ("tcp.src", 4), ("udp.dst", 4), ("icmp.type", 4),
+            ("dhcp.yiaddr", 7), ("ftp.data_port", 7), ("in_port", 2),
+        ],
+    )
+    def test_field_layer(self, field, layer):
+        assert field_layer(field) == layer
+
+    @pytest.mark.parametrize(
+        "field,family",
+        [
+            ("eth.src", "l2"), ("arp.target_ip", "arp"), ("ipv4.src", "inet"),
+            ("tcp.dst", "inet"), ("ftp.data_port", "inet"),
+            ("dhcp.yiaddr", "dhcp"), ("out_port", "meta"), ("uid", "meta"),
+        ],
+    )
+    def test_field_family(self, field, family):
+        assert field_family(field) == family
+
+
+class TestAnalysis:
+    def test_firewall_basic(self):
+        req = analyze(firewall_basic())
+        assert req.history and not req.timeouts and not req.obligation
+        assert req.match_kind is MatchKind.SYMMETRIC
+        assert req.drop_visibility
+        assert req.max_layer == 3
+
+    def test_firewall_timed_adds_timeouts(self):
+        assert analyze(firewall_timed()).timeouts
+
+    def test_firewall_with_close_adds_obligation(self):
+        req = analyze(firewall_with_close())
+        assert req.obligation and req.timeouts
+
+    def test_nat_property(self):
+        req = analyze(nat_reverse_translation())
+        assert req.identity
+        assert req.negative_match
+        assert req.match_kind is MatchKind.SYMMETRIC
+        assert req.max_layer == 4
+
+    def test_learning_switch_negmatch_on_metadata(self):
+        req = analyze(learned_unicast_port())
+        assert req.negative_match
+        assert req.max_layer == 2
+
+    def test_link_down_property_is_multiple_match(self):
+        req = analyze(link_down_clears_learning())
+        assert req.multiple_match
+        assert req.out_of_band
+
+    def test_non_oob_props_not_multiple(self):
+        assert not analyze(firewall_basic()).multiple_match
+
+    def test_table1_rows_all_match_paper(self):
+        entries = build_table1()
+        assert len(entries) == 13
+        for entry in entries:
+            assert entry.matches_paper(), (
+                f"{entry.description}: computed {entry.computed_row()}, "
+                f"paper says {entry.expected_row}"
+            )
+
+    def test_table1_groups(self):
+        groups = [e.group for e in build_table1()]
+        assert groups.count("ARP Cache Proxy") == 2
+        assert groups.count("Port Knocking") == 2
+        assert groups.count("Load Balancing") == 3
+        assert groups.count("FTP") == 1
+        assert groups.count("DHCP") == 3
+        assert groups.count("DHCP + ARP Proxy") == 2
+
+    def test_match_kind_override_respected(self):
+        from repro.props import dhcp_no_overlap
+
+        assert classify_match_kind(dhcp_no_overlap()) is MatchKind.SYMMETRIC
+
+    def test_table1_render(self):
+        from repro.props import render_table1
+
+        text = render_table1()
+        assert "wandering" in text and "[OK ]" in text and "DIFF" not in text

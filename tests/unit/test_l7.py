@@ -1,0 +1,127 @@
+"""Unit tests: DHCP and FTP (L7) message models."""
+
+import pytest
+
+from repro.packet.addresses import IPv4Address, MACAddress
+from repro.packet.dhcp import Dhcp, DhcpMessageType, DhcpOp
+from repro.packet.ftp import FtpControl, encode_port_command
+from repro.packet.headers import HeaderError
+
+
+class TestDhcp:
+    def _msg(self, **kw):
+        defaults = dict(
+            op=DhcpOp.BOOTREQUEST,
+            msg_type=DhcpMessageType.REQUEST,
+            xid=42,
+            client_mac=MACAddress(5),
+        )
+        defaults.update(kw)
+        return Dhcp(**defaults)
+
+    def test_minimal_roundtrip(self):
+        msg = self._msg()
+        decoded, rest = Dhcp.decode(msg.encode())
+        assert decoded == msg
+        assert rest == b""
+
+    def test_full_roundtrip(self):
+        msg = self._msg(
+            op=DhcpOp.BOOTREPLY,
+            msg_type=DhcpMessageType.ACK,
+            yiaddr=IPv4Address("10.0.0.50"),
+            requested_ip=IPv4Address("10.0.0.50"),
+            lease_time=3600,
+            server_id=IPv4Address("10.0.0.254"),
+        )
+        decoded, _ = Dhcp.decode(msg.encode())
+        assert decoded == msg
+
+    def test_classification(self):
+        assert self._msg(msg_type=DhcpMessageType.DISCOVER).is_discover
+        assert self._msg(msg_type=DhcpMessageType.REQUEST).is_request
+        assert self._msg(op=DhcpOp.BOOTREPLY, msg_type=DhcpMessageType.OFFER).is_offer
+        assert self._msg(op=DhcpOp.BOOTREPLY, msg_type=DhcpMessageType.ACK).is_ack
+        assert self._msg(msg_type=DhcpMessageType.RELEASE).is_release
+
+    def test_bad_op(self):
+        with pytest.raises(HeaderError):
+            self._msg(op=3)
+
+    def test_xid_range(self):
+        with pytest.raises(HeaderError):
+            self._msg(xid=1 << 32)
+
+    def test_truncated(self):
+        with pytest.raises(HeaderError):
+            Dhcp.decode(b"\x01" * 10)
+
+    def test_missing_msg_type_option(self):
+        msg = self._msg()
+        raw = bytearray(msg.encode())
+        raw[15] = 0xFE  # clobber the message-type option tag
+        with pytest.raises(HeaderError):
+            Dhcp.decode(bytes(raw))
+
+    def test_fields_namespace(self):
+        fields = self._msg(requested_ip=IPv4Address("10.0.0.9")).fields()
+        assert fields["dhcp.msg_type"] == DhcpMessageType.REQUEST
+        assert fields["dhcp.client_mac"] == MACAddress(5)
+        assert fields["dhcp.requested_ip"] == IPv4Address("10.0.0.9")
+        assert "dhcp.server_id" not in fields
+
+
+class TestFtpControl:
+    def test_port_command_parsed(self):
+        line = FtpControl.from_line("PORT 10,0,0,1,4,1")
+        assert line.advertises_endpoint
+        assert line.data_ip == IPv4Address("10.0.0.1")
+        assert line.data_port == (4 << 8) | 1
+        assert line.is_port_command
+
+    def test_pasv_reply_parsed(self):
+        line = FtpControl.from_line(
+            "227 Entering Passive Mode (192,168,1,2,19,137)"
+        )
+        assert line.advertises_endpoint
+        assert line.data_ip == IPv4Address("192.168.1.2")
+        assert line.data_port == (19 << 8) | 137
+        assert line.is_pasv_reply
+
+    def test_plain_line_opaque(self):
+        line = FtpControl.from_line("USER anonymous")
+        assert not line.advertises_endpoint
+        assert line.data_port is None
+
+    def test_out_of_range_octet_rejected(self):
+        with pytest.raises(HeaderError):
+            FtpControl.from_line("PORT 10,0,0,1,999,1")
+
+    def test_wire_roundtrip(self):
+        line = FtpControl.from_line("PORT 10,0,0,1,4,1")
+        decoded, rest = FtpControl.decode(line.encode())
+        assert decoded == line
+        assert rest == b""
+
+    def test_decode_requires_crlf(self):
+        with pytest.raises(HeaderError):
+            FtpControl.decode(b"PORT 10,0,0,1,4,1")
+
+    def test_decode_non_ascii_rejected(self):
+        with pytest.raises(HeaderError):
+            FtpControl.decode("ütf\r\n".encode("utf-8"))
+
+    def test_encode_port_command_roundtrip(self):
+        text = encode_port_command(IPv4Address("10.0.0.1"), 1025)
+        line = FtpControl.from_line(text)
+        assert line.data_port == 1025
+        assert line.data_ip == IPv4Address("10.0.0.1")
+
+    def test_encode_port_command_range(self):
+        with pytest.raises(HeaderError):
+            encode_port_command(IPv4Address("10.0.0.1"), 70000)
+
+    def test_fields_namespace(self):
+        fields = FtpControl.from_line("PORT 10,0,0,1,4,1").fields()
+        assert fields["ftp.data_port"] == 1025
+        assert "ftp.line" in fields

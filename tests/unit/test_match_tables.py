@@ -1,0 +1,180 @@
+"""Unit tests: match predicates and flow tables."""
+
+import pytest
+
+from repro.packet import IPv4Address, MACAddress, ethernet, tcp_packet
+from repro.switch.actions import Drop, Output
+from repro.switch.match import ANY, FieldPredicate, MatchSpec
+from repro.switch.tables import FlowTable
+
+
+class TestFieldPredicate:
+    def test_exact(self):
+        p = FieldPredicate("eth.src", MACAddress(1))
+        assert p.matches(MACAddress(1))
+        assert not p.matches(MACAddress(2))
+
+    def test_negate(self):
+        p = FieldPredicate("tcp.dst", 80, negate=True)
+        assert p.matches(81)
+        assert not p.matches(80)
+
+    def test_masked(self):
+        p = FieldPredicate("ipv4.src", int(IPv4Address("10.0.0.0")),
+                           mask=0xFF000000)
+        assert p.matches(IPv4Address("10.1.2.3"))
+        assert not p.matches(IPv4Address("11.0.0.1"))
+
+    def test_masked_non_numeric_fails_closed(self):
+        p = FieldPredicate("eth.src", 5, mask=0xFF)
+        assert not p.matches("not-a-number")
+
+    def test_mask_and_negate_conflict(self):
+        with pytest.raises(ValueError):
+            FieldPredicate("x", 1, mask=0xFF, negate=True)
+
+
+class TestMatchSpec:
+    def test_any_matches_everything(self):
+        assert ANY.matches_fields({})
+        assert ANY.matches_fields({"eth.src": MACAddress(9)})
+
+    def test_kwargs_use_double_underscore(self):
+        spec = MatchSpec(eth__dst=MACAddress(2))
+        assert spec.matches_fields({"eth.dst": MACAddress(2)})
+        assert not spec.matches_fields({"eth.dst": MACAddress(3)})
+
+    def test_in_port(self):
+        spec = MatchSpec(in_port=3)
+        assert spec.matches_fields({"in_port": 3})
+        assert not spec.matches_fields({"in_port": 4})
+        assert not spec.matches_fields({})
+
+    def test_out_port(self):
+        spec = MatchSpec(out_port=2)
+        assert spec.matches_fields({"out_port": 2})
+        assert not spec.matches_fields({"out_port": 1})
+
+    def test_fluent_eq_neq(self):
+        spec = MatchSpec().eq("tcp.dst", 80).neq("ipv4.src", IPv4Address("1.1.1.1"))
+        assert spec.matches_fields({"tcp.dst": 80, "ipv4.src": IPv4Address("2.2.2.2")})
+        assert not spec.matches_fields({"tcp.dst": 80, "ipv4.src": IPv4Address("1.1.1.1")})
+
+    def test_absent_field_fails_positive(self):
+        spec = MatchSpec().eq("tcp.dst", 80)
+        assert not spec.matches_fields({"udp.dst": 80})
+
+    def test_absent_field_passes_negative(self):
+        spec = MatchSpec().neq("tcp.dst", 80)
+        assert spec.matches_fields({})  # no tcp.dst => cannot equal 80
+
+    def test_matches_packet_with_depth_limit(self):
+        from repro.packet import dhcp_packet, DhcpMessageType
+
+        p = dhcp_packet(5, DhcpMessageType.REQUEST)
+        spec = MatchSpec().eq("dhcp.msg_type", DhcpMessageType.REQUEST)
+        assert spec.matches_packet(p, max_layer=7)
+        assert not spec.matches_packet(p, max_layer=4)
+
+    def test_has_negation(self):
+        assert MatchSpec().neq("a.b", 1).has_negation
+        assert not MatchSpec().eq("a.b", 1).has_negation
+
+    def test_equality_and_hash(self):
+        a = MatchSpec(in_port=1).eq("tcp.dst", 80)
+        b = MatchSpec(in_port=1).eq("tcp.dst", 80)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MatchSpec(in_port=2).eq("tcp.dst", 80)
+
+    def test_describe(self):
+        text = MatchSpec(in_port=1).eq("tcp.dst", 80).describe()
+        assert "in_port==1" in text and "tcp.dst==80" in text
+        assert ANY.describe() == "ANY"
+
+
+class TestFlowTable:
+    def _fields(self, **kw):
+        fields = {"in_port": 1}
+        fields.update(kw)
+        return fields
+
+    def test_highest_priority_wins(self):
+        table = FlowTable(0)
+        low = table.install(ANY, [Drop()], priority=1)
+        high = table.install(MatchSpec(in_port=1), [Output(2)], priority=100)
+        assert table.lookup(self._fields(), now=0.0) is high
+
+    def test_tie_break_earliest_installed(self):
+        table = FlowTable(0)
+        first = table.install(MatchSpec(in_port=1), [Output(2)], priority=10)
+        second = table.install(MatchSpec(), [Output(3)], priority=10)
+        assert table.lookup(self._fields(), now=0.0) is first
+
+    def test_miss_returns_none(self):
+        table = FlowTable(0)
+        table.install(MatchSpec(in_port=9), [Output(2)])
+        assert table.lookup(self._fields(), now=0.0) is None
+
+    def test_install_replaces_identical_match(self):
+        table = FlowTable(0)
+        table.install(MatchSpec(in_port=1), [Output(2)], priority=10)
+        table.install(MatchSpec(in_port=1), [Output(3)], priority=10)
+        assert len(table) == 1
+        rule = table.lookup(self._fields(), now=0.0)
+        assert rule.actions == (Output(3),)
+
+    def test_install_no_replace_keeps_both(self):
+        table = FlowTable(0)
+        table.install(MatchSpec(in_port=1), [Output(2)], replace=False)
+        table.install(MatchSpec(in_port=1), [Output(3)], replace=False)
+        assert len(table) == 2
+
+    def test_hard_timeout_expires(self):
+        table = FlowTable(0)
+        rule = table.install(ANY, [Output(2)], hard_timeout=5.0, now=0.0)
+        assert table.lookup(self._fields(), now=4.9) is rule
+        assert table.lookup(self._fields(), now=5.0) is None
+
+    def test_idle_timeout_refreshed_by_matches(self):
+        table = FlowTable(0)
+        table.install(ANY, [Output(2)], idle_timeout=2.0, now=0.0)
+        assert table.lookup(self._fields(), now=1.5) is not None  # refreshes
+        assert table.lookup(self._fields(), now=3.0) is not None  # 1.5+2 > 3
+        assert table.lookup(self._fields(), now=5.1) is None
+
+    def test_hard_timeout_ignores_matches(self):
+        table = FlowTable(0)
+        table.install(ANY, [Output(2)], hard_timeout=2.0, now=0.0)
+        table.lookup(self._fields(), now=1.9)
+        assert table.lookup(self._fields(), now=2.1) is None
+
+    def test_expire_returns_timed_out_rules(self):
+        table = FlowTable(0)
+        table.install(ANY, [Output(2)], hard_timeout=1.0, now=0.0, cookie="a")
+        table.install(MatchSpec(in_port=2), [Output(3)], cookie="b")
+        expired = table.expire(now=2.0)
+        assert [e.rule.cookie for e in expired] == ["a"]
+        assert len(table) == 1
+
+    def test_next_deadline(self):
+        table = FlowTable(0)
+        assert table.next_deadline() is None
+        table.install(ANY, [Output(2)], hard_timeout=5.0, now=1.0)
+        table.install(MatchSpec(in_port=2), [Output(3)], hard_timeout=2.0, now=1.0)
+        assert table.next_deadline() == 3.0
+
+    def test_remove_by_cookie(self):
+        table = FlowTable(0)
+        table.install(ANY, [Output(2)], cookie="x", replace=False)
+        table.install(MatchSpec(in_port=2), [Output(2)], cookie="x", replace=False)
+        table.install(MatchSpec(in_port=3), [Output(2)], cookie="y", replace=False)
+        assert table.remove_by_cookie("x") == 2
+        assert len(table) == 1
+
+    def test_packet_counts(self):
+        table = FlowTable(0)
+        rule = table.install(ANY, [Output(2)])
+        table.lookup(self._fields(), now=0.0)
+        table.lookup(self._fields(), now=1.0)
+        assert rule.packet_count == 2

@@ -1,0 +1,375 @@
+"""Unit tests: corners not covered elsewhere — event taxonomy, feature
+rendering, pattern edge cases, stats bookkeeping, DSL annotations."""
+
+import pytest
+
+from repro.core import (
+    Bind,
+    Const,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    MatchKind,
+    Monitor,
+    Observe,
+    Predicate,
+    PropertySpec,
+    Var,
+    event_fields,
+    kind_matches,
+)
+from repro.core.features import FeatureRequirements
+from repro.lang import compile_one, parse_one
+from repro.packet import ethernet, tcp_packet
+from repro.switch.events import (
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+    TimerFired,
+)
+
+
+class TestEventTaxonomy:
+    def test_events_require_packets(self):
+        with pytest.raises(ValueError):
+            PacketArrival(switch_id="s", time=0.0, packet=None, in_port=1)
+        with pytest.raises(ValueError):
+            PacketEgress(switch_id="s", time=0.0, packet=None, out_port=1)
+        with pytest.raises(ValueError):
+            PacketDrop(switch_id="s", time=0.0, packet=None, in_port=1)
+
+    def test_event_seq_monotone(self):
+        a = PacketArrival(switch_id="s", time=0.0, packet=ethernet(1, 2),
+                          in_port=1)
+        b = PacketArrival(switch_id="s", time=0.0, packet=ethernet(1, 2),
+                          in_port=1)
+        assert b.seq > a.seq
+
+    def test_kind_attribute(self):
+        event = OutOfBandEvent(switch_id="s", time=0.0,
+                               oob_kind=OobKind.LINK_DOWN)
+        assert event.kind == "OutOfBandEvent"
+
+    def test_event_fields_arrival(self):
+        p = tcp_packet(1, 2, "10.0.0.1", "10.0.0.2", 7, 8)
+        fields = event_fields(PacketArrival(switch_id="s1", time=3.0,
+                                            packet=p, in_port=4))
+        assert fields["in_port"] == 4
+        assert fields["uid"] == p.uid
+        assert fields["time"] == 3.0
+        assert fields["switch"] == "s1"
+        assert "out_port" not in fields
+
+    def test_event_fields_egress(self):
+        p = ethernet(1, 2)
+        fields = event_fields(PacketEgress(
+            switch_id="s", time=0.0, packet=p, out_port=9, in_port=1,
+            action=EgressAction.FLOOD))
+        assert fields["out_port"] == 9
+        assert fields["egress.action"] is EgressAction.FLOOD
+
+    def test_event_fields_drop(self):
+        fields = event_fields(PacketDrop(
+            switch_id="s", time=0.0, packet=ethernet(1, 2), in_port=1,
+            reason="acl"))
+        assert fields["drop.reason"] == "acl"
+
+    def test_event_fields_oob_and_timer(self):
+        fields = event_fields(OutOfBandEvent(
+            switch_id="s", time=0.0, oob_kind=OobKind.PORT_DOWN, port=2))
+        assert fields["oob.kind"] is OobKind.PORT_DOWN
+        assert fields["oob.port"] == 2
+        fields = event_fields(TimerFired(switch_id="s", time=0.0,
+                                         timer_id="x"))
+        assert fields["timer.id"] == "x"
+
+    def test_event_fields_respects_parse_depth(self):
+        from repro.packet import dhcp_packet, DhcpMessageType
+
+        event = PacketArrival(
+            switch_id="s", time=0.0,
+            packet=dhcp_packet(5, DhcpMessageType.REQUEST), in_port=1)
+        assert "dhcp.msg_type" in event_fields(event, max_layer=7)
+        assert "dhcp.msg_type" not in event_fields(event, max_layer=4)
+
+    def test_kind_matches(self):
+        arrival = PacketArrival(switch_id="s", time=0.0,
+                                packet=ethernet(1, 2), in_port=1)
+        assert kind_matches(EventKind.ARRIVAL, arrival)
+        assert kind_matches(EventKind.ANY_PACKET, arrival)
+        assert not kind_matches(EventKind.EGRESS, arrival)
+        assert not kind_matches(EventKind.OOB, arrival)
+
+
+class TestPatternEdgeCases:
+    def test_any_packet_kind_matches_all_packet_events(self):
+        prop = PropertySpec(
+            name="any", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.ANY_PACKET,
+                    guards=(FieldEq("eth.dst", Var("S")),))),
+            ),
+            key_vars=("S",),
+        )
+        monitor = Monitor()
+        monitor.add_property(prop)
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 2), in_port=1))
+        # A DROP event also satisfies ANY_PACKET.
+        monitor.observe(PacketDrop(switch_id="s", time=1.0,
+                                   packet=ethernet(9, 1), in_port=2))
+        assert len(monitor.violations) == 1
+
+    def test_not_egress_action_filter(self):
+        prop = PropertySpec(
+            name="nf", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("S")),),
+                    not_egress_action=EgressAction.FLOOD)),
+            ),
+            key_vars=("S",),
+        )
+        monitor = Monitor()
+        monitor.add_property(prop)
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 2), in_port=1))
+        flood = PacketEgress(switch_id="s", time=1.0, packet=ethernet(9, 1),
+                             out_port=2, in_port=3, action=EgressAction.FLOOD)
+        monitor.observe(flood)
+        assert monitor.violations == []  # flood excluded
+        unicast = PacketEgress(switch_id="s", time=2.0, packet=ethernet(9, 1),
+                               out_port=2, in_port=3,
+                               action=EgressAction.UNICAST)
+        monitor.observe(unicast)
+        assert len(monitor.violations) == 1
+
+    def test_capture_missing_field_raises(self):
+        pattern = EventPattern(kind=EventKind.ARRIVAL,
+                               binds=(Bind("x", "tcp.src"),))
+        with pytest.raises(KeyError):
+            pattern.capture({"eth.src": 1})
+
+    def test_bindable_check(self):
+        pattern = EventPattern(kind=EventKind.ARRIVAL,
+                               binds=(Bind("x", "tcp.src"),))
+        assert pattern.bindable({"tcp.src": 5})
+        assert not pattern.bindable({"eth.src": 5})
+
+    def test_unbindable_match_does_not_create_instance(self):
+        # Stage 0 binds tcp.src; an L2 frame matches no guard but cannot
+        # bind, so no instance appears.
+        prop = PropertySpec(
+            name="l4only", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("P", "tcp.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldEq("tcp.dst", Var("P")),))),
+            ),
+            key_vars=("P",),
+        )
+        monitor = Monitor()
+        monitor.add_property(prop)
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 2), in_port=1))
+        assert monitor.live_instances() == 0
+
+    def test_resolve_unbound_var_raises(self):
+        from repro.core.refs import resolve
+
+        with pytest.raises(KeyError):
+            resolve(Var("ghost"), {})
+        assert resolve(Const(5), {}) == 5
+
+    def test_predicate_guard_in_unless(self):
+        flagged = Predicate(lambda f, e: f.get("eth.type") == 0x9999,
+                            "magic frame", fields_used=("eth.type",))
+        prop = PropertySpec(
+            name="pu", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldEq("eth.dst", Var("S")),)),
+                    unless=(EventPattern(kind=EventKind.ARRIVAL,
+                                         guards=(flagged,)),)),
+            ),
+            key_vars=("S",),
+        )
+        monitor = Monitor()
+        monitor.add_property(prop)
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 2), in_port=1))
+        monitor.observe(PacketArrival(
+            switch_id="s", time=1.0,
+            packet=ethernet(5, 6, ethertype=0x9999), in_port=1))
+        monitor.observe(PacketArrival(switch_id="s", time=2.0,
+                                      packet=ethernet(9, 1), in_port=1))
+        assert monitor.violations == []
+
+
+class TestFeatureRendering:
+    def test_table1_row_rendering(self):
+        req = FeatureRequirements(
+            max_layer=4, history=True, timeouts=False, obligation=True,
+            identity=False, negative_match=True, timeout_actions=False,
+            match_kind=MatchKind.SYMMETRIC, multiple_match=False,
+            out_of_band=False, drop_visibility=False,
+        )
+        assert req.table1_row() == ("L4", "•", "", "•", "", "•", "",
+                                    "symmetric")
+        assert req.fields_label() == "L4"
+
+
+class TestMonitorBookkeeping:
+    def test_peak_live_instances_tracked(self):
+        prop = PropertySpec(
+            name="p", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldEq("eth.dst", Var("S")),))),
+            ),
+            key_vars=("S",),
+        )
+        monitor = Monitor()
+        monitor.add_property(prop)
+        for i in range(5):
+            monitor.observe(PacketArrival(switch_id="s", time=i * 0.1,
+                                          packet=ethernet(i + 1, 99),
+                                          in_port=1))
+        assert monitor.stats.peak_live_instances == 5
+
+    def test_violation_sink_called(self):
+        prop = PropertySpec(
+            name="p", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldEq("eth.dst", Var("S")),))),
+            ),
+            key_vars=("S",),
+        )
+        monitor = Monitor()
+        monitor.add_property(prop)
+        seen = []
+        monitor.on_violation(seen.append)
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 2), in_port=1))
+        monitor.observe(PacketArrival(switch_id="s", time=1.0,
+                                      packet=ethernet(9, 1), in_port=1))
+        assert len(seen) == 1
+
+
+class TestDslAnnotations:
+    def test_obligation_annotation_parses_and_applies(self):
+        prop = compile_one("""
+property a
+annotate obligation true
+observe x : arrival bind S = eth.src
+observe y : arrival where eth.dst == $S
+""")
+        assert prop.obligation_override is True
+        from repro.core import analyze
+
+        assert analyze(prop).obligation
+
+    def test_instance_annotation(self):
+        prop = compile_one("""
+property a
+annotate instance wandering
+observe x : arrival bind S = eth.src
+observe y : arrival where eth.dst == $S
+""")
+        from repro.core import classify_match_kind
+
+        assert classify_match_kind(prop) is MatchKind.WANDERING
+
+    def test_bad_annotation_rejected(self):
+        from repro.lang import ParseError
+
+        with pytest.raises(ParseError):
+            parse_one("""
+property a
+annotate colour blue
+observe x : arrival bind S = eth.src
+""")
+
+    def test_bad_obligation_value_rejected(self):
+        from repro.lang import ParseError
+
+        with pytest.raises(ParseError):
+            parse_one("""
+property a
+annotate obligation maybe
+observe x : arrival bind S = eth.src
+""")
+
+
+class TestRefreshPolicy:
+    def _prop(self, refresh_on_repeat):
+        return PropertySpec(
+            name="rp", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),
+                                                 Bind("D", "eth.dst"))),
+                        refresh_on_repeat=refresh_on_repeat),
+                Observe("b", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldEq("eth.dst", Var("S")),)), within=5.0),
+            ),
+            key_vars=("S",),
+        )
+
+    def test_no_refresh_keeps_original_window(self):
+        monitor = Monitor()
+        monitor.add_property(self._prop(refresh_on_repeat=False))
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 9), in_port=1))
+        monitor.observe(PacketArrival(switch_id="s", time=4.0,
+                                      packet=ethernet(1, 8), in_port=1))
+        # Without refresh, the window still ends at t=5.
+        monitor.observe(PacketArrival(switch_id="s", time=6.0,
+                                      packet=ethernet(7, 1), in_port=1))
+        assert monitor.violations == []
+        assert monitor.stats.refreshes == 0
+
+    def test_refresh_extends_window_and_rebinds(self):
+        monitor = Monitor()
+        monitor.add_property(self._prop(refresh_on_repeat=True))
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 9), in_port=1))
+        monitor.observe(PacketArrival(switch_id="s", time=4.0,
+                                      packet=ethernet(1, 8), in_port=1))
+        monitor.observe(PacketArrival(switch_id="s", time=6.0,
+                                      packet=ethernet(7, 1), in_port=1))
+        assert len(monitor.violations) == 1
+        # The refresh re-bound D to the newest frame's destination.
+        from repro.packet import MACAddress
+
+        assert monitor.violations[0].bindings["D"] == MACAddress(8)
+
+    def test_flush_is_advance_to(self):
+        monitor = Monitor()
+        monitor.add_property(self._prop(refresh_on_repeat=True))
+        monitor.observe(PacketArrival(switch_id="s", time=0.0,
+                                      packet=ethernet(1, 9), in_port=1))
+        monitor.flush(until=100.0)
+        assert monitor.stats.instances_expired == 1

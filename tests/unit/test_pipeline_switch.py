@@ -1,0 +1,425 @@
+"""Unit tests: pipeline execution, rewrites, registers, and the switch."""
+
+import pytest
+
+from repro.netsim.scheduler import EventScheduler
+from repro.netsim.trace import TraceRecorder
+from repro.packet import (
+    IPv4,
+    IPv4Address,
+    MACAddress,
+    TCP,
+    ethernet,
+    tcp_packet,
+)
+from repro.switch.actions import (
+    Drop,
+    FieldRef,
+    Flood,
+    GotoTable,
+    Learn,
+    Notify,
+    Output,
+    RegisterWrite,
+    SetField,
+    ToController,
+)
+from repro.switch.events import (
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketDrop,
+    PacketEgress,
+    TimerFired,
+)
+from repro.switch.match import ANY, MatchSpec
+from repro.switch.pipeline import MissPolicy, Pipeline, PipelineError
+from repro.switch.registers import GlobalArrays, RegisterArray, StateCostMeter
+from repro.switch.rewrite import RewriteError, rewritable_fields, rewrite_field
+from repro.switch.switch import ProcessingMode, Switch
+
+
+class TestRewrite:
+    def test_rewrite_ip_src(self):
+        p = tcp_packet(1, 2, "10.0.0.1", "10.0.0.2", 1, 2)
+        q = rewrite_field(p, "ipv4.src", IPv4Address("9.9.9.9"))
+        assert q.ip_src == IPv4Address("9.9.9.9")
+        assert q.uid == p.uid
+
+    def test_rewrite_l4_generic(self):
+        p = tcp_packet(1, 2, "10.0.0.1", "10.0.0.2", 1, 2)
+        q = rewrite_field(p, "l4.src", 999)
+        assert q.get(TCP).src_port == 999
+
+    def test_rewrite_l4_without_l4_header(self):
+        with pytest.raises(RewriteError):
+            rewrite_field(ethernet(1, 2), "l4.dst", 1)
+
+    def test_unknown_field(self):
+        with pytest.raises(RewriteError):
+            rewrite_field(ethernet(1, 2), "bogus.field", 1)
+
+    def test_missing_header(self):
+        with pytest.raises(RewriteError):
+            rewrite_field(ethernet(1, 2), "ipv4.src", IPv4Address("1.1.1.1"))
+
+    def test_rewritable_fields_listed(self):
+        names = rewritable_fields()
+        assert "ipv4.src" in names and "eth.dst" in names
+
+
+class TestRegisters:
+    def test_read_write(self):
+        arr = RegisterArray("r", 8)
+        arr.write(3, 42)
+        assert arr.read(3) == 42
+        assert arr.read(4) == 0
+
+    def test_modular_indexing(self):
+        arr = RegisterArray("r", 8)
+        arr.write(11, 7)
+        assert arr.read(3) == 7
+
+    def test_increment(self):
+        arr = RegisterArray("r", 4)
+        assert arr.increment(0) == 1
+        assert arr.increment(0, 5) == 6
+
+    def test_meter_charged(self):
+        meter = StateCostMeter()
+        arr = RegisterArray("r", 4, meter=meter)
+        arr.write(0, 1)
+        arr.increment(1)
+        assert meter.fast_updates == 2
+        assert meter.slow_updates == 0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            RegisterArray("r", 0)
+
+    def test_nonzero_iteration(self):
+        arr = RegisterArray("r", 4)
+        arr.write(2, 9)
+        assert list(arr.nonzero()) == [(2, 9)]
+
+    def test_global_arrays(self):
+        meter = StateCostMeter()
+        g = GlobalArrays(meter=meter)
+        g.write("seen", ("a", "b"), True)
+        assert g.read("seen", ("a", "b")) is True
+        assert g.read("seen", ("x",), default=0) == 0
+        assert g.delete("seen", ("a", "b")) is True
+        assert g.delete("seen", ("a", "b")) is False
+        assert meter.fast_updates == 2  # one write + one delete
+
+    def test_cost_meter_totals(self):
+        meter = StateCostMeter()
+        meter.charge_lookup(3)
+        meter.charge_fast_update()
+        meter.charge_slow_update()
+        assert meter.lookups == 3
+        assert meter.total_ticks > 0
+        meter.reset()
+        assert meter.total_ticks == 0
+
+
+class TestPipeline:
+    def _pipe(self, **kw):
+        kw.setdefault("num_tables", 2)
+        return Pipeline(**kw)
+
+    def test_output_action(self):
+        pipe = self._pipe()
+        pipe.table(0).install(ANY, [Output(3)])
+        result = pipe.process(ethernet(1, 2), in_port=1, now=0.0)
+        assert result.outputs[0][0] == 3
+        assert not result.dropped
+
+    def test_miss_policy_drop(self):
+        pipe = self._pipe(miss_policy=MissPolicy.DROP)
+        result = pipe.process(ethernet(1, 2), in_port=1, now=0.0)
+        assert result.dropped
+        assert result.drop_reason == "table-miss"
+
+    def test_miss_policy_flood(self):
+        pipe = self._pipe(miss_policy=MissPolicy.FLOOD)
+        assert pipe.process(ethernet(1, 2), 1, 0.0).flooded
+
+    def test_miss_policy_controller(self):
+        pipe = self._pipe(miss_policy=MissPolicy.CONTROLLER)
+        assert pipe.process(ethernet(1, 2), 1, 0.0).to_controller
+
+    def test_set_field_rewrites_before_output(self):
+        pipe = self._pipe()
+        pipe.table(0).install(
+            ANY, [SetField("eth.dst", MACAddress(9)), Output(2)]
+        )
+        result = pipe.process(ethernet(1, 2), 1, 0.0)
+        assert result.outputs[0][1].eth.dst == MACAddress(9)
+
+    def test_goto_table_chains(self):
+        pipe = self._pipe()
+        pipe.table(0).install(ANY, [GotoTable(1)])
+        pipe.table(1).install(ANY, [Output(4)])
+        result = pipe.process(ethernet(1, 2), 1, 0.0)
+        assert result.outputs[0][0] == 4
+        assert result.tables_traversed == 2
+
+    def test_goto_backwards_rejected(self):
+        pipe = self._pipe()
+        pipe.table(1).install(ANY, [GotoTable(0)])
+        pipe.table(0).install(ANY, [GotoTable(1)])
+        with pytest.raises(PipelineError):
+            pipe.process(ethernet(1, 2), 1, 0.0)
+
+    def test_learn_collected_not_applied(self):
+        pipe = self._pipe()
+        learn = Learn(table_id=1, match=(("eth.dst", FieldRef("eth.src")),),
+                      actions=(Output(2),))
+        pipe.table(0).install(ANY, [learn, Flood()])
+        result = pipe.process(ethernet(1, 2), 1, 0.0)
+        assert len(result.updates) == 1
+        assert result.updates[0].slow_path
+        assert len(pipe.table(1)) == 0  # deferred to the switch
+
+    def test_register_write_collected_fast_path(self):
+        pipe = self._pipe()
+        pipe.table(0).install(
+            ANY, [RegisterWrite("seen", 1, 1), Output(2)]
+        )
+        result = pipe.process(ethernet(1, 2), 1, 0.0)
+        assert len(result.updates) == 1
+        assert not result.updates[0].slow_path
+
+    def test_notify_emits_alert_with_carried_fields(self):
+        pipe = self._pipe()
+        pipe.table(0).install(
+            ANY, [Notify("boom", carry=("eth.src",)), Drop()]
+        )
+        p = ethernet(7, 2)
+        result = pipe.process(p, 1, 0.0)
+        assert result.alerts[0].message == "boom"
+        assert result.alerts[0].carried["eth.src"] == MACAddress(7)
+        assert result.alerts[0].packet_uid == p.uid
+
+    def test_unresolved_output_port_rejected(self):
+        pipe = self._pipe()
+        pipe.table(0).install(ANY, [Output(FieldRef("in_port"))])
+        with pytest.raises(PipelineError):
+            pipe.process(ethernet(1, 2), 1, 0.0)
+
+    def test_parse_depth_limits_matching(self):
+        from repro.packet import dhcp_packet, DhcpMessageType
+
+        pipe = Pipeline(num_tables=1, max_parse_layer=4,
+                        miss_policy=MissPolicy.DROP)
+        pipe.table(0).install(
+            MatchSpec().eq("dhcp.msg_type", DhcpMessageType.REQUEST), [Output(2)]
+        )
+        result = pipe.process(dhcp_packet(5, DhcpMessageType.REQUEST), 1, 0.0)
+        assert result.dropped  # the L7 field is invisible at L4 parsing
+
+    def test_egress_table_sees_out_port(self):
+        pipe = Pipeline(num_tables=1, num_egress_tables=1,
+                        miss_policy=MissPolicy.DROP)
+        pipe.table(0).install(ANY, [Output(2)])
+        pipe.egress_table(0).install(
+            MatchSpec(out_port=2), [SetField("eth.dst", MACAddress(5))]
+        )
+        result = pipe.process(ethernet(1, 2), 1, 0.0)
+        assert result.outputs[0][1].eth.dst == MACAddress(5)
+
+    def test_egress_drop_removes_output(self):
+        pipe = Pipeline(num_tables=1, num_egress_tables=1,
+                        miss_policy=MissPolicy.DROP)
+        pipe.table(0).install(ANY, [Output(2)])
+        pipe.egress_table(0).install(MatchSpec(out_port=2), [Drop()])
+        result = pipe.process(ethernet(1, 2), 1, 0.0)
+        assert result.outputs == []
+
+    def test_lookup_cost_charged(self):
+        pipe = self._pipe()
+        pipe.process(ethernet(1, 2), 1, 0.0)
+        assert pipe.meter.lookups == 2  # both tables consulted
+
+    def test_add_table_grows_depth(self):
+        pipe = self._pipe()
+        assert pipe.depth == 2
+        pipe.add_table()
+        assert pipe.depth == 3
+
+    def test_needs_at_least_one_table(self):
+        with pytest.raises(PipelineError):
+            Pipeline(num_tables=0)
+
+
+class TestSwitch:
+    def _switch(self, **kw):
+        sched = EventScheduler()
+        kw.setdefault("num_ports", 3)
+        return Switch("s1", sched, **kw), sched
+
+    def test_flood_skips_ingress_port(self):
+        sw, sched = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.receive(ethernet(1, 2), in_port=1)
+        sched.run()
+        out_ports = sorted(e.out_port for e in rec.egresses)
+        assert out_ports == [2, 3]
+        assert all(e.action is EgressAction.FLOOD for e in rec.egresses)
+
+    def test_unicast_rule(self):
+        sw, sched = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.install_rule(MatchSpec(eth__dst=MACAddress(2)), [Output(2)],
+                        priority=200)
+        sw.receive(ethernet(1, 2), in_port=1)
+        sched.run()
+        assert [e.out_port for e in rec.egresses] == [2]
+        assert rec.egresses[0].action is EgressAction.UNICAST
+
+    def test_drop_visibility_on(self):
+        sw, sched = self._switch(miss_policy=MissPolicy.DROP)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.receive(ethernet(1, 2), in_port=1)
+        assert len(rec.drops) == 1
+        assert rec.drops[0].reason == "table-miss"
+
+    def test_drop_visibility_off(self):
+        sw, sched = self._switch(miss_policy=MissPolicy.DROP,
+                                 drop_visibility=False)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.receive(ethernet(1, 2), in_port=1)
+        assert rec.drops == []
+        assert sw.stats.drops == 1  # it still happened
+
+    def test_app_drop_api(self):
+        sw, _ = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.drop(ethernet(1, 2), in_port=1, reason="policy")
+        assert rec.drops[0].reason == "policy"
+
+    def test_port_down_blocks_ingress(self):
+        sw, _ = self._switch()
+        sw.link_down(1)
+        with pytest.raises(ValueError):
+            sw.receive(ethernet(1, 2), in_port=1)
+
+    def test_port_down_emits_oob(self):
+        sw, _ = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.link_down(2)
+        sw.link_up(2)
+        kinds = [e.oob_kind for e in rec.oob]
+        assert kinds == [OobKind.PORT_DOWN, OobKind.PORT_UP]
+        assert rec.oob[0].port == 2
+
+    def test_port_status_idempotent(self):
+        sw, _ = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.link_up(2)  # already up: no event
+        assert rec.oob == []
+
+    def test_flood_skips_down_ports(self):
+        sw, sched = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.link_down(3)
+        rec.clear()
+        sw.receive(ethernet(1, 2), in_port=1)
+        sched.run()
+        assert sorted(e.out_port for e in rec.egresses) == [2]
+
+    def test_learn_applied_inline(self):
+        sw, sched = self._switch(num_tables=2, mode=ProcessingMode.INLINE)
+        learn = Learn(table_id=1, match=(("eth.dst", FieldRef("eth.src")),),
+                      actions=(Output(FieldRef("in_port")),))
+        sw.install_rule(ANY, [learn], table_id=0, priority=1)
+        sw.receive(ethernet(1, 2), in_port=1)
+        assert len(sw.pipeline.table(1)) == 1  # applied before return
+
+    def test_learn_applied_split_after_lag(self):
+        sw, sched = self._switch(num_tables=2, mode=ProcessingMode.SPLIT,
+                                 split_lag=0.01)
+        learn = Learn(table_id=1, match=(("eth.dst", FieldRef("eth.src")),),
+                      actions=(Output(FieldRef("in_port")),))
+        sw.install_rule(ANY, [learn], table_id=0, priority=1)
+        sw.receive(ethernet(1, 2), in_port=1)
+        assert len(sw.pipeline.table(1)) == 0  # not yet
+        sched.run()
+        assert len(sw.pipeline.table(1)) == 1
+
+    def test_learn_to_fresh_table_grows_pipeline(self):
+        sw, _ = self._switch(num_tables=1)
+        learn = Learn(table_id=-1, match=(("eth.src", FieldRef("eth.src")),),
+                      actions=(Notify("hit"),))
+        sw.install_rule(ANY, [learn], table_id=0, priority=1)
+        depth_before = sw.pipeline.depth
+        sw.receive(ethernet(1, 2), in_port=1)
+        sw.receive(ethernet(2, 1), in_port=2)
+        assert sw.pipeline.depth == depth_before + 2  # one table per learn
+
+    def test_rule_timeout_fires_on_timeout_actions(self):
+        sw, sched = self._switch()
+        alerts = []
+        sw.add_alert_sink(alerts.append)
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.install_rule(
+            MatchSpec(in_port=9), [Output(2)],
+            hard_timeout=1.0, on_timeout=[Notify("expired!")], cookie="t",
+        )
+        sched.run()
+        assert sched.clock.now() >= 1.0
+        assert [a.message for a in alerts] == ["expired!"]
+        timers = [e for e in rec.events if isinstance(e, TimerFired)]
+        assert len(timers) == 1 and timers[0].timer_id == "t"
+
+    def test_rule_timeout_without_actions_is_silent(self):
+        sw, sched = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.install_rule(MatchSpec(in_port=9), [Output(2)], hard_timeout=1.0)
+        sched.run()
+        assert not [e for e in rec.events if isinstance(e, TimerFired)]
+
+    def test_inline_latency_grows_with_updates(self):
+        sw_plain, _ = self._switch(num_tables=2)
+        sw_plain.install_rule(ANY, [Output(2)], table_id=0, priority=1)
+        sw_plain.receive(ethernet(1, 2), in_port=1)
+
+        sw_learn, _ = self._switch(num_tables=2)
+        learn = Learn(table_id=1, match=(("eth.dst", FieldRef("eth.src")),),
+                      actions=(Output(FieldRef("in_port")),))
+        sw_learn.install_rule(ANY, [learn, Output(2)], table_id=0, priority=1)
+        sw_learn.receive(ethernet(1, 2), in_port=1)
+        assert (sw_learn.stats.mean_forward_latency
+                > sw_plain.stats.mean_forward_latency)
+
+    def test_inject_emits_unicast_egress(self):
+        sw, _ = self._switch()
+        rec = TraceRecorder()
+        sw.add_tap(rec)
+        sw.inject(ethernet(1, 2), out_port=2)
+        assert rec.egresses[0].in_port == 0  # switch-originated marker
+
+    def test_stats_counts(self):
+        sw, sched = self._switch(miss_policy=MissPolicy.FLOOD)
+        sw.receive(ethernet(1, 2), in_port=1)
+        sched.run()
+        assert sw.stats.arrivals == 1
+        assert sw.stats.floods == 1
+
+    def test_unknown_port_rejected(self):
+        sw, _ = self._switch()
+        with pytest.raises(ValueError):
+            sw.receive(ethernet(1, 2), in_port=99)
+        with pytest.raises(ValueError):
+            sw.inject(ethernet(1, 2), out_port=99)

@@ -1,0 +1,212 @@
+"""Unit tests: trace serialization round-trips and the CLI commands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.netsim.serialize import (
+    TraceFormatError,
+    dump_trace,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    read_trace,
+    save_trace,
+)
+from repro.packet import dhcp_packet, DhcpMessageType, ethernet, tcp_packet
+from repro.switch.events import (
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+    TimerFired,
+)
+
+
+def sample_events():
+    p = tcp_packet(1, 2, "10.0.0.1", "10.0.0.2", 1000, 80, payload=b"hi")
+    d = dhcp_packet(5, DhcpMessageType.ACK, yiaddr="10.0.0.50")
+    return [
+        PacketArrival(switch_id="s1", time=0.0, packet=p, in_port=1),
+        PacketEgress(switch_id="s1", time=0.001, packet=p, in_port=1,
+                     out_port=2, action=EgressAction.UNICAST),
+        PacketDrop(switch_id="s1", time=0.002, packet=d, in_port=2,
+                   reason="acl"),
+        OutOfBandEvent(switch_id="s1", time=0.003,
+                       oob_kind=OobKind.PORT_DOWN, port=3),
+        TimerFired(switch_id="s1", time=0.004, timer_id="t1",
+                   instance_key=("a", 1)),
+    ]
+
+
+class TestTraceSerialization:
+    def test_roundtrip_preserves_everything(self):
+        events = sample_events()
+        buf = io.StringIO()
+        assert dump_trace(events, buf) == 5
+        buf.seek(0)
+        loaded = load_trace(buf)
+        assert len(loaded) == 5
+        for original, restored in zip(events, loaded):
+            assert type(original) is type(restored)
+            assert restored.time == original.time
+            assert restored.switch_id == original.switch_id
+
+    def test_packet_identity_survives(self):
+        events = sample_events()
+        buf = io.StringIO()
+        dump_trace(events, buf)
+        buf.seek(0)
+        loaded = load_trace(buf)
+        # Arrival and egress carried the same packet: identity preserved.
+        assert loaded[0].packet.uid == loaded[1].packet.uid
+        assert loaded[0].packet.uid == events[0].packet.uid
+
+    def test_packet_contents_survive(self):
+        events = sample_events()
+        buf = io.StringIO()
+        dump_trace(events, buf)
+        buf.seek(0)
+        loaded = load_trace(buf)
+        assert loaded[0].packet.l4_sport == 1000
+        assert loaded[0].packet.payload == b"hi"
+        from repro.packet import Dhcp
+
+        assert loaded[2].packet.get(Dhcp).yiaddr is not None
+
+    def test_oob_and_timer_fields(self):
+        buf = io.StringIO()
+        dump_trace(sample_events(), buf)
+        buf.seek(0)
+        loaded = load_trace(buf)
+        assert loaded[3].oob_kind is OobKind.PORT_DOWN
+        assert loaded[3].port == 3
+        assert loaded[4].timer_id == "t1"
+        assert loaded[4].instance_key == ("a", 1)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert save_trace(sample_events(), path) == 5
+        assert len(read_trace(path)) == 5
+
+    def test_parse_depth_limit_on_load(self):
+        buf = io.StringIO()
+        dump_trace(sample_events(), buf)
+        buf.seek(0)
+        loaded = load_trace(buf, max_layer=3)
+        from repro.packet import TCP
+
+        assert not loaded[0].packet.has(TCP)
+
+    def test_blank_lines_skipped(self):
+        buf = io.StringIO()
+        dump_trace(sample_events()[:1], buf)
+        buf.write("\n\n")
+        buf.seek(0)
+        assert len(load_trace(buf)) == 1
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO("not json\n"))
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO(json.dumps({"kind": "PacketArrival"}) + "\n"))
+
+    def test_unknown_kind_rejected(self):
+        line = json.dumps({"kind": "Quantum", "switch": "s", "time": 0.0})
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO(line + "\n"))
+
+    def test_dict_roundtrip_single(self):
+        event = sample_events()[0]
+        assert event_from_dict(event_to_dict(event)).packet.uid == event.packet.uid
+
+
+DSL = """
+property learned_unicast
+key D
+observe learn : arrival
+    bind D = eth.src, p = in_port
+observe bad_egress : egress
+    where eth.dst == $D and out_port != $p
+"""
+
+
+class TestCli:
+    def test_tables_exits_zero(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "13/13 rows match the paper" in out
+        assert "all cells match the paper" in out
+
+    def test_survey_lists_backends(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Varanus" in out and "hosts" in out
+
+    def test_check_analyzes_file(self, tmp_path, capsys):
+        path = tmp_path / "p.prop"
+        path.write_text(DSL)
+        assert main(["check", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "learned_unicast" in out
+        assert "negative-match" in out
+
+    def test_check_reports_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.prop"
+        path.write_text("property broken observe x : wormhole")
+        assert main(["check", str(path)]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_record_then_replay(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        props = tmp_path / "p.prop"
+        props.write_text(DSL)
+        assert main(["record", str(trace), "--packets", "30",
+                     "--fault-rate", "1.0"]) == 0
+        assert main(["replay", str(trace), str(props)]) == 0
+        out = capsys.readouterr().out
+        assert "violations:" in out
+        assert "VIOLATION learned_unicast" in out
+
+    def test_replay_clean_trace(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        props = tmp_path / "p.prop"
+        props.write_text(DSL)
+        assert main(["record", str(trace), "--packets", "30",
+                     "--fault-rate", "0.0"]) == 0
+        assert main(["replay", str(trace), str(props)]) == 0
+        assert "violations: 0" in capsys.readouterr().out
+
+
+class TestShippedPropertyFiles:
+    """The .prop files under examples/properties/ must stay compilable."""
+
+    def test_all_shipped_files_check(self, capsys):
+        import glob
+        import os
+
+        files = sorted(glob.glob(
+            os.path.join(os.path.dirname(__file__), "..", "..",
+                         "examples", "properties", "*.prop")))
+        assert len(files) == 20
+        assert main(["check"] + files) == 0
+        out = capsys.readouterr().out
+        assert out.count("inst. id") == 20
+
+    def test_files_match_dsl_sources(self):
+        import glob
+        import os
+
+        from repro.props.dsl_sources import DSL_SOURCES
+
+        files = glob.glob(
+            os.path.join(os.path.dirname(__file__), "..", "..",
+                         "examples", "properties", "*.prop"))
+        names = {os.path.basename(f)[:-5].replace("_", "-") for f in files}
+        assert names == set(DSL_SOURCES)

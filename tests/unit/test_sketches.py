@@ -1,0 +1,142 @@
+"""Unit tests: count-min sketch and heavy-hitter detection."""
+
+import random
+
+import pytest
+
+from repro.backends.sketches import CountMinSketch, HeavyHitterDetector
+from repro.packet import tcp_packet
+from repro.switch.events import PacketArrival, PacketEgress, EgressAction
+from repro.switch.registers import StateCostMeter
+
+
+def arr(packet, t=0.0):
+    return PacketArrival(switch_id="s", time=t, packet=packet, in_port=1)
+
+
+def flow_packet(i, count_port=80):
+    return tcp_packet(1, 2, f"10.0.{i // 250}.{i % 250 + 1}",
+                      "198.51.100.1", 1000 + i % 500, count_port)
+
+
+class TestCountMinSketch:
+    def test_estimate_counts(self):
+        cms = CountMinSketch(width=256, depth=4)
+        for _ in range(7):
+            cms.update(("a",))
+        cms.update(("b",))
+        assert cms.estimate(("a",)) >= 7
+        assert cms.estimate(("b",)) >= 1
+        assert cms.estimate(("never",)) >= 0
+
+    def test_never_undercounts(self):
+        rng = random.Random(3)
+        cms = CountMinSketch(width=64, depth=3)
+        truth = {}
+        for _ in range(2000):
+            key = (rng.randint(1, 40),)
+            truth[key] = truth.get(key, 0) + 1
+            cms.update(key)
+        for key, count in truth.items():
+            assert cms.estimate(key) >= count
+
+    def test_wider_sketch_overcounts_less(self):
+        rng = random.Random(5)
+        keys = [(i,) for i in range(200)]
+        updates = [rng.choice(keys) for _ in range(5000)]
+        truth = {}
+        for key in updates:
+            truth[key] = truth.get(key, 0) + 1
+
+        def total_error(width):
+            cms = CountMinSketch(width=width, depth=4)
+            for key in updates:
+                cms.update(key)
+            return sum(cms.estimate(k) - c for k, c in truth.items())
+
+        assert total_error(2048) <= total_error(64)
+
+    def test_updates_are_fast_path(self):
+        meter = StateCostMeter()
+        cms = CountMinSketch(width=64, depth=4, meter=meter)
+        cms.update(("x",))
+        assert meter.fast_updates == 4  # one write per row
+        assert meter.slow_updates == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+
+
+class TestHeavyHitterDetector:
+    def test_reports_flow_crossing_threshold(self):
+        detector = HeavyHitterDetector(threshold=10, exact=True)
+        reports = []
+        p = flow_packet(1)
+        for k in range(15):
+            report = detector.observe(arr(p.refreshed(), t=k * 0.1))
+            if report:
+                reports.append(report)
+        assert len(reports) == 1  # reported exactly once
+        assert reports[0].estimated >= 10
+        assert reports[0].first_reported_at == pytest.approx(0.9)
+
+    def test_small_flows_not_reported(self):
+        detector = HeavyHitterDetector(threshold=10, exact=True)
+        for i in range(50):
+            detector.observe(arr(flow_packet(i)))  # 1 packet per flow
+        assert detector.reported == {}
+
+    def test_non_ip_and_non_arrival_ignored(self):
+        from repro.packet import ethernet
+
+        detector = HeavyHitterDetector(threshold=1)
+        assert detector.observe(arr(ethernet(1, 2))) is None
+        egress = PacketEgress(switch_id="s", time=0.0, packet=flow_packet(1),
+                              out_port=2, in_port=1,
+                              action=EgressAction.UNICAST)
+        assert detector.observe(egress) is None
+        assert detector.packets_seen == 0
+
+    def test_perfect_recall(self):
+        rng = random.Random(11)
+        detector = HeavyHitterDetector(threshold=20, width=512, depth=4,
+                                       exact=True)
+        packets = []
+        for flow in range(5):  # 5 elephants
+            packets += [flow_packet(flow) for _ in range(30)]
+        for flow in range(5, 105):  # 100 mice
+            packets += [flow_packet(flow) for _ in range(2)]
+        rng.shuffle(packets)
+        for k, p in enumerate(packets):
+            detector.observe(arr(p.refreshed(), t=k * 1e-3))
+        assert detector.recall() == 1.0
+        assert len(detector.true_heavy_hitters()) == 5
+
+    def test_false_positives_bounded_with_wide_sketch(self):
+        detector = HeavyHitterDetector(threshold=20, width=4096, depth=4,
+                                       exact=True)
+        for flow in range(3):
+            for k in range(25):
+                detector.observe(arr(flow_packet(flow).refreshed()))
+        for flow in range(3, 203):
+            detector.observe(arr(flow_packet(flow)))
+        assert detector.false_positives() == 0
+
+    def test_exact_required_for_accuracy_queries(self):
+        detector = HeavyHitterDetector(threshold=5)
+        with pytest.raises(ValueError):
+            detector.recall()
+
+    def test_live_on_a_switch(self):
+        from repro.netsim import single_switch_network
+
+        net, switch, hosts = single_switch_network(2)
+        detector = HeavyHitterDetector(threshold=5)
+        detector.attach(switch)
+        for k in range(8):
+            hosts[0].send_at(k * 0.01, flow_packet(1).refreshed())
+        net.run()
+        assert len(detector.reported) == 1
