@@ -21,9 +21,9 @@ from repro.core import Bind, EventKind, EventPattern, FieldEq, Monitor, Observe,
 from repro.packet import ethernet
 from repro.switch.events import PacketArrival
 from repro.switch.registers import StateCostMeter
-from repro.switch.switch import ProcessingMode
+from repro.switch.switch import DEFAULT_SPLIT_LAG, ProcessingMode
 
-SPLIT_LAG = 500e-6
+SPLIT_LAG = DEFAULT_SPLIT_LAG
 PAIRS = 200
 
 

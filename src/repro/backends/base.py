@@ -34,7 +34,7 @@ from ..core.spec import PropertySpec
 from ..core.violations import Violation
 from ..switch.events import DataplaneEvent, PacketDrop
 from ..switch.registers import StateCostMeter, TABLE_LOOKUP_COST
-from ..switch.switch import ProcessingMode
+from ..switch.switch import DEFAULT_SPLIT_LAG, ProcessingMode
 
 
 class UnsupportedFeature(Exception):
@@ -105,7 +105,7 @@ class BackendMonitor:
         drop_visibility: bool,
         depth_fn: Callable[["BackendMonitor"], int],
         provenance: ProvenanceLevel = ProvenanceLevel.LIMITED,
-        split_lag: float = 500e-6,
+        split_lag: float = DEFAULT_SPLIT_LAG,
         store_strategy: str = "indexed",
     ) -> None:
         self.backend_name = backend_name
@@ -183,59 +183,85 @@ class Backend:
         """Raise :class:`UnsupportedFeature` if the property needs more
         than this backend provides; returns the requirement analysis."""
         req = analyze(prop)
+        gaps = self.blockers(prop, req)
+        if gaps:
+            raise gaps[0]
+        return req
+
+    def blockers(
+        self,
+        prop: PropertySpec,
+        req: Optional[FeatureRequirements] = None,
+    ) -> Tuple[UnsupportedFeature, ...]:
+        """Every feature gap between ``prop`` and this backend, in the
+        order ``check()`` would trip over them (so ``blockers()[0]`` is
+        exactly what ``check()`` raises).  The static feasibility pass in
+        :mod:`repro.lint` reports the full list per backend."""
+        if req is None:
+            req = analyze(prop)
         caps = self.caps
-        self._require(caps.event_history, req.history, "event history")
-        self._require(caps.related_events, req.identity,
+        gaps: List[UnsupportedFeature] = []
+        self._require(gaps, caps.event_history, req.history, "event history")
+        self._require(gaps, caps.related_events, req.identity,
                       "identification of related events")
         if req.max_layer > caps.max_parse_layer:
-            raise UnsupportedFeature(
+            gaps.append(UnsupportedFeature(
                 "field access",
                 f"property parses to L{req.max_layer} but {caps.name} has "
                 f"fixed-function parsing (max L{caps.max_parse_layer})",
-            )
-        self._require(caps.negative_match, req.negative_match, "negative match")
-        self._require(caps.rule_timeouts, req.timeouts, "rule timeouts")
-        self._require(caps.timeout_actions, req.timeout_actions,
+            ))
+        self._require(gaps, caps.negative_match, req.negative_match,
+                      "negative match")
+        self._require(gaps, caps.rule_timeouts, req.timeouts, "rule timeouts")
+        self._require(gaps, caps.timeout_actions, req.timeout_actions,
                       "timeout actions")
         self._require(
+            gaps,
             caps.symmetric_match,
             req.match_kind is MatchKind.SYMMETRIC,
             "symmetric match",
         )
         self._require(
+            gaps,
             caps.wandering_match,
             req.match_kind is MatchKind.WANDERING,
             "wandering match",
         )
-        self._require(caps.out_of_band, req.out_of_band or req.multiple_match,
+        self._require(gaps, caps.out_of_band,
+                      req.out_of_band or req.multiple_match,
                       "out-of-band events / multiple match")
         if req.drop_visibility and not caps.drop_visibility:
-            raise UnsupportedFeature(
+            gaps.append(UnsupportedFeature(
                 "drop visibility",
                 f"{caps.name} never surfaces dropped packets (they do not "
                 "enter the egress pipeline)",
-            )
-        return req
+            ))
+        return tuple(gaps)
 
     def _require(
-        self, capability: Optional[bool], needed: bool, feature: str
+        self,
+        gaps: List[UnsupportedFeature],
+        capability: Optional[bool],
+        needed: bool,
+        feature: str,
     ) -> None:
         if not needed:
             return
         if capability is True:
             return
         if capability is False:
-            raise UnsupportedFeature(
+            gaps.append(UnsupportedFeature(
                 feature,
                 f"{self.caps.name}'s architecture precludes it",
                 precluded=True,
-            )
-        raise UnsupportedFeature(
+            ))
+            return
+        gaps.append(UnsupportedFeature(
             feature,
             f"support in {self.caps.name} is target-dependent / not part "
             "of its design",
             precluded=False,
-        )
+        ))
 
     # -- instantiation -----------------------------------------------------------
     def _instantiate(self, props: Sequence[PropertySpec]) -> BackendMonitor:

@@ -32,14 +32,14 @@ from typing import Callable, Sequence
 from ..core.spec import PropertySpec
 from ..switch.actions import FieldRef, Learn, Notify
 from ..switch.match import MatchSpec
-from ..switch.switch import Switch
+from ..switch.switch import DEFAULT_SPLIT_LAG, Switch
 from .base import Backend, BackendMonitor, Capabilities
 
 
 class VaranusBackend(Backend):
     """Capability column + cost model for Varanus."""
 
-    def __init__(self, split_lag: float = 500e-6) -> None:
+    def __init__(self, split_lag: float = DEFAULT_SPLIT_LAG) -> None:
         self.split_lag = split_lag
         self.caps = Capabilities(
             name="Varanus",
@@ -80,7 +80,7 @@ class StaticVaranusBackend(Backend):
     unbounded number of tables.
     """
 
-    def __init__(self, split_lag: float = 500e-6) -> None:
+    def __init__(self, split_lag: float = DEFAULT_SPLIT_LAG) -> None:
         self.split_lag = split_lag
         self.caps = Capabilities(
             name="Static Varanus",

@@ -5,6 +5,8 @@
     python -m repro tables              # regenerate Tables 1 and 2
     python -m repro survey              # which backends host which properties
     python -m repro check FILE [...]    # compile + analyze DSL property files
+    python -m repro lint FILE [...]     # static lints + feasibility + split
+                                        #   hazards [--json] [--backend NAME]
     python -m repro record OUT [--packets N --hosts H --seed S]
                                         # simulate traffic, save a JSONL trace
     python -m repro replay TRACE FILE   # replay a trace against DSL properties
@@ -81,15 +83,30 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    from .lint import Severity, lint_source, RULES
+
     status = 0
     for path in args.files:
         try:
             with open(path, "r", encoding="utf-8") as fp:
-                props = compile_source(fp.read(), _predicates())
+                source = fp.read()
+            props = compile_source(source, _predicates())
         except Exception as exc:  # surface parse/compile errors per file
             print(f"{path}: ERROR: {exc}", file=sys.stderr)
             status = 1
             continue
+        # Run the linter alongside the analysis; warnings and errors are
+        # surfaced here, the full report (info-level feasibility verdicts,
+        # cost estimates) lives under ``repro lint``.
+        report = lint_source(source, _predicates(), path=path)
+        for diag in report.all_diagnostics():
+            if diag.severity is Severity.INFO:
+                continue
+            print(f"{path}:{diag.line}:{diag.column}: {diag.severity.value} "
+                  f"{diag.code} {RULES[diag.code].slug}: {diag.message}",
+                  file=sys.stderr)
+            if diag.severity is Severity.ERROR:
+                status = 1
         for prop in props:
             req = analyze(prop)
             print(f"{path}: {prop.name}")
@@ -111,6 +128,33 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(f"    features      : {', '.join(flags) or 'none'}")
             print(f"    inst. id      : {req.match_kind.value}")
     return status
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        DEFAULT_SPLIT_LAG,
+        LintOptions,
+        lint_paths,
+        render_json,
+        render_text,
+        resolve_backend_name,
+    )
+
+    focus = None
+    if args.backend:
+        try:
+            focus = resolve_backend_name(args.backend)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    lag = args.split_lag if args.split_lag is not None else DEFAULT_SPLIT_LAG
+    options = LintOptions(focus_backend=focus, split_lag=lag)
+    reports = lint_paths(args.files, _predicates(), options)
+    if args.json:
+        print(render_json(reports))
+    else:
+        print(render_text(reports, verbose=not args.quiet))
+    return 1 if any(r.errors for r in reports) else 0
 
 
 def cmd_record(args: argparse.Namespace) -> int:
@@ -173,6 +217,23 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser("check", help="compile + analyze DSL files")
     check.add_argument("files", nargs="+")
     check.set_defaults(fn=cmd_check)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static lints, backend feasibility, split-mode hazards")
+    lint.add_argument("files", nargs="+")
+    lint.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON report")
+    lint.add_argument("--backend", default=None,
+                      help="deployment target: its feasibility failures "
+                           "become errors (name or unique prefix)")
+    lint.add_argument("--split-lag", type=float, default=None,
+                      help="split-mode state-update lag in seconds "
+                           "(default: the engine's DEFAULT_SPLIT_LAG, "
+                           "500 microseconds)")
+    lint.add_argument("--quiet", action="store_true",
+                      help="diagnostics only, no per-property summaries")
+    lint.set_defaults(fn=cmd_lint)
 
     record = sub.add_parser("record",
                             help="simulate a learning switch, save a trace")

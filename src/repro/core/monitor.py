@@ -42,7 +42,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from ..netsim.scheduler import EventScheduler
 from ..switch.events import DataplaneEvent
 from ..switch.registers import StateCostMeter
-from ..switch.switch import ProcessingMode
+from ..switch.switch import DEFAULT_SPLIT_LAG, ProcessingMode
 from .instances import Instance, InstanceStore, make_store, uid_var
 from .provenance import ProvenanceLevel, StageRecord, record_stage
 from .refs import EventKind, EventPattern, event_fields, kind_matches
@@ -95,7 +95,7 @@ class Monitor:
         provenance: ProvenanceLevel = ProvenanceLevel.LIMITED,
         store_strategy: str = "indexed",
         mode: ProcessingMode = ProcessingMode.INLINE,
-        split_lag: float = 500e-6,
+        split_lag: float = DEFAULT_SPLIT_LAG,
         max_layer: int = 7,
         meter: Optional[StateCostMeter] = None,
         slow_path_updates: bool = False,

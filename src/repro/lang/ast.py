@@ -3,6 +3,11 @@
 The surface syntax maps one-to-one onto the core IR; the AST keeps source
 positions for error reporting and stays independent of the IR so the
 elaborator (:mod:`repro.lang.compile`) owns all semantic decisions.
+
+Every node carries a ``line``/``column`` pair (1-based; 0 means "position
+unknown", the default for programmatically built nodes).  Positions are
+excluded from equality so structural comparisons ignore where a node was
+parsed from.
 """
 
 from __future__ import annotations
@@ -14,11 +19,15 @@ from typing import List, Optional, Tuple, Union
 @dataclass(frozen=True)
 class VarRef:
     name: str  # without the $
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
 class Literal:
     value: object  # int, float, str, IPv4Address, MACAddress
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 Value = Union[VarRef, Literal]
@@ -31,6 +40,8 @@ class Comparison:
     field: str
     op: str  # "==" or "!="
     value: Value
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -38,6 +49,8 @@ class AnyDiffers:
     """``any_differs(f == $x, g == $y)`` — the disjunctive negative match."""
 
     pairs: Tuple[Tuple[str, Value], ...]
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -45,6 +58,8 @@ class NamedPredicate:
     """``@name`` — resolved against the caller's predicate environment."""
 
     name: str  # without the @
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 Condition = Union[Comparison, AnyDiffers, NamedPredicate]
@@ -54,6 +69,8 @@ Condition = Union[Comparison, AnyDiffers, NamedPredicate]
 class BindAst:
     var: str
     field: str
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -67,6 +84,8 @@ class PatternAst:
     action: Optional[str] = None  # unicast | flood
     not_action: Optional[str] = None
     oob_kind: Optional[str] = None  # port_down | port_up | link_down | link_up
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -81,6 +100,8 @@ class StageAst:
     semantic: bool = False  # absent only: deadline is part of the property
     no_refresh: bool = False  # observe only: stage-0 rematch does not refresh
     unless: Tuple[PatternAst, ...] = ()
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -95,3 +116,5 @@ class PropertyAst:
     obligation: Optional[bool] = None
     #: "annotate instance exact|symmetric|wandering"
     match_kind: Optional[str] = None
+    line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)

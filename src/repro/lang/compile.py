@@ -15,7 +15,7 @@ from ..core.refs import (
     Predicate,
     Var,
 )
-from ..core.spec import Absent, Observe, PropertySpec
+from ..core.spec import Absent, Observe, PropertySpec, SpecError
 from ..switch.events import EgressAction, OobKind
 from .ast import (
     AnyDiffers,
@@ -32,7 +32,20 @@ from .parser import parse, parse_one
 
 
 class CompileError(ValueError):
-    """Raised when an AST cannot be elaborated."""
+    """Raised when an AST cannot be elaborated.
+
+    Carries the offending AST node's source position (1-based ``line`` /
+    ``column``; 0 when the AST was built programmatically and has no
+    position).  The position is baked into the message so bare ``str()``
+    renderings — the CLI's error path — point at the source.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 _KIND_MAP = {
@@ -80,7 +93,8 @@ def _pattern(ast: PatternAst, predicates: PredicateEnv) -> EventPattern:
             if condition.name not in predicates:
                 raise CompileError(
                     f"unknown predicate @{condition.name} (available: "
-                    f"{sorted(predicates)})"
+                    f"{sorted(predicates)})",
+                    line=condition.line, column=condition.column,
                 )
             guards.append(predicates[condition.name])
         else:  # pragma: no cover - AST is closed
@@ -101,7 +115,8 @@ def _stage(ast: StageAst, predicates: PredicateEnv):
     unless = tuple(_pattern(u, predicates) for u in ast.unless)
     if ast.negative:
         if ast.within is None:
-            raise CompileError(f"absent stage {ast.name!r} needs `within`")
+            raise CompileError(f"absent stage {ast.name!r} needs `within`",
+                               line=ast.line, column=ast.column)
         return Absent(
             name=ast.name,
             pattern=pattern,
@@ -112,7 +127,8 @@ def _stage(ast: StageAst, predicates: PredicateEnv):
         )
     if ast.refresh is not None:
         raise CompileError(
-            f"observe stage {ast.name!r}: `refresh` applies to absent stages"
+            f"observe stage {ast.name!r}: `refresh` applies to absent stages",
+            line=ast.line, column=ast.column,
         )
     return Observe(
         name=ast.name,
@@ -128,15 +144,20 @@ def compile_ast(
 ) -> PropertySpec:
     """Elaborate one parsed property to a monitor-ready specification."""
     env = dict(predicates or {})
-    return PropertySpec(
-        name=ast.name,
-        description=ast.description,
-        stages=tuple(_stage(s, env) for s in ast.stages),
-        key_vars=ast.key_vars,
-        violation_message=ast.message,
-        obligation_override=ast.obligation,
-        match_kind_override=ast.match_kind,
-    )
+    try:
+        return PropertySpec(
+            name=ast.name,
+            description=ast.description,
+            stages=tuple(_stage(s, env) for s in ast.stages),
+            key_vars=ast.key_vars,
+            violation_message=ast.message,
+            obligation_override=ast.obligation,
+            match_kind_override=ast.match_kind,
+        )
+    except SpecError as exc:
+        # Structural spec errors surface at the property header: the IR
+        # has no positions of its own, but the AST we elaborated from does.
+        raise CompileError(str(exc), line=ast.line, column=ast.column) from exc
 
 
 def compile_source(

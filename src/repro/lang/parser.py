@@ -105,7 +105,7 @@ class _Parser:
         return props
 
     def parse_property(self) -> PropertyAst:
-        self.expect("IDENT", "property")
+        header = self.expect("IDENT", "property")
         name = self.expect("IDENT").value
         description = ""
         if self.peek().kind == "STRING":
@@ -152,10 +152,13 @@ class _Parser:
             message=message,
             obligation=obligation,
             match_kind=match_kind,
+            line=header.line,
+            column=header.column,
         )
 
     def parse_stage(self) -> StageAst:
-        negative = self.expect("IDENT").value == "absent"
+        opener = self.expect("IDENT")
+        negative = opener.value == "absent"
         name = self.expect("IDENT").value
         self.expect("COLON")
         pattern, within, refresh, semantic, no_refresh = self.parse_pattern_head()
@@ -178,6 +181,8 @@ class _Parser:
             action=pattern.action,
             not_action=pattern.not_action,
             oob_kind=pattern.oob_kind,
+            line=pattern.line,
+            column=pattern.column,
         )
         return StageAst(
             negative=negative,
@@ -188,6 +193,8 @@ class _Parser:
             semantic=semantic,
             no_refresh=no_refresh,
             unless=tuple(unless),
+            line=opener.line,
+            column=opener.column,
         )
 
     def parse_pattern_head(self):
@@ -242,6 +249,8 @@ class _Parser:
             action=action,
             not_action=not_action,
             oob_kind=oob_kind,
+            line=kind_token.line,
+            column=kind_token.column,
         )
         return pattern, within, refresh, semantic, no_refresh
 
@@ -260,6 +269,8 @@ class _Parser:
             action=pattern.action,
             not_action=pattern.not_action,
             oob_kind=pattern.oob_kind,
+            line=pattern.line,
+            column=pattern.column,
         )
 
     def parse_conditions(self) -> Tuple:
@@ -273,7 +284,8 @@ class _Parser:
         token = self.peek()
         if token.kind == "PRED":
             self.advance()
-            return NamedPredicate(token.value[1:])
+            return NamedPredicate(token.value[1:], line=token.line,
+                                  column=token.column)
         if token.kind == "IDENT" and token.value == "any_differs":
             self.advance()
             self.expect("LPAREN")
@@ -281,7 +293,8 @@ class _Parser:
             while self.accept("COMMA"):
                 pairs.append(self.parse_differ_pair())
             self.expect("RPAREN")
-            return AnyDiffers(tuple(pairs))
+            return AnyDiffers(tuple(pairs), line=token.line,
+                              column=token.column)
         field = self.parse_field_name()
         op_token = self.peek()
         if op_token.kind == "EQ":
@@ -291,7 +304,8 @@ class _Parser:
         else:
             raise ParseError("expected == or !=", op_token)
         self.advance()
-        return Comparison(field=field, op=op, value=self.parse_value())
+        return Comparison(field=field, op=op, value=self.parse_value(),
+                          line=token.line, column=token.column)
 
     def parse_differ_pair(self) -> Tuple[str, Value]:
         field = self.parse_field_name()
@@ -312,27 +326,32 @@ class _Parser:
         return tuple(binds)
 
     def parse_binding(self) -> BindAst:
-        var = self.expect("IDENT").value
+        var_token = self.expect("IDENT")
         self.expect("ASSIGN")
-        return BindAst(var=var, field=self.parse_field_name())
+        return BindAst(var=var_token.value, field=self.parse_field_name(),
+                       line=var_token.line, column=var_token.column)
 
     def parse_value(self) -> Value:
         token = self.peek()
         if token.kind == "VAR":
             self.advance()
-            return VarRef(token.value[1:])
+            return VarRef(token.value[1:], line=token.line,
+                          column=token.column)
         if token.kind == "NUMBER":
             self.advance()
             text = token.value
-            return Literal(float(text) if "." in text else int(text))
+            return Literal(float(text) if "." in text else int(text),
+                           line=token.line, column=token.column)
         if token.kind == "IP":
             self.advance()
-            return Literal(IPv4Address(token.value))
+            return Literal(IPv4Address(token.value), line=token.line,
+                           column=token.column)
         if token.kind == "STRING":
             self.advance()
             if _MAC_LIKE.match(token.value):
-                return Literal(MACAddress(token.value))
-            return Literal(token.value)
+                return Literal(MACAddress(token.value), line=token.line,
+                               column=token.column)
+            return Literal(token.value, line=token.line, column=token.column)
         raise ParseError("expected a value", token)
 
 

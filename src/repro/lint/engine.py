@@ -1,0 +1,219 @@
+"""Lint orchestration: source text in, structured file reports out.
+
+Per file: parse (a :class:`~repro.lang.parser.ParseError` becomes an
+``L000`` diagnostic and stops that file), then per property run the AST
+correctness rules; if none of them is an error, elaborate to the IR and
+run the backend-feasibility and split-mode passes.  Elaboration failures
+(:class:`~repro.lang.compile.CompileError`) also surface as ``L000`` with
+their source position.
+
+Suppression annotations (checked against the raw source, since the lexer
+discards comments):
+
+* ``# lint: disable=L002`` — suppresses those codes on the annotation's
+  own line and the line directly below (so it can ride at the end of the
+  offending clause or sit on its own line above it);
+* ``# lint: disable-file=L002,L010`` — suppresses the codes everywhere in
+  the file.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.spec import PropertySpec
+from ..lang.compile import CompileError, compile_ast
+from ..lang.lexer import LexError
+from ..lang.parser import ParseError, parse
+from .diagnostics import Diagnostic, Severity
+from .feasibility import (
+    BackendVerdict,
+    feasibility_diagnostics,
+    survey_property,
+)
+from .rules import run_ast_rules
+from .splitmode import (
+    DEFAULT_SPLIT_LAG,
+    SplitReport,
+    analyze_split,
+    split_diagnostics,
+)
+
+_DISABLE_LINE = re.compile(r"#.*?\blint:\s*disable=([A-Z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#.*?\blint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Knobs for one lint run."""
+
+    #: run the Table-2 feasibility pass
+    feasibility: bool = True
+    #: run the split-mode hazard pass
+    split: bool = True
+    #: canonical backend name to treat as the deployment target: its
+    #: feasibility failures become errors (L102)
+    focus_backend: Optional[str] = None
+    #: split-mode state-update lag to classify against
+    split_lag: float = DEFAULT_SPLIT_LAG
+
+
+@dataclass
+class PropertyReport:
+    """Everything the linter derived about one property."""
+
+    name: str
+    line: int = 0
+    column: int = 0
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    spec: Optional[PropertySpec] = None
+    feasibility: Tuple[BackendVerdict, ...] = ()
+    split: Optional[SplitReport] = None
+
+
+@dataclass
+class FileReport:
+    """One linted file: file-level diagnostics plus per-property reports."""
+
+    path: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    properties: List[PropertyReport] = field(default_factory=list)
+    #: diagnostics silenced by inline annotations (kept for --json)
+    suppressed: int = 0
+
+    def all_diagnostics(self) -> List[Diagnostic]:
+        out = list(self.diagnostics)
+        for prop in self.properties:
+            out.extend(prop.diagnostics)
+        return sorted(out, key=Diagnostic.sort_key)
+
+    def count(self, severity: Severity) -> int:
+        return sum(
+            1 for d in self.all_diagnostics() if d.severity is severity
+        )
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+
+class _Suppressions:
+    """Which rule codes are silenced where, scraped from comments."""
+
+    def __init__(self, source: str) -> None:
+        self.file_wide: Set[str] = set()
+        self.by_line: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _DISABLE_FILE.search(text)
+            if match:
+                self.file_wide.update(_codes(match.group(1)))
+                continue
+            match = _DISABLE_LINE.search(text)
+            if match:
+                codes = _codes(match.group(1))
+                self.by_line.setdefault(lineno, set()).update(codes)
+                self.by_line.setdefault(lineno + 1, set()).update(codes)
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.code in self.file_wide:
+            return True
+        return diagnostic.code in self.by_line.get(diagnostic.line, set())
+
+
+def _codes(raw: str) -> Set[str]:
+    return {c.strip() for c in raw.split(",") if c.strip()}
+
+
+def lint_source(
+    source: str,
+    predicates: Optional[Mapping] = None,
+    path: str = "<string>",
+    options: Optional[LintOptions] = None,
+) -> FileReport:
+    """Lint one property-language source string."""
+    options = options or LintOptions()
+    report = FileReport(path=path)
+    suppressions = _Suppressions(source)
+    try:
+        asts = parse(source)
+    except (ParseError, LexError) as exc:
+        token = getattr(exc, "token", None)
+        report.diagnostics.append(Diagnostic(
+            code="L000",
+            severity=Severity.ERROR,
+            message=str(exc),
+            line=getattr(token, "line", getattr(exc, "line", 0)) or 0,
+            column=getattr(token, "column", getattr(exc, "column", 0)) or 0,
+            path=path,
+        ))
+        return report
+
+    for ast in asts:
+        prop_report = PropertyReport(
+            name=ast.name, line=ast.line, column=ast.column
+        )
+        report.properties.append(prop_report)
+        diags = run_ast_rules(ast)
+        has_error = any(d.severity is Severity.ERROR for d in diags)
+        if not has_error:
+            try:
+                prop_report.spec = compile_ast(ast, predicates)
+            except CompileError as exc:
+                diags.append(Diagnostic(
+                    code="L000",
+                    severity=Severity.ERROR,
+                    message=str(exc),
+                    line=exc.line or ast.line,
+                    column=exc.column or ast.column,
+                    prop=ast.name,
+                ))
+        if prop_report.spec is not None:
+            if options.feasibility:
+                prop_report.feasibility = survey_property(prop_report.spec)
+                diags.extend(feasibility_diagnostics(
+                    ast.name, prop_report.feasibility, anchor=ast,
+                    focus=options.focus_backend,
+                ))
+            if options.split:
+                prop_report.split = analyze_split(
+                    prop_report.spec, lag=options.split_lag
+                )
+                diags.extend(split_diagnostics(prop_report.split, anchor=ast))
+        kept = [d for d in diags if not suppressions.covers(d)]
+        report.suppressed += len(diags) - len(kept)
+        prop_report.diagnostics = sorted(kept, key=Diagnostic.sort_key)
+    return report
+
+
+def lint_file(
+    path: str,
+    predicates: Optional[Mapping] = None,
+    options: Optional[LintOptions] = None,
+) -> FileReport:
+    """Lint one ``.prop`` file from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            source = fp.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        report = FileReport(path=path)
+        report.diagnostics.append(Diagnostic(
+            code="L000", severity=Severity.ERROR,
+            message=f"cannot read {path}: {exc}", path=path,
+        ))
+        return report
+    return lint_source(source, predicates, path=path, options=options)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    predicates: Optional[Mapping] = None,
+    options: Optional[LintOptions] = None,
+) -> List[FileReport]:
+    """Lint many files; one report per path, in the given order."""
+    return [lint_file(path, predicates, options) for path in paths]

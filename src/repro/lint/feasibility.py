@@ -1,0 +1,114 @@
+"""Backend feasibility pass — a static ``repro survey`` for one property.
+
+Checks a compiled property's derived
+:class:`~repro.core.features.FeatureRequirements` against every Table-2
+backend capability descriptor and reports, per backend, exactly which
+missing features block placement.  The verdicts come straight from
+:meth:`repro.backends.base.Backend.blockers`, the same code path
+``Backend.compile``/``check`` reject through, so the linter can never
+disagree with the compile-time survey.
+
+Rule codes: ``L101`` (info) per blocked backend, ``L100`` (error) when no
+surveyed backend can host, ``L102`` (error) when a ``--backend`` focus
+target cannot host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..backends import Backend, all_backends
+from ..core.spec import PropertySpec
+from .diagnostics import Diagnostic, make
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One missing feature keeping a backend from hosting a property."""
+
+    feature: str
+    reason: str
+    #: True for Table 2's X ("the architecture precludes implementation"),
+    #: False for its blanks (target-dependent / unclear support).
+    precluded: bool
+
+
+@dataclass(frozen=True)
+class BackendVerdict:
+    """Can one backend host one property, and if not, why not."""
+
+    backend: str
+    hosted: bool
+    blockers: Tuple[Blocker, ...] = ()
+
+
+def survey_property(
+    prop: PropertySpec,
+    backends: Optional[Sequence[Backend]] = None,
+) -> Tuple[BackendVerdict, ...]:
+    """Feasibility verdicts for ``prop`` across the Table-2 backends."""
+    verdicts = []
+    for backend in (backends if backends is not None else all_backends()):
+        gaps = backend.blockers(prop)
+        verdicts.append(BackendVerdict(
+            backend=backend.caps.name,
+            hosted=not gaps,
+            blockers=tuple(
+                Blocker(g.feature, g.reason, g.precluded) for g in gaps
+            ),
+        ))
+    return tuple(verdicts)
+
+
+def resolve_backend_name(name: str) -> str:
+    """Map a user-supplied backend name to its canonical Table-2 name."""
+    names = [b.caps.name for b in all_backends()]
+    for canonical in names:
+        if canonical.lower() == name.lower():
+            return canonical
+    matches = [c for c in names if c.lower().startswith(name.lower())]
+    if len(matches) == 1:
+        return matches[0]
+    raise ValueError(
+        f"unknown backend {name!r}; choose from: {', '.join(names)}"
+    )
+
+
+def feasibility_diagnostics(
+    prop_name: str,
+    verdicts: Sequence[BackendVerdict],
+    anchor: object = None,
+    focus: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Diagnostics for one property's verdicts.
+
+    ``focus`` names the deployment target (``--backend``): its failure is
+    an error (L102); other backends' failures stay informational (L101).
+    """
+    out: List[Diagnostic] = []
+    for verdict in verdicts:
+        if verdict.hosted:
+            continue
+        features = ", ".join(b.feature for b in verdict.blockers)
+        code = "L102" if verdict.backend == focus else "L101"
+        out.append(make(
+            code,
+            f"{verdict.backend} cannot host {prop_name}: missing {features} "
+            f"({verdict.blockers[0].reason})",
+            anchor, prop=prop_name,
+        ))
+    if verdicts and not any(v.hosted for v in verdicts):
+        out.append(make(
+            "L100",
+            f"no surveyed backend can host {prop_name}; the closest is "
+            f"{_closest(verdicts)}",
+            anchor, prop=prop_name,
+        ))
+    return out
+
+
+def _closest(verdicts: Sequence[BackendVerdict]) -> str:
+    best = min(verdicts, key=lambda v: len(v.blockers))
+    features = ", ".join(b.feature for b in best.blockers)
+    return f"{best.backend} (still missing {features})"

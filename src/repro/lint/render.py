@@ -1,0 +1,174 @@
+"""Render lint reports as human-readable text or machine-readable JSON.
+
+Text format, one diagnostic per line::
+
+    path:line:col: severity CODE slug: message
+
+followed (per property) by a feasibility one-liner, the split-mode
+verdict, and the static cost estimate, then a footer totalling errors and
+warnings across all files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .diagnostics import Diagnostic, RULES
+from .engine import FileReport, PropertyReport
+from .splitmode import INLINE_REQUIRED
+
+
+def render_text(reports: Sequence[FileReport], verbose: bool = True) -> str:
+    """The default terminal rendering of one lint run."""
+    lines: List[str] = []
+    for report in reports:
+        for diag in report.all_diagnostics():
+            lines.append(_diag_line(report.path, diag))
+        if verbose:
+            for prop in report.properties:
+                lines.extend(_prop_summary(prop))
+    errors = sum(r.errors for r in reports)
+    warnings = sum(r.warnings for r in reports)
+    suppressed = sum(r.suppressed for r in reports)
+    footer = f"{errors} error(s), {warnings} warning(s)"
+    if suppressed:
+        footer += f", {suppressed} suppressed"
+    footer += f" across {len(reports)} file(s)"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def _diag_line(path: str, diag: Diagnostic) -> str:
+    where = f"{diag.path or path}:{diag.line}:{diag.column}"
+    slug = RULES[diag.code].slug
+    return (
+        f"{where}: {diag.severity.value} {diag.code} {slug}: {diag.message}"
+    )
+
+
+def _prop_summary(prop: PropertyReport) -> List[str]:
+    if prop.spec is None:
+        return [f"  {prop.name}: not elaborated (errors above)"]
+    lines: List[str] = []
+    if prop.feasibility:
+        hosts = [v.backend for v in prop.feasibility if v.hosted]
+        blocked = len(prop.feasibility) - len(hosts)
+        hosted_by = ", ".join(hosts) if hosts else "none"
+        lines.append(
+            f"  {prop.name}: feasible on {len(hosts)}/{len(prop.feasibility)}"
+            f" backend(s) [{hosted_by}]"
+            + (f"; {blocked} blocked" if blocked else "")
+        )
+    if prop.split is not None:
+        split = prop.split
+        verdict = split.classification
+        if verdict == INLINE_REQUIRED:
+            verdict += " (split processing would miss violations)"
+        lines.append(
+            f"  {prop.name}: {verdict} at lag {split.lag:g}s; "
+            f"{len(split.hazards)} hazard(s)"
+        )
+        cost = split.cost
+        detail = (
+            f"{cost.rules_per_instance} rule(s)/instance"
+            if cost.model == "rules"
+            else "reference engine"
+        )
+        lines.append(
+            f"  {prop.name}: cost ~{cost.pipeline_tables} pipeline table(s), "
+            f"{detail}, {cost.slow_updates_per_instance} slow update(s), "
+            f"{cost.state_bits_per_instance} state bit(s) per instance"
+        )
+    return lines
+
+
+def render_json(reports: Sequence[FileReport]) -> str:
+    """A stable JSON document for tooling (``repro lint --json``)."""
+    payload = {
+        "files": [_file_json(r) for r in reports],
+        "summary": {
+            "files": len(reports),
+            "errors": sum(r.errors for r in reports),
+            "warnings": sum(r.warnings for r in reports),
+            "suppressed": sum(r.suppressed for r in reports),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _file_json(report: FileReport) -> Dict[str, Any]:
+    return {
+        "path": report.path,
+        "errors": report.errors,
+        "warnings": report.warnings,
+        "suppressed": report.suppressed,
+        "diagnostics": [_diag_json(d, report.path) for d in report.diagnostics],
+        "properties": [_prop_json(p, report.path) for p in report.properties],
+    }
+
+
+def _diag_json(diag: Diagnostic, path: str) -> Dict[str, Any]:
+    return {
+        "code": diag.code,
+        "slug": RULES[diag.code].slug,
+        "severity": diag.severity.value,
+        "message": diag.message,
+        "path": diag.path or path,
+        "line": diag.line,
+        "column": diag.column,
+        "property": diag.prop,
+    }
+
+
+def _prop_json(prop: PropertyReport, path: str) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "name": prop.name,
+        "line": prop.line,
+        "column": prop.column,
+        "elaborated": prop.spec is not None,
+        "diagnostics": [_diag_json(d, path) for d in prop.diagnostics],
+    }
+    if prop.feasibility:
+        out["feasibility"] = [
+            {
+                "backend": v.backend,
+                "hosted": v.hosted,
+                "blockers": [
+                    {
+                        "feature": b.feature,
+                        "reason": b.reason,
+                        "precluded": b.precluded,
+                    }
+                    for b in v.blockers
+                ],
+            }
+            for v in prop.feasibility
+        ]
+    if prop.split is not None:
+        split = prop.split
+        out["split"] = {
+            "classification": split.classification,
+            "lag": split.lag,
+            "hazards": [
+                {
+                    "code": h.code,
+                    "stage": h.stage,
+                    "message": h.message,
+                    "certain": h.certain,
+                    "guaranteed_slack": h.guaranteed_slack,
+                }
+                for h in split.hazards
+            ],
+            "cost": {
+                "pipeline_tables": split.cost.pipeline_tables,
+                "rules_per_instance": split.cost.rules_per_instance,
+                "slow_updates_per_instance":
+                    split.cost.slow_updates_per_instance,
+                "state_bits_per_instance":
+                    split.cost.state_bits_per_instance,
+                "model": split.cost.model,
+                "engine_reason": split.cost.engine_reason,
+            },
+        }
+    return out

@@ -1,0 +1,180 @@
+"""The header-field schema the type/width lints check against.
+
+Field names in the property language are dotted paths into the flat event
+field map (:func:`repro.core.refs.event_fields`).  This module gives each
+known field a *kind* (``ip``, ``mac``, ``int``, ``str``, ``enum``,
+``float``) and, for integer fields, the register width in bits — the
+widths a switch would burn per instance to carry the value (see the
+split-mode cost estimate).
+
+A unit test builds one packet of every protocol the reproduction parses
+and asserts each emitted field name appears here, so the schema cannot
+silently fall behind :mod:`repro.packet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..packet.addresses import IPv4Address, MACAddress
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """Static type of one dotted field."""
+
+    kind: str  # "ip" | "mac" | "int" | "str" | "enum" | "float"
+    bits: int  # register width; 0 for unsized kinds (str, float, enum)
+
+
+_I = FieldType  # local shorthand for the table below
+
+#: dotted field name -> static type.  Widths follow the wire formats in
+#: :mod:`repro.packet.headers` / :mod:`repro.packet.dhcp` /
+#: :mod:`repro.packet.ftp`.
+FIELD_SCHEMA: Dict[str, FieldType] = {
+    # L2
+    "eth.src": _I("mac", 48),
+    "eth.dst": _I("mac", 48),
+    "eth.type": _I("int", 16),
+    "vlan.vid": _I("int", 12),
+    "vlan.pcp": _I("int", 3),
+    # ARP
+    "arp.op": _I("int", 16),
+    "arp.sender_mac": _I("mac", 48),
+    "arp.sender_ip": _I("ip", 32),
+    "arp.target_mac": _I("mac", 48),
+    "arp.target_ip": _I("ip", 32),
+    # IPv4
+    "ipv4.src": _I("ip", 32),
+    "ipv4.dst": _I("ip", 32),
+    "ipv4.proto": _I("int", 8),
+    "ipv4.ttl": _I("int", 8),
+    "ipv4.dscp": _I("int", 6),
+    # L4
+    "tcp.src": _I("int", 16),
+    "tcp.dst": _I("int", 16),
+    "tcp.flags": _I("int", 8),
+    "tcp.seq": _I("int", 32),
+    "tcp.ack": _I("int", 32),
+    "udp.src": _I("int", 16),
+    "udp.dst": _I("int", 16),
+    "icmp.type": _I("int", 8),
+    "icmp.code": _I("int", 8),
+    # DHCP (L7)
+    "dhcp.op": _I("int", 8),
+    "dhcp.msg_type": _I("int", 8),
+    "dhcp.xid": _I("int", 32),
+    "dhcp.client_mac": _I("mac", 48),
+    "dhcp.yiaddr": _I("ip", 32),
+    "dhcp.requested_ip": _I("ip", 32),
+    "dhcp.lease_time": _I("int", 32),
+    "dhcp.server_id": _I("ip", 32),
+    # FTP (L7)
+    "ftp.line": _I("str", 0),
+    "ftp.data_ip": _I("ip", 32),
+    "ftp.data_port": _I("int", 16),
+    # event metadata (repro.core.refs.event_fields)
+    "in_port": _I("int", 32),
+    "out_port": _I("int", 32),
+    "oob.port": _I("int", 32),
+    "uid": _I("int", 64),
+    "time": _I("float", 0),
+    "switch": _I("str", 0),
+    "egress.action": _I("enum", 0),
+    "drop.reason": _I("str", 0),
+    "oob.kind": _I("enum", 0),
+    "timer.id": _I("str", 0),
+}
+
+#: width assumed for fields outside the schema (cost estimates only).
+DEFAULT_FIELD_BITS = 32
+
+
+def field_type(name: str) -> Optional[FieldType]:
+    """The schema entry for a field, or None if unknown."""
+    return FIELD_SCHEMA.get(name)
+
+
+def field_bits(name: str) -> int:
+    """Register width to carry one value of this field."""
+    ftype = FIELD_SCHEMA.get(name)
+    if ftype is None or ftype.bits == 0:
+        return DEFAULT_FIELD_BITS
+    return ftype.bits
+
+
+def literal_kind(value: object) -> str:
+    """Classify a parsed literal the way the schema classifies fields."""
+    if isinstance(value, IPv4Address):
+        return "ip"
+    if isinstance(value, MACAddress):
+        return "mac"
+    if isinstance(value, bool):  # bool is an int subclass; keep it distinct
+        return "int"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    return "str"
+
+
+def literal_mismatch(field_name: str, value: object) -> Optional[str]:
+    """Why ``field == value`` can never hold, or None if it type-checks.
+
+    Integer literals on int fields are range-checked separately
+    (:func:`literal_overflow`); here only *kind* clashes are reported —
+    an IP literal against a MAC field, a float against a port, a string
+    against an address.
+    """
+    ftype = FIELD_SCHEMA.get(field_name)
+    if ftype is None:
+        return None  # unknown field: L010's problem, not L008's
+    vkind = ftype.kind
+    lkind = literal_kind(value)
+    if vkind == lkind:
+        return None
+    # ints compare successfully against enum-ish metadata and floats.
+    if vkind in ("enum", "float") and lkind in ("int", "float"):
+        return None
+    if vkind == "int" and lkind == "float":
+        if isinstance(value, float) and value.is_integer():
+            return None
+        return (f"field {field_name} is a {ftype.bits}-bit integer but the "
+                f"literal {value!r} is a non-integral float")
+    return (f"field {field_name} holds {_kind_article(vkind)} but the "
+            f"literal {value!r} is {_kind_article(lkind)}")
+
+
+def literal_overflow(field_name: str, value: object) -> Optional[str]:
+    """Why an integer literal cannot fit the field's width, or None."""
+    ftype = FIELD_SCHEMA.get(field_name)
+    if ftype is None or ftype.kind != "int" or not isinstance(value, int):
+        return None
+    if value < 0:
+        return (f"field {field_name} is unsigned; the literal {value} can "
+                "never match")
+    if value >= (1 << ftype.bits):
+        return (f"literal {value} overflows {field_name}'s {ftype.bits}-bit "
+                f"width (max {(1 << ftype.bits) - 1})")
+    return None
+
+
+def kinds_compatible(kind_a: str, kind_b: str) -> bool:
+    """Whether values of two field kinds can ever compare equal."""
+    if kind_a == kind_b:
+        return True
+    numeric = {"int", "float", "enum"}
+    return kind_a in numeric and kind_b in numeric
+
+
+def _kind_article(kind: str) -> str:
+    return {
+        "ip": "an IPv4 address",
+        "mac": "a MAC address",
+        "int": "an integer",
+        "float": "a number",
+        "str": "a string",
+        "enum": "an enumerated value",
+    }[kind]

@@ -1,0 +1,269 @@
+"""Split-mode hazard detection — the Sec. 3.3 monitor-error scenario.
+
+The paper: "If the switch splits processing, the monitor has minimal
+impact on throughput, but its state might lag behind any packets issued
+in response, leading to monitor errors."  Concretely, under split
+processing the rules/registers recording that stage *k−1* fired are
+installed a state-update lag after the triggering event; any event that
+advances stage *k* within that lag reads state still in flight and is
+missed.
+
+This pass walks the property the way the Varanus compiler lays it out —
+stage k−1's firing *learns* stage k's watcher rules into the instance's
+table via a (deferred, in split mode) flow-mod — and asks, per
+transition, whether the property's own statement guarantees the reading
+event arrives **after** the deferred write lands:
+
+* a packet-triggered ``observe`` gives no guarantee (back-to-back packets
+  race the update; ``samepacket`` makes the race *certain* — the packet's
+  own egress is processed before any deferred update applies) — the
+  advance can be missed outright, so the property is **inline-required**;
+* an ``absent`` stage's violation path is the timer: it fires ``within``
+  seconds after arming, so a deadline longer than the lag is safe (the
+  property stays **split-safe**), though the *discharging* event can
+  still race the timer install and cause a spurious violation (L201);
+* an ``oob``-triggered stage reads state on control-plane timescales,
+  orders of magnitude above any realistic update lag — safe.
+
+``benchmarks/bench_split_vs_inline.py`` measures exactly this: its echo
+property (two packet-triggered observes) misses 100% of violations in
+split mode when responses beat the lag, and 0% when they trail it.  The
+classification here is that experiment made static.
+
+The pass also prices the property: pipeline depth in tables, rules and
+slow-path flow-mods per instance (the Varanus rule plan where the
+property is rule-compilable, the engine model otherwise), and the
+register bits an instance occupies (key + carried variables at their
+header-schema widths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..backends.varanus_compiler import VaranusCompileError, check_compilable
+from ..core.refs import EventKind
+from ..core.spec import Absent, Observe, PropertySpec
+from ..switch.switch import DEFAULT_SPLIT_LAG
+from .diagnostics import Diagnostic, make
+from .schema import field_bits
+
+SPLIT_SAFE = "split-safe"
+INLINE_REQUIRED = "inline-required"
+
+_PACKET_KINDS = (
+    EventKind.ARRIVAL,
+    EventKind.EGRESS,
+    EventKind.DROP,
+    EventKind.ANY_PACKET,
+)
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One read-after-deferred-write race in a property's stage plan."""
+
+    code: str  # L200 | L201 | L202 | L203
+    stage: str  # name of the reading stage
+    message: str
+    #: True when the race always happens (samepacket linkage), False when
+    #: it needs adversarial/fast timing.
+    certain: bool = False
+    #: slack the property's statement guarantees between write and read,
+    #: in seconds (0.0 = none; timers guarantee their deadline).
+    guaranteed_slack: float = 0.0
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Static per-property resource estimate."""
+
+    #: tables a packet traverses for this property (entry + unrolled
+    #: instance tables), matching the backends' static depth model.
+    pipeline_tables: int
+    #: rules alive per instance at peak (watchers, timer/discharge pairs,
+    #: cancels, the entry-table suppression rule).
+    rules_per_instance: int
+    #: slow-path flow-mods one instance's full lifecycle issues.
+    slow_updates_per_instance: int
+    #: register bits an instance occupies (key + carried variables).
+    state_bits_per_instance: int
+    #: "rules" when the Varanus compiler can lay the property out as
+    #: dataplane rules, "engine" when it needs the reference engine.
+    model: str
+    #: why the rule model does not apply ("" under the rules model).
+    engine_reason: str = ""
+
+
+@dataclass(frozen=True)
+class SplitReport:
+    """The split-mode verdict for one property."""
+
+    prop: str
+    classification: str  # SPLIT_SAFE | INLINE_REQUIRED
+    hazards: Tuple[Hazard, ...]
+    cost: CostEstimate
+    lag: float
+
+
+def analyze_split(
+    prop: PropertySpec, lag: float = DEFAULT_SPLIT_LAG
+) -> SplitReport:
+    """Classify ``prop`` as split-safe or inline-required under ``lag``."""
+    hazards = tuple(_find_hazards(prop, lag))
+    inline = any(h.code in ("L200", "L202") for h in hazards)
+    return SplitReport(
+        prop=prop.name,
+        classification=INLINE_REQUIRED if inline else SPLIT_SAFE,
+        hazards=hazards,
+        cost=estimate_cost(prop),
+        lag=lag,
+    )
+
+
+def _find_hazards(prop: PropertySpec, lag: float) -> List[Hazard]:
+    hazards: List[Hazard] = []
+    for index in range(1, prop.num_stages):
+        stage = prop.stages[index]
+        prior = prop.stages[index - 1]
+        # The state stage `index` reads (its watcher rule / instance
+        # record) is written by stage `index - 1`'s firing, deferred by
+        # the split lag.
+        if isinstance(stage, Observe):
+            if stage.pattern.kind in _PACKET_KINDS:
+                certain = stage.pattern.same_packet_as is not None
+                detail = (
+                    "the same packet's own pipeline traversal — it is "
+                    "processed before any deferred update applies"
+                    if certain else
+                    f"a packet arriving within the update lag of stage "
+                    f"{prior.name!r}'s trigger"
+                )
+                hazards.append(Hazard(
+                    code="L200",
+                    stage=stage.name,
+                    message=(
+                        f"stage {stage.name!r} reads state written by stage "
+                        f"{prior.name!r}'s deferred update; {detail} would "
+                        "be evaluated against stale state and the advance "
+                        "missed (violations go undetected)"
+                    ),
+                    certain=certain,
+                ))
+        else:  # Absent
+            assert isinstance(stage, Absent)
+            if stage.within <= lag:
+                hazards.append(Hazard(
+                    code="L202",
+                    stage=stage.name,
+                    message=(
+                        f"absent stage {stage.name!r}'s deadline "
+                        f"({stage.within:g}s) is within the split update "
+                        f"lag ({lag:g}s); the timer could fire before its "
+                        "own install settles"
+                    ),
+                    guaranteed_slack=stage.within,
+                ))
+            elif stage.pattern.kind in _PACKET_KINDS:
+                certain = stage.pattern.same_packet_as is not None
+                hazards.append(Hazard(
+                    code="L201",
+                    stage=stage.name,
+                    message=(
+                        f"absent stage {stage.name!r}'s discharging event "
+                        "can arrive before the deferred timer install; the "
+                        "discharge would be missed and the timer would "
+                        "raise a spurious violation (the violation path "
+                        f"itself is timer-driven with {stage.within:g}s "
+                        "slack, so the property stays split-safe)"
+                    ),
+                    certain=certain,
+                    guaranteed_slack=stage.within,
+                ))
+        for unless in getattr(stage, "unless", ()):
+            if unless.kind in _PACKET_KINDS:
+                hazards.append(Hazard(
+                    code="L203",
+                    stage=stage.name,
+                    message=(
+                        f"an unless cancellation on stage {stage.name!r} "
+                        "can race the deferred state update; a missed "
+                        "cancel leaves the obligation live and may raise a "
+                        "violation the property's statement excuses"
+                    ),
+                ))
+    return hazards
+
+
+# ---------------------------------------------------------------------------
+# Cost estimation
+# ---------------------------------------------------------------------------
+def estimate_cost(prop: PropertySpec) -> CostEstimate:
+    """Static pipeline-depth / rule / register-bit price of one property."""
+    try:
+        check_compilable(prop)
+        model, reason = "rules", ""
+    except VaranusCompileError as exc:
+        model, reason = "engine", str(exc)
+    state_bits = _state_bits(prop)
+    if model == "engine":
+        # The reference engine holds one instance record and applies one
+        # (split-deferrable) update per advancement; depth follows the
+        # backends' one-table-per-stage static model.
+        return CostEstimate(
+            pipeline_tables=prop.num_stages,
+            rules_per_instance=0,
+            slow_updates_per_instance=prop.num_stages - 1,
+            state_bits_per_instance=state_bits,
+            model=model,
+            engine_reason=reason,
+        )
+    rules = 1  # the entry-table suppression rule shadowing the key
+    slow_updates = 2  # stage 0 firing learns: first watcher + suppression
+    for index in range(1, prop.num_stages):
+        stage = prop.stages[index]
+        if isinstance(stage, Absent):
+            rules += 2  # pure timer rule + discharge rule
+            slow_updates += 2
+        else:
+            rules += 1  # the watcher
+            if index > 1:
+                slow_updates += 1  # learned by the previous watcher firing
+        cancels = len(getattr(stage, "unless", ()))
+        rules += cancels
+        slow_updates += cancels
+        if index > 1 or isinstance(stage, Absent):
+            slow_updates += 1  # the firing watcher's DeleteRules cleanup
+    return CostEstimate(
+        pipeline_tables=prop.num_stages,
+        rules_per_instance=rules,
+        slow_updates_per_instance=slow_updates,
+        state_bits_per_instance=state_bits,
+        model=model,
+    )
+
+
+def _state_bits(prop: PropertySpec) -> int:
+    """Bits of register state one instance pins down: every variable the
+    property carries across stages, at its origin field's schema width."""
+    origin = prop.var_origin()
+    carried: Set[str] = set(prop.key_vars)
+    for index, stage in enumerate(prop.stages):
+        patterns = [stage.pattern] + list(getattr(stage, "unless", ()))
+        for pattern in patterns:
+            if index >= 1:
+                carried.update(v for _, v in pattern.env_guards())
+                carried.update(v for _, v in pattern.negative_env_refs())
+    return sum(
+        field_bits(origin[var]) for var in sorted(carried) if var in origin
+    )
+
+
+def split_diagnostics(report: SplitReport, anchor: object = None) -> List[Diagnostic]:
+    """Hazards rendered as diagnostics (all warnings: they describe what a
+    *split* deployment would get wrong, not a defect in the property)."""
+    return [
+        make(hazard.code, hazard.message, anchor, prop=report.prop)
+        for hazard in report.hazards
+    ]

@@ -221,6 +221,8 @@ DSL_SOURCES["learned-no-flood"] = """
 property learned_no_flood "Packets to a learned destination are not flooded"
 key D
 observe learn : arrival
+    # $p carries the learned port into violation reports (provenance);
+    # no guard reads it.  # lint: disable=L002
     bind D = eth.src, p = in_port
 observe flooded : egress action flood
     where eth.dst == $D

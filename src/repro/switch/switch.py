@@ -57,6 +57,12 @@ TICK_SECONDS = 1e-6
 #: Baseline store-and-forward latency for any packet.
 BASE_FORWARD_LATENCY = 5e-6
 
+#: Canonical split-mode state-update lag (Sec. 3.3): how long a deferred
+#: update stays in flight.  The Monitor, BackendMonitor, the
+#: split-vs-inline bench, and the linter's hazard classification all key
+#: off this one value.
+DEFAULT_SPLIT_LAG = 500e-6
+
 
 class ProcessingMode(Enum):
     """Feature 9: how state updates interleave with forwarding."""
@@ -113,7 +119,7 @@ class Switch:
         miss_policy: MissPolicy = MissPolicy.FLOOD,
         max_parse_layer: int = 7,
         mode: ProcessingMode = ProcessingMode.INLINE,
-        split_lag: float = 500e-6,
+        split_lag: float = DEFAULT_SPLIT_LAG,
         drop_visibility: bool = True,
         app: Optional[SwitchApp] = None,
     ) -> None:

@@ -1,0 +1,28 @@
+"""Regenerate the linter's golden render fixtures.
+
+Run after a deliberate renderer format change::
+
+    PYTHONPATH=src python -m tests.regen_lint_goldens
+
+then eyeball the diff before committing.
+"""
+
+import os
+
+from repro.lint import lint_source, render_json, render_text
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "fixtures", "lint", "golden")
+
+
+def main() -> None:
+    with open(os.path.join(GOLDEN, "golden_input.prop")) as fp:
+        report = lint_source(fp.read(), path="golden_input.prop")
+    with open(os.path.join(GOLDEN, "report.txt"), "w") as fp:
+        fp.write(render_text([report]) + "\n")
+    with open(os.path.join(GOLDEN, "report.json"), "w") as fp:
+        fp.write(render_json([report]) + "\n")
+    print(f"wrote {GOLDEN}/report.txt and report.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,225 @@
+"""Unit tests for the property linter (repro.lint).
+
+Every rule code in the registry has a minimal fixture under
+``tests/fixtures/lint/`` that demonstrably triggers it; the renderers are
+pinned by golden files under ``tests/fixtures/lint/golden/``.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    RULES,
+    Diagnostic,
+    LintOptions,
+    Severity,
+    lint_file,
+    lint_source,
+    render_json,
+    render_text,
+    resolve_backend_name,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures", "lint")
+
+
+def fixture_path(name):
+    return os.path.join(FIXTURES, name)
+
+
+def fixture_for(code):
+    matches = glob.glob(fixture_path(code + "_*.prop"))
+    assert len(matches) == 1, f"expected exactly one fixture for {code}"
+    return matches[0]
+
+
+def lint_fixture(code):
+    options = None
+    if code == "L102":
+        options = LintOptions(focus_backend="OpenFlow 1.3")
+    return lint_file(fixture_for(code), options=options)
+
+
+class TestEveryRuleHasATriggeringFixture:
+    """The acceptance bar: each registered rule fires on its fixture."""
+
+    @pytest.mark.parametrize("code", sorted(RULES))
+    def test_rule_triggers_on_its_fixture(self, code):
+        report = lint_fixture(code)
+        codes = {d.code for d in report.all_diagnostics()}
+        assert code in codes, (
+            f"{os.path.basename(fixture_for(code))} did not trigger {code}; "
+            f"got {sorted(codes)}"
+        )
+
+    @pytest.mark.parametrize("code", sorted(RULES))
+    def test_rule_fires_at_its_registered_severity(self, code):
+        report = lint_fixture(code)
+        hits = [d for d in report.all_diagnostics() if d.code == code]
+        assert hits and all(
+            d.severity is RULES[code].severity for d in hits)
+
+    def test_fixture_directory_has_no_strays(self):
+        names = {os.path.basename(p).split("_")[0]
+                 for p in glob.glob(fixture_path("*.prop"))}
+        assert names == set(RULES)
+
+
+class TestDiagnosticAnchoring:
+    def test_positions_point_at_the_offending_token(self):
+        report = lint_file(fixture_for("L001"))
+        (diag,) = [d for d in report.all_diagnostics() if d.code == "L001"]
+        with open(fixture_for("L001")) as fp:
+            lines = fp.read().splitlines()
+        assert diag.line >= 1
+        assert "$X" in lines[diag.line - 1]
+
+    def test_parse_error_carries_the_token_position(self):
+        report = lint_source("property broken\nobserve s : zebra\n")
+        (diag,) = report.all_diagnostics()
+        assert diag.code == "L000"
+        assert diag.line == 2
+
+    def test_unregistered_code_is_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="L999", severity=Severity.ERROR, message="nope")
+
+
+class TestSuppressions:
+    SOURCE = """\
+property suppressed "the unused bind is intentional"
+key D
+observe first : arrival
+    # lint: disable=L002
+    bind D = eth.src, extra = in_port
+observe second : egress
+    where eth.dst == $D
+"""
+
+    def test_line_annotation_silences_next_line(self):
+        report = lint_source(self.SOURCE)
+        assert not [d for d in report.all_diagnostics() if d.code == "L002"]
+        assert report.suppressed == 1
+
+    def test_file_annotation_silences_everywhere(self):
+        source = self.SOURCE.replace(
+            "# lint: disable=L002", "# just a comment")
+        source = "# lint: disable-file=L002\n" + source
+        report = lint_source(source)
+        assert not [d for d in report.all_diagnostics() if d.code == "L002"]
+
+    def test_without_annotation_the_warning_fires(self):
+        source = self.SOURCE.replace("    # lint: disable=L002\n", "")
+        report = lint_source(source)
+        assert [d for d in report.all_diagnostics() if d.code == "L002"]
+        assert report.suppressed == 0
+
+
+class TestBackendResolution:
+    def test_exact_case_insensitive(self):
+        assert resolve_backend_name("varanus") == "Varanus"
+
+    def test_unique_prefix(self):
+        assert resolve_backend_name("OpenS") == "OpenState"
+
+    def test_ambiguous_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend_name("Open")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend_name("nonesuch")
+
+
+class TestRenderGolden:
+    """The renderers are pinned: regenerate the goldens deliberately with
+    ``python -m tests.regen_lint_goldens`` if the format changes."""
+
+    GOLDEN_SOURCE_FILE = "golden_input.prop"
+
+    def _report(self):
+        with open(fixture_path(os.path.join("golden", self.GOLDEN_SOURCE_FILE))) as fp:
+            return lint_source(fp.read(), path="golden_input.prop")
+
+    def test_text_rendering_matches_golden(self):
+        with open(fixture_path(os.path.join("golden", "report.txt"))) as fp:
+            expected = fp.read()
+        assert render_text([self._report()]) + "\n" == expected
+
+    def test_json_rendering_matches_golden(self):
+        with open(fixture_path(os.path.join("golden", "report.json"))) as fp:
+            expected = fp.read()
+        assert render_json([self._report()]) + "\n" == expected
+
+    def test_json_is_valid_and_summarised(self):
+        payload = json.loads(render_json([self._report()]))
+        assert payload["summary"]["files"] == 1
+        assert payload["files"][0]["path"] == "golden_input.prop"
+        for entry in payload["files"][0]["properties"]:
+            assert {"name", "elaborated", "diagnostics"} <= set(entry)
+
+
+class TestCliLint:
+    def test_error_fixture_exits_nonzero(self, capsys):
+        assert main(["lint", fixture_for("L005")]) == 1
+        out = capsys.readouterr().out
+        assert "L005" in out and "error" in out
+
+    def test_warning_only_fixture_exits_zero(self, capsys):
+        assert main(["lint", fixture_for("L200")]) == 0
+        out = capsys.readouterr().out
+        assert "L200" in out
+
+    def test_json_flag_emits_json(self, capsys):
+        assert main(["lint", "--json", fixture_for("L200")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+
+    def test_backend_focus_turns_info_into_error(self, capsys):
+        path = fixture_for("L102")
+        assert main(["lint", path]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--backend", "OpenFlow 1.3", path]) == 1
+        assert "L102" in capsys.readouterr().out
+
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        assert main(["lint", "--backend", "nonesuch",
+                     fixture_for("L200")]) == 2
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["lint", "no/such/file.prop"]) == 1
+        assert "L000" in capsys.readouterr().out
+
+    def test_check_prints_lint_warnings_with_positions(self, capsys):
+        assert main(["check", fixture_for("L002")]) == 0
+        err = capsys.readouterr().err
+        assert "L002" in err
+        # position prefix path:line:col
+        assert ":4:" in err or ":5:" in err
+
+    def test_check_fails_on_lint_errors(self, capsys):
+        assert main(["check", fixture_for("L005")]) == 1
+
+
+class TestRuleRegistry:
+    def test_codes_are_partitioned_by_family(self):
+        for code in RULES:
+            number = int(code[1:])
+            if number == 0:
+                continue
+            assert 1 <= number <= 299
+
+    def test_slugs_are_unique(self):
+        slugs = [rule.slug for rule in RULES.values()]
+        assert len(slugs) == len(set(slugs))
+
+    def test_schema_knows_every_rewritable_field(self):
+        from repro.lint.schema import FIELD_SCHEMA
+        from repro.switch.rewrite import rewritable_fields
+
+        missing = [f for f in rewritable_fields() if f not in FIELD_SCHEMA]
+        assert not missing
