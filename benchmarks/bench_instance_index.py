@@ -21,10 +21,10 @@ from repro.packet import tcp_packet
 POPULATIONS = (50, 200, 800)
 
 
-def drive(strategy, population):
+def drive(strategy, population, registry=None):
     """Create ``population`` firewall instances, then probe with events
     that must be checked against the stage-1 waiting set."""
-    monitor = Monitor(store_strategy=strategy)
+    monitor = Monitor(store_strategy=strategy, registry=registry)
     monitor.add_property(firewall_basic())
     t = 0.0
     for i in range(population):
@@ -91,11 +91,11 @@ def test_same_verdicts_both_stores():
     assert verdicts("indexed") == verdicts("linear")
 
 
-def test_wallclock_gap_at_scale(benchmark):
+def test_wallclock_gap_at_scale(benchmark, bench_registry):
     """Wall-clock confirmation of the asymptotic gap at the largest
     population."""
 
     def indexed():
-        return drive("indexed", POPULATIONS[-1])
+        return drive("indexed", POPULATIONS[-1], registry=bench_registry)
 
     benchmark(indexed)

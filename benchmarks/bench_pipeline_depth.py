@@ -130,6 +130,44 @@ def test_compiled_rules_depth_matches_model(benchmark):
     assert l2 > l1  # per-packet lookups track the growth
 
 
+def test_estimate_matches_measured_depth(benchmark):
+    """The linter's static cost model against the backends' real depth.
+
+    ``repro.lint.splitmode.estimate_cost`` predicts, per property, how
+    many tables a packet traverses (``pipeline_tables``).  The Static
+    Varanus backend's bounded layout is the thing that prediction models
+    — so for every Table-1 catalog property the backend accepts, the
+    estimate must equal the measured depth exactly.
+    """
+    from repro.backends import UnsupportedFeature
+    from repro.lint.splitmode import estimate_cost
+    from repro.props import build_table1
+
+    def run():
+        rows = []
+        for entry in build_table1():
+            est = estimate_cost(entry.prop)
+            try:
+                monitor = StaticVaranusBackend().compile(entry.prop)
+                measured = monitor.pipeline_depth
+            except UnsupportedFeature:
+                measured = None  # the backend refuses; nothing to compare
+            rows.append(
+                (entry.prop.name, est.pipeline_tables, measured, est.model))
+        return rows
+
+    rows = benchmark(run)
+    print("\nlinter estimate vs measured Static-Varanus depth (tables)")
+    for name, est, measured, model in rows:
+        shown = f"{measured:3d}" if measured is not None else "  -"
+        print(f"  {name:<28} est {est:3d}  measured {shown}  [{model}]")
+    compared = [(n, e, m) for n, e, m, _ in rows if m is not None]
+    assert compared, "no catalog property compiled on Static Varanus"
+    for name, est, measured in compared:
+        assert est == measured, (
+            f"{name}: estimate {est} != measured {measured}")
+
+
 def test_crossover_varanus_costlier_beyond_stage_count(benchmark):
     """The crossover the paper implies: Varanus beats nothing on cost —
     as soon as instances exceed the property's stage count, its per-event

@@ -48,8 +48,8 @@ def _const_for(i):
     return Const(0x9000 + i)
 
 
-def drive(level, stages=4):
-    monitor = Monitor(provenance=level)
+def drive(level, stages=4, registry=None):
+    monitor = Monitor(provenance=level, registry=registry)
     monitor.add_property(chain_property(stages))
     t = 0.0
     for chain in range(NUM_CHAINS):
@@ -68,9 +68,9 @@ def drive(level, stages=4):
 @pytest.mark.parametrize("level", [ProvenanceLevel.NONE,
                                    ProvenanceLevel.LIMITED,
                                    ProvenanceLevel.FULL])
-def test_provenance_level_throughput(benchmark, level):
+def test_provenance_level_throughput(benchmark, level, bench_registry):
     monitor = benchmark.pedantic(
-        lambda: drive(level), rounds=5, iterations=1
+        lambda: drive(level, registry=bench_registry), rounds=5, iterations=1
     )
     assert len(monitor.violations) == NUM_CHAINS
 

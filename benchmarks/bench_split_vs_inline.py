@@ -41,9 +41,9 @@ def echo_property():
     )
 
 
-def drive_pairs(mode, response_gap):
+def drive_pairs(mode, response_gap, registry=None):
     """PAIRS request/response pairs; every pair is a true violation."""
-    monitor = Monitor(mode=mode, split_lag=SPLIT_LAG)
+    monitor = Monitor(mode=mode, split_lag=SPLIT_LAG, registry=registry)
     monitor.add_property(echo_property())
     t = 0.0
     for i in range(PAIRS):
@@ -62,11 +62,12 @@ def error_rate(monitor):
     return 1.0 - len(monitor.violations) / PAIRS
 
 
-def test_split_error_rate_vs_response_gap(benchmark):
+def test_split_error_rate_vs_response_gap(benchmark, bench_registry):
     def sweep():
         series = []
         for gap in (1e-5, 1e-4, 4e-4, 6e-4, 1e-3, 1e-2):
-            monitor = drive_pairs(ProcessingMode.SPLIT, gap)
+            monitor = drive_pairs(ProcessingMode.SPLIT, gap,
+                                  registry=bench_registry)
             series.append((gap, error_rate(monitor)))
         return series
 

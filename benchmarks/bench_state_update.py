@@ -37,10 +37,10 @@ def _packets():
     return [ethernet(i % 50 + 1, (i * 7) % 50 + 1) for i in range(NUM_PACKETS)]
 
 
-def slow_path_switch():
+def slow_path_switch(registry=None):
     """Per-packet state via the learn action (FAST/Varanus style)."""
     sw = Switch("slow", EventScheduler(), num_ports=2, num_tables=2,
-                miss_policy=MissPolicy.FLOOD)
+                miss_policy=MissPolicy.FLOOD, registry=registry)
     learn = Learn(table_id=1, match=(("eth.dst", FieldRef("eth.src")),),
                   actions=(Output(FieldRef("in_port")),))
     sw.install_rule(MatchSpec(), [learn], table_id=0, priority=1)
@@ -71,8 +71,8 @@ def test_cost_model_ratio():
     assert SLOW_PATH_UPDATE_COST / FAST_PATH_UPDATE_COST >= 100
 
 
-def test_slow_path_updates_dominate_cost(benchmark):
-    sw = benchmark(lambda: drive(slow_path_switch()))
+def test_slow_path_updates_dominate_cost(benchmark, bench_registry):
+    sw = benchmark(lambda: drive(slow_path_switch(registry=bench_registry)))
     assert sw.meter.slow_updates >= NUM_PACKETS
     assert sw.meter.slow_update_ticks > sw.meter.lookup_ticks
     print(f"\nslow path: {sw.meter.slow_updates} updates, "

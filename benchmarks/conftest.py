@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+``bench_registry`` hands a benchmark a real
+:class:`~repro.telemetry.MetricsRegistry` and prints its counter digest
+when the test finishes, attaching a telemetry snapshot to the
+benchmark's output.  Counts are cumulative across the benchmark's
+rounds — the digest describes the total work the benchmark performed,
+which is exactly what you want when sanity-checking that two compared
+configurations did comparable work.
+"""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, snapshot_digest
+
+
+@pytest.fixture
+def bench_registry():
+    registry = MetricsRegistry()
+    yield registry
+    print(f"\n{snapshot_digest(registry)}")

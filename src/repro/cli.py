@@ -9,7 +9,13 @@
                                         #   hazards [--json] [--backend NAME]
     python -m repro record OUT [--packets N --hosts H --seed S]
                                         # simulate traffic, save a JSONL trace
-    python -m repro replay TRACE FILE   # replay a trace against DSL properties
+                                        #   (with a provenance header line)
+    python -m repro replay TRACE FILE [--metrics OUT]
+                                        # replay a trace against DSL properties
+    python -m repro stats TRACE FILE... [--json|--prom] [--trace-out S.jsonl]
+                                        #   [--poll-interval S]
+                                        # replay with full telemetry: metrics
+                                        #   snapshot, spans, gauge time series
 
 Named predicates available to DSL files via ``check``/``replay``:
 ``@internal`` (RFC1918 source, public destination), ``@tcp_syn``,
@@ -66,10 +72,11 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
     backends = all_backends()
     width = max(len(b.caps.name) for b in backends) + 2
+    entries = build_table1()  # built once; identical for every backend
     for backend in backends:
         hosted = 0
         blockers: dict = {}
-        for entry in build_table1():
+        for entry in entries:
             try:
                 backend.check(entry.prop)
                 hosted += 1
@@ -160,7 +167,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_record(args: argparse.Namespace) -> int:
     from .apps import LearningSwitchApp, sometimes
     from .netsim import TraceRecorder, single_switch_network
-    from .netsim.serialize import save_trace
+    from .netsim.serialize import save_trace, trace_header
     from .netsim.workload import l2_pairs, send_all
     from .switch.pipeline import MissPolicy
 
@@ -172,7 +179,11 @@ def cmd_record(args: argparse.Namespace) -> int:
     switch.add_tap(recorder)
     send_all(hosts, l2_pairs(args.hosts, args.packets, seed=args.seed))
     net.run()
-    count = save_trace(recorder.events, args.out)
+    header = trace_header(
+        seed=args.seed, hosts=args.hosts, packets=args.packets,
+        fault_rate=args.fault_rate, events=len(recorder.events),
+        generator="repro record")
+    count = save_trace(recorder.events, args.out, header=header)
     print(f"recorded {count} events "
           f"({len(recorder.arrivals)} arrivals) to {args.out}")
     return 0
@@ -180,11 +191,18 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 def cmd_replay(args: argparse.Namespace) -> int:
     from .netsim.serialize import read_trace
+    from .telemetry import MetricsRegistry, render_json
 
     with open(args.properties, "r", encoding="utf-8") as fp:
         props = compile_source(fp.read(), _predicates())
     events = read_trace(args.trace)
-    monitor = Monitor()
+    registry = None
+    if args.metrics:
+        registry = MetricsRegistry()
+        monitor = Monitor(registry=registry)
+        registry.time_fn = lambda: monitor.now
+    else:
+        monitor = Monitor()
     for prop in props:
         monitor.add_property(prop)
     for event in events:
@@ -197,6 +215,103 @@ def cmd_replay(args: argparse.Namespace) -> int:
     for violation in monitor.violations:
         print()
         print(violation.describe())
+    if registry is not None:
+        with open(args.metrics, "w", encoding="utf-8") as fp:
+            fp.write(render_json(registry.snapshot()))
+            fp.write("\n")
+        print(f"\nmetrics snapshot written to {args.metrics}")
+    return 0
+
+
+def _echo_provenance(header, trace_path: str, out) -> None:
+    """One line of trace provenance (from the TraceHeader, if present)."""
+    if header is None:
+        print(f"trace {trace_path}: no header (pre-provenance recording)",
+              file=out)
+        return
+    detail = " ".join(
+        f"{key}={header[key]}"
+        for key in ("generator", "seed", "hosts", "packets", "events")
+        if key in header)
+    print(f"trace {trace_path}: schema v{header.get('schema', '?')} {detail}",
+          file=out)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .netsim.serialize import read_trace_with_header
+    from .telemetry import (
+        MetricsRegistry,
+        StatsPoller,
+        Tracer,
+        render_json,
+        render_prometheus,
+        save_spans,
+        validate_spans,
+    )
+
+    props = []
+    for path in args.properties:
+        with open(path, "r", encoding="utf-8") as fp:
+            props.extend(compile_source(fp.read(), _predicates()))
+    header, events = read_trace_with_header(args.trace)
+    _echo_provenance(header, args.trace, sys.stderr)
+
+    registry = MetricsRegistry()
+    tracer = Tracer() if args.trace_out else None
+    monitor = Monitor(registry=registry, tracer=tracer)
+    registry.time_fn = lambda: monitor.now
+    for prop in props:
+        monitor.add_property(prop)
+
+    poller = None
+    if args.poll_interval:
+        start = events[0].time if events else 0.0
+        poller = StatsPoller(registry, args.poll_interval, start_time=start)
+
+    for event in events:
+        if poller is not None:
+            poller.advance_to(event.time)
+        root = None
+        if tracer is not None:
+            packet = getattr(event, "packet", None)
+            root = tracer.start(
+                type(event).__name__, event.time,
+                uid=packet.uid if packet is not None else None,
+                root=True, switch=event.switch_id)
+        monitor.observe(event)
+        if root is not None:
+            tracer.end(root, monitor.now)
+    if events:
+        monitor.advance_to(events[-1].time + args.settle)
+    if poller is not None and events:
+        poller.advance_to(events[-1].time)
+
+    print(f"replayed {len(events)} events against "
+          f"{len(props)} propert{'y' if len(props) == 1 else 'ies'}; "
+          f"{len(monitor.violations)} violation(s)", file=sys.stderr)
+
+    if tracer is not None:
+        tracer.close_all(monitor.now)
+        problems = validate_spans(tracer.spans)
+        for problem in problems:
+            print(f"warning: malformed span: {problem}", file=sys.stderr)
+        count = save_spans(tracer.spans, args.trace_out)
+        print(f"{count} spans written to {args.trace_out}", file=sys.stderr)
+
+    snapshot = registry.snapshot()
+    if args.json:
+        payload = {
+            "trace": {"path": args.trace, "header": header},
+            "snapshot": snapshot,
+        }
+        if poller is not None:
+            payload["samples"] = poller.samples
+        print(render_json(payload))
+    else:
+        print(render_prometheus(snapshot), end="")
+        if poller is not None:
+            print(f"# {len(poller.samples)} poll samples collected "
+                  "(use --json to include them)")
     return 0
 
 
@@ -250,7 +365,29 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("properties")
     replay.add_argument("--settle", type=float, default=60.0,
                         help="virtual seconds to run timers past the trace")
+    replay.add_argument("--metrics", default=None, metavar="OUT",
+                        help="write a JSON metrics snapshot to OUT")
     replay.set_defaults(fn=cmd_replay)
+
+    stats = sub.add_parser(
+        "stats",
+        help="replay a trace with full telemetry, emit a metrics snapshot")
+    stats.add_argument("trace")
+    stats.add_argument("properties", nargs="+",
+                       help="one or more DSL property files")
+    fmt = stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="JSON snapshot (default: Prometheus text)")
+    fmt.add_argument("--prom", action="store_true",
+                     help="Prometheus text exposition (the default)")
+    stats.add_argument("--trace-out", default=None, metavar="SPANS.jsonl",
+                       help="also write per-packet trace spans as JSONL")
+    stats.add_argument("--poll-interval", type=float, default=None,
+                       metavar="S",
+                       help="sample every gauge each S virtual seconds")
+    stats.add_argument("--settle", type=float, default=60.0,
+                       help="virtual seconds to run timers past the trace")
+    stats.set_defaults(fn=cmd_stats)
     return parser
 
 

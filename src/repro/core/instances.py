@@ -104,19 +104,30 @@ class InstanceStore:
     def __init__(self, prop: PropertySpec) -> None:
         self.prop = prop
         self._by_key: Dict[Tuple, Instance] = {}
+        self._live = 0
 
     # -- shared key-based access ------------------------------------------
     def by_key(self, key: Tuple) -> Optional[Instance]:
         return self._by_key.get(key)
+
+    @property
+    def live_count(self) -> int:
+        """Live instances, maintained incrementally: the telemetry gauges
+        (and ``Monitor.live_instances``) read this O(1) counter instead of
+        scanning the population on every event."""
+        return self._live
 
     def add(self, instance: Instance) -> None:
         existing = self._by_key.get(instance.key)
         if existing is not None and existing.alive:
             raise ValueError(f"duplicate live instance for key {instance.key!r}")
         self._by_key[instance.key] = instance
+        self._live += 1
         self._index_add(instance)
 
     def remove(self, instance: Instance) -> None:
+        if instance.alive:
+            self._live -= 1
         instance.alive = False
         if self._by_key.get(instance.key) is instance:
             del self._by_key[instance.key]

@@ -43,6 +43,8 @@ from ..netsim.scheduler import EventScheduler
 from ..switch.events import DataplaneEvent
 from ..switch.registers import StateCostMeter
 from ..switch.switch import DEFAULT_SPLIT_LAG, ProcessingMode
+from ..telemetry import NULL_TRACER, MetricsRegistry, NullRegistry, Tracer
+from ..telemetry.metrics import COUNT_BUCKETS
 from .instances import Instance, InstanceStore, make_store, uid_var
 from .provenance import ProvenanceLevel, StageRecord, record_stage
 from .refs import EventKind, EventPattern, event_fields, kind_matches
@@ -52,22 +54,53 @@ from .violations import Violation
 ViolationSink = Callable[[Violation], None]
 
 
-@dataclass
 class MonitorStats:
-    """Counters the benchmarks read."""
+    """The counters the benchmarks read — a thin view over the registry.
 
-    events: int = 0
-    violations: int = 0
-    instances_created: int = 0
-    instances_expired: int = 0
-    instances_discharged: int = 0
-    instances_cancelled: int = 0
-    timer_advances: int = 0
-    refreshes: int = 0
-    candidates_examined: int = 0
-    ops_applied: int = 0
-    peak_live_instances: int = 0
-    peak_pending_ops: int = 0
+    Historically a dataclass of loose ints; every field is now backed by
+    a registry instrument, so ``monitor.stats.events`` and the exported
+    ``repro_monitor_events_total`` sample are the SAME cell (no double
+    counting, one source of truth).  Works against the default
+    :class:`~repro.telemetry.NullRegistry` too: its counters still count,
+    they just export nothing.
+    """
+
+    _COUNTERS = {
+        "events": "repro_monitor_events_total",
+        "violations": "repro_monitor_violations_total",
+        "instances_created": "repro_monitor_instances_created_total",
+        "instances_expired": "repro_monitor_instances_expired_total",
+        "instances_discharged": "repro_monitor_instances_discharged_total",
+        "instances_cancelled": "repro_monitor_instances_cancelled_total",
+        "timer_advances": "repro_monitor_timer_advances_total",
+        "refreshes": "repro_monitor_refreshes_total",
+        "candidates_examined": "repro_monitor_candidates_examined_total",
+        "ops_applied": "repro_monitor_ops_applied_total",
+    }
+    _GAUGES = {
+        "peak_live_instances": "repro_monitor_live_instances",
+        "peak_pending_ops": "repro_monitor_pending_ops",
+    }
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else NullRegistry()
+
+    def __getattr__(self, name: str) -> int:
+        counter = self._COUNTERS.get(name)
+        if counter is not None:
+            return int(self._registry.counter(counter).value)
+        gauge = self._GAUGES.get(name)
+        if gauge is not None:
+            return int(self._registry.gauge(gauge).high_watermark)
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = {name: getattr(self, name)
+                  for name in (*self._COUNTERS, *self._GAUGES)}
+        inner = ", ".join(f"{k}={v}" for k, v in fields.items())
+        return f"MonitorStats({inner})"
 
 
 # ---------------------------------------------------------------------------
@@ -86,6 +119,12 @@ class _Op:
     time: float = 0.0
 
 
+def _op_uid(op: _Op) -> Optional[int]:
+    """Packet uid of the event behind an op, for trace-span correlation."""
+    packet = getattr(op.event, "packet", None)
+    return packet.uid if packet is not None else None
+
+
 class Monitor:
     """Cross-packet property monitor over a dataplane event stream."""
 
@@ -99,6 +138,8 @@ class Monitor:
         max_layer: int = 7,
         meter: Optional[StateCostMeter] = None,
         slow_path_updates: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.scheduler = scheduler
         self.provenance = provenance
@@ -108,7 +149,10 @@ class Monitor:
         self.max_layer = max_layer
         self.meter = meter
         self.slow_path_updates = slow_path_updates
-        self.stats = MonitorStats()
+        self.registry = registry if registry is not None else NullRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._init_instruments()
+        self.stats = MonitorStats(self.registry)
         self.violations: List[Violation] = []
         self._sinks: List[ViolationSink] = []
         self._props: Dict[str, PropertySpec] = {}
@@ -120,12 +164,79 @@ class Monitor:
         self._pending_seq = itertools.count()
         self._now = 0.0
 
+    def _init_instruments(self) -> None:
+        """Cache hot-path instrument handles (no per-event dict lookups)."""
+        r = self.registry
+        self._c_events = r.counter(
+            "repro_monitor_events_total",
+            help="Dataplane events the monitor observed")
+        self._c_violations = r.counter(
+            "repro_monitor_violations_total", help="Violations raised")
+        self._c_created = r.counter(
+            "repro_monitor_instances_created_total",
+            help="Monitor instances created (stage-0 matches)")
+        self._c_expired = r.counter(
+            "repro_monitor_instances_expired_total",
+            help="Instances expired by a within deadline (F3)")
+        self._c_discharged = r.counter(
+            "repro_monitor_instances_discharged_total",
+            help="Absent stages discharged by the awaited event (F7)")
+        self._c_cancelled = r.counter(
+            "repro_monitor_instances_cancelled_total",
+            help="Instances cancelled by an unless pattern (F4)")
+        self._c_timer_advances = r.counter(
+            "repro_monitor_timer_advances_total",
+            help="Stage advances driven by timeout actions (F7)")
+        self._c_refreshes = r.counter(
+            "repro_monitor_refreshes_total",
+            help="Stage-0 refreshes of existing instances")
+        self._c_candidates = r.counter(
+            "repro_monitor_candidates_examined_total",
+            help="Instances examined as advance/discharge candidates")
+        self._c_ops = r.counter(
+            "repro_monitor_ops_applied_total",
+            help="State transitions applied (inline or after split lag)")
+        self._g_live = r.gauge(
+            "repro_monitor_live_instances",
+            help="Live instances across all monitored properties")
+        self._g_pending = r.gauge(
+            "repro_monitor_pending_ops",
+            help="Split-mode state transitions still in flight")
+        self._h_candidates = r.histogram(
+            "repro_monitor_candidates_per_event",
+            help="Candidate-scan width per observed event",
+            buckets=COUNT_BUCKETS)
+        self._h_pending_depth = r.histogram(
+            "repro_monitor_pending_queue_depth",
+            help="Pending-op queue depth sampled at each split-mode enqueue",
+            buckets=COUNT_BUCKETS)
+        # Per-property handles, filled in by add_property.
+        self._stage_advance_counters: Dict[str, Tuple] = {}
+        self._prop_violation_counters: Dict[str, object] = {}
+        self._prop_live_gauges: Dict[str, object] = {}
+
     # -- configuration -------------------------------------------------------
     def add_property(self, prop: PropertySpec) -> None:
         if prop.name in self._props:
             raise ValueError(f"duplicate property {prop.name!r}")
         self._props[prop.name] = prop
         self._stores[prop.name] = make_store(prop, self.store_strategy)
+        r = self.registry
+        self._stage_advance_counters[prop.name] = tuple(
+            r.counter(
+                "repro_monitor_stage_advances_total",
+                help="Stage advances per property and stage",
+                labels={"property": prop.name, "stage": stage.name})
+            for stage in prop.stages
+        )
+        self._prop_violation_counters[prop.name] = r.counter(
+            "repro_monitor_property_violations_total",
+            help="Violations per property",
+            labels={"property": prop.name})
+        self._prop_live_gauges[prop.name] = r.gauge(
+            "repro_instance_store_live_instances",
+            help="Live instances in one property's store",
+            labels={"property": prop.name})
 
     def on_violation(self, sink: ViolationSink) -> None:
         self._sinks.append(sink)
@@ -134,7 +245,7 @@ class Monitor:
         return self._stores[prop_name]
 
     def live_instances(self) -> int:
-        return sum(len(list(s.all())) for s in self._stores.values())
+        return sum(s.live_count for s in self._stores.values())
 
     @property
     def now(self) -> float:
@@ -144,7 +255,9 @@ class Monitor:
     def observe(self, event: DataplaneEvent) -> None:
         """Process one dataplane event (the tap entry point)."""
         self.advance_to(event.time)
-        self.stats.events += 1
+        self._c_events.inc()
+        telemetry = self.registry.enabled
+        candidates_before = self._c_candidates.value if telemetry else 0.0
         fields = event_fields(event, max_layer=self.max_layer)
         ops = self._evaluate(event, fields)
         if self.mode is ProcessingMode.INLINE:
@@ -156,14 +269,18 @@ class Monitor:
                 heapq.heappush(
                     self._pending, (apply_at, next(self._pending_seq), op)
                 )
-            self.stats.peak_pending_ops = max(
-                self.stats.peak_pending_ops, len(self._pending)
-            )
+            self._g_pending.set(len(self._pending))
+            if telemetry and ops:
+                self._h_pending_depth.observe(len(self._pending))
             if self.scheduler is not None:
                 self.scheduler.call_at(
                     apply_at, lambda t=apply_at: self.advance_to(t),
                     label="monitor-split-apply",
                 )
+        if telemetry:
+            self._h_candidates.observe(
+                self._c_candidates.value - candidates_before
+            )
         self._track_peak()
 
     def advance_to(self, when: float) -> None:
@@ -187,6 +304,7 @@ class Monitor:
             if next_pending is not None and next_pending <= t:
                 _, _, op = heapq.heappop(self._pending)
                 self._now = max(self._now, next_pending)
+                self._g_pending.value = float(len(self._pending))  # drain only
                 self._apply(op)
                 continue
             deadline, _, instance, gen = heapq.heappop(self._wheel)
@@ -225,7 +343,7 @@ class Monitor:
                     for inst in store.candidates(stage_idx, fields):
                         if inst.stage != stage_idx or inst.instance_id in doomed:
                             continue
-                        self.stats.candidates_examined += 1
+                        self._c_candidates.inc()
                         if self._pattern_matches(stage.pattern, event, fields, inst):
                             doomed.add(inst.instance_id)
                             ops.append(_Op("kill", prop, instance=inst,
@@ -241,7 +359,7 @@ class Monitor:
                 for inst in store.candidates(stage_idx, fields):
                     if inst.stage != stage_idx or inst.instance_id in doomed:
                         continue
-                    self.stats.candidates_examined += 1
+                    self._c_candidates.inc()
                     if not self._pattern_matches(stage.pattern, event, fields, inst):
                         continue
                     if not stage.pattern.bindable(fields):
@@ -302,7 +420,7 @@ class Monitor:
 
     # -- state transitions -------------------------------------------------------
     def _apply(self, op: _Op) -> None:
-        self.stats.ops_applied += 1
+        self._c_ops.inc()
         self._charge()
         if op.kind == "create":
             self._apply_create(op)
@@ -335,7 +453,11 @@ class Monitor:
         if record is not None:
             instance.provenance.append(record)
         store.add(instance)
-        self.stats.instances_created += 1
+        self._c_created.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "monitor.create", op.time, uid=_op_uid(op),
+                property=op.prop.name, key=repr(op.key))
         if instance.complete:  # single-stage property: immediate violation
             self._violate(instance, op.event, op.time)
             store.remove(instance)
@@ -354,6 +476,12 @@ class Monitor:
         instance.stage += 1
         instance.advanced_at = op.time
         self._bump_gen(instance)
+        self._stage_advance_counters[op.prop.name][old_stage].inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "monitor.advance", op.time, uid=_op_uid(op),
+                property=op.prop.name, stage=stage.name,
+                to_stage=instance.stage)
         record = record_stage(self.provenance, stage.name, op.time, op.event)
         if record is not None:
             instance.provenance.append(record)
@@ -371,9 +499,13 @@ class Monitor:
             return
         self._stores[op.prop.name].remove(instance)
         if op.reason == "discharged":
-            self.stats.instances_discharged += 1
+            self._c_discharged.inc()
         else:
-            self.stats.instances_cancelled += 1
+            self._c_cancelled.inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "monitor.kill", op.time, uid=_op_uid(op),
+                property=op.prop.name, reason=op.reason)
 
     def _apply_refresh(self, op: _Op) -> None:
         instance = op.instance
@@ -385,7 +517,7 @@ class Monitor:
         # stage-0 packet uid that a same_packet stage keys on): the store's
         # index must follow, or the refreshed instance becomes unfindable.
         self._stores[op.prop.name].reindex(instance, instance.stage)
-        self.stats.refreshes += 1
+        self._c_refreshes.inc()
         self._arm_timer(instance, op.time)
 
     # -- timers ---------------------------------------------------------------------
@@ -427,12 +559,17 @@ class Monitor:
         store = self._stores[instance.prop.name]
         if instance.deadline_kind == "expire":
             store.remove(instance)
-            self.stats.instances_expired += 1
+            self._c_expired.inc()
             return
         # Timeout action (Feature 7): the negative observation is satisfied.
-        self.stats.timer_advances += 1
+        self._c_timer_advances.inc()
         old_stage = instance.stage
         stage = instance.prop.stages[old_stage]
+        self._stage_advance_counters[instance.prop.name][old_stage].inc()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "monitor.timer_advance", deadline,
+                property=instance.prop.name, stage=stage.name)
         instance.stage += 1
         instance.advanced_at = deadline
         self._bump_gen(instance)
@@ -466,14 +603,27 @@ class Monitor:
             history=tuple(instance.provenance),
         )
         self.violations.append(violation)
-        self.stats.violations += 1
+        self._c_violations.inc()
+        self._prop_violation_counters[instance.prop.name].inc()
+        if self.tracer.enabled:
+            uid = trigger.packet.uid if (
+                trigger is not None and getattr(trigger, "packet", None) is not None
+            ) else None
+            self.tracer.event(
+                "monitor.violation", when, uid=uid,
+                property=instance.prop.name)
         for sink in self._sinks:
             sink(violation)
 
     def _track_peak(self) -> None:
-        live = self.live_instances()
-        if live > self.stats.peak_live_instances:
-            self.stats.peak_live_instances = live
+        total = 0
+        per_prop = self.registry.enabled
+        for name, store in self._stores.items():
+            live = store.live_count
+            total += live
+            if per_prop:
+                self._prop_live_gauges[name].set(float(live))
+        self._g_live.set(float(total))
 
     # -- conveniences ------------------------------------------------------------------
     def attach(self, switch) -> None:

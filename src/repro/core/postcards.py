@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..switch.events import DataplaneEvent
+from ..telemetry import MetricsRegistry, NullRegistry
 from .instances import Instance
 from .monitor import Monitor
 from .provenance import ProvenanceLevel, StageRecord
@@ -50,6 +51,12 @@ class Postcard:
     time: float
     packet_uid: Optional[int]
     digest: str
+
+    def wire_size(self) -> int:
+        """Approximate on-the-wire size: a fixed header (property id,
+        key hash, stage id, timestamp, uid — NetSight's compressed header
+        digest) plus the variable one-line digest."""
+        return 32 + len(self.digest)
 
 
 @dataclass(frozen=True)
@@ -77,22 +84,48 @@ class PostcardCollector:
     instance they belong to has either violated already or expired.
     """
 
-    def __init__(self, retention: float = 300.0) -> None:
+    def __init__(
+        self,
+        retention: float = 300.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if retention <= 0:
             raise ValueError("retention must be positive")
         self.retention = retention
+        self.registry = registry if registry is not None else NullRegistry()
         self._log: Dict[Tuple[str, Tuple], List[Postcard]] = {}
-        self.postcards_received = 0
-        self.postcards_dropped = 0
+        self._c_received = self.registry.counter(
+            "repro_postcards_received_total",
+            help="Postcards shipped to the collector")
+        self._c_dropped = self.registry.counter(
+            "repro_postcards_dropped_total",
+            help="Postcards garbage-collected past the retention horizon")
+        self._c_bytes = self.registry.counter(
+            "repro_postcards_bytes_total",
+            help="Approximate postcard bandwidth consumed", unit="bytes")
+        self._g_stored = self.registry.gauge(
+            "repro_postcards_stored",
+            help="Postcards currently held at the collector")
         self.reconstructed: List[ReconstructedViolation] = []
         self._newest = 0.0
 
+    # Legacy counter names, now views over the registry cells.
+    @property
+    def postcards_received(self) -> int:
+        return int(self._c_received.value)
+
+    @property
+    def postcards_dropped(self) -> int:
+        return int(self._c_dropped.value)
+
     # -- ingest ------------------------------------------------------------
     def receive(self, postcard: Postcard) -> None:
-        self.postcards_received += 1
+        self._c_received.inc()
+        self._c_bytes.inc(postcard.wire_size())
         self._newest = max(self._newest, postcard.time)
         key = (postcard.property_name, postcard.instance_key)
         self._log.setdefault(key, []).append(postcard)
+        self._g_stored.inc()
 
     def collect_garbage(self) -> int:
         """Drop postcard chains whose newest entry fell off the horizon."""
@@ -104,7 +137,8 @@ class PostcardCollector:
         dropped = 0
         for key in stale:
             dropped += len(self._log.pop(key))
-        self.postcards_dropped += dropped
+        self._c_dropped.inc(dropped)
+        self._g_stored.dec(dropped)
         return dropped
 
     # -- reconstruction -------------------------------------------------------
@@ -112,6 +146,7 @@ class PostcardCollector:
         chain = tuple(
             self._log.pop((violation.property_name, instance_key), ())
         )
+        self._g_stored.dec(len(chain))
         self.reconstructed.append(
             ReconstructedViolation(violation=violation, history=chain)
         )

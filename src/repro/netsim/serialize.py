@@ -6,12 +6,19 @@ Packets are serialized via their wire encoding (hex), so a reloaded trace
 re-parses through the same codecs the live path uses.  Packet uids are
 preserved explicitly: identity (Feature 5) must survive the round trip,
 and re-parsing alone would mint fresh uids.
+
+A trace may begin with one **header line** (``kind: "TraceHeader"``)
+recording provenance — schema version, generator seed, host count, packet
+count — which ``repro stats`` echoes back so a snapshot is traceable to
+the workload that produced it.  Readers skip the header transparently
+(``load_trace`` returns events only; use ``read_trace_with_header`` to
+get both), so headered traces stay readable by older tooling patterns.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..packet.packet import Packet
 from ..packet.parser import encode as wire_encode
@@ -30,6 +37,18 @@ from ..switch.events import (
 
 class TraceFormatError(ValueError):
     """Raised on malformed trace lines."""
+
+
+#: Bumped whenever the event dict layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_header(**provenance: object) -> dict:
+    """A header dict (``seed=``, ``hosts=``, ``packets=``, ``events=``...)
+    stamped with the current schema version."""
+    header = {"kind": "TraceHeader", "schema": TRACE_SCHEMA_VERSION}
+    header.update({k: v for k, v in provenance.items() if v is not None})
+    return header
 
 
 def event_to_dict(event: DataplaneEvent) -> dict:
@@ -94,9 +113,20 @@ def event_from_dict(data: dict, max_layer: int = 7) -> DataplaneEvent:
     raise TraceFormatError(f"unknown event kind {kind!r}")
 
 
-def dump_trace(events: Iterable[DataplaneEvent], fp: IO[str]) -> int:
-    """Write events as JSON lines; returns the count written."""
+def dump_trace(
+    events: Iterable[DataplaneEvent],
+    fp: IO[str],
+    header: Optional[dict] = None,
+) -> int:
+    """Write events as JSON lines; returns the count written.
+
+    ``header`` (from :func:`trace_header`) is written as the first line
+    and is not included in the returned count.
+    """
     count = 0
+    if header is not None:
+        fp.write(json.dumps(header, sort_keys=True))
+        fp.write("\n")
     for event in events:
         fp.write(json.dumps(event_to_dict(event), sort_keys=True))
         fp.write("\n")
@@ -104,8 +134,10 @@ def dump_trace(events: Iterable[DataplaneEvent], fp: IO[str]) -> int:
     return count
 
 
-def load_trace(fp: IO[str], max_layer: int = 7) -> List[DataplaneEvent]:
-    """Read a JSONL trace; returns events in file order."""
+def _load(
+    fp: IO[str], max_layer: int = 7
+) -> Tuple[Optional[dict], List[DataplaneEvent]]:
+    header: Optional[dict] = None
     events: List[DataplaneEvent] = []
     for lineno, line in enumerate(fp, start=1):
         line = line.strip()
@@ -115,15 +147,38 @@ def load_trace(fp: IO[str], max_layer: int = 7) -> List[DataplaneEvent]:
             data = json.loads(line)
         except json.JSONDecodeError as exc:
             raise TraceFormatError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if data.get("kind") == "TraceHeader":
+            if lineno == 1:
+                header = data
+                continue
+            raise TraceFormatError(
+                f"line {lineno}: TraceHeader only allowed on line 1")
         events.append(event_from_dict(data, max_layer=max_layer))
-    return events
+    return header, events
 
 
-def save_trace(events: Iterable[DataplaneEvent], path: str) -> int:
+def load_trace(fp: IO[str], max_layer: int = 7) -> List[DataplaneEvent]:
+    """Read a JSONL trace; returns events in file order (header skipped)."""
+    return _load(fp, max_layer=max_layer)[1]
+
+
+def save_trace(
+    events: Iterable[DataplaneEvent],
+    path: str,
+    header: Optional[dict] = None,
+) -> int:
     with open(path, "w", encoding="utf-8") as fp:
-        return dump_trace(events, fp)
+        return dump_trace(events, fp, header=header)
 
 
 def read_trace(path: str, max_layer: int = 7) -> List[DataplaneEvent]:
     with open(path, "r", encoding="utf-8") as fp:
         return load_trace(fp, max_layer=max_layer)
+
+
+def read_trace_with_header(
+    path: str, max_layer: int = 7
+) -> Tuple[Optional[dict], List[DataplaneEvent]]:
+    """Like :func:`read_trace` but also returns the header (or ``None``)."""
+    with open(path, "r", encoding="utf-8") as fp:
+        return _load(fp, max_layer=max_layer)

@@ -27,6 +27,7 @@ from enum import Enum
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..packet.packet import Packet
+from ..telemetry import MetricsRegistry, NullRegistry
 from .actions import (
     Action,
     DeleteRules,
@@ -142,6 +143,7 @@ class Pipeline:
         miss_policy: MissPolicy = MissPolicy.DROP,
         max_parse_layer: int = 7,
         meter: Optional[StateCostMeter] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_tables < 1:
             raise PipelineError("pipeline needs at least one ingress table")
@@ -152,6 +154,27 @@ class Pipeline:
         self.miss_policy = miss_policy
         self.max_parse_layer = max_parse_layer
         self.meter = meter if meter is not None else StateCostMeter()
+        self.registry = registry if registry is not None else NullRegistry()
+        # Per-table hit/miss counters are created lazily because Varanus
+        # unrolling grows the table set at runtime; the `enabled` gate
+        # keeps the default (NullRegistry) lookup path at one attr check.
+        self._telemetry = self.registry.enabled
+        self._hit_counters: Dict[int, object] = {}
+        self._miss_counters: Dict[int, object] = {}
+
+    def _note_lookup(self, table_id: int, hit: bool) -> None:
+        cache = self._hit_counters if hit else self._miss_counters
+        counter = cache.get(table_id)
+        if counter is None:
+            name = ("repro_pipeline_table_hits_total" if hit
+                    else "repro_pipeline_table_misses_total")
+            counter = self.registry.counter(
+                name,
+                help=("Lookups that matched a rule, per table" if hit
+                      else "Lookups that missed, per table"),
+                labels={"table": str(table_id)})
+            cache[table_id] = counter
+        counter.inc()
 
     # -- table access -----------------------------------------------------
     def table(self, table_id: int) -> FlowTable:
@@ -205,6 +228,8 @@ class Pipeline:
             self.meter.charge_lookup()
             fields = self._packet_fields(working, meta)
             rule = table.lookup(fields, now)
+            if self._telemetry:
+                self._note_lookup(table.table_id, rule is not None)
             if rule is None:
                 table_index += 1
                 # Fall through to the next table only when the pipeline is
@@ -354,6 +379,8 @@ class Pipeline:
                 self.meter.charge_lookup()
                 fields = self._packet_fields(working, {**meta, "out_port": out_port})
                 rule = table.lookup(fields, now)
+                if self._telemetry:
+                    self._note_lookup(table.table_id, rule is not None)
                 if rule is None:
                     continue
                 result.matched_rules.append(rule)

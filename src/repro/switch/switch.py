@@ -28,6 +28,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, 
 
 from ..netsim.scheduler import EventScheduler
 from ..packet.packet import Packet
+from ..telemetry import NULL_TRACER, MetricsRegistry, NullRegistry, Tracer
+from ..telemetry.metrics import LATENCY_BUCKETS
 from .actions import (
     Action,
     DeleteRules,
@@ -88,22 +90,52 @@ Tap = Callable[[DataplaneEvent], None]
 Receiver = Callable[[Packet], None]
 
 
-@dataclass
 class SwitchStats:
-    """Aggregate forwarding statistics."""
+    """Aggregate forwarding statistics — a thin view over the registry.
 
-    arrivals: int = 0
-    unicasts: int = 0
-    floods: int = 0
-    drops: int = 0
-    controller_punts: int = 0
-    alerts: int = 0
-    total_forward_latency: float = 0.0
+    Historically a dataclass of loose fields; each one is now backed by a
+    registry instrument, so ``switch.stats.arrivals`` and the exported
+    ``repro_switch_arrivals_total`` sample are the SAME cell (no double
+    counting).  Works against the default
+    :class:`~repro.telemetry.NullRegistry` too: its counters still count,
+    they just export nothing.
+    """
+
+    _COUNTERS = {
+        "arrivals": "repro_switch_arrivals_total",
+        "unicasts": "repro_switch_unicasts_total",
+        "floods": "repro_switch_floods_total",
+        "drops": "repro_switch_drops_total",
+        "controller_punts": "repro_switch_controller_punts_total",
+        "alerts": "repro_switch_alerts_total",
+    }
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else NullRegistry()
+
+    def __getattr__(self, name: str) -> int:
+        counter = self._COUNTERS.get(name)
+        if counter is not None:
+            return int(self._registry.counter(counter).value)
+        raise AttributeError(name)
+
+    @property
+    def total_forward_latency(self) -> float:
+        return self._registry.counter(
+            "repro_switch_forward_latency_seconds_total").value
 
     @property
     def mean_forward_latency(self) -> float:
         done = self.unicasts + self.floods
         return self.total_forward_latency / done if done else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = {name: getattr(self, name) for name in self._COUNTERS}
+        fields["mean_forward_latency"] = self.mean_forward_latency
+        inner = ", ".join(f"{k}={v}" for k, v in fields.items())
+        return f"SwitchStats({inner})"
 
 
 class Switch:
@@ -122,24 +154,30 @@ class Switch:
         split_lag: float = DEFAULT_SPLIT_LAG,
         drop_visibility: bool = True,
         app: Optional[SwitchApp] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if num_ports < 1:
             raise ValueError("switch needs at least one port")
         self.switch_id = switch_id
         self.scheduler = scheduler
         self.meter = StateCostMeter()
+        self.registry = registry if registry is not None else NullRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pipeline = Pipeline(
             num_tables=num_tables,
             num_egress_tables=num_egress_tables,
             miss_policy=miss_policy,
             max_parse_layer=max_parse_layer,
             meter=self.meter,
+            registry=self.registry,
         )
         self.ports: Dict[int, bool] = {p: True for p in range(1, num_ports + 1)}
         self.mode = mode
         self.split_lag = split_lag
         self.drop_visibility = drop_visibility
-        self.stats = SwitchStats()
+        self._init_instruments()
+        self.stats = SwitchStats(self.registry)
         self.globals = GlobalArrays(meter=self.meter)
         self._registers: Dict[str, RegisterArray] = {}
         self._taps: List[Tap] = []
@@ -149,6 +187,33 @@ class Switch:
         self._app = app
         if app is not None:
             app.setup(self)
+
+    def _init_instruments(self) -> None:
+        """Cache hot-path instrument handles (no per-packet dict lookups)."""
+        r = self.registry
+        self._c_arrivals = r.counter(
+            "repro_switch_arrivals_total", help="Packets received on any port")
+        self._c_unicasts = r.counter(
+            "repro_switch_unicasts_total", help="Unicast packet departures")
+        self._c_floods = r.counter(
+            "repro_switch_floods_total", help="Flood decisions")
+        self._c_drops = r.counter(
+            "repro_switch_drops_total", help="Packets dropped by the pipeline")
+        self._c_punts = r.counter(
+            "repro_switch_controller_punts_total",
+            help="Packets punted to the controller slow path")
+        self._c_alerts = r.counter(
+            "repro_switch_alerts_total",
+            help="Dataplane-raised Notify alerts")
+        self._c_latency_sum = r.counter(
+            "repro_switch_forward_latency_seconds_total",
+            help="Cumulative forwarding latency over all departures",
+            unit="seconds")
+        self._h_latency = r.histogram(
+            "repro_switch_forward_latency_seconds",
+            help="Per-departure forwarding latency",
+            unit="seconds",
+            buckets=LATENCY_BUCKETS)
 
     # -- wiring ------------------------------------------------------------
     @property
@@ -252,7 +317,7 @@ class Switch:
         elif isinstance(action, Notify):
             alert = Alert(message=action.message, carried=dict(action.baked),
                           packet_uid=0)
-            self.stats.alerts += 1
+            self._c_alerts.inc()
             for sink in self._alert_sinks:
                 sink(alert)
         # Output/Drop are meaningless without a packet; ignore silently —
@@ -265,7 +330,15 @@ class Switch:
         if not self.ports[in_port]:
             raise ValueError(f"port {in_port} is down")
         arrival_time = self.now
-        self.stats.arrivals += 1
+        self._c_arrivals.inc()
+        # The root span opens BEFORE the arrival reaches the taps, so a
+        # monitor processing this packet synchronously nests its spans
+        # under it (uid correlation across the layers).
+        root = None
+        if self.tracer.enabled:
+            root = self.tracer.start(
+                "switch.receive", arrival_time, uid=packet.uid, root=True,
+                switch=self.switch_id, in_port=in_port)
         self._emit(
             PacketArrival(
                 switch_id=self.switch_id,
@@ -275,6 +348,10 @@ class Switch:
             )
         )
 
+        pspan = None
+        if root is not None:
+            pspan = self.tracer.start(
+                "pipeline.process", arrival_time, uid=packet.uid)
         ticks_before = self.meter.total_ticks
         result = self.pipeline.process(packet, in_port, arrival_time)
 
@@ -294,14 +371,19 @@ class Switch:
         ticks_spent = self.meter.total_ticks - ticks_before
         latency = BASE_FORWARD_LATENCY + ticks_spent * TICK_SECONDS
         egress_time = arrival_time + latency
+        if pspan is not None:
+            self.tracer.end(
+                pspan, egress_time,
+                tables=result.tables_traversed,
+                matched=len(result.matched_rules))
 
         for alert in result.alerts:
-            self.stats.alerts += 1
+            self._c_alerts.inc()
             for sink in self._alert_sinks:
                 sink(alert)
 
         if result.dropped and not result.forwarded:
-            self.stats.drops += 1
+            self._c_drops.inc()
             if self.drop_visibility:
                 self._emit(
                     PacketDrop(
@@ -313,23 +395,33 @@ class Switch:
                     )
                 )
         if result.to_controller:
-            self.stats.controller_punts += 1
+            self._c_punts.inc()
             self.meter.charge_slow_update()
             if self._app is not None:
                 self._app.on_packet_in(self, packet, in_port)
 
+        telemetry = self.registry.enabled
         if result.flooded:
-            self.stats.floods += 1
-            self.stats.total_forward_latency += latency
+            self._c_floods.inc()
+            self._c_latency_sum.inc(latency)
+            if telemetry:
+                self._h_latency.observe(latency)
             for port in self.up_ports():
                 if port != in_port:
                     self._send(packet.duplicate(), port, in_port, egress_time,
                                EgressAction.FLOOD)
         for out_port, out_packet in result.outputs:
-            self.stats.unicasts += 1
-            self.stats.total_forward_latency += latency
+            self._c_unicasts.inc()
+            self._c_latency_sum.inc(latency)
+            if telemetry:
+                self._h_latency.observe(latency)
             self._send(out_packet, out_port, in_port, egress_time,
                        EgressAction.UNICAST)
+        if root is not None:
+            self.tracer.end(
+                root, egress_time,
+                forwarded=result.forwarded, dropped=result.dropped,
+                punted=result.to_controller)
         return result
 
     def inject(self, packet: Packet, out_port: int) -> None:
@@ -345,7 +437,7 @@ class Switch:
         on the switch's own output decision (flood vs. unicast) — the
         metadata-matching capability Sec. 3.2 calls a critical gap.
         """
-        self.stats.floods += 1
+        self._c_floods.inc()
         for port in self.up_ports():
             if port != in_port:
                 self._send(packet.duplicate(), port, in_port, self.now,
@@ -353,7 +445,7 @@ class Switch:
 
     def drop(self, packet: Packet, in_port: int, reason: str = "app-drop") -> None:
         """App-directed drop; visible to taps only with drop visibility."""
-        self.stats.drops += 1
+        self._c_drops.inc()
         if self.drop_visibility:
             self._emit(
                 PacketDrop(

@@ -1,0 +1,281 @@
+"""Packet/instance trace spans — one packet's story across the layers.
+
+A :class:`Tracer` records **nested spans** on the virtual clock: a root
+span per packet arrival (keyed by the packet uid), child spans for its
+pipeline traversal and per-table matches, and zero-duration event spans
+wherever the monitor advances, kills, or violates an instance because of
+that packet.  The result is the observability counterpart of Feature 10
+provenance: provenance explains a *violation* after the fact; a trace
+explains every *packet*, including the ones that matched nothing.
+
+Spans serialize as JSON lines (``dump_spans`` / ``load_spans``), one span
+per line, ordered by span id — which, because ids are allocated at span
+*start*, guarantees a parent's line precedes every child's.  The
+well-formedness contract (checked by :func:`validate_spans`, pinned by a
+Hypothesis property in the test suite):
+
+* every span is closed: ``end`` is present and ``end >= start``;
+* every non-root span's parent exists and was started no later than the
+  child (``parent.start <= child.start`` and ``parent.span_id <
+  child.span_id``);
+* span ids strictly increase in emission order.
+
+Correlation across decoupled layers works through the packet uid: the
+switch opens a root span *before* emitting ``PacketArrival`` to its taps,
+so when the monitor (a tap, synchronous) emits its own spans for the same
+uid they attach under that root.  :class:`NullTracer` is the default and
+costs one attribute check per call site.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List, Optional, Sequence
+
+
+class Span:
+    """One timed operation; zero-duration spans model point events."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "uid", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        uid: Optional[int] = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.uid = uid
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "uid": self.uid,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.span_id}, {self.name!r}, parent={self.parent_id}, "
+            f"[{self.start}, {self.end}])"
+        )
+
+
+class Tracer:
+    """Records spans in memory; see module docstring for the contract."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._next_id = 1
+        self._root_by_uid: Dict[int, Span] = {}
+
+    # -- span lifecycle ----------------------------------------------------
+    def start(
+        self,
+        name: str,
+        time: float,
+        uid: Optional[int] = None,
+        parent: Optional[Span] = None,
+        root: bool = False,
+        **attrs: object,
+    ) -> Span:
+        """Open a span.
+
+        With no explicit ``parent``, a span carrying a ``uid`` attaches
+        under the current root span for that uid (if one is open).
+        ``root=True`` registers this span as that root.
+        """
+        if parent is None and uid is not None and not root:
+            current = self._root_by_uid.get(uid)
+            if current is not None and current.end is None:
+                parent = current
+        span = Span(
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            name,
+            time,
+            uid=uid,
+            attrs=dict(attrs) if attrs else None,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        if root and uid is not None:
+            self._root_by_uid[uid] = span
+        return span
+
+    def end(self, span: Span, time: float, **attrs: object) -> None:
+        span.end = max(time, span.start)
+        if attrs:
+            span.attrs.update(attrs)
+        if span.uid is not None and self._root_by_uid.get(span.uid) is span:
+            del self._root_by_uid[span.uid]
+
+    def event(
+        self,
+        name: str,
+        time: float,
+        uid: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        """A zero-duration span (instantaneous point event)."""
+        span = self.start(name, time, uid=uid, parent=parent, **attrs)
+        span.end = time
+        return span
+
+    def close_all(self, time: float) -> int:
+        """Close any span still open (defensive; returns how many)."""
+        closed = 0
+        for span in self.spans:
+            if span.end is None:
+                span.end = max(time, span.start)
+                closed += 1
+        self._root_by_uid.clear()
+        return closed
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._root_by_uid.clear()
+        self._next_id = 1
+
+
+class NullTracer(Tracer):
+    """The default: every operation is a no-op returning no span."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def start(self, name, time, uid=None, parent=None, root=False, **attrs):  # type: ignore[override]
+        return None
+
+    def end(self, span, time, **attrs):  # type: ignore[override]
+        pass
+
+    def event(self, name, time, uid=None, parent=None, **attrs):  # type: ignore[override]
+        return None
+
+    def close_all(self, time):  # type: ignore[override]
+        return 0
+
+    def reset(self):  # type: ignore[override]
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+def dump_spans(spans: Iterable[Span], fp: IO[str]) -> int:
+    """Write spans as JSON lines in span-id order; returns the count."""
+    count = 0
+    for span in sorted(spans, key=lambda s: s.span_id):
+        fp.write(json.dumps(span.to_dict(), sort_keys=True))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def load_spans(fp: IO[str]) -> List[Span]:
+    """Read a span JSONL stream back into :class:`Span` objects."""
+    spans: List[Span] = []
+    for line in fp:
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        span = Span(
+            span_id=int(data["span_id"]),
+            parent_id=data.get("parent_id"),
+            name=data["name"],
+            start=float(data["start"]),
+            uid=data.get("uid"),
+            attrs=data.get("attrs") or {},
+        )
+        if data.get("end") is not None:
+            span.end = float(data["end"])
+        spans.append(span)
+    return spans
+
+
+def save_spans(spans: Iterable[Span], path: str) -> int:
+    with open(path, "w", encoding="utf-8") as fp:
+        return dump_spans(spans, fp)
+
+
+# ---------------------------------------------------------------------------
+# Well-formedness
+# ---------------------------------------------------------------------------
+def validate_spans(spans: Sequence[Span]) -> List[str]:
+    """Check the span-tree contract; returns a list of violations (empty
+    when well-formed).  Used by tests and by ``repro stats --trace-out``
+    before writing the file."""
+    problems: List[str] = []
+    by_id: Dict[int, Span] = {}
+    last_id = 0
+    for span in spans:
+        if span.span_id <= last_id:
+            problems.append(
+                f"span {span.span_id} out of order (after {last_id})"
+            )
+        last_id = span.span_id
+        by_id[span.span_id] = span
+        if span.end is None:
+            problems.append(f"span {span.span_id} ({span.name}) never closed")
+        elif span.end < span.start:
+            problems.append(
+                f"span {span.span_id} ({span.name}) ends before it starts"
+            )
+        if span.parent_id is not None:
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                problems.append(
+                    f"span {span.span_id} ({span.name}) parent "
+                    f"{span.parent_id} missing or later"
+                )
+            elif parent.start > span.start:
+                problems.append(
+                    f"span {span.span_id} ({span.name}) starts before its "
+                    f"parent {parent.span_id}"
+                )
+    return problems
+
+
+def replay_with_trace(monitor, events, tracer: Tracer) -> None:
+    """Feed recorded events into ``monitor`` with one root span per event.
+
+    This is the offline analogue of the switch's live tracing: each trace
+    event gets a root span (named after its type, keyed by the packet uid
+    when it has one) under which the monitor's instance spans nest.  Used
+    by ``repro stats`` and the span well-formedness tests.
+    """
+    for event in events:
+        packet = getattr(event, "packet", None)
+        uid = packet.uid if packet is not None else None
+        root = tracer.start(
+            type(event).__name__, event.time, uid=uid, root=True,
+            switch=event.switch_id,
+        )
+        monitor.observe(event)
+        tracer.end(root, monitor.now)

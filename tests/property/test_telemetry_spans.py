@@ -1,0 +1,123 @@
+"""Property-based tests: trace-span trees stay well-formed.
+
+Random event streams through a traced monitor must always yield a valid
+span forest: ids strictly increase, every parent exists and precedes its
+child, every span is closed.  ``validate_spans`` is the single contract
+that ``repro stats --trace-out`` relies on; these tests prove it holds on
+arbitrary inputs, not just the hand-written smoke traces.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Bind,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    Monitor,
+    Observe,
+    PropertySpec,
+    Var,
+)
+from repro.packet import ethernet
+from repro.switch.events import EgressAction, PacketArrival, PacketEgress
+from repro.switch.switch import ProcessingMode
+from repro.telemetry import (
+    Tracer,
+    dump_spans,
+    load_spans,
+    replay_with_trace,
+    validate_spans,
+)
+
+addr = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def event_streams(draw, max_events=40):
+    """Random time-ordered arrival/egress streams over a tiny address
+    universe, so instances collide, advance, violate, and expire often."""
+    n = draw(st.integers(min_value=1, max_value=max_events))
+    events = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.001, max_value=2.0))
+        packet = ethernet(draw(addr), draw(addr))
+        if draw(st.booleans()):
+            events.append(PacketArrival(
+                switch_id="s", time=t, packet=packet, in_port=draw(addr)))
+        else:
+            events.append(PacketEgress(
+                switch_id="s", time=t, packet=packet, in_port=draw(addr),
+                out_port=draw(addr), action=EgressAction.UNICAST))
+    return events
+
+
+def traced_property():
+    return PropertySpec(
+        name="echo", description="",
+        stages=(
+            Observe("request", EventPattern(
+                kind=EventKind.ARRIVAL, binds=(Bind("S", "eth.src"),))),
+            Observe("response", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.dst", Var("S")),)), within=3.0),
+        ),
+        key_vars=("S",),
+    )
+
+
+def replay(events, mode=ProcessingMode.INLINE):
+    tracer = Tracer()
+    monitor = Monitor(mode=mode, split_lag=0.5, tracer=tracer)
+    monitor.add_property(traced_property())
+    replay_with_trace(monitor, events, tracer)
+    if events:
+        monitor.advance_to(events[-1].time + 10.0)
+    tracer.close_all(monitor.now)
+    return tracer
+
+
+class TestSpanWellFormedness:
+    @settings(max_examples=60, deadline=None)
+    @given(event_streams())
+    def test_inline_replay_spans_validate(self, events):
+        tracer = replay(events)
+        assert validate_spans(tracer.spans) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(event_streams())
+    def test_split_replay_spans_validate(self, events):
+        # Split mode applies ops after the root span closed; the monitor's
+        # deferred events must still land as well-formed spans.
+        tracer = replay(events, mode=ProcessingMode.SPLIT)
+        assert validate_spans(tracer.spans) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(event_streams())
+    def test_every_monitor_span_nests_under_a_root(self, events):
+        tracer = replay(events)
+        roots = {s.span_id for s in tracer.spans if s.parent_id is None}
+        by_id = {s.span_id: s for s in tracer.spans}
+        for span in tracer.spans:
+            if span.parent_id is None:
+                continue
+            assert span.parent_id in by_id
+            assert by_id[span.parent_id].span_id in roots or (
+                by_id[span.parent_id].parent_id is not None)
+
+    @settings(max_examples=30, deadline=None)
+    @given(event_streams())
+    def test_jsonl_roundtrip_preserves_validity(self, events):
+        tracer = replay(events)
+        buf = io.StringIO()
+        dump_spans(tracer.spans, buf)
+        buf.seek(0)
+        loaded = load_spans(buf)
+        assert len(loaded) == len(tracer.spans)
+        assert validate_spans(loaded) == []
+        assert [s.span_id for s in loaded] == sorted(
+            s.span_id for s in tracer.spans)

@@ -1,0 +1,96 @@
+"""Regenerate the telemetry exposition golden fixtures.
+
+Run from the repo root after a *deliberate* renderer change:
+
+    PYTHONPATH=src python -m tests.regen_telemetry_goldens
+
+The scenario below is pure construction — fixed counter values, fixed
+histogram observations, a fixed virtual clock — so the rendered output is
+byte-stable across runs and machines.  It registers one representative
+metric per instrumented subsystem (monitor, switch, pipeline, instance
+store, postcards) so the goldens pin the full family vocabulary, not just
+the renderer mechanics.
+"""
+
+import os
+
+from repro.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    render_json,
+    render_prometheus,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "fixtures", "telemetry",
+                      "golden")
+
+SNAPSHOT_TIME = 12.5
+
+
+def build_scenario_registry():
+    """A registry populated with fixed values from every metric family."""
+    registry = MetricsRegistry(time_fn=lambda: SNAPSHOT_TIME)
+
+    # Monitor family: plain counters, labeled counters, a watermark gauge.
+    registry.counter("repro_monitor_events_total",
+                     "Events observed by the monitor").inc(86)
+    registry.counter("repro_monitor_violations_total",
+                     "Violations raised").inc(12)
+    advances = registry.counter(
+        "repro_monitor_stage_advances_total",
+        "Stage advances by property and stage",
+        labels={"property": "learned_unicast", "stage": "learn"})
+    advances.inc(40)
+    registry.counter(
+        "repro_monitor_stage_advances_total",
+        "Stage advances by property and stage",
+        labels={"property": "learned_unicast", "stage": "bad_egress"}).inc(12)
+    live = registry.gauge("repro_monitor_live_instances",
+                          "Live instances across all properties")
+    live.set(9)
+    live.set(4)  # the peak (9) must survive the drop
+
+    # Instance-store family: a labeled gauge.
+    registry.gauge("repro_instance_store_live_instances",
+                   "Live instances per property",
+                   labels={"property": "learned_unicast"}).set(4)
+
+    # Switch family: a latency histogram with known observations.
+    latency = registry.histogram("repro_switch_forward_latency_seconds",
+                                 "Per-packet forwarding latency",
+                                 buckets=LATENCY_BUCKETS)
+    for value in (2e-6, 5e-6, 3e-4, 3e-4, 0.25):
+        latency.observe(value)
+    registry.counter("repro_switch_arrivals_total",
+                     "Packets received").inc(40)
+
+    # Pipeline family: per-table hit/miss counters.
+    registry.counter("repro_pipeline_table_hits_total",
+                     "Table lookup hits", labels={"table": "0"}).inc(35)
+    registry.counter("repro_pipeline_table_misses_total",
+                     "Table lookup misses", labels={"table": "0"}).inc(5)
+
+    # Postcard family.
+    registry.counter("repro_postcards_bytes_total",
+                     "Postcard bytes shipped to the collector").inc(3520)
+
+    return registry
+
+
+def main():
+    os.makedirs(GOLDEN, exist_ok=True)
+    registry = build_scenario_registry()
+    snapshot = registry.snapshot()
+    prom_path = os.path.join(GOLDEN, "snapshot.prom")
+    json_path = os.path.join(GOLDEN, "snapshot.json")
+    with open(prom_path, "w", encoding="utf-8") as fp:
+        fp.write(render_prometheus(snapshot))
+    with open(json_path, "w", encoding="utf-8") as fp:
+        fp.write(render_json(snapshot))
+        fp.write("\n")
+    print(f"wrote {prom_path}")
+    print(f"wrote {json_path}")
+
+
+if __name__ == "__main__":
+    main()

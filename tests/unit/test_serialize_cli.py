@@ -184,6 +184,125 @@ class TestCli:
         assert "violations: 0" in capsys.readouterr().out
 
 
+class TestTraceHeader:
+    def test_header_roundtrip(self):
+        from repro.netsim.serialize import trace_header
+
+        buf = io.StringIO()
+        header = trace_header(seed=7, hosts=4, packets=40)
+        dump_trace(sample_events(), buf, header=header)
+        buf.seek(0)
+        first = json.loads(buf.readline())
+        assert first["kind"] == "TraceHeader"
+        assert first["schema"] == 1
+        assert first["seed"] == 7
+        buf.seek(0)
+        # Plain loads skip the header transparently.
+        assert len(load_trace(buf)) == 5
+
+    def test_header_drops_none_fields(self):
+        from repro.netsim.serialize import trace_header
+
+        assert "seed" not in trace_header(seed=None, hosts=4)
+
+    def test_read_trace_with_header(self, tmp_path):
+        from repro.netsim.serialize import read_trace_with_header, trace_header
+
+        path = str(tmp_path / "t.jsonl")
+        save_trace(sample_events(), path, header=trace_header(seed=3))
+        header, events = read_trace_with_header(path)
+        assert header["seed"] == 3
+        assert len(events) == 5
+
+    def test_headerless_trace_reads_as_none(self, tmp_path):
+        from repro.netsim.serialize import read_trace_with_header
+
+        path = str(tmp_path / "t.jsonl")
+        save_trace(sample_events(), path)
+        header, events = read_trace_with_header(path)
+        assert header is None
+        assert len(events) == 5
+
+    def test_header_past_line_one_rejected(self):
+        buf = io.StringIO()
+        dump_trace(sample_events()[:1], buf)
+        buf.write(json.dumps({"kind": "TraceHeader", "schema": 1}) + "\n")
+        buf.seek(0)
+        with pytest.raises(TraceFormatError):
+            load_trace(buf)
+
+
+class TestStatsCli:
+    @pytest.fixture
+    def recorded(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        props = tmp_path / "p.prop"
+        props.write_text(DSL)
+        assert main(["record", str(trace), "--packets", "20", "--seed", "3",
+                     "--fault-rate", "1.0"]) == 0
+        return str(trace), str(props)
+
+    def test_record_writes_provenance_header(self, recorded):
+        trace, _ = recorded
+        with open(trace, encoding="utf-8") as fp:
+            first = json.loads(fp.readline())
+        assert first["kind"] == "TraceHeader"
+        assert first["schema"] == 1
+        assert first["seed"] == 3
+        assert first["packets"] == 20
+        assert first["generator"] == "repro record"
+
+    def test_stats_default_prometheus(self, recorded, capsys):
+        trace, props = recorded
+        assert main(["stats", trace, props]) == 0
+        captured = capsys.readouterr()
+        assert "# TYPE repro_monitor_events_total counter" in captured.out
+        assert "repro_monitor_events_total" in captured.out
+        # Provenance echo goes to stderr, not into the exposition text.
+        assert "schema v1" in captured.err
+        assert "seed=3" in captured.err
+
+    def test_stats_json_snapshot(self, recorded, capsys):
+        trace, props = recorded
+        assert main(["stats", trace, props, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"]["header"]["seed"] == 3
+        names = {m["name"] for m in payload["snapshot"]["metrics"]}
+        assert "repro_monitor_events_total" in names
+        assert "repro_monitor_live_instances" in names
+
+    def test_stats_trace_out_spans_validate(self, recorded, tmp_path):
+        from repro.telemetry import load_spans, validate_spans
+
+        trace, props = recorded
+        spans_path = str(tmp_path / "spans.jsonl")
+        assert main(["stats", trace, props, "--trace-out", spans_path]) == 0
+        with open(spans_path, encoding="utf-8") as fp:
+            spans = load_spans(fp)
+        assert spans
+        assert validate_spans(spans) == []
+
+    def test_stats_poll_interval_samples(self, recorded, capsys):
+        trace, props = recorded
+        # The 20-packet recording spans ~19ms of virtual time; a 5ms
+        # interval yields a handful of samples across it.
+        assert main(["stats", trace, props, "--json",
+                     "--poll-interval", "0.005"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"]
+        times = [row["time"] for row in payload["samples"]]
+        assert times == sorted(times)
+
+    def test_replay_metrics_out(self, recorded, tmp_path, capsys):
+        trace, props = recorded
+        out = str(tmp_path / "metrics.json")
+        assert main(["replay", trace, props, "--metrics", out]) == 0
+        with open(out, encoding="utf-8") as fp:
+            snapshot = json.load(fp)
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "repro_monitor_events_total" in names
+
+
 class TestShippedPropertyFiles:
     """The .prop files under examples/properties/ must stay compilable."""
 
