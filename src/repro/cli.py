@@ -197,16 +197,17 @@ def cmd_replay(args: argparse.Namespace) -> int:
         props = compile_source(fp.read(), _predicates())
     events = read_trace(args.trace)
     registry = None
+    kwargs = dict(store_strategy=args.store_strategy,
+                  match_strategy=args.match_strategy)
     if args.metrics:
         registry = MetricsRegistry()
-        monitor = Monitor(registry=registry)
+        monitor = Monitor(registry=registry, **kwargs)
         registry.time_fn = lambda: monitor.now
     else:
-        monitor = Monitor()
+        monitor = Monitor(**kwargs)
     for prop in props:
         monitor.add_property(prop)
-    for event in events:
-        monitor.observe(event)
+    monitor.observe_batch(events)
     if events:
         monitor.advance_to(events[-1].time + args.settle)
     print(f"replayed {len(events)} events against "
@@ -268,19 +269,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
         start = events[0].time if events else 0.0
         poller = StatsPoller(registry, args.poll_interval, start_time=start)
 
-    for event in events:
-        if poller is not None:
-            poller.advance_to(event.time)
-        root = None
-        if tracer is not None:
-            packet = getattr(event, "packet", None)
-            root = tracer.start(
-                type(event).__name__, event.time,
-                uid=packet.uid if packet is not None else None,
-                root=True, switch=event.switch_id)
-        monitor.observe(event)
-        if root is not None:
-            tracer.end(root, monitor.now)
+    if poller is None and tracer is None:
+        # No per-event instrumentation requested: take the batch fast path.
+        monitor.observe_batch(events)
+    else:
+        for event in events:
+            if poller is not None:
+                poller.advance_to(event.time)
+            root = None
+            if tracer is not None:
+                packet = getattr(event, "packet", None)
+                root = tracer.start(
+                    type(event).__name__, event.time,
+                    uid=packet.uid if packet is not None else None,
+                    root=True, switch=event.switch_id)
+            monitor.observe(event)
+            if root is not None:
+                tracer.end(root, monitor.now)
     if events:
         monitor.advance_to(events[-1].time + args.settle)
     if poller is not None and events:
@@ -367,6 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="virtual seconds to run timers past the trace")
     replay.add_argument("--metrics", default=None, metavar="OUT",
                         help="write a JSON metrics snapshot to OUT")
+    replay.add_argument("--match-strategy", default="compiled",
+                        choices=("compiled", "interpreted"),
+                        help="event matching: compiled dispatch plan "
+                             "(default) or the interpreted ablation")
+    replay.add_argument("--store-strategy", default="indexed",
+                        choices=("indexed", "linear"),
+                        help="instance lookup: hash index (default) or "
+                             "the linear-scan ablation")
     replay.set_defaults(fn=cmd_replay)
 
     stats = sub.add_parser(

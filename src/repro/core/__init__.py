@@ -7,6 +7,14 @@ ten semantic features of Sec. 2, and the static analyzer that regenerates
 Table 1 from the specifications alone.
 """
 
+from .compile import (
+    CompiledPattern,
+    Watcher,
+    compile_pattern,
+    dispatch_plan,
+    dispatch_summary,
+    scan_watchers,
+)
 from .analysis import (
     analyze,
     classify_match_kind,
@@ -50,6 +58,12 @@ from .spec import Absent, Observe, PropertySpec, SpecError
 from .violations import Violation
 
 __all__ = [
+    "CompiledPattern",
+    "Watcher",
+    "compile_pattern",
+    "dispatch_plan",
+    "dispatch_summary",
+    "scan_watchers",
     "analyze",
     "classify_match_kind",
     "field_family",

@@ -1,0 +1,359 @@
+"""Pattern compilation and event dispatch planning — the monitor fast path.
+
+Sec. 3.3 of the paper argues that *matching* cost, not state size, is
+what makes on-switch property monitoring expensive; FAST and OpenState
+make the same bet by pre-compiling match logic into tables instead of
+interpreting it per packet.  This module is the engine-side analogue:
+
+* :func:`compile_pattern` turns an :class:`~repro.core.refs.EventPattern`
+  — a tree of guard dataclasses walked via ``isinstance`` and
+  :func:`~repro.core.refs.resolve` on every event — into a
+  :class:`CompiledPattern` of specialized closures.  Constant guards are
+  folded at compile time (the ``Const`` wrapper disappears), environment
+  lookups are hoisted to direct dict accesses on pre-extracted variable
+  names, and the ``same_packet_as`` uid linkage is inlined with its env
+  key precomputed.
+
+* :func:`dispatch_plan` maps each *concrete* dataplane event class to the
+  exact ``(stage, role)`` watchers of a property that could ever match
+  it.  The monitor unions these per event class at ``add_property`` time,
+  so ``observe()`` touches only the stages that can react to the event
+  instead of the full property × stage cross-product.  The linter reads
+  the same plan (:func:`dispatch_summary`) to price how many watchers a
+  property puts on each event kind — and to flag stages that force
+  full-population scans on hot packet kinds.
+
+The interpreted path (``EventPattern.matches`` et al.) stays available as
+the ``match_strategy="interpreted"`` ablation, mirroring the
+indexed/linear instance-store split: the compiled path is an
+optimization, never a semantic change, and a Hypothesis differential test
+holds the two to byte-identical verdicts and counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple, Type
+
+from ..switch.events import DataplaneEvent
+from .instances import stage_index_plan, uid_var
+from .refs import (
+    EventPattern,
+    FieldEq,
+    FieldNe,
+    MismatchAny,
+    Predicate,
+    Var,
+    kind_event_classes,
+)
+from .spec import Absent, PropertySpec, Stage
+
+#: Sentinel distinguishing "field absent" from any real field value.
+_MISSING = object()
+
+GuardCheck = Callable[[Mapping[str, object], Mapping[str, object]], bool]
+
+
+# ---------------------------------------------------------------------------
+# Guard compilation
+# ---------------------------------------------------------------------------
+def _compile_guard(guard) -> GuardCheck:
+    """One guard dataclass -> one closure, branches resolved up front."""
+    if isinstance(guard, FieldEq):
+        field = guard.field
+        if isinstance(guard.value, Var):
+            name = guard.value.name
+
+            def check(fields, env, _f=field, _n=name, _M=_MISSING):
+                got = fields.get(_f, _M)
+                return got is not _M and got == env[_n]
+
+            return check
+        value = guard.value.value  # constant folded
+
+        def check(fields, env, _f=field, _v=value, _M=_MISSING):
+            got = fields.get(_f, _M)
+            return got is not _M and got == _v
+
+        return check
+    if isinstance(guard, FieldNe):
+        field = guard.field
+        if isinstance(guard.value, Var):
+            name = guard.value.name
+
+            def check(fields, env, _f=field, _n=name, _M=_MISSING):
+                got = fields.get(_f, _M)
+                # an absent field cannot equal the forbidden value
+                return got is _M or got != env[_n]
+
+            return check
+        value = guard.value.value
+
+        def check(fields, env, _f=field, _v=value, _M=_MISSING):
+            got = fields.get(_f, _M)
+            return got is _M or got != _v
+
+        return check
+    if isinstance(guard, MismatchAny):
+        # (field, getter) pairs: the getter resolves the expected value
+        # from the env (or is a folded constant).
+        pairs = tuple(
+            (
+                name,
+                (lambda env, _n=ref.name: env[_n])
+                if isinstance(ref, Var)
+                else (lambda env, _v=ref.value: _v),
+            )
+            for name, ref in guard.pairs
+        )
+
+        def check(fields, env, _pairs=pairs):
+            for name, _ in _pairs:
+                if name not in fields:
+                    return False  # a packet lacking the fields is no witness
+            for name, expected in _pairs:
+                if fields[name] != expected(env):
+                    return True
+            return False
+
+        return check
+    if isinstance(guard, Predicate):
+        return guard.fn
+    raise TypeError(f"cannot compile guard {guard!r}")  # pragma: no cover
+
+
+def _compile_refinements(pattern: EventPattern) -> List[GuardCheck]:
+    """The oob-kind / egress-action refinements as field checks."""
+    checks: List[GuardCheck] = []
+    if pattern.oob_kind is not None:
+        checks.append(
+            lambda fields, env, _k=pattern.oob_kind:
+            fields.get("oob.kind") == _k)
+    if pattern.egress_action is not None:
+        checks.append(
+            lambda fields, env, _a=pattern.egress_action:
+            fields.get("egress.action") == _a)
+    if pattern.not_egress_action is not None:
+        checks.append(
+            lambda fields, env, _a=pattern.not_egress_action:
+            fields.get("egress.action") != _a)
+    return checks
+
+
+def _compose(checks: List[GuardCheck]) -> GuardCheck:
+    """Fuse a check list into one closure (small arities unrolled)."""
+    if not checks:
+        return lambda fields, env: True
+    if len(checks) == 1:
+        return checks[0]
+    if len(checks) == 2:
+        c0, c1 = checks
+
+        def fused(fields, env, _c0=c0, _c1=c1):
+            return _c0(fields, env) and _c1(fields, env)
+
+        return fused
+    if len(checks) == 3:
+        c0, c1, c2 = checks
+
+        def fused(fields, env, _c0=c0, _c1=c1, _c2=c2):
+            return (_c0(fields, env) and _c1(fields, env)
+                    and _c2(fields, env))
+
+        return fused
+    frozen = tuple(checks)
+
+    def fused(fields, env, _checks=frozen):
+        for check in _checks:
+            if not check(fields, env):
+                return False
+        return True
+
+    return fused
+
+
+# ---------------------------------------------------------------------------
+# Pattern compilation
+# ---------------------------------------------------------------------------
+class CompiledPattern:
+    """Specialized closures for one :class:`EventPattern`.
+
+    * ``guards_match(fields, env)`` — refinements + guards, no kind check
+      (dispatch already guarantees the event class);
+    * ``matches(event, fields, env)`` — full parity with the interpreted
+      ``EventPattern.matches`` including the kind check;
+    * ``match_instance(fields, instance)`` — guards against an instance's
+      env with the ``same_packet_as`` uid comparison inlined;
+    * ``capture(fields)`` / ``bindable(fields)`` — binds as pre-extracted
+      ``(var, field)`` pairs.
+    """
+
+    __slots__ = (
+        "pattern",
+        "guards_match",
+        "matches",
+        "match_instance",
+        "capture",
+        "bindable",
+    )
+
+    def __init__(self, pattern: EventPattern) -> None:
+        self.pattern = pattern
+        checks = _compile_refinements(pattern)
+        checks.extend(_compile_guard(g) for g in pattern.guards)
+        guards_match = _compose(checks)
+        self.guards_match = guards_match
+
+        kind_types = kind_event_classes(pattern.kind)
+
+        def matches(event, fields, env, _types=kind_types, _gm=guards_match):
+            return isinstance(event, _types) and _gm(fields, env)
+
+        self.matches = matches
+
+        if pattern.same_packet_as is None:
+
+            def match_instance(fields, instance, _gm=guards_match):
+                return _gm(fields, instance.env)
+
+        else:
+            uid_key = uid_var(pattern.same_packet_as)
+
+            def match_instance(fields, instance, _gm=guards_match,
+                               _uid_key=uid_key):
+                expected = instance.env.get(_uid_key)
+                if expected is None or fields.get("uid") != expected:
+                    return False
+                return _gm(fields, instance.env)
+
+        self.match_instance = match_instance
+
+        bind_pairs = tuple((b.var, b.field) for b in pattern.binds)
+        if not bind_pairs:
+            self.capture = lambda fields: {}
+            self.bindable = lambda fields: True
+        else:
+            bind_fields = tuple(f for _, f in bind_pairs)
+
+            def capture(fields, _pairs=bind_pairs):
+                try:
+                    return {var: fields[f] for var, f in _pairs}
+                except KeyError as exc:
+                    raise KeyError(
+                        f"bind: field {exc.args[0]!r} absent from event"
+                    ) from None
+
+            def bindable(fields, _fields=bind_fields):
+                for f in _fields:
+                    if f not in fields:
+                        return False
+                return True
+
+            self.capture = capture
+            self.bindable = bindable
+
+
+def compile_pattern(pattern: EventPattern) -> CompiledPattern:
+    """Compile one event pattern into its closure bundle."""
+    return CompiledPattern(pattern)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch planning
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Watcher:
+    """One (stage, role) pair that an event class could ever trigger.
+
+    ``indexed`` records whether the stage's instance lookup is a hash
+    probe (its index plan is non-empty) or a full scan of the stage
+    population — the distinction the hot-scan lint warns about.
+    """
+
+    stage_idx: int
+    role: str  # "create" | "advance" | "discharge" | "unless"
+    pattern: EventPattern
+    indexed: bool
+
+
+def dispatch_plan(
+    prop: PropertySpec,
+) -> Dict[Type[DataplaneEvent], Tuple[Watcher, ...]]:
+    """Concrete event class -> the property's watchers for that class.
+
+    Roles follow the engine's evaluation phases: ``unless``/``discharge``
+    cancellations, ``advance`` for positive stages, ``create`` for stage
+    0.  A class absent from the mapping can never affect the property —
+    the monitor skips it entirely.
+    """
+    plan: Dict[Type[DataplaneEvent], List[Watcher]] = {}
+
+    def register(watcher: Watcher) -> None:
+        for cls in kind_event_classes(watcher.pattern.kind):
+            plan.setdefault(cls, []).append(watcher)
+
+    for stage_idx, stage in enumerate(prop.stages):
+        if stage_idx == 0:
+            register(Watcher(0, "create", stage.pattern, True))
+            continue
+        indexed = bool(stage_index_plan(stage))
+        for unless in getattr(stage, "unless", ()):
+            # unless scans the stage population by design (Feature 4
+            # cancels every waiting instance the pattern matches).
+            register(Watcher(stage_idx, "unless", unless, False))
+        if isinstance(stage, Absent):
+            register(Watcher(stage_idx, "discharge", stage.pattern, indexed))
+        else:
+            register(Watcher(stage_idx, "advance", stage.pattern, indexed))
+    return {cls: tuple(ws) for cls, ws in plan.items()}
+
+
+#: short names for the concrete event classes, for summaries and JSON.
+def event_class_label(cls: Type[DataplaneEvent]) -> str:
+    return {
+        "PacketArrival": "arrival",
+        "PacketEgress": "egress",
+        "PacketDrop": "drop",
+        "OutOfBandEvent": "oob",
+    }.get(cls.__name__, cls.__name__)
+
+
+def dispatch_summary(prop: PropertySpec) -> Dict[str, int]:
+    """Watchers per concrete event kind — the dispatch plan's size.
+
+    This is the number of stages the engine touches when one event of
+    that kind arrives; kinds not listed cost the property nothing.
+    """
+    return {
+        event_class_label(cls): len(watchers)
+        for cls, watchers in sorted(
+            dispatch_plan(prop).items(), key=lambda kv: kv[0].__name__
+        )
+    }
+
+
+def scan_watchers(
+    prop: PropertySpec,
+) -> List[Tuple[str, str, str]]:
+    """(event kind, stage name, role) for full-population scan watchers.
+
+    These are advance/discharge watchers with an empty index plan: every
+    event of that kind examines *every* instance waiting at the stage
+    (Table 1's multiple match).  On hot packet kinds that is the
+    per-packet price the hot-scan lint (L015) warns about.
+    """
+    out: List[Tuple[str, str, str]] = []
+    seen = set()
+    for cls, watchers in sorted(
+        dispatch_plan(prop).items(), key=lambda kv: kv[0].__name__
+    ):
+        for watcher in watchers:
+            if watcher.indexed or watcher.role == "unless":
+                continue
+            key = (cls, watcher.stage_idx)
+            if key in seen:
+                continue
+            seen.add(key)
+            stage = prop.stages[watcher.stage_idx]
+            out.append((event_class_label(cls), stage.name, watcher.role))
+    return out

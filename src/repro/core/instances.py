@@ -53,6 +53,8 @@ class Instance:
         "advanced_at",
         "alive",
         "instance_id",
+        "stage_bucket",
+        "index_bucket",
     )
 
     def __init__(
@@ -73,6 +75,11 @@ class Instance:
         self.advanced_at = created_at
         self.alive = True
         self.instance_id = next(_instance_ids)
+        # Store back-pointers: the per-stage population dict and (for the
+        # indexed store) the index bucket currently holding this instance.
+        # They make removal O(1) instead of a walk over stages × buckets.
+        self.stage_bucket: Optional[Dict[int, "Instance"]] = None
+        self.index_bucket: Optional[Dict[int, "Instance"]] = None
 
     @property
     def complete(self) -> bool:
@@ -98,13 +105,24 @@ def stage_index_plan(stage: Stage) -> Tuple[Tuple[str, str], ...]:
     return tuple(plan)
 
 
+#: shared empty dict backing ``at_stage`` misses (never written to).
+_EMPTY_STAGE: Dict[int, Instance] = {}
+
+
 class InstanceStore:
-    """Interface: tracks live instances of ONE property."""
+    """Interface: tracks live instances of ONE property.
+
+    Beyond the key map, the base class maintains one dict per stage
+    holding exactly the live instances waiting there, so ``at_stage`` —
+    the scan behind every ``unless`` pattern and linear-store candidate
+    lookup — is O(stage population) and allocates nothing per event.
+    """
 
     def __init__(self, prop: PropertySpec) -> None:
         self.prop = prop
         self._by_key: Dict[Tuple, Instance] = {}
         self._live = 0
+        self._stage_pop: Dict[int, Dict[int, Instance]] = {}
 
     # -- shared key-based access ------------------------------------------
     def by_key(self, key: Tuple) -> Optional[Instance]:
@@ -123,6 +141,9 @@ class InstanceStore:
             raise ValueError(f"duplicate live instance for key {instance.key!r}")
         self._by_key[instance.key] = instance
         self._live += 1
+        bucket = self._stage_pop.setdefault(instance.stage, {})
+        bucket[instance.instance_id] = instance
+        instance.stage_bucket = bucket
         self._index_add(instance)
 
     def remove(self, instance: Instance) -> None:
@@ -131,10 +152,20 @@ class InstanceStore:
         instance.alive = False
         if self._by_key.get(instance.key) is instance:
             del self._by_key[instance.key]
+        bucket = instance.stage_bucket
+        if bucket is not None:
+            bucket.pop(instance.instance_id, None)
+            instance.stage_bucket = None
         self._index_remove(instance)
 
     def reindex(self, instance: Instance, old_stage: int) -> None:
-        """Called after an instance advances stages."""
+        """Called after an instance advances stages (or rebinds in place)."""
+        bucket = instance.stage_bucket
+        if bucket is not None:
+            bucket.pop(instance.instance_id, None)
+        bucket = self._stage_pop.setdefault(instance.stage, {})
+        bucket[instance.instance_id] = instance
+        instance.stage_bucket = bucket
         self._index_move(instance, old_stage)
 
     def candidates(
@@ -143,7 +174,8 @@ class InstanceStore:
         raise NotImplementedError
 
     def at_stage(self, stage_idx: int) -> Iterable[Instance]:
-        return [i for i in self._by_key.values() if i.alive and i.stage == stage_idx]
+        """Live instances waiting at a stage — a view, no allocation."""
+        return self._stage_pop.get(stage_idx, _EMPTY_STAGE).values()
 
     def all(self) -> Iterable[Instance]:
         return [i for i in self._by_key.values() if i.alive]
@@ -208,37 +240,51 @@ class IndexedInstanceStore(InstanceStore):
         key = self._instance_index_key(instance)
         bucket = self._buckets[instance.stage].setdefault(key, {})
         bucket[instance.instance_id] = instance
+        instance.index_bucket = bucket
 
     def _index_remove(self, instance: Instance) -> None:
-        for stage_buckets in self._buckets.values():
-            for bucket in stage_buckets.values():
-                bucket.pop(instance.instance_id, None)
+        # The back-pointer makes this O(1); the historical implementation
+        # walked every bucket of every stage per removal.
+        bucket = instance.index_bucket
+        if bucket is not None:
+            bucket.pop(instance.instance_id, None)
+            instance.index_bucket = None
 
     def _index_move(self, instance: Instance, old_stage: int) -> None:
-        buckets = self._buckets.get(old_stage)
-        if buckets is not None:
-            for bucket in buckets.values():
-                bucket.pop(instance.instance_id, None)
+        self._index_remove(instance)
         self._index_add(instance)
 
     def candidates(
         self, stage_idx: int, fields: Mapping[str, object]
     ) -> Iterable[Instance]:
+        """Candidates for a stage — dict views where one bucket suffices.
+
+        Buckets hold only live instances (removal always goes through the
+        back-pointer), so no alive filter — and usually no copy — is
+        needed; a list is built only when both an indexed hit and the
+        scan bucket contribute.
+        """
         buckets = self._buckets.get(stage_idx)
-        if buckets is None:
+        if not buckets:
             return ()
         plan = self._plans[stage_idx]
-        out: List[Instance] = []
+        hit = None
         if plan:
             try:
                 key = tuple(fields[field] for field, _ in plan)
             except KeyError:
                 key = None  # event lacks an indexed field: equality can't hold
             if key is not None:
-                out.extend(i for i in buckets.get(key, {}).values() if i.alive)
+                hit = buckets.get(key)
         # The scan bucket holds instances whose stage is unindexable; for an
         # empty plan this is the whole stage population (multiple match).
-        out.extend(i for i in buckets.get(None, {}).values() if i.alive)
+        scan = buckets.get(None)
+        if scan is None:
+            return hit.values() if hit is not None else ()
+        if hit is None:
+            return scan.values()
+        out: List[Instance] = list(hit.values())
+        out.extend(scan.values())
         return out
 
 

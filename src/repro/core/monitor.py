@@ -45,6 +45,7 @@ from ..switch.registers import StateCostMeter
 from ..switch.switch import DEFAULT_SPLIT_LAG, ProcessingMode
 from ..telemetry import NULL_TRACER, MetricsRegistry, NullRegistry, Tracer
 from ..telemetry.metrics import COUNT_BUCKETS
+from .compile import CompiledPattern, compile_pattern, dispatch_plan
 from .instances import Instance, InstanceStore, make_store, uid_var
 from .provenance import ProvenanceLevel, StageRecord, record_stage
 from .refs import EventKind, EventPattern, event_fields, kind_matches
@@ -52,6 +53,11 @@ from .spec import Absent, Observe, PropertySpec
 from .violations import Violation
 
 ViolationSink = Callable[[Violation], None]
+
+#: the empty env stage-0 patterns match against (never written to).
+_EMPTY_ENV: Dict[str, object] = {}
+
+MATCH_STRATEGIES = ("compiled", "interpreted")
 
 
 class MonitorStats:
@@ -125,6 +131,99 @@ def _op_uid(op: _Op) -> Optional[int]:
     return packet.uid if packet is not None else None
 
 
+# ---------------------------------------------------------------------------
+# Compiled dispatch plans (the fast path built at add_property time)
+# ---------------------------------------------------------------------------
+class _PropPlan:
+    """One property's pre-resolved watchers for ONE concrete event class.
+
+    Built once when the property is registered; ``_evaluate_compiled``
+    walks only these.  Phase structure mirrors the interpreted engine:
+    ``cancels`` (unless cancellations and Absent discharges, in stage
+    order with unless before discharge per stage), then ``advances``
+    (positive stages), then ``create`` (stage 0).
+    """
+
+    __slots__ = ("prop", "store", "cancels", "advances", "create")
+
+    def __init__(self, prop: PropertySpec, store: InstanceStore) -> None:
+        self.prop = prop
+        self.store = store
+        #: tuple of (is_unless, stage_idx, matcher-or-matchers)
+        self.cancels: Tuple = ()
+        #: tuple of (stage_idx, match_instance, capture, bindable, uid_key)
+        self.advances: Tuple = ()
+        #: None, or (guards_match, capture, bindable, uid_key, key_vars,
+        #: refresh_ok)
+        self.create = None
+
+
+def _build_prop_plans(
+    prop: PropertySpec,
+    store: InstanceStore,
+    refresh_ok: bool,
+    compiled: Dict[int, CompiledPattern],
+) -> Dict[type, _PropPlan]:
+    """Compile one property's dispatch plans, one per concrete event class.
+
+    ``compiled`` caches CompiledPatterns by ``id(pattern)`` so a pattern
+    watched from several event classes (ANY_PACKET) compiles once.
+    """
+
+    def get(pattern: EventPattern) -> CompiledPattern:
+        cached = compiled.get(id(pattern))
+        if cached is None:
+            cached = compile_pattern(pattern)
+            compiled[id(pattern)] = cached
+        return cached
+
+    plans: Dict[type, _PropPlan] = {}
+    raw = dispatch_plan(prop)
+    for cls, watchers in raw.items():
+        plan = _PropPlan(prop, store)
+        cancels: List[Tuple] = []
+        unless_at: Dict[int, List] = {}
+        discharge_at: Dict[int, CompiledPattern] = {}
+        advances: List[Tuple] = []
+        for watcher in watchers:
+            cp = get(watcher.pattern)
+            if watcher.role == "unless":
+                unless_at.setdefault(watcher.stage_idx, []).append(
+                    cp.match_instance)
+            elif watcher.role == "discharge":
+                discharge_at[watcher.stage_idx] = cp
+            elif watcher.role == "advance":
+                stage = prop.stages[watcher.stage_idx]
+                advances.append((
+                    watcher.stage_idx,
+                    cp.match_instance,
+                    cp.capture,
+                    cp.bindable,
+                    uid_var(stage.name),
+                ))
+            else:  # create
+                stage0 = prop.stages[0]
+                plan.create = (
+                    cp.guards_match,
+                    cp.capture,
+                    cp.bindable,
+                    uid_var(stage0.name),
+                    prop.key_vars,
+                    refresh_ok,
+                )
+        for stage_idx in sorted(set(unless_at) | set(discharge_at)):
+            matchers = unless_at.get(stage_idx)
+            if matchers:
+                cancels.append((True, stage_idx, tuple(matchers)))
+            cp = discharge_at.get(stage_idx)
+            if cp is not None:
+                cancels.append((False, stage_idx, cp.match_instance))
+        plan.cancels = tuple(cancels)
+        plan.advances = tuple(sorted(advances, key=lambda a: a[0]))
+        plans[cls] = plan
+    return plans
+
+
 class Monitor:
     """Cross-packet property monitor over a dataplane event stream."""
 
@@ -133,6 +232,7 @@ class Monitor:
         scheduler: Optional[EventScheduler] = None,
         provenance: ProvenanceLevel = ProvenanceLevel.LIMITED,
         store_strategy: str = "indexed",
+        match_strategy: str = "compiled",
         mode: ProcessingMode = ProcessingMode.INLINE,
         split_lag: float = DEFAULT_SPLIT_LAG,
         max_layer: int = 7,
@@ -141,9 +241,14 @@ class Monitor:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        if match_strategy not in MATCH_STRATEGIES:
+            raise ValueError(
+                f"unknown match strategy {match_strategy!r} "
+                f"(expected one of {MATCH_STRATEGIES})")
         self.scheduler = scheduler
         self.provenance = provenance
         self.store_strategy = store_strategy
+        self.match_strategy = match_strategy
         self.mode = mode
         self.split_lag = split_lag
         self.max_layer = max_layer
@@ -157,6 +262,17 @@ class Monitor:
         self._sinks: List[ViolationSink] = []
         self._props: Dict[str, PropertySpec] = {}
         self._stores: Dict[str, InstanceStore] = {}
+        #: concrete event class -> per-property compiled plans, in
+        #: property registration order (the compiled fast path).
+        self._dispatch: Dict[type, List[_PropPlan]] = {}
+        #: live instances across all stores, maintained incrementally so
+        #: the telemetry-disabled path never iterates stores per event.
+        self._live_total = 0
+        self._evaluate = (
+            self._evaluate_compiled
+            if match_strategy == "compiled"
+            else self._evaluate_interpreted
+        )
         self._wheel: List[Tuple[float, int, Instance, int]] = []
         self._wheel_seq = itertools.count()
         self._timer_gens: Dict[int, int] = {}  # instance_id -> generation
@@ -237,6 +353,30 @@ class Monitor:
             "repro_instance_store_live_instances",
             help="Live instances in one property's store",
             labels={"property": prop.name})
+        # Compile the dispatch plan: per concrete event class, the exact
+        # watchers this property contributes.  Built for both match
+        # strategies (it is cheap, one-time, and introspectable); only
+        # the compiled evaluator walks it.
+        refresh_ok = self._should_refresh(prop, prop.stages[0])
+        compiled_cache: Dict[int, CompiledPattern] = {}
+        for cls, plan in _build_prop_plans(
+            prop, self._stores[prop.name], refresh_ok, compiled_cache
+        ).items():
+            self._dispatch.setdefault(cls, []).append(plan)
+
+    def dispatch_sizes(self) -> Dict[str, int]:
+        """Watchers the monitor touches per concrete event class.
+
+        The dispatch plan's size — what one event of each class costs in
+        stage visits, before any candidate scan.
+        """
+        out: Dict[str, int] = {}
+        for cls, plans in self._dispatch.items():
+            out[cls.__name__] = sum(
+                len(p.cancels) + len(p.advances) + (1 if p.create else 0)
+                for p in plans
+            )
+        return dict(sorted(out.items()))
 
     def on_violation(self, sink: ViolationSink) -> None:
         self._sinks.append(sink)
@@ -283,6 +423,32 @@ class Monitor:
             )
         self._track_peak()
 
+    def observe_batch(self, events: Sequence[DataplaneEvent]) -> None:
+        """Process a sequence of events (the replay entry point).
+
+        Semantically ``for e in events: self.observe(e)``; when the
+        monitor runs inline with telemetry disabled — the configuration
+        replay throughput is measured in — the per-event loop runs with
+        hot-path attribute lookups hoisted to locals.
+        """
+        if self.mode is not ProcessingMode.INLINE or self.registry.enabled:
+            for event in events:
+                self.observe(event)
+            return
+        advance_to = self.advance_to
+        inc_event = self._c_events.inc
+        evaluate = self._evaluate
+        apply_op = self._apply
+        set_live = self._g_live.set
+        max_layer = self.max_layer
+        for event in events:
+            advance_to(event.time)
+            inc_event()
+            ops = evaluate(event, event_fields(event, max_layer=max_layer))
+            for op in ops:
+                apply_op(op)
+            set_live(float(self._live_total))
+
     def advance_to(self, when: float) -> None:
         """Move monitor time forward, firing due timers and pending ops.
 
@@ -292,30 +458,146 @@ class Monitor:
         """
         if when < self._now:
             return  # events carry non-decreasing times; tolerate equal
-        while True:
-            next_pending = self._pending[0][0] if self._pending else None
-            next_timer = self._wheel[0][0] if self._wheel else None
-            candidates = [t for t in (next_pending, next_timer) if t is not None]
-            if not candidates:
-                break
-            t = min(candidates)
-            if t > when:
-                break
-            if next_pending is not None and next_pending <= t:
-                _, _, op = heapq.heappop(self._pending)
-                self._now = max(self._now, next_pending)
-                self._g_pending.value = float(len(self._pending))  # drain only
+        pending = self._pending
+        wheel = self._wheel
+        while pending or wheel:
+            next_pending = pending[0][0] if pending else None
+            next_timer = wheel[0][0] if wheel else None
+            if next_pending is not None and (
+                next_timer is None or next_pending <= next_timer
+            ):
+                if next_pending > when:
+                    break
+                _, _, op = heapq.heappop(pending)
+                if next_pending > self._now:
+                    self._now = next_pending
+                # Drains go through Gauge.set like every other call site,
+                # keeping the watermark bookkeeping in one place (a drain
+                # only lowers the value, so the peak is unaffected).
+                self._g_pending.set(float(len(pending)))
                 self._apply(op)
                 continue
-            deadline, _, instance, gen = heapq.heappop(self._wheel)
-            self._now = max(self._now, deadline)
+            if next_timer > when:
+                break
+            deadline, _, instance, gen = heapq.heappop(wheel)
+            if deadline > self._now:
+                self._now = deadline
             self._fire_timer(instance, gen, deadline)
-        self._now = max(self._now, when)
+        if when > self._now:
+            self._now = when
 
     # -- evaluation (read-only against current state) ---------------------------
-    def _evaluate(
+    def _evaluate_compiled(
         self, event: DataplaneEvent, fields: Mapping[str, object]
     ) -> List[_Op]:
+        """Dispatch-planned evaluation with compiled matchers (default).
+
+        Touches only the ``(property, stage, role)`` watchers registered
+        for this event's concrete class; guard trees were compiled to
+        closures at ``add_property`` time.  Produces exactly the ops the
+        interpreted walk would — the differential property test holds
+        the two paths to identical violations and counters.
+        """
+        ops: List[_Op] = []
+        plans = self._dispatch.get(type(event))
+        if not plans:
+            return ops
+        t = event.time
+        inc_candidate = self._c_candidates.inc
+        has_uid = "uid" in fields
+        uid = fields["uid"] if has_uid else None
+        for plan in plans:
+            store = plan.store
+            doomed = None  # allocated lazily; most events doom nothing
+
+            # 1. Cancellations: unless patterns (Feature 4) and Absent
+            #    discharges (the awaited event happened: obligation met).
+            for is_unless, stage_idx, matcher in plan.cancels:
+                if is_unless:
+                    for inst in store.at_stage(stage_idx):
+                        if doomed is not None and inst.instance_id in doomed:
+                            continue
+                        for match_instance in matcher:
+                            if match_instance(fields, inst):
+                                if doomed is None:
+                                    doomed = set()
+                                doomed.add(inst.instance_id)
+                                ops.append(_Op(
+                                    "kill", plan.prop, instance=inst,
+                                    reason="unless", time=t))
+                                break
+                else:
+                    for inst in store.candidates(stage_idx, fields):
+                        if inst.stage != stage_idx or (
+                            doomed is not None
+                            and inst.instance_id in doomed
+                        ):
+                            continue
+                        inc_candidate()
+                        if matcher(fields, inst):
+                            if doomed is None:
+                                doomed = set()
+                            doomed.add(inst.instance_id)
+                            ops.append(_Op(
+                                "kill", plan.prop, instance=inst,
+                                reason="discharged", time=t))
+
+            # 2. Advancement of positive stages.
+            for stage_idx, match_instance, capture, bindable, uid_key in \
+                    plan.advances:
+                for inst in store.candidates(stage_idx, fields):
+                    if inst.stage != stage_idx or (
+                        doomed is not None and inst.instance_id in doomed
+                    ):
+                        continue
+                    inc_candidate()
+                    if not match_instance(fields, inst):
+                        continue
+                    if not bindable(fields):
+                        continue
+                    binds = capture(fields)
+                    if has_uid:
+                        binds[uid_key] = uid
+                    if doomed is None:
+                        doomed = set()
+                    doomed.add(inst.instance_id)  # one transition/event
+                    ops.append(_Op(
+                        "advance", plan.prop, instance=inst, binds=binds,
+                        event=event, time=t))
+
+            # 3. Creation / refresh at stage 0.
+            if plan.create is not None:
+                (guards_match, capture, bindable, uid_key, key_vars,
+                 refresh_ok) = plan.create
+                if guards_match(fields, _EMPTY_ENV) and bindable(fields):
+                    env0 = capture(fields)
+                    if has_uid:
+                        env0[uid_key] = uid
+                    key = tuple(env0[k] for k in key_vars)
+                    existing = store.by_key(key)
+                    if existing is not None and existing.alive:
+                        if (
+                            existing.stage == 1
+                            and refresh_ok
+                            and (doomed is None
+                                 or existing.instance_id not in doomed)
+                        ):
+                            ops.append(_Op(
+                                "refresh", plan.prop, instance=existing,
+                                binds=env0, event=event, time=t))
+                    else:
+                        ops.append(_Op(
+                            "create", plan.prop, key=key, env=env0,
+                            event=event, time=t))
+        return ops
+
+    def _evaluate_interpreted(
+        self, event: DataplaneEvent, fields: Mapping[str, object]
+    ) -> List[_Op]:
+        """The ablation baseline: walk every property and every stage,
+        evaluating interpreted guard trees (``EventPattern.matches``).
+        Kept verbatim as ``match_strategy="interpreted"`` so the
+        dispatch+compiled fast path stays measurable and refutable."""
         ops: List[_Op] = []
         t = event.time
         for prop in self._props.values():
@@ -453,6 +735,7 @@ class Monitor:
         if record is not None:
             instance.provenance.append(record)
         store.add(instance)
+        self._live_total += 1
         self._c_created.inc()
         if self.tracer.enabled:
             self.tracer.event(
@@ -461,6 +744,7 @@ class Monitor:
         if instance.complete:  # single-stage property: immediate violation
             self._violate(instance, op.event, op.time)
             store.remove(instance)
+            self._live_total -= 1
             return
         self._arm_timer(instance, op.time)
 
@@ -488,6 +772,7 @@ class Monitor:
         if instance.complete:
             self._violate(instance, op.event, op.time)
             store.remove(instance)
+            self._live_total -= 1
             return
         store.reindex(instance, old_stage)
         self._arm_timer(instance, op.time)
@@ -498,6 +783,7 @@ class Monitor:
         if not instance.alive:
             return
         self._stores[op.prop.name].remove(instance)
+        self._live_total -= 1
         if op.reason == "discharged":
             self._c_discharged.inc()
         else:
@@ -559,6 +845,7 @@ class Monitor:
         store = self._stores[instance.prop.name]
         if instance.deadline_kind == "expire":
             store.remove(instance)
+            self._live_total -= 1
             self._c_expired.inc()
             return
         # Timeout action (Feature 7): the negative observation is satisfied.
@@ -579,6 +866,7 @@ class Monitor:
         if instance.complete:
             self._violate(instance, None, deadline)
             store.remove(instance)
+            self._live_total -= 1
             return
         store.reindex(instance, old_stage)
         self._arm_timer(instance, deadline)
@@ -616,13 +904,17 @@ class Monitor:
             sink(violation)
 
     def _track_peak(self) -> None:
+        if not self.registry.enabled:
+            # Telemetry off: no per-property gauge fan-out, no store
+            # iteration — the incrementally maintained total keeps the
+            # peak-live watermark exact at O(1) per event.
+            self._g_live.set(float(self._live_total))
+            return
         total = 0
-        per_prop = self.registry.enabled
         for name, store in self._stores.items():
             live = store.live_count
             total += live
-            if per_prop:
-                self._prop_live_gauges[name].set(float(live))
+            self._prop_live_gauges[name].set(float(live))
         self._g_live.set(float(total))
 
     # -- conveniences ------------------------------------------------------------------

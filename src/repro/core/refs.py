@@ -61,6 +61,16 @@ def kind_matches(kind: EventKind, event: DataplaneEvent) -> bool:
     return isinstance(event, _KIND_TYPES[kind])
 
 
+def kind_event_classes(kind: EventKind) -> Tuple[type, ...]:
+    """The concrete event classes an :class:`EventKind` covers.
+
+    The dispatch planner (:mod:`repro.core.compile`) registers each
+    stage's watchers under exactly these classes, so an event reaches
+    only the stages that could ever match it.
+    """
+    return _KIND_TYPES[kind]
+
+
 def event_fields(event: DataplaneEvent, max_layer: int = 7) -> Dict[str, object]:
     """Flatten a dataplane event into the field map guards evaluate over.
 

@@ -17,6 +17,11 @@ Three pass families over parsed ASTs and compiled
 """
 
 from .diagnostics import Diagnostic, Rule, RULES, Severity
+from .dispatch import (
+    DispatchReport,
+    analyze_dispatch,
+    dispatch_diagnostics,
+)
 from .engine import (
     FileReport,
     LintOptions,
@@ -51,6 +56,9 @@ __all__ = [
     "Rule",
     "RULES",
     "Severity",
+    "DispatchReport",
+    "analyze_dispatch",
+    "dispatch_diagnostics",
     "FileReport",
     "LintOptions",
     "PropertyReport",

@@ -79,6 +79,9 @@ RULES: Dict[str, Rule] = {
              "two stages share a name"),
         Rule("L014", "unknown-samepacket", Severity.ERROR,
              "samepacket references a stage that does not precede this one"),
+        Rule("L015", "hot-event-scan", Severity.WARNING,
+             "a stage with no indexable guard scans every live instance "
+             "on a per-packet event kind"),
         Rule("L100", "infeasible-everywhere", Severity.ERROR,
              "no surveyed backend can host the property"),
         Rule("L101", "backend-infeasible", Severity.INFO,

@@ -28,6 +28,11 @@ from ..lang.compile import CompileError, compile_ast
 from ..lang.lexer import LexError
 from ..lang.parser import ParseError, parse
 from .diagnostics import Diagnostic, Severity
+from .dispatch import (
+    DispatchReport,
+    analyze_dispatch,
+    dispatch_diagnostics,
+)
 from .feasibility import (
     BackendVerdict,
     feasibility_diagnostics,
@@ -53,6 +58,8 @@ class LintOptions:
     feasibility: bool = True
     #: run the split-mode hazard pass
     split: bool = True
+    #: run the dispatch-plan pass (watcher counts + hot-scan warnings)
+    dispatch: bool = True
     #: canonical backend name to treat as the deployment target: its
     #: feasibility failures become errors (L102)
     focus_backend: Optional[str] = None
@@ -71,6 +78,7 @@ class PropertyReport:
     spec: Optional[PropertySpec] = None
     feasibility: Tuple[BackendVerdict, ...] = ()
     split: Optional[SplitReport] = None
+    dispatch: Optional[DispatchReport] = None
 
 
 @dataclass
@@ -185,6 +193,11 @@ def lint_source(
                     prop_report.spec, lag=options.split_lag
                 )
                 diags.extend(split_diagnostics(prop_report.split, anchor=ast))
+            if options.dispatch:
+                prop_report.dispatch = analyze_dispatch(prop_report.spec)
+                diags.extend(dispatch_diagnostics(
+                    prop_report.dispatch, anchor=ast
+                ))
         kept = [d for d in diags if not suppressions.covers(d)]
         report.suppressed += len(diags) - len(kept)
         prop_report.diagnostics = sorted(kept, key=Diagnostic.sort_key)

@@ -80,6 +80,15 @@ def _prop_summary(prop: PropertyReport) -> List[str]:
             f"{detail}, {cost.slow_updates_per_instance} slow update(s), "
             f"{cost.state_bits_per_instance} state bit(s) per instance"
         )
+    if prop.dispatch is not None:
+        watchers = ", ".join(
+            f"{kind}={count}" for kind, count in prop.dispatch.watchers
+        ) or "none"
+        line = f"  {prop.name}: dispatch watchers {watchers}"
+        scans = len(prop.dispatch.hot_scans)
+        if scans:
+            line += f"; {scans} hot scan(s)"
+        lines.append(line)
     return lines
 
 
@@ -92,9 +101,24 @@ def render_json(reports: Sequence[FileReport]) -> str:
             "errors": sum(r.errors for r in reports),
             "warnings": sum(r.warnings for r in reports),
             "suppressed": sum(r.suppressed for r in reports),
+            "dispatch": _dispatch_totals(reports),
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _dispatch_totals(reports: Sequence[FileReport]) -> Dict[str, int]:
+    """Aggregate dispatch-plan size: watchers per event kind, summed over
+    every linted property — what each event class would wake if the whole
+    lint run were loaded into one monitor."""
+    totals: Dict[str, int] = {}
+    for report in reports:
+        for prop in report.properties:
+            if prop.dispatch is None:
+                continue
+            for kind, count in prop.dispatch.watchers:
+                totals[kind] = totals.get(kind, 0) + count
+    return totals
 
 
 def _file_json(report: FileReport) -> Dict[str, Any]:
@@ -170,5 +194,13 @@ def _prop_json(prop: PropertyReport, path: str) -> Dict[str, Any]:
                 "model": split.cost.model,
                 "engine_reason": split.cost.engine_reason,
             },
+        }
+    if prop.dispatch is not None:
+        out["dispatch"] = {
+            "watchers": dict(prop.dispatch.watchers),
+            "scans": [
+                {"kind": kind, "stage": stage, "role": role}
+                for kind, stage, role in prop.dispatch.scans
+            ],
         }
     return out

@@ -1,0 +1,286 @@
+"""Differential property tests: compiled dispatch vs interpreted matching.
+
+The compiled engine (per-event-class dispatch plans + specialized guard
+closures, ``repro.core.compile``) is a performance rewrite of the monitor
+hot path.  It must be *observationally invisible*: on any event stream,
+both match strategies — crossed with both instance-store strategies —
+must produce identical violations and identical counters.  These tests
+drive random streams through all four configurations and compare
+everything the monitor exposes.
+
+The probe catalog here is deliberately richer than the one in
+``test_engine_properties``: it adds negative observations (Absent),
+``unless`` cancellation, ``MismatchAny`` disjunctive negation, drop
+events, constant guards (the closure compiler folds these), and a
+refresh-on-prior timer, so every branch of the compiled evaluator is
+exercised against its interpreted twin.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Absent,
+    Bind,
+    Const,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    FieldNe,
+    MismatchAny,
+    Monitor,
+    Observe,
+    PropertySpec,
+    Var,
+)
+from repro.packet import ethernet
+from repro.switch.events import (
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+)
+
+addr = st.integers(min_value=1, max_value=4)
+
+STORE_STRATEGIES = ("indexed", "linear")
+MATCH_STRATEGIES = ("compiled", "interpreted")
+
+STAT_FIELDS = (
+    "events",
+    "violations",
+    "instances_created",
+    "instances_expired",
+    "instances_discharged",
+    "instances_cancelled",
+    "timer_advances",
+    "refreshes",
+    "candidates_examined",
+    "ops_applied",
+)
+
+
+@st.composite
+def event_streams(draw, max_events=25):
+    """Time-ordered streams over arrivals, egresses, drops, and OOB events,
+    with occasional packet-identity reuse on egress/drop."""
+    n = draw(st.integers(min_value=1, max_value=max_events))
+    events = []
+    seen_packets = []
+    t = 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.001, max_value=1.5))
+        kind = draw(st.sampled_from(["arrival", "egress", "drop", "oob"]))
+        if kind == "oob":
+            events.append(OutOfBandEvent(
+                switch_id="s", time=t, oob_kind=OobKind.PORT_DOWN,
+                port=draw(addr)))
+            continue
+        if kind != "arrival" and seen_packets and draw(st.booleans()):
+            packet = draw(st.sampled_from(seen_packets))  # identity reuse
+        else:
+            packet = ethernet(draw(addr), draw(addr))
+        if kind == "arrival":
+            events.append(PacketArrival(switch_id="s", time=t, packet=packet,
+                                        in_port=draw(addr)))
+            seen_packets.append(packet)
+        elif kind == "egress":
+            events.append(PacketEgress(
+                switch_id="s", time=t, packet=packet, out_port=draw(addr),
+                in_port=draw(addr), action=EgressAction.UNICAST))
+        else:
+            events.append(PacketDrop(switch_id="s", time=t, packet=packet,
+                                     in_port=draw(addr)))
+    return events
+
+
+def probe_catalog():
+    """Property shapes covering every compiled-evaluator branch."""
+    return [
+        # Exact match plus a folded constant guard (FieldEq/FieldNe Const).
+        PropertySpec(
+            name="echo", description="",
+            stages=(
+                Observe("a", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldNe("in_port", Const(0)),),
+                    binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(FieldEq("eth.dst", Var("S")),
+                            FieldEq("in_port", Const(1))))),
+            ),
+            key_vars=("S",),
+        ),
+        # Timeout (within) on the waiting stage.
+        PropertySpec(
+            name="timed", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("S")),)), within=2.0),
+            ),
+            key_vars=("S",),
+        ),
+        # Disjunctive negation (the NAT property's MismatchAny shape).
+        PropertySpec(
+            name="mism", description="",
+            stages=(
+                Observe("a", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    binds=(Bind("S", "eth.src"), Bind("D", "eth.dst")))),
+                Observe("b", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(MismatchAny((("eth.src", Var("S")),
+                                         ("eth.dst", Var("D")))),))),
+            ),
+            key_vars=("S", "D"),
+        ),
+        # Packet identity (same_packet_as) ending on a drop.
+        PropertySpec(
+            name="ident", description="",
+            stages=(
+                Observe("a", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.DROP, same_packet_as="a")),
+            ),
+            key_vars=("S",),
+        ),
+        # Negative observation: violation fires from a timer, an egress to
+        # the bound source discharges the obligation.
+        PropertySpec(
+            name="noreply", description="",
+            stages=(
+                Observe("req", EventPattern(kind=EventKind.ARRIVAL,
+                                            binds=(Bind("S", "eth.src"),))),
+                Absent("reply", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("S")),)), within=1.5),
+            ),
+            key_vars=("S",),
+        ),
+        # The unsound timer-refresh policy the paper calls out: the
+        # refresh path must behave identically under both strategies.
+        PropertySpec(
+            name="refreshy", description="",
+            stages=(
+                Observe("req", EventPattern(kind=EventKind.ARRIVAL,
+                                            binds=(Bind("S", "eth.src"),))),
+                Absent("reply", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("S")),)),
+                    within=1.5, refresh="on_prior"),
+            ),
+            key_vars=("S",),
+        ),
+        # Persistent obligation: a port-down unless cancels the wait.
+        PropertySpec(
+            name="unlessy", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ARRIVAL,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("S")),)),
+                    within=5.0,
+                    unless=(EventPattern(kind=EventKind.OOB,
+                                         oob_kind=OobKind.PORT_DOWN),)),
+            ),
+            key_vars=("S",),
+        ),
+        # Any-packet kind plus an OOB middle stage (multiple match: the
+        # OOB stage has an empty index plan, forcing the scan bucket).
+        PropertySpec(
+            name="oobp", description="",
+            stages=(
+                Observe("a", EventPattern(kind=EventKind.ANY_PACKET,
+                                          binds=(Bind("S", "eth.src"),))),
+                Observe("down", EventPattern(kind=EventKind.OOB,
+                                             oob_kind=OobKind.PORT_DOWN)),
+                Observe("b", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("eth.dst", Var("S")),))),
+            ),
+            key_vars=("S",),
+        ),
+    ]
+
+
+def run_config(events, store_strategy, match_strategy):
+    monitor = Monitor(store_strategy=store_strategy,
+                      match_strategy=match_strategy)
+    for prop in probe_catalog():
+        monitor.add_property(prop)
+    for event in events:
+        monitor.observe(event)
+    monitor.advance_to(events[-1].time + 100.0)
+    violations = [
+        (v.property_name, round(v.time, 9), v.message, tuple(sorted(
+            (k, str(val)) for k, val in v.bindings.items())))
+        for v in monitor.violations
+    ]
+    stats = {name: getattr(monitor.stats, name) for name in STAT_FIELDS}
+    return violations, stats
+
+
+class TestMatchStrategyEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(event_streams())
+    def test_all_four_configs_agree(self, events):
+        """Violations (name, time, message, bindings) are identical across
+        {compiled, interpreted} x {indexed, linear}; the full counter set
+        is identical across match strategies within each store (different
+        stores may legitimately examine different candidate counts)."""
+        results = {
+            (store, match): run_config(events, store, match)
+            for store, match in itertools.product(
+                STORE_STRATEGIES, MATCH_STRATEGIES)
+        }
+        violation_sets = [v for v, _ in results.values()]
+        for other in violation_sets[1:]:
+            assert other == violation_sets[0]
+        for store in STORE_STRATEGIES:
+            _, compiled_stats = results[(store, "compiled")]
+            _, interp_stats = results[(store, "interpreted")]
+            assert compiled_stats == interp_stats
+
+    @settings(max_examples=30, deadline=None)
+    @given(event_streams())
+    def test_candidate_counts_match_within_store(self, events):
+        """Dispatch planning skips whole (property, stage) pairs, but the
+        candidates it *does* examine must be the same set the interpreted
+        walk reaches after its own kind/stage filters."""
+        for store in STORE_STRATEGIES:
+            _, compiled_stats = run_config(events, store, "compiled")
+            _, interp_stats = run_config(events, store, "interpreted")
+            assert (compiled_stats["candidates_examined"]
+                    == interp_stats["candidates_examined"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(event_streams())
+    def test_batch_equals_loop(self, events):
+        """observe_batch's hoisted fast path is just a loop unroll: same
+        violations, same counters as event-at-a-time observe."""
+        looped = run_config(events, "indexed", "compiled")
+
+        monitor = Monitor()
+        for prop in probe_catalog():
+            monitor.add_property(prop)
+        monitor.observe_batch(events)
+        monitor.advance_to(events[-1].time + 100.0)
+        batched_violations = [
+            (v.property_name, round(v.time, 9), v.message, tuple(sorted(
+                (k, str(val)) for k, val in v.bindings.items())))
+            for v in monitor.violations
+        ]
+        batched_stats = {name: getattr(monitor.stats, name)
+                         for name in STAT_FIELDS}
+        assert (batched_violations, batched_stats) == looped
