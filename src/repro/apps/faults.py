@@ -19,8 +19,13 @@ class FaultPlan:
 
     ``rates`` maps fault names to probabilities in [0, 1]; ``flags`` are
     always-on behavioural bugs; ``values`` carry fault *parameters* with
-    units (e.g. ``reply_delay`` in seconds).  Apps consult :meth:`fires`
-    (probabilistic), :meth:`enabled` (boolean), and :meth:`value`.
+    units (e.g. ``reply_delay`` in seconds), validated finite and
+    non-negative.  Apps consult :meth:`fires` (probabilistic),
+    :meth:`enabled` (boolean), and :meth:`value`.
+
+    Each fault name draws from its own derived RNG stream
+    (``Random(f"{seed}:{name}")``), so adding or removing one fault never
+    reshuffles the firing pattern of the others under the same seed.
     """
 
     rates: Dict[str, float] = field(default_factory=dict)
@@ -32,14 +37,27 @@ class FaultPlan:
         for name, rate in self.rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"fault rate {name}={rate!r} outside [0, 1]")
-        self._rng = random.Random(self.seed)
+        for name, value in self.values.items():
+            if not 0.0 <= value < float("inf"):
+                raise ValueError(
+                    f"fault value {name}={value!r} must be finite and "
+                    "non-negative")
+        self._rngs: Dict[str, random.Random] = {}
+
+    def _stream(self, name: str) -> random.Random:
+        rng = self._rngs.get(name)
+        if rng is None:
+            # Seeding from a string is deterministic (sha512-based), unlike
+            # hash(), which is salted per process.
+            rng = self._rngs[name] = random.Random(f"{self.seed}:{name}")
+        return rng
 
     def fires(self, name: str) -> bool:
         """Roll the dice for a probabilistic fault (False if unconfigured)."""
         rate = self.rates.get(name, 0.0)
         if rate <= 0.0:
             return False
-        return self._rng.random() < rate
+        return self._stream(name).random() < rate
 
     def enabled(self, name: str) -> bool:
         return self.flags.get(name, False)

@@ -1,6 +1,14 @@
 """Executable models of the approaches compared in Table 2."""
 
-from .base import Backend, BackendMonitor, Capabilities, UnsupportedFeature
+from .base import (
+    FAST_PATH_SPLIT_LAG,
+    Backend,
+    BackendMonitor,
+    Capabilities,
+    UnsupportedFeature,
+    default_split_lag,
+    split_lag_profile,
+)
 from .conformance import (
     PAPER_TABLE2,
     PROBES,
@@ -29,10 +37,13 @@ from .varanus_compiler import (
 )
 
 __all__ = [
+    "FAST_PATH_SPLIT_LAG",
     "Backend",
     "BackendMonitor",
     "Capabilities",
     "UnsupportedFeature",
+    "default_split_lag",
+    "split_lag_profile",
     "PAPER_TABLE2",
     "PROBES",
     "TABLE2_ROWS",

@@ -36,6 +36,34 @@ from ..switch.events import DataplaneEvent, PacketDrop
 from ..switch.registers import StateCostMeter, TABLE_LOOKUP_COST
 from ..switch.switch import DEFAULT_SPLIT_LAG, ProcessingMode
 
+#: state-update lag for approaches whose Table 2 update-datapath cell says
+#: "Fast path": the update lands within roughly one pipeline pass, not a
+#: control-channel round trip.
+FAST_PATH_SPLIT_LAG = 5e-6
+
+
+def default_split_lag(caps: "Capabilities") -> float:
+    """Table 2's update-datapath column read as a split-lag prior.
+
+    "Fast path" updates commit in-pipeline (:data:`FAST_PATH_SPLIT_LAG`);
+    "Slow path" — and the blank / "—" cells, where the update path is
+    unstated — pay the control-channel round trip that
+    :data:`DEFAULT_SPLIT_LAG` models.
+    """
+    if caps.update_datapath == "Fast path":
+        return FAST_PATH_SPLIT_LAG
+    return DEFAULT_SPLIT_LAG
+
+
+def split_lag_profile() -> Dict[str, float]:
+    """Per-backend default split lags, keyed by canonical backend name."""
+    from .conformance import all_backends  # deferred: conformance imports base
+
+    return {
+        backend.caps.name: default_split_lag(backend.caps)
+        for backend in all_backends()
+    }
+
 
 class UnsupportedFeature(Exception):
     """The backend's architecture cannot express a required feature.
@@ -278,6 +306,7 @@ class Backend:
             slow_path=caps.update_datapath == "Slow path",
             drop_visibility=caps.drop_visibility,
             depth_fn=self._depth_fn(props),
+            split_lag=default_split_lag(caps),
             provenance=(
                 ProvenanceLevel.FULL
                 if caps.full_provenance

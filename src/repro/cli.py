@@ -16,6 +16,10 @@
                                         #   [--poll-interval S]
                                         # replay with full telemetry: metrics
                                         #   snapshot, spans, gauge time series
+    python -m repro chaos [--profile P --seed S --events N --rounds N]
+                                        # replay the Table-1 catalog under a
+                                        #   fault profile; report detection
+                                        #   degradation vs. a clean run
 
 Named predicates available to DSL files via ``check``/``replay``:
 ``@internal`` (RFC1918 source, public destination), ``@tcp_syn``,
@@ -142,6 +146,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         DEFAULT_SPLIT_LAG,
         LintOptions,
         lint_paths,
+        parse_split_lag,
         render_json,
         render_text,
         resolve_backend_name,
@@ -154,7 +159,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    lag = args.split_lag if args.split_lag is not None else DEFAULT_SPLIT_LAG
+    if args.split_lag is not None:
+        try:
+            lag = parse_split_lag(args.split_lag)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        lag = DEFAULT_SPLIT_LAG
     options = LintOptions(focus_backend=focus, split_lag=lag)
     reports = lint_paths(args.files, _predicates(), options)
     if args.json:
@@ -320,6 +332,41 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .netsim.chaos import PROFILES
+    from .resilience import render_report, run_soak
+
+    profile = PROFILES[args.profile]
+    reports = run_soak(profile, seed=args.seed, rounds=args.rounds,
+                       num_events=args.events, settle=args.settle)
+    failed = False
+    for index, report in enumerate(reports):
+        if args.rounds > 1:
+            print(f"--- round {index + 1}/{args.rounds} "
+                  f"(seed {report.seed}) ---")
+        print(render_report(report))
+        if report.invariant_failures:
+            failed = True
+        if report.bounded is False:
+            failed = True
+    if args.json:
+        payload = {
+            "profile": profile.name,
+            "rounds": [report.to_dict() for report in reports],
+        }
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}")
+    if failed:
+        print("chaos run FAILED: invariant violation or clean count "
+              "outside the ledgered uncertainty interval", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,10 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--backend", default=None,
                       help="deployment target: its feasibility failures "
                            "become errors (name or unique prefix)")
-    lint.add_argument("--split-lag", type=float, default=None,
-                      help="split-mode state-update lag in seconds "
-                           "(default: the engine's DEFAULT_SPLIT_LAG, "
-                           "500 microseconds)")
+    lint.add_argument("--split-lag", type=str, default=None,
+                      help="split-mode state-update lag: seconds, 'table2' "
+                           "for per-backend defaults derived from Table 2's "
+                           "update-datapath column, or NAME=SECONDS[,...] "
+                           "overrides (default: the engine's "
+                           "DEFAULT_SPLIT_LAG, 500 microseconds)")
     lint.add_argument("--quiet", action="store_true",
                       help="diagnostics only, no per-property summaries")
     lint.set_defaults(fn=cmd_lint)
@@ -401,7 +450,32 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--settle", type=float, default=60.0,
                        help="virtual seconds to run timers past the trace")
     stats.set_defaults(fn=cmd_stats)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay the Table-1 catalog under a fault profile, report "
+             "degradation vs. a clean run")
+    chaos.add_argument("--profile", default="lossy",
+                       choices=sorted(_chaos_profile_names()),
+                       help="named fault profile (default: lossy)")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="workload seed; round k uses seed+k")
+    chaos.add_argument("--events", type=int, default=2000,
+                       help="events per round (default: 2000)")
+    chaos.add_argument("--rounds", type=int, default=1,
+                       help="soak mode: run N independent rounds")
+    chaos.add_argument("--settle", type=float, default=600.0,
+                       help="virtual seconds to run timers past the trace")
+    chaos.add_argument("--json", default=None, metavar="OUT",
+                       help="also write the degradation report(s) as JSON")
+    chaos.set_defaults(fn=cmd_chaos)
     return parser
+
+
+def _chaos_profile_names() -> List[str]:
+    from .netsim.chaos import PROFILES
+
+    return list(PROFILES)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -29,6 +29,18 @@ from .analysis import (
     requires_timeout_actions,
     requires_timeouts,
 )
+from .degradation import (
+    EVICT_LRU,
+    EVICT_OLDEST,
+    EVICT_REJECT,
+    EVICTION_POLICIES,
+    IMPACT_FALSE,
+    IMPACT_MISSED,
+    DegradationPolicy,
+    OverflowLedger,
+    ShedRecord,
+    classify_op,
+)
 from .features import Feature, FeatureRequirements, MatchKind
 from .instances import (
     IndexedInstanceStore,
@@ -76,6 +88,16 @@ __all__ = [
     "requires_out_of_band",
     "requires_timeout_actions",
     "requires_timeouts",
+    "EVICT_LRU",
+    "EVICT_OLDEST",
+    "EVICT_REJECT",
+    "EVICTION_POLICIES",
+    "IMPACT_FALSE",
+    "IMPACT_MISSED",
+    "DegradationPolicy",
+    "OverflowLedger",
+    "ShedRecord",
+    "classify_op",
     "Feature",
     "FeatureRequirements",
     "MatchKind",

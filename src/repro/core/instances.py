@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
+from .degradation import EVICT_LRU, EVICT_OLDEST, EVICT_REJECT
 from .refs import EventPattern
 from .spec import PropertySpec, Stage
 
@@ -118,8 +119,12 @@ class InstanceStore:
     lookup — is O(stage population) and allocates nothing per event.
     """
 
-    def __init__(self, prop: PropertySpec) -> None:
+    def __init__(self, prop: PropertySpec, capacity: Optional[int] = None) -> None:
         self.prop = prop
+        #: bounded-store capacity (None = unbounded); enforced by the
+        #: monitor's degradation layer, not by ``add`` itself, so the
+        #: eviction decision (and its ledger entry) stays in one place.
+        self.capacity = capacity
         self._by_key: Dict[Tuple, Instance] = {}
         self._live = 0
         self._stage_pop: Dict[int, Dict[int, Instance]] = {}
@@ -177,6 +182,34 @@ class InstanceStore:
         """Live instances waiting at a stage — a view, no allocation."""
         return self._stage_pop.get(stage_idx, _EMPTY_STAGE).values()
 
+    # -- bounded-store support (static-Varanus style tables) ---------------
+    def at_capacity(self) -> bool:
+        return self.capacity is not None and self._live >= self.capacity
+
+    def choose_victim(self, policy: str) -> Optional[Instance]:
+        """The live instance an eviction policy would shed, or None.
+
+        ``reject-new`` never evicts (the *new* creation is refused);
+        ``evict-oldest`` sheds the earliest-created live instance;
+        ``evict-lru`` the least-recently-advanced/refreshed one.  Ties
+        break on instance id, keeping eviction order deterministic.
+        """
+        if policy == EVICT_REJECT:
+            return None
+        if policy not in (EVICT_OLDEST, EVICT_LRU):
+            raise ValueError(f"unknown eviction policy {policy!r}")
+        by_age = policy == EVICT_OLDEST
+        best: Optional[Instance] = None
+        best_rank: Optional[Tuple[float, int]] = None
+        for instance in self._by_key.values():
+            if not instance.alive:
+                continue
+            stamp = instance.created_at if by_age else instance.advanced_at
+            rank = (stamp, instance.instance_id)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = instance, rank
+        return best
+
     def all(self) -> Iterable[Instance]:
         return [i for i in self._by_key.values() if i.alive]
 
@@ -206,8 +239,8 @@ class LinearInstanceStore(InstanceStore):
 class IndexedInstanceStore(InstanceStore):
     """Hash-indexed store keyed on each stage's index plan."""
 
-    def __init__(self, prop: PropertySpec) -> None:
-        super().__init__(prop)
+    def __init__(self, prop: PropertySpec, capacity: Optional[int] = None) -> None:
+        super().__init__(prop, capacity=capacity)
         self._plans: Dict[int, Tuple[Tuple[str, str], ...]] = {
             i: stage_index_plan(stage)
             for i, stage in enumerate(prop.stages)
@@ -288,10 +321,14 @@ class IndexedInstanceStore(InstanceStore):
         return out
 
 
-def make_store(prop: PropertySpec, strategy: str = "indexed") -> InstanceStore:
+def make_store(
+    prop: PropertySpec,
+    strategy: str = "indexed",
+    capacity: Optional[int] = None,
+) -> InstanceStore:
     """Factory: ``"indexed"`` (default) or ``"linear"`` (ablation)."""
     if strategy == "indexed":
-        return IndexedInstanceStore(prop)
+        return IndexedInstanceStore(prop, capacity=capacity)
     if strategy == "linear":
-        return LinearInstanceStore(prop)
+        return LinearInstanceStore(prop, capacity=capacity)
     raise ValueError(f"unknown instance store strategy {strategy!r}")

@@ -44,8 +44,15 @@ from ..switch.events import DataplaneEvent
 from ..switch.registers import StateCostMeter
 from ..switch.switch import DEFAULT_SPLIT_LAG, ProcessingMode
 from ..telemetry import NULL_TRACER, MetricsRegistry, NullRegistry, Tracer
-from ..telemetry.metrics import COUNT_BUCKETS
+from ..telemetry.metrics import COUNT_BUCKETS, LATENCY_BUCKETS
 from .compile import CompiledPattern, compile_pattern, dispatch_plan
+from .degradation import (
+    IMPACT_FALSE,
+    IMPACT_MISSED,
+    DegradationPolicy,
+    OverflowLedger,
+    classify_op,
+)
 from .instances import Instance, InstanceStore, make_store, uid_var
 from .provenance import ProvenanceLevel, StageRecord, record_stage
 from .refs import EventKind, EventPattern, event_fields, kind_matches
@@ -82,6 +89,10 @@ class MonitorStats:
         "refreshes": "repro_monitor_refreshes_total",
         "candidates_examined": "repro_monitor_candidates_examined_total",
         "ops_applied": "repro_monitor_ops_applied_total",
+        "instances_evicted": "repro_monitor_instances_evicted_total",
+        "instances_rejected": "repro_monitor_instances_rejected_total",
+        "ops_shed": "repro_monitor_ops_shed_total",
+        "op_retries": "repro_monitor_op_retries_total",
     }
     _GAUGES = {
         "peak_live_instances": "repro_monitor_live_instances",
@@ -240,6 +251,8 @@ class Monitor:
         slow_path_updates: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        op_faults: Optional[object] = None,
     ) -> None:
         if match_strategy not in MATCH_STRATEGIES:
             raise ValueError(
@@ -254,6 +267,13 @@ class Monitor:
         self.max_layer = max_layer
         self.meter = meter
         self.slow_path_updates = slow_path_updates
+        #: bounded-state policy (None = classic unbounded monitor)
+        self.degradation = degradation
+        #: control-channel fault source for deferred ops: any object with
+        #: ``perturb() -> Optional[float]`` (None = drop the update, float
+        #: = extra lag); see ControlFaultProfile.channel() in netsim.chaos.
+        self.op_faults = op_faults
+        self.ledger = OverflowLedger()
         self.registry = registry if registry is not None else NullRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._init_instruments()
@@ -278,6 +298,10 @@ class Monitor:
         self._timer_gens: Dict[int, int] = {}  # instance_id -> generation
         self._pending: List[Tuple[float, int, _Op]] = []  # split-mode queue
         self._pending_seq = itertools.count()
+        #: backpressured ops awaiting a retry slot: (retry_at, seq,
+        #: next_attempt, ideal_apply_at, op)
+        self._retry: List[Tuple[float, int, int, float, _Op]] = []
+        self._retry_seq = itertools.count()
         self._now = 0.0
 
     def _init_instruments(self) -> None:
@@ -326,6 +350,24 @@ class Monitor:
             "repro_monitor_pending_queue_depth",
             help="Pending-op queue depth sampled at each split-mode enqueue",
             buckets=COUNT_BUCKETS)
+        self._c_evicted = r.counter(
+            "repro_monitor_instances_evicted_total",
+            help="Instances evicted by a bounded store's eviction policy")
+        self._c_rejected = r.counter(
+            "repro_monitor_instances_rejected_total",
+            help="Creations rejected by a full bounded store (reject-new)")
+        self._c_shed_ops = r.counter(
+            "repro_monitor_ops_shed_total",
+            help="Split-mode ops shed: control-channel drops plus "
+                 "backpressure give-ups")
+        self._c_op_retries = r.counter(
+            "repro_monitor_op_retries_total",
+            help="Split-mode ops deferred by pending-queue backpressure")
+        self._h_backoff = r.histogram(
+            "repro_monitor_retry_backoff_seconds",
+            help="Backoff applied to backpressured split-mode ops",
+            unit="seconds",
+            buckets=LATENCY_BUCKETS)
         # Per-property handles, filled in by add_property.
         self._stage_advance_counters: Dict[str, Tuple] = {}
         self._prop_violation_counters: Dict[str, object] = {}
@@ -336,7 +378,12 @@ class Monitor:
         if prop.name in self._props:
             raise ValueError(f"duplicate property {prop.name!r}")
         self._props[prop.name] = prop
-        self._stores[prop.name] = make_store(prop, self.store_strategy)
+        capacity = (
+            self.degradation.max_instances
+            if self.degradation is not None else None
+        )
+        self._stores[prop.name] = make_store(
+            prop, self.store_strategy, capacity=capacity)
         r = self.registry
         self._stage_advance_counters[prop.name] = tuple(
             r.counter(
@@ -403,7 +450,7 @@ class Monitor:
         if self.mode is ProcessingMode.INLINE:
             for op in ops:
                 self._apply(op)
-        else:
+        elif self.op_faults is None and self.degradation is None:
             apply_at = event.time + self.split_lag
             for op in ops:
                 heapq.heappush(
@@ -417,6 +464,15 @@ class Monitor:
                     apply_at, lambda t=apply_at: self.advance_to(t),
                     label="monitor-split-apply",
                 )
+        else:
+            # Degraded split path: each op individually traverses the
+            # (possibly faulty) control channel and the bounded queue.
+            apply_at = event.time + self.split_lag
+            for op in ops:
+                self._enqueue_split(op, apply_at, attempt=0)
+            self._g_pending.set(len(self._pending))
+            if telemetry and ops:
+                self._h_pending_depth.observe(len(self._pending))
         if telemetry:
             self._h_candidates.observe(
                 self._c_candidates.value - candidates_before
@@ -452,17 +508,32 @@ class Monitor:
     def advance_to(self, when: float) -> None:
         """Move monitor time forward, firing due timers and pending ops.
 
-        Pending split-mode ops and timer deadlines are interleaved in time
-        order, so a deferred creation still arms its timer before a later
-        deadline fires.
+        Pending split-mode ops, backpressure retries, and timer deadlines
+        are interleaved in time order, so a deferred creation still arms
+        its timer before a later deadline fires.
         """
         if when < self._now:
             return  # events carry non-decreasing times; tolerate equal
         pending = self._pending
         wheel = self._wheel
-        while pending or wheel:
+        retry = self._retry
+        while pending or wheel or retry:
             next_pending = pending[0][0] if pending else None
             next_timer = wheel[0][0] if wheel else None
+            next_retry = retry[0][0] if retry else None
+            # A due retry re-enters the queue before any later work runs:
+            # it was already perturbed, it is only waiting for a slot.
+            if next_retry is not None and (
+                (next_pending is None or next_retry <= next_pending)
+                and (next_timer is None or next_retry <= next_timer)
+            ):
+                if next_retry > when:
+                    break
+                retry_at, _, attempt, ideal_at, op = heapq.heappop(retry)
+                if retry_at > self._now:
+                    self._now = retry_at
+                self._enqueue_split(op, ideal_at, attempt)
+                continue
             if next_pending is not None and (
                 next_timer is None or next_pending <= next_timer
             ):
@@ -477,7 +548,7 @@ class Monitor:
                 self._g_pending.set(float(len(pending)))
                 self._apply(op)
                 continue
-            if next_timer > when:
+            if next_timer is None or next_timer > when:
                 break
             deadline, _, instance, gen = heapq.heappop(wheel)
             if deadline > self._now:
@@ -485,6 +556,66 @@ class Monitor:
             self._fire_timer(instance, gen, deadline)
         if when > self._now:
             self._now = when
+
+    def _enqueue_split(self, op: _Op, apply_at: float, attempt: int) -> None:
+        """Route one deferred op through the control channel and the
+        bounded pending queue (degraded split mode only).
+
+        First attempt: the op may be dropped or delayed by ``op_faults``.
+        When the queue is at ``max_pending_ops``, the op backs off
+        (``retry_backoff * 2**attempt``) up to ``max_retries`` times, then
+        is shed.  Every drop/shed/late-apply lands in the ledger.
+        """
+        if attempt == 0 and self.op_faults is not None:
+            extra = self.op_faults.perturb()
+            if extra is None:
+                self._c_shed_ops.inc()
+                self.ledger.record(
+                    "op-dropped", op.prop.name, op.kind, op.time,
+                    classify_op(op.kind, "dropped"))
+                return
+            if extra > 0.0:
+                apply_at += extra
+                self.ledger.record(
+                    "op-delayed", op.prop.name, op.kind, op.time,
+                    classify_op(op.kind, "delayed"))
+        policy = self.degradation
+        limit = policy.max_pending_ops if policy is not None else None
+        if limit is not None and len(self._pending) >= limit:
+            if attempt >= policy.max_retries:
+                self._c_shed_ops.inc()
+                self.ledger.record(
+                    "op-shed", op.prop.name, op.kind, op.time,
+                    classify_op(op.kind, "dropped"))
+                return
+            backoff = policy.retry_backoff * (2.0 ** attempt)
+            retry_at = max(self._now, op.time) + backoff
+            self._c_op_retries.inc()
+            self._h_backoff.observe(backoff)
+            if retry_at > apply_at:
+                # The op cannot possibly apply on time any more.
+                self.ledger.record(
+                    "op-retried", op.prop.name, op.kind, op.time,
+                    classify_op(op.kind, "delayed"))
+            heapq.heappush(
+                self._retry,
+                (retry_at, next(self._retry_seq), attempt + 1, apply_at, op))
+            if self.scheduler is not None:
+                self.scheduler.call_at(
+                    retry_at, lambda t=retry_at: self.advance_to(t),
+                    label="monitor-split-retry")
+            return
+        heapq.heappush(
+            self._pending, (apply_at, next(self._pending_seq), op))
+        if self.scheduler is not None:
+            wake_at = max(apply_at, self._now)
+            self.scheduler.call_at(
+                wake_at, lambda t=wake_at: self.advance_to(t),
+                label="monitor-split-apply")
+
+    def pending_op_count(self) -> int:
+        """Deferred ops still in flight (queued plus awaiting retry)."""
+        return len(self._pending) + len(self._retry)
 
     # -- evaluation (read-only against current state) ---------------------------
     def _evaluate_compiled(
@@ -728,6 +859,25 @@ class Monitor:
         existing = store.by_key(op.key)
         if existing is not None and existing.alive:
             return  # split-mode race: created twice before first applied
+        policy = self.degradation
+        if policy is not None and store.at_capacity():
+            victim = store.choose_victim(policy.eviction)
+            if victim is None:  # reject-new: the full table refuses entry
+                self._c_rejected.inc()
+                self.ledger.record(
+                    "instance-rejected", op.prop.name, f"key={op.key!r}",
+                    op.time, classify_op("create", "dropped"))
+                return
+            store.remove(victim)
+            self._live_total -= 1
+            self._c_evicted.inc()
+            self.ledger.record(
+                "instance-evicted", op.prop.name, f"key={victim.key!r}",
+                op.time, (IMPACT_MISSED, IMPACT_FALSE))
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "monitor.evict", op.time, property=op.prop.name,
+                    key=repr(victim.key))
         instance = Instance(op.prop, op.key, dict(op.env), created_at=op.time)
         record = record_stage(
             self.provenance, op.prop.stages[0].name, op.time, op.event
@@ -798,6 +948,7 @@ class Monitor:
         assert instance is not None
         if not instance.alive or instance.stage != 1:
             return
+        instance.advanced_at = op.time  # a refresh is a touch for evict-lru
         instance.env.update(op.binds)
         # Re-binding may change indexed values (a re-learned port, or the
         # stage-0 packet uid that a same_packet stage keys on): the store's

@@ -45,9 +45,13 @@ from .splitmode import (
     SPLIT_SAFE,
     CostEstimate,
     Hazard,
+    SplitLagSpec,
     SplitReport,
     analyze_split,
+    backend_lag_profile,
     estimate_cost,
+    parse_split_lag,
+    resolve_split_lag,
     split_diagnostics,
 )
 
@@ -78,8 +82,12 @@ __all__ = [
     "SPLIT_SAFE",
     "CostEstimate",
     "Hazard",
+    "SplitLagSpec",
     "SplitReport",
     "analyze_split",
+    "backend_lag_profile",
     "estimate_cost",
+    "parse_split_lag",
+    "resolve_split_lag",
     "split_diagnostics",
 ]

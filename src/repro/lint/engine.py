@@ -41,8 +41,10 @@ from .feasibility import (
 from .rules import run_ast_rules
 from .splitmode import (
     DEFAULT_SPLIT_LAG,
+    SplitLagSpec,
     SplitReport,
     analyze_split,
+    resolve_split_lag,
     split_diagnostics,
 )
 
@@ -63,8 +65,10 @@ class LintOptions:
     #: canonical backend name to treat as the deployment target: its
     #: feasibility failures become errors (L102)
     focus_backend: Optional[str] = None
-    #: split-mode state-update lag to classify against
-    split_lag: float = DEFAULT_SPLIT_LAG
+    #: split-mode state-update lag to classify against: a scalar, or a
+    #: per-backend profile (resolved via the focus backend, else the
+    #: worst-case lag in the profile)
+    split_lag: SplitLagSpec = DEFAULT_SPLIT_LAG
 
 
 @dataclass
@@ -190,7 +194,10 @@ def lint_source(
                 ))
             if options.split:
                 prop_report.split = analyze_split(
-                    prop_report.spec, lag=options.split_lag
+                    prop_report.spec,
+                    lag=resolve_split_lag(
+                        options.split_lag, options.focus_backend
+                    ),
                 )
                 diags.extend(split_diagnostics(prop_report.split, anchor=ast))
             if options.dispatch:

@@ -40,7 +40,7 @@ header-schema widths).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from ..backends.varanus_compiler import VaranusCompileError, check_compilable
 from ..core.refs import EventKind
@@ -51,6 +51,70 @@ from .schema import field_bits
 
 SPLIT_SAFE = "split-safe"
 INLINE_REQUIRED = "inline-required"
+
+#: A split-lag specification: one scalar lag for every backend, or a
+#: per-backend profile keyed by canonical backend name.
+SplitLagSpec = Union[float, Mapping[str, float]]
+
+
+def backend_lag_profile() -> Dict[str, float]:
+    """Per-backend default lags from Table 2's update-datapath column."""
+    from ..backends import split_lag_profile  # deferred: backends are heavy
+
+    return split_lag_profile()
+
+
+def resolve_split_lag(
+    spec: SplitLagSpec, focus_backend: Optional[str] = None
+) -> float:
+    """Collapse a split-lag spec to the one lag to classify against.
+
+    A scalar passes through.  For a profile: the focused backend's entry
+    when a deployment target is set and present, otherwise the *worst*
+    (largest) lag in the profile — a hazard classification that must hold
+    for every candidate backend has to assume the slowest update path.
+    """
+    if isinstance(spec, Mapping):
+        if not spec:
+            return DEFAULT_SPLIT_LAG
+        if focus_backend is not None and focus_backend in spec:
+            return float(spec[focus_backend])
+        return float(max(spec.values()))
+    return float(spec)
+
+
+def parse_split_lag(text: str) -> SplitLagSpec:
+    """Parse a ``--split-lag`` argument.
+
+    Accepts a float (seconds), ``"table2"``/``"auto"`` for the
+    per-backend defaults derived from Table 2's update-datapath column,
+    or comma-separated ``NAME=SECONDS`` overrides (backend names resolve
+    like ``--backend``, so unique prefixes work).
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        pass
+    else:
+        if value < 0.0:
+            raise ValueError(f"--split-lag {value!r} must be non-negative")
+        return value
+    if text.strip().lower() in ("table2", "auto"):
+        return backend_lag_profile()
+    from .feasibility import resolve_backend_name
+
+    profile: Dict[str, float] = {}
+    for part in text.split(","):
+        name, sep, raw = part.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad --split-lag entry {part!r}: expected SECONDS, "
+                "'table2', or NAME=SECONDS[,NAME=SECONDS...]")
+        lag = float(raw)
+        if lag < 0.0:
+            raise ValueError(f"--split-lag {part!r}: lag must be non-negative")
+        profile[resolve_backend_name(name.strip())] = lag
+    return profile
 
 _PACKET_KINDS = (
     EventKind.ARRIVAL,

@@ -1,7 +1,19 @@
 """Network simulation substrate: virtual time, scheduling, topology, traces."""
 
+from .chaos import (
+    PROFILES,
+    ChaosProfile,
+    ControlChannel,
+    ControlFaultProfile,
+    FaultInjector,
+    FaultyEventChannel,
+    LinkFaultProfile,
+    corrupt_packet,
+    install_host_chaos,
+    install_link_chaos,
+)
 from .clock import ClockError, VirtualClock
-from .scheduler import EventScheduler, ScheduledEvent
+from .scheduler import EventScheduler, ScheduledEvent, SchedulerTruncationError
 from .topology import Host, Network, SwitchLink, single_switch_network
 from .serialize import (
     TraceFormatError,
@@ -24,10 +36,21 @@ from .workload import (
 )
 
 __all__ = [
+    "PROFILES",
+    "ChaosProfile",
+    "ControlChannel",
+    "ControlFaultProfile",
+    "FaultInjector",
+    "FaultyEventChannel",
+    "LinkFaultProfile",
+    "corrupt_packet",
+    "install_host_chaos",
+    "install_link_chaos",
     "ClockError",
     "VirtualClock",
     "EventScheduler",
     "ScheduledEvent",
+    "SchedulerTruncationError",
     "Host",
     "Network",
     "SwitchLink",

@@ -15,10 +15,30 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from .clock import VirtualClock
+
+
+class SchedulerTruncationError(RuntimeError):
+    """``run()`` hit ``max_events`` with runnable events still queued.
+
+    A livelocked or runaway event loop (something endlessly rescheduling
+    itself) surfaces here instead of looking like a clean finish.  The
+    exception carries the loop state for post-mortems; the scheduler's
+    ``truncations`` counter and a ``RuntimeWarning`` fire too, for
+    callers that catch and continue (chaos soak runs assert it is zero).
+    """
+
+    def __init__(self, fired: int, pending: int, now: float) -> None:
+        super().__init__(
+            f"scheduler truncated at max_events={fired} with {pending} "
+            f"event(s) still runnable at t={now!r}")
+        self.fired = fired
+        self.pending = pending
+        self.now = now
 
 
 @dataclass(frozen=True)
@@ -61,6 +81,9 @@ class EventScheduler:
         self._queue: List[_QueueEntry] = []
         self._seq = itertools.count()
         self._cancelled: set = set()
+        #: times ``run()`` was truncated by ``max_events`` (see
+        #: :class:`SchedulerTruncationError`)
+        self.truncations = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -133,7 +156,12 @@ class EventScheduler:
 
         ``until`` bounds the clock: events stamped strictly later are left
         queued and the clock is advanced exactly to ``until``.  ``max_events``
-        is a runaway guard for event loops that reschedule themselves.
+        is a runaway guard for event loops that reschedule themselves:
+        hitting it with runnable events still queued raises
+        :class:`SchedulerTruncationError` (a ``RuntimeError``), increments
+        :attr:`truncations`, and emits a ``RuntimeWarning``.  Draining the
+        queue in *exactly* ``max_events`` steps is a clean finish, not a
+        truncation.
         """
         fired = 0
         while fired < max_events:
@@ -146,7 +174,17 @@ class EventScheduler:
                 break
             fired += 1
         else:
-            raise RuntimeError(f"scheduler exceeded max_events={max_events}")
+            upcoming = self.next_event_time()
+            if upcoming is not None and (until is None or upcoming <= until):
+                self.truncations += 1
+                warnings.warn(
+                    f"scheduler truncated at max_events={max_events} with "
+                    f"{self.pending()} event(s) still runnable",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                raise SchedulerTruncationError(
+                    fired, self.pending(), self.clock.now())
         if until is not None and until > self.clock.now():
             self.clock.advance_to(until)
         return fired

@@ -48,6 +48,7 @@ class Host:
         self._switch: Optional["Switch"] = None
         self._port: Optional[int] = None
         self._link_delay = 0.0
+        self._uplink: Optional[Callable[[Packet], None]] = None
         self.on_receive: Optional[Callable[["Host", Packet], None]] = None
 
     def attach(self, switch: "Switch", port: int, link_delay: float = 1e-6) -> None:
@@ -55,7 +56,21 @@ class Host:
         self._switch = switch
         self._port = port
         self._link_delay = link_delay
+        self._uplink = lambda packet: switch.receive(packet, port)
         switch.attach(port, self._deliver)
+
+    def wrap_uplink(
+        self,
+        wrapper: Callable[[Callable[[Packet], None]], Callable[[Packet], None]],
+    ) -> None:
+        """Interpose on host->switch delivery (chaos fault injection).
+
+        Applies to packets already in flight too: ``send`` resolves the
+        uplink at delivery time, not at call time.
+        """
+        if self._uplink is None:
+            raise RuntimeError(f"host {self.name} is not attached to a switch")
+        self._uplink = wrapper(self._uplink)
 
     def _deliver(self, packet: Packet) -> None:
         self.received.append(ReceivedPacket(time=self.scheduler.clock.now(), packet=packet))
@@ -66,10 +81,9 @@ class Host:
         """Transmit toward the switch, after the link's propagation delay."""
         if self._switch is None or self._port is None:
             raise RuntimeError(f"host {self.name} is not attached to a switch")
-        switch, port = self._switch, self._port
         self.scheduler.call_after(
             self._link_delay,
-            lambda: switch.receive(packet, port),
+            lambda: self._uplink(packet),
             label=f"{self.name}-send",
         )
 
@@ -77,10 +91,9 @@ class Host:
         """Transmit at an absolute virtual time."""
         if self._switch is None or self._port is None:
             raise RuntimeError(f"host {self.name} is not attached to a switch")
-        switch, port = self._switch, self._port
         self.scheduler.call_at(
             when + self._link_delay,
-            lambda: switch.receive(packet, port),
+            lambda: self._uplink(packet),
             label=f"{self.name}-send",
         )
 

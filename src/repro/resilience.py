@@ -1,0 +1,450 @@
+"""Chaos runs over the Table-1 catalog, with degradation reporting.
+
+This is the harness behind ``repro chaos``: replay a seeded mixed workload
+against the full property catalog twice — once clean, once under a named
+:class:`~repro.netsim.chaos.ChaosProfile` — and compare.  The degraded
+run's overflow ledger turns its raw violation count into an uncertainty
+interval (``degraded - potential_false <= true <= degraded +
+potential_missed``); for profiles whose only divergence sources are
+monitor-side (``profile.ledgered``), the clean count is checked against
+that interval.  Profiles with link faults perturb the event stream before
+the monitor sees it, so they report detection recall instead.
+
+Everything runs on the virtual clock from one seed: two invocations with
+the same profile and seed produce identical reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .core import DegradationPolicy, Monitor
+from .netsim.chaos import PROFILES, ChaosProfile, FaultyEventChannel
+from .props import build_table1
+from .switch.events import (
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+)
+from .switch.switch import ProcessingMode
+from .telemetry import MetricsRegistry
+
+DEFAULT_EVENTS = 2000
+DEFAULT_SETTLE = 600.0
+
+
+def catalog_trace(seed: int, num_events: int = DEFAULT_EVENTS) -> List:
+    """A randomized event stream touching every protocol Table 1 reads.
+
+    The same generator shape as the soak test's mixed workload: TCP data
+    and SYN/FIN traffic, ARP request/reply, DHCP, raw ethernet, port
+    up/down out-of-band events, with uid-coherent egress of previously
+    arrived packets.
+    """
+    from .packet import (
+        DhcpMessageType,
+        arp_reply,
+        arp_request,
+        dhcp_packet,
+        ethernet,
+        tcp_fin,
+        tcp_packet,
+        tcp_syn,
+    )
+
+    rng = random.Random(seed)
+    events: List = []
+    t = 0.0
+    uid_pool: List = []
+    for _ in range(num_events):
+        t += rng.uniform(1e-4, 0.05)
+        roll = rng.random()
+        src, dst = rng.randint(1, 8), rng.randint(1, 8)
+        if roll < 0.25:
+            packet = tcp_packet(src, dst, f"10.0.0.{src}",
+                                f"198.51.100.{dst}",
+                                rng.randint(1000, 1040),
+                                rng.choice([80, 22, 7001, 7002, 8080]))
+        elif roll < 0.40:
+            packet = tcp_syn(src, 0xFE, f"10.0.0.{src}", "10.0.0.100",
+                             rng.randint(1000, 1040), 8080)
+        elif roll < 0.55:
+            packet = arp_request(src, f"10.0.0.{src}",
+                                 f"10.0.0.{rng.randint(1, 120)}")
+        elif roll < 0.62:
+            packet = arp_reply(src, f"10.0.0.{src}", dst, f"10.0.0.{dst}")
+        elif roll < 0.72:
+            packet = dhcp_packet(src, rng.choice(
+                [DhcpMessageType.REQUEST, DhcpMessageType.ACK,
+                 DhcpMessageType.RELEASE]),
+                xid=rng.randint(1, 9),
+                yiaddr=f"10.0.0.{100 + rng.randint(0, 9)}",
+                server_id=f"10.0.0.{250 + rng.randint(0, 3)}")
+        elif roll < 0.80:
+            packet = tcp_fin(src, dst, f"10.0.0.{src}", f"198.51.100.{dst}",
+                             rng.randint(1000, 1040), 80)
+        elif roll < 0.85:
+            events.append(OutOfBandEvent(
+                switch_id="s", time=t,
+                oob_kind=rng.choice([OobKind.PORT_DOWN, OobKind.PORT_UP]),
+                port=rng.randint(1, 4)))
+            continue
+        else:
+            packet = ethernet(src, dst)
+        kind = rng.random()
+        if kind < 0.5:
+            events.append(PacketArrival(switch_id="s", time=t, packet=packet,
+                                        in_port=rng.randint(1, 4)))
+            uid_pool.append(packet)
+        elif kind < 0.85 and uid_pool:
+            prior = rng.choice(uid_pool[-50:])
+            events.append(PacketEgress(
+                switch_id="s", time=t, packet=prior, in_port=1,
+                out_port=rng.randint(1, 4),
+                action=rng.choice([EgressAction.UNICAST, EgressAction.FLOOD])))
+        else:
+            events.append(PacketDrop(switch_id="s", time=t, packet=packet,
+                                     in_port=rng.randint(1, 4), reason="x"))
+    return events
+
+
+def degradation_policy(profile: ChaosProfile) -> Optional[DegradationPolicy]:
+    """The monitor-side policy a profile implies (None = unbounded)."""
+    if profile.max_instances is None and profile.max_pending_ops is None:
+        return None
+    return DegradationPolicy(
+        max_instances=profile.max_instances,
+        eviction=profile.eviction,
+        max_pending_ops=profile.max_pending_ops,
+        retry_backoff=profile.retry_backoff,
+        max_retries=profile.max_retries,
+    )
+
+
+def build_monitor(
+    profile: Optional[ChaosProfile] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Monitor:
+    """A catalog monitor, optionally configured for a chaos profile."""
+    if profile is None or (
+        profile.mode == "inline"
+        and profile.control.is_null
+        and not profile.degraded()
+    ):
+        monitor = Monitor(registry=registry)
+    else:
+        monitor = Monitor(
+            mode=(ProcessingMode.SPLIT if profile.mode == "split"
+                  else ProcessingMode.INLINE),
+            split_lag=profile.split_lag,
+            degradation=degradation_policy(profile),
+            op_faults=(None if profile.control.is_null
+                       else profile.control.channel(name=profile.name)),
+            registry=registry,
+        )
+    for entry in build_table1():
+        monitor.add_property(entry.prop)
+    return monitor
+
+
+@dataclass
+class RunResult:
+    """One monitor run: verdicts plus the state needed for invariants."""
+
+    monitor: Monitor
+    events_offered: int
+    events_seen: int
+    link_counters: Dict[str, int]
+
+    @property
+    def per_property(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.monitor.violations:
+            counts[violation.property_name] = \
+                counts.get(violation.property_name, 0) + 1
+        return counts
+
+    def fingerprint(self) -> List[Tuple]:
+        """Deterministic digest of every violation (order-sensitive)."""
+        return [
+            (v.property_name, round(v.time, 9),
+             tuple(sorted((k, str(val)) for k, val in v.bindings.items())))
+            for v in self.monitor.violations
+        ]
+
+
+def run_events(
+    profile: Optional[ChaosProfile],
+    events: List,
+    settle: float = DEFAULT_SETTLE,
+    registry: Optional[MetricsRegistry] = None,
+) -> RunResult:
+    """Feed one event stream through a (possibly chaotic) monitor."""
+    offered = len(events)
+    link_counters: Dict[str, int] = {}
+    if profile is not None and not profile.link.is_null:
+        channel = FaultyEventChannel(profile.link, name=profile.name)
+        events = channel.transform(events)
+        link_counters = dict(channel.counters)
+    monitor = build_monitor(profile, registry=registry)
+    if registry is not None:
+        registry.time_fn = lambda: monitor.now
+    for event in events:
+        monitor.observe(event)
+    if events:
+        monitor.advance_to(events[-1].time + settle)
+    return RunResult(
+        monitor=monitor,
+        events_offered=offered,
+        events_seen=len(events),
+        link_counters=link_counters,
+    )
+
+
+def check_invariants(result: RunResult) -> List[str]:
+    """The soak-mode guarantees: nothing crashed, leaked, or stalled."""
+    problems: List[str] = []
+    monitor = result.monitor
+    stats = monitor.stats
+    retired = (stats.violations + stats.instances_expired
+               + stats.instances_discharged + stats.instances_cancelled
+               + stats.instances_evicted)
+    live = monitor.live_instances()
+    if stats.instances_created != live + retired:
+        problems.append(
+            f"instance accounting leak: created={stats.instances_created} "
+            f"!= live={live} + retired={retired}")
+    if monitor.pending_op_count() != 0:
+        problems.append(
+            f"{monitor.pending_op_count()} split-mode op(s) never applied "
+            "after settle")
+    for name, store in monitor._stores.items():
+        if store.capacity is not None and store.live_count > store.capacity:
+            problems.append(
+                f"store {name!r} over capacity: "
+                f"{store.live_count} > {store.capacity}")
+    return problems
+
+
+@dataclass
+class PropertyDegradation:
+    """Clean-vs-degraded verdict for one property."""
+
+    name: str
+    clean: int
+    degraded: int
+    potential_missed: int
+    potential_false: int
+    interval: Tuple[int, int]
+    #: whether the clean count falls inside the interval; None when the
+    #: profile has unledgered divergence sources (link faults)
+    bounded: Optional[bool]
+    recall: float
+
+
+@dataclass
+class DegradationReport:
+    """What running a chaos profile did to detection quality."""
+
+    profile: str
+    seed: int
+    events_offered: int
+    events_delivered: int
+    clean_total: int
+    degraded_total: int
+    interval: Tuple[int, int]
+    bounded: Optional[bool]
+    recall: float
+    properties: List[PropertyDegradation]
+    ledger: Dict[str, object]
+    link_counters: Dict[str, int]
+    invariant_failures: List[str] = field(default_factory=list)
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "events": {
+                "offered": self.events_offered,
+                "delivered": self.events_delivered,
+            },
+            "violations": {
+                "clean": self.clean_total,
+                "degraded": self.degraded_total,
+                "interval": list(self.interval),
+                "bounded": self.bounded,
+                "recall": self.recall,
+            },
+            "properties": [
+                {
+                    "name": p.name,
+                    "clean": p.clean,
+                    "degraded": p.degraded,
+                    "potential_missed": p.potential_missed,
+                    "potential_false": p.potential_false,
+                    "interval": list(p.interval),
+                    "bounded": p.bounded,
+                    "recall": p.recall,
+                }
+                for p in self.properties
+            ],
+            "ledger": self.ledger,
+            "link_counters": self.link_counters,
+            "invariant_failures": list(self.invariant_failures),
+            "telemetry": self.telemetry,
+        }
+
+
+def _recall(clean: int, degraded: int) -> float:
+    if clean == 0:
+        return 1.0
+    return min(clean, degraded) / clean
+
+
+def compare_runs(
+    profile: ChaosProfile,
+    seed: int,
+    clean: RunResult,
+    degraded: RunResult,
+) -> DegradationReport:
+    """Build the degradation report from a clean/degraded run pair."""
+    ledger = degraded.monitor.ledger
+    clean_counts = clean.per_property
+    degraded_counts = degraded.per_property
+    names = sorted(set(clean_counts) | set(degraded_counts)
+                   | set(ledger.properties()))
+    properties: List[PropertyDegradation] = []
+    for name in names:
+        c = clean_counts.get(name, 0)
+        d = degraded_counts.get(name, 0)
+        interval = ledger.interval(d, name)
+        properties.append(PropertyDegradation(
+            name=name,
+            clean=c,
+            degraded=d,
+            potential_missed=ledger.potential_missed(name),
+            potential_false=ledger.potential_false(name),
+            interval=interval,
+            bounded=(interval[0] <= c <= interval[1])
+            if profile.ledgered else None,
+            recall=_recall(c, d),
+        ))
+    clean_total = len(clean.monitor.violations)
+    degraded_total = len(degraded.monitor.violations)
+    interval = ledger.interval(degraded_total)
+    return DegradationReport(
+        profile=profile.name,
+        seed=seed,
+        events_offered=degraded.events_offered,
+        events_delivered=degraded.events_seen,
+        clean_total=clean_total,
+        degraded_total=degraded_total,
+        interval=interval,
+        bounded=(interval[0] <= clean_total <= interval[1])
+        if profile.ledgered else None,
+        recall=_recall(clean_total, degraded_total),
+        properties=properties,
+        ledger=ledger.summary(),
+        link_counters=degraded.link_counters,
+        invariant_failures=check_invariants(degraded)
+        + check_invariants(clean),
+    )
+
+
+def run_chaos(
+    profile: ChaosProfile,
+    seed: int,
+    num_events: int = DEFAULT_EVENTS,
+    settle: float = DEFAULT_SETTLE,
+    with_telemetry: bool = True,
+) -> DegradationReport:
+    """One full chaos round: clean reference run, degraded run, report."""
+    events = catalog_trace(seed, num_events)
+    clean = run_events(None, events, settle=settle)
+    registry = MetricsRegistry() if with_telemetry else None
+    degraded = run_events(profile, events, settle=settle, registry=registry)
+    report = compare_runs(profile, seed, clean, degraded)
+    if registry is not None:
+        report.telemetry = registry.snapshot()
+    return report
+
+
+def render_report(report: DegradationReport) -> str:
+    """Human-readable degradation report."""
+    lines: List[str] = []
+    lo, hi = report.interval
+    lines.append(
+        f"profile {report.profile!r} seed={report.seed}: "
+        f"{report.events_delivered}/{report.events_offered} events "
+        "reached the monitor")
+    if report.bounded is None:
+        bound = "unledgered (link faults): recall only"
+    else:
+        bound = "clean count WITHIN interval" if report.bounded \
+            else "clean count OUTSIDE interval"
+    lines.append(
+        f"violations: clean={report.clean_total} "
+        f"degraded={report.degraded_total} "
+        f"interval=[{lo}, {hi}] recall={report.recall:.3f} ({bound})")
+    shed = report.ledger.get("by_kind", {})
+    if shed:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(shed.items()))
+        lines.append(f"overflow ledger: {detail}")
+    else:
+        lines.append("overflow ledger: empty")
+    for p in report.properties:
+        if p.clean == 0 and p.degraded == 0 and p.potential_missed == 0 \
+                and p.potential_false == 0:
+            continue
+        mark = ""
+        if p.bounded is True:
+            mark = " ok"
+        elif p.bounded is False:
+            mark = " OUT-OF-BOUNDS"
+        lines.append(
+            f"  {p.name:<28} clean={p.clean:<4} degraded={p.degraded:<4} "
+            f"interval=[{p.interval[0]}, {p.interval[1]}] "
+            f"recall={p.recall:.2f}{mark}")
+    for problem in report.invariant_failures:
+        lines.append(f"  INVARIANT VIOLATED: {problem}")
+    return "\n".join(lines)
+
+
+def run_soak(
+    profile: ChaosProfile,
+    seed: int,
+    rounds: int,
+    num_events: int = DEFAULT_EVENTS,
+    settle: float = DEFAULT_SETTLE,
+) -> List[DegradationReport]:
+    """``--rounds N``: N independent chaos rounds on derived seeds."""
+    return [
+        run_chaos(profile, seed + offset, num_events=num_events,
+                  settle=settle)
+        for offset in range(rounds)
+    ]
+
+
+__all__ = [
+    "DEFAULT_EVENTS",
+    "DEFAULT_SETTLE",
+    "PROFILES",
+    "DegradationReport",
+    "PropertyDegradation",
+    "RunResult",
+    "build_monitor",
+    "catalog_trace",
+    "check_invariants",
+    "compare_runs",
+    "degradation_policy",
+    "render_report",
+    "run_chaos",
+    "run_events",
+    "run_soak",
+]

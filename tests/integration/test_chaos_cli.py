@@ -1,0 +1,63 @@
+"""Integration tests: ``repro chaos`` — the acceptance-criteria runs."""
+
+import json
+
+from repro.cli import main
+from repro.netsim.chaos import PROFILES
+from repro import resilience
+
+
+class TestChaosCommand:
+    def test_overloaded_full_catalog(self, capsys):
+        """The headline acceptance run: zero crashes, zero leaks, both
+        shed mechanisms engaged, clean count inside the interval."""
+        assert main(["chaos", "--profile", "overloaded",
+                     "--events", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "clean count WITHIN interval" in out
+        assert "instance-evicted" in out
+        assert "op-shed" in out
+        assert "INVARIANT" not in out
+
+    def test_overloaded_report_fields(self):
+        report = resilience.run_chaos(PROFILES["overloaded"], seed=7,
+                                      num_events=1500)
+        assert report.invariant_failures == []
+        by_kind = report.ledger["by_kind"]
+        assert by_kind.get("instance-evicted", 0) > 0
+        assert by_kind.get("op-shed", 0) + by_kind.get("op-dropped", 0) > 0
+        lo, hi = report.interval
+        assert lo <= report.clean_total <= hi
+        assert report.bounded is True
+        # Telemetry snapshot rides along with the monitor's counters.
+        metrics = {m["name"] for m in report.telemetry["metrics"]}
+        assert "repro_monitor_instances_evicted_total" in metrics
+        assert "repro_monitor_ops_shed_total" in metrics
+
+    def test_soak_rounds_and_json(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["chaos", "--profile", "lossy", "--rounds", "3",
+                     "--events", "400", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "round 3/3" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["profile"] == "lossy"
+        assert len(payload["rounds"]) == 3
+        # Rounds use derived seeds; each is a full report.
+        assert [r["seed"] for r in payload["rounds"]] == [7, 8, 9]
+        for round_report in payload["rounds"]:
+            assert round_report["invariant_failures"] == []
+            assert round_report["violations"]["bounded"] is None  # link faults
+
+    def test_clean_profile_perfect_recall(self, capsys):
+        assert main(["chaos", "--profile", "clean", "--events", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "recall=1.000" in out
+        assert "overflow ledger: empty" in out
+
+    def test_adversarial_completes(self, capsys):
+        assert main(["chaos", "--profile", "adversarial",
+                     "--events", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "recall only" in out
+        assert "INVARIANT" not in out

@@ -160,3 +160,50 @@ class TestShippedExamplesLintClean:
             assert cost.pipeline_tables >= entry.prop.num_stages
             assert cost.state_bits_per_instance >= 0
             assert cost.model in ("rules", "engine")
+
+
+class TestSplitLagProfiles:
+    def test_table2_profile_covers_every_backend(self):
+        from repro.backends import FAST_PATH_SPLIT_LAG, all_backends
+        from repro.lint import backend_lag_profile
+
+        profile = backend_lag_profile()
+        names = {b.caps.name for b in all_backends()}
+        assert set(profile) == names
+        # Fast-path update backends get the fast lag, slow-path the default.
+        assert profile["OpenState"] == FAST_PATH_SPLIT_LAG
+        assert profile["Varanus"] == DEFAULT_SPLIT_LAG
+
+    def test_resolve_prefers_focus_then_worst_case(self):
+        from repro.lint import resolve_split_lag
+
+        profile = {"A": 1e-6, "B": 1e-3}
+        assert resolve_split_lag(profile, "A") == 1e-6
+        assert resolve_split_lag(profile, "C") == 1e-3  # worst case
+        assert resolve_split_lag(profile, None) == 1e-3
+        assert resolve_split_lag(2e-4) == 2e-4
+        assert resolve_split_lag({}) == DEFAULT_SPLIT_LAG
+
+    def test_parse_split_lag_forms(self):
+        import pytest
+
+        from repro.lint import parse_split_lag
+
+        assert parse_split_lag("0.001") == 0.001
+        assert parse_split_lag("table2") == parse_split_lag("auto")
+        profile = parse_split_lag("varanus=0.01,openstate=1e-6")
+        assert profile == {"Varanus": 0.01, "OpenState": 1e-6}
+        with pytest.raises(ValueError):
+            parse_split_lag("-1")
+        with pytest.raises(ValueError):
+            parse_split_lag("bogus")
+        with pytest.raises(ValueError):
+            parse_split_lag("varanus=-0.5")
+
+    def test_cli_lint_accepts_lag_profiles(self, capsys):
+        assert main(["lint", "--split-lag", "table2", "--quiet"]
+                    + EXAMPLES[:1]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--split-lag", "nope", "--quiet"]
+                    + EXAMPLES[:1]) == 2
+        assert "bad --split-lag" in capsys.readouterr().err

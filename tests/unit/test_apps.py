@@ -64,6 +64,26 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan(rates={"f": 1.5})
 
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(values={"delay": -1.0})
+        with pytest.raises(ValueError):
+            FaultPlan(values={"delay": float("inf")})
+        with pytest.raises(ValueError):
+            FaultPlan(values={"delay": float("nan")})
+
+    def test_per_fault_streams_independent(self):
+        # Adding a second fault must not reshuffle the first one's
+        # firing pattern: each name rolls its own derived RNG stream.
+        alone = FaultPlan(rates={"a": 0.5}, seed=9)
+        paired = FaultPlan(rates={"a": 0.5, "b": 0.5}, seed=9)
+        fired_alone = [alone.fires("a") for _ in range(50)]
+        fired_paired = []
+        for _ in range(50):
+            fired_paired.append(paired.fires("a"))
+            paired.fires("b")  # interleaved rolls on the other stream
+        assert fired_alone == fired_paired
+
 
 def controller_net(num_hosts, app, **kw):
     kw.setdefault("switch_kwargs", {})

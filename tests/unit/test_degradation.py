@@ -1,0 +1,202 @@
+"""Unit tests: bounded monitor state, backpressure, the overflow ledger."""
+
+import pytest
+
+from repro.core import (
+    Bind,
+    DegradationPolicy,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    IMPACT_FALSE,
+    IMPACT_MISSED,
+    Monitor,
+    Observe,
+    OverflowLedger,
+    PropertySpec,
+    Var,
+    classify_op,
+)
+from repro.packet import MACAddress, ethernet
+from repro.switch.events import PacketArrival
+from repro.switch.switch import ProcessingMode
+
+
+def arr(packet, t, port=1):
+    return PacketArrival(switch_id="s", time=t, packet=packet, in_port=port)
+
+
+def two_stage(name="p"):
+    """frame from S, then frame to S."""
+    return PropertySpec(
+        name=name,
+        description="test property",
+        stages=(
+            Observe("seen", EventPattern(kind=EventKind.ARRIVAL,
+                                         binds=(Bind("S", "eth.src"),))),
+            Observe("answered", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.dst", Var("S")),))),
+        ),
+        key_vars=("S",),
+    )
+
+
+def degraded_monitor(policy, mode=ProcessingMode.INLINE, **kw):
+    monitor = Monitor(mode=mode, degradation=policy, **kw)
+    monitor.add_property(two_stage())
+    return monitor
+
+
+class TestPolicyValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_instances=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(eviction="drop-table")
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_pending_ops=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(retry_backoff=-1.0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_retries=-1)
+
+
+class TestClassifyOp:
+    def test_primary_direction(self):
+        assert classify_op("create", "dropped")[0] == IMPACT_MISSED
+        assert classify_op("advance", "dropped")[0] == IMPACT_MISSED
+        assert classify_op("refresh", "dropped")[0] == IMPACT_MISSED
+        assert classify_op("kill", "dropped")[0] == IMPACT_FALSE
+
+    def test_both_sides_always_present(self):
+        for kind in ("create", "advance", "refresh", "kill"):
+            impacts = classify_op(kind, "dropped")
+            assert set(impacts) == {IMPACT_MISSED, IMPACT_FALSE}
+
+
+class TestLedger:
+    def test_interval_clamps_at_zero(self):
+        ledger = OverflowLedger()
+        ledger.record("op-dropped", "p", "kill", 1.0,
+                      classify_op("kill", "dropped"))
+        ledger.record("op-dropped", "p", "create", 2.0,
+                      classify_op("create", "dropped"))
+        assert ledger.interval(0) == (0, 2)
+        assert ledger.interval(5) == (3, 7)
+        assert ledger.potential_missed() == 2
+        assert ledger.potential_false() == 2
+
+    def test_per_property_filtering(self):
+        ledger = OverflowLedger()
+        ledger.record("instance-evicted", "a", "", 1.0,
+                      (IMPACT_MISSED, IMPACT_FALSE))
+        ledger.record("op-shed", "b", "advance", 2.0,
+                      classify_op("advance", "dropped"))
+        assert ledger.potential_missed("a") == 1
+        assert ledger.potential_missed("b") == 1
+        assert ledger.potential_missed() == 2
+        assert ledger.properties() == ("a", "b")
+        summary = ledger.summary()
+        assert summary["records"] == 2
+        assert summary["by_kind"] == {"instance-evicted": 1, "op-shed": 1}
+
+
+class TestBoundedStores:
+    def _fill(self, policy, n=4):
+        monitor = degraded_monitor(policy)
+        for i in range(n):
+            monitor.observe(arr(ethernet(i + 1, 100 + i), 0.1 * (i + 1)))
+        return monitor
+
+    def test_reject_new(self):
+        monitor = self._fill(
+            DegradationPolicy(max_instances=2, eviction="reject-new"))
+        assert monitor.live_instances() == 2
+        assert monitor.stats.instances_created == 2
+        assert monitor.stats.instances_rejected == 2
+        assert monitor.ledger.by_kind() == {"instance-rejected": 2}
+
+    def test_evict_oldest(self):
+        monitor = self._fill(
+            DegradationPolicy(max_instances=2, eviction="evict-oldest"))
+        assert monitor.live_instances() == 2
+        assert monitor.stats.instances_created == 4
+        assert monitor.stats.instances_evicted == 2
+        # The two oldest (keys 1 and 2) were shed; key 3 and 4 survive.
+        store = monitor._stores["p"]
+        assert store.by_key((MACAddress(1),)) is None or not store.by_key((MACAddress(1),)).alive
+        assert store.by_key((MACAddress(4),)).alive
+
+    def test_evict_lru_prefers_stale_instance(self):
+        monitor = degraded_monitor(
+            DegradationPolicy(max_instances=2, eviction="evict-lru"))
+        monitor.observe(arr(ethernet(1, 100), 0.1))
+        monitor.observe(arr(ethernet(2, 100), 0.2))
+        # Refresh key 1 (stage-0 re-match touches advanced_at)...
+        monitor.observe(arr(ethernet(1, 100), 0.3))
+        # ...so the LRU victim for the next create is key 2.
+        monitor.observe(arr(ethernet(3, 100), 0.4))
+        store = monitor._stores["p"]
+        assert store.by_key((MACAddress(1),)).alive
+        assert store.by_key((MACAddress(3),)).alive
+        assert store.by_key((MACAddress(2),)) is None or not store.by_key((MACAddress(2),)).alive
+
+    def test_eviction_keeps_accounting_identity(self):
+        monitor = self._fill(
+            DegradationPolicy(max_instances=2, eviction="evict-oldest"), n=6)
+        stats = monitor.stats
+        retired = (stats.violations + stats.instances_expired
+                   + stats.instances_discharged + stats.instances_cancelled
+                   + stats.instances_evicted)
+        assert stats.instances_created == monitor.live_instances() + retired
+
+
+class TestBackpressure:
+    def test_queue_bound_retries_then_sheds(self):
+        policy = DegradationPolicy(max_pending_ops=2, retry_backoff=1.0,
+                                   max_retries=1)
+        monitor = Monitor(mode=ProcessingMode.SPLIT, split_lag=0.5,
+                          degradation=policy)
+        monitor.add_property(two_stage())
+        # Four creations in one lag window: 2 queue, 1 retries, then the
+        # queue is still full at t+backoff... with backoff 1.0 > lag 0.5
+        # the retry lands after the queue drains, so nothing sheds yet.
+        for i in range(4):
+            monitor.observe(arr(ethernet(i + 1, 100 + i), 0.01 * (i + 1)))
+        assert monitor.pending_op_count() == 4  # 2 queued + 2 retrying
+        assert monitor.stats.op_retries == 2
+        monitor.advance_to(10.0)
+        assert monitor.pending_op_count() == 0
+        assert monitor.stats.instances_created == 4
+        assert monitor.stats.ops_shed == 0
+
+    def test_exhausted_retries_shed(self):
+        policy = DegradationPolicy(max_pending_ops=1, retry_backoff=1e-4,
+                                   max_retries=1)
+        monitor = Monitor(mode=ProcessingMode.SPLIT, split_lag=1.0,
+                          degradation=policy)
+        monitor.add_property(two_stage())
+        for i in range(3):
+            monitor.observe(arr(ethernet(i + 1, 100 + i), 0.01))
+        monitor.advance_to(20.0)
+        # Queue held 1; the other two retried once (backoff far shorter
+        # than the 1s lag, so the queue was still full) and were shed.
+        assert monitor.stats.ops_shed == 2
+        assert monitor.stats.op_retries == 2
+        assert monitor.stats.instances_created == 1
+        assert monitor.ledger.by_kind()["op-shed"] == 2
+        assert monitor.pending_op_count() == 0
+
+    def test_shed_ops_enter_ledger_with_primary(self):
+        policy = DegradationPolicy(max_pending_ops=1, retry_backoff=1e-4,
+                                   max_retries=0)
+        monitor = Monitor(mode=ProcessingMode.SPLIT, split_lag=1.0,
+                          degradation=policy)
+        monitor.add_property(two_stage())
+        for i in range(3):
+            monitor.observe(arr(ethernet(i + 1, 100 + i), 0.01))
+        monitor.advance_to(20.0)
+        shed = [r for r in monitor.ledger.records if r.kind == "op-shed"]
+        assert len(shed) == 2
+        assert all(r.primary == IMPACT_MISSED for r in shed)  # creates

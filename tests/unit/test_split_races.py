@@ -1,0 +1,102 @@
+"""Regression tests: the two split-mode races the engine tolerates.
+
+Both races arise because split-mode ops are evaluated against *current*
+state but applied a lag later (``monitor.py`` guards each with an early
+return):
+
+* **created twice before first applied** — two stage-0 matches for the
+  same key inside one lag window both evaluate to creations; the second
+  application must be a no-op, not a duplicate instance;
+* **advanced after expiry** — an advance op can apply after the
+  instance's deadline lazily expired it; the advance must not resurrect
+  the instance or raise a violation.
+"""
+
+from repro.core import (
+    Bind,
+    Const,
+    EventKind,
+    EventPattern,
+    FieldEq,
+    Monitor,
+    Observe,
+    PropertySpec,
+    Var,
+)
+from repro.packet import MACAddress, ethernet
+from repro.switch.events import PacketArrival
+from repro.switch.switch import ProcessingMode
+
+
+def arr(packet, t, port=1):
+    return PacketArrival(switch_id="s", time=t, packet=packet, in_port=port)
+
+
+def two_stage(within=None):
+    """frame from S to the server (100), then frame back to S.
+
+    Stage 0 is guarded on the destination so the answering frame does
+    not itself create a second instance.
+    """
+    return PropertySpec(
+        name="p",
+        description="race regression property",
+        stages=(
+            Observe("seen", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.dst", Const(MACAddress(100))),),
+                binds=(Bind("S", "eth.src"),))),
+            Observe("answered",
+                    EventPattern(kind=EventKind.ARRIVAL,
+                                 guards=(FieldEq("eth.dst", Var("S")),)),
+                    within=within),
+        ),
+        key_vars=("S",),
+    )
+
+
+class TestCreatedTwiceBeforeFirstApplied:
+    def test_second_create_is_noop(self):
+        monitor = Monitor(mode=ProcessingMode.SPLIT, split_lag=0.5)
+        monitor.add_property(two_stage())
+        # Both arrivals evaluate against an empty store: two create ops
+        # for the same key land in the pending queue.
+        monitor.observe(arr(ethernet(1, 100), 0.01))
+        monitor.observe(arr(ethernet(1, 100), 0.02))
+        assert monitor.pending_op_count() == 2
+        monitor.advance_to(2.0)
+        assert monitor.stats.instances_created == 1
+        assert monitor.live_instances() == 1
+        assert monitor.pending_op_count() == 0
+
+    def test_duplicate_create_then_advance_single_violation(self):
+        monitor = Monitor(mode=ProcessingMode.SPLIT, split_lag=0.5)
+        monitor.add_property(two_stage())
+        monitor.observe(arr(ethernet(1, 100), 0.01))
+        monitor.observe(arr(ethernet(1, 100), 0.02))
+        monitor.advance_to(2.0)
+        # The (single) instance advances and completes exactly once.
+        monitor.observe(arr(ethernet(2, 1), 3.0))
+        monitor.advance_to(5.0)
+        assert monitor.stats.violations == 1
+        assert monitor.stats.instances_created == 1
+        assert monitor.live_instances() == 0
+
+
+class TestAdvancedAfterExpiry:
+    def test_late_advance_does_not_resurrect(self):
+        monitor = Monitor(mode=ProcessingMode.SPLIT, split_lag=0.05)
+        monitor.add_property(two_stage(within=0.1))
+        # Create applies at 0.05; its deadline is 0.0 + 0.1 = 0.1.
+        monitor.observe(arr(ethernet(1, 100), 0.0))
+        # The answering frame is seen (and matched) at 0.08 — before the
+        # deadline — but its advance op only applies at 0.13, after the
+        # lazy expiry has removed the instance.
+        monitor.observe(arr(ethernet(2, 1), 0.08))
+        monitor.advance_to(1.0)
+        assert monitor.stats.instances_expired == 1
+        assert monitor.stats.violations == 0
+        assert monitor.live_instances() == 0
+        assert monitor.pending_op_count() == 0
+        # Accounting stays balanced: the expired instance is the only one.
+        assert monitor.stats.instances_created == 1
