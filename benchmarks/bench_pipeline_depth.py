@@ -168,6 +168,52 @@ def test_estimate_matches_measured_depth(benchmark):
             f"{name}: estimate {est} != measured {measured}")
 
 
+def test_estimate_matches_compiler_rule_plan(benchmark):
+    """The calibrated cost model against the compiler's emitted plans.
+
+    For every rule-compilable property — the calibration corpus plus any
+    Table-1 catalog row ``check_compilable`` accepts — the estimator's
+    tables/rules/flow-mods per instance must equal what
+    ``plan_property`` counts off the rule plan ``compile_property``
+    actually emits, and the checked-in calibration table must agree.
+    """
+    from repro.backends.varanus_compiler import plan_property
+    from repro.lint.calibration import calibration_corpus, measured_cost
+    from repro.lint.splitmode import estimate_cost
+
+    def run():
+        rows = []
+        for prop in calibration_corpus():
+            est = estimate_cost(prop)
+            plan = plan_property(prop)
+            rows.append((prop.name, est, plan, measured_cost(prop.name)))
+        return rows
+
+    rows = benchmark(run)
+    print("\nestimated vs compiler-measured rule plans, per instance")
+    print(f"  {'property':<20} {'tables':>13} {'rules':>13} {'flow-mods':>13}")
+    for name, est, plan, _ in rows:
+        print(
+            f"  {name:<20}"
+            f" {est.instance_tables:5d}/{plan.instance_tables:<7d}"
+            f" {est.rules_per_instance:5d}/{plan.rules_per_instance:<7d}"
+            f" {est.slow_updates_per_instance:5d}/"
+            f"{plan.flow_mods_per_instance:<7d}"
+        )
+    print("  (columns are estimated/measured)")
+    assert rows, "calibration corpus is empty"
+    for name, est, plan, table_row in rows:
+        assert est.model == "rules", f"{name}: not rule-compilable"
+        assert est.instance_tables == plan.instance_tables, name
+        assert est.rules_per_instance == plan.rules_per_instance, name
+        assert est.slow_updates_per_instance == \
+            plan.flow_mods_per_instance, name
+        assert table_row is not None, (
+            f"{name}: missing from CALIBRATION — "
+            "run python -m tests.regen_calibration")
+        assert est.measured == table_row, name
+
+
 def test_crossover_varanus_costlier_beyond_stage_count(benchmark):
     """The crossover the paper implies: Varanus beats nothing on cost —
     as soon as instances exceed the property's stage count, its per-event

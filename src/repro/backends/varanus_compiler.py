@@ -40,6 +40,7 @@ computation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.refs import Const, EventKind, EventPattern, FieldEq, FieldNe, Var
@@ -171,18 +172,18 @@ def _pattern_template(
 # ---------------------------------------------------------------------------
 # Compilation
 # ---------------------------------------------------------------------------
-def compile_property(
-    switch: Switch,
+def build_entry(
     prop: PropertySpec,
     entry_table: int = 0,
     priority: int = 500,
-) -> str:
-    """Compile ``prop`` onto ``switch``; returns the alert message.
+) -> Tuple[MatchSpec, Tuple[Learn, Learn], str]:
+    """Construct the full rule plan for ``prop`` without a switch.
 
-    Violations surface as dataplane alerts (``switch.add_alert_sink``)
-    whose message is the property name; the final triggering packet's
-    guard fields ride along as carried values (Feature 10's free limited
-    provenance).
+    Returns ``(entry_match, (unroll, suppression), message)``: the static
+    entry-table rule's match, its two learn actions — ``unroll`` carries
+    the whole nested watcher chain, ``suppression`` the per-key duplicate
+    shadow — and the alert message.  :func:`compile_property` installs
+    this plan; :func:`plan_property` prices it.
     """
     check_compilable(prop)
     cookie = f"varanus:{prop.name}"
@@ -224,14 +225,106 @@ def compile_property(
         cookie=f"{cookie}:suppress",
         cookie_fields=key_origins,
     )
+    return entry_match, (deeper, suppression), message
+
+
+def compile_property(
+    switch: Switch,
+    prop: PropertySpec,
+    entry_table: int = 0,
+    priority: int = 500,
+) -> str:
+    """Compile ``prop`` onto ``switch``; returns the alert message.
+
+    Violations surface as dataplane alerts (``switch.add_alert_sink``)
+    whose message is the property name; the final triggering packet's
+    guard fields ride along as carried values (Feature 10's free limited
+    provenance).
+    """
+    entry_match, (unroll, suppression), message = build_entry(
+        prop, entry_table, priority)
     switch.install_rule(
         entry_match,
-        [deeper, suppression],
+        [unroll, suppression],
         table_id=entry_table,
         priority=priority,
-        cookie=f"{cookie}:entry",
+        cookie=f"varanus:{prop.name}:entry",
     )
     return message
+
+
+# ---------------------------------------------------------------------------
+# Static rule-plan accounting (ground truth for the linter's cost model)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RulePlan:
+    """What one instance of a compiled property costs, counted off the
+    emitted rule plan rather than modeled.
+
+    The accounting walks the violation path — stage 0 fires, every watcher
+    fires in order, the final stage raises the alert (for a final
+    ``Absent``, the timer expires) — because that is the lifecycle the
+    whole plan exists to execute:
+
+    * ``instance_tables`` — fresh tables this instance unrolls into the
+      pipeline (learns targeting ``table_id == -1``);
+    * ``rules_per_instance`` — rules installed over the lifecycle: the
+      suppression rule plus every watcher/timer/discharge/cancel learn,
+      companions (``extra``) included;
+    * ``flow_mods_per_instance`` — slow-path state operations issued over
+      the lifecycle, counted the way the switch meters them: one per
+      top-level ``Learn`` or ``DeleteRules`` action (companion learns ride
+      inside their parent's update), timer ``on_timeout`` actions included.
+    """
+
+    prop: str
+    instance_tables: int
+    rules_per_instance: int
+    flow_mods_per_instance: int
+
+
+def _installed_rules(learn: Learn) -> int:
+    """Rules one Learn execution lands: the rule itself plus companions."""
+    return 1 + sum(_installed_rules(extra) for extra in learn.extra)
+
+
+def _unrolled_tables(learn: Learn) -> int:
+    """Fresh tables one Learn execution creates (companions share them)."""
+    return 1 if learn.table_id == -1 else 0
+
+
+def plan_property(prop: PropertySpec) -> RulePlan:
+    """Price ``prop`` by walking the rule plan ``compile_property`` emits.
+
+    Raises :class:`VaranusCompileError` when the property is outside the
+    rule-compilable fragment, exactly like compilation would.
+    """
+    _, (unroll, suppression), _ = build_entry(prop)
+    tables = 0
+    rules = _installed_rules(suppression)
+    flow_mods = 2  # stage 0's firing issues the unroll + suppression learns
+    watcher: Optional[Learn] = unroll
+    while watcher is not None:
+        tables += _unrolled_tables(watcher)
+        rules += _installed_rules(watcher)
+        # Fire the watcher along the violation path: a timer rule (pure
+        # timeout encoding) fires via on_timeout, everything else via its
+        # match actions.
+        fired = watcher.on_timeout if watcher.on_timeout else watcher.actions
+        deeper: Optional[Learn] = None
+        for action in fired:
+            if isinstance(action, Learn):
+                flow_mods += 1
+                deeper = action  # the next stage's watcher learn
+            elif isinstance(action, DeleteRules):
+                flow_mods += 1
+        watcher = deeper
+    return RulePlan(
+        prop=prop.name,
+        instance_tables=tables,
+        rules_per_instance=rules,
+        flow_mods_per_instance=flow_mods,
+    )
 
 
 def _suppression_timeout(prop: PropertySpec) -> Optional[float]:

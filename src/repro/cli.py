@@ -7,6 +7,7 @@
     python -m repro check FILE [...]    # compile + analyze DSL property files
     python -m repro lint FILE [...]     # static lints + feasibility + split
                                         #   hazards [--json] [--backend NAME]
+                                        #   [--fix [--diff]] autofixes
     python -m repro record OUT [--packets N --hosts H --seed S]
                                         # simulate traffic, save a JSONL trace
                                         #   (with a provenance header line)
@@ -167,6 +168,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
             return 2
     else:
         lag = DEFAULT_SPLIT_LAG
+    if args.diff and not args.fix:
+        print("error: --diff requires --fix", file=sys.stderr)
+        return 2
+    if args.fix:
+        status = _apply_fixes(args.files, diff_only=args.diff)
+        if status:
+            return status
     options = LintOptions(focus_backend=focus, split_lag=lag)
     reports = lint_paths(args.files, _predicates(), options)
     if args.json:
@@ -174,6 +182,40 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(render_text(reports, verbose=not args.quiet))
     return 1 if any(r.errors for r in reports) else 0
+
+
+def _apply_fixes(paths: List[str], diff_only: bool) -> int:
+    """Fix mechanical findings in ``paths`` (``--fix``); with ``--diff``
+    print the would-be rewrite as a unified diff instead of writing."""
+    import difflib
+
+    from .lint.fixes import fix_source
+
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fp:
+                original = fp.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        result = fix_source(original)
+        for skip in result.skipped:
+            print(f"{path}:{skip.line}: skipped property "
+                  f"{skip.prop!r}: {skip.reason}", file=sys.stderr)
+        if not result.changed:
+            continue
+        if diff_only:
+            sys.stdout.writelines(difflib.unified_diff(
+                original.splitlines(keepends=True),
+                result.source.splitlines(keepends=True),
+                fromfile=path, tofile=f"{path} (fixed)"))
+        else:
+            with open(path, "w", encoding="utf-8") as fp:
+                fp.write(result.source)
+            for fix in result.fixes:
+                print(f"{path}:{fix.line}: fixed {fix.code}: "
+                      f"{fix.description}", file=sys.stderr)
+    return 0
 
 
 def cmd_record(args: argparse.Namespace) -> int:
@@ -402,6 +444,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "DEFAULT_SPLIT_LAG, 500 microseconds)")
     lint.add_argument("--quiet", action="store_true",
                       help="diagnostics only, no per-property summaries")
+    lint.add_argument("--fix", action="store_true",
+                      help="mechanically repair fixable findings (L002 "
+                           "unused binds, L003 shadowed rebinds, L004 "
+                           "duplicate guards) by rewriting the files, then "
+                           "re-lint the result")
+    lint.add_argument("--diff", action="store_true",
+                      help="with --fix: print the rewrite as a unified "
+                           "diff instead of writing the files")
     lint.set_defaults(fn=cmd_lint)
 
     record = sub.add_parser("record",

@@ -8,6 +8,13 @@ formatter assigns them fresh ``@p<N>`` names and returns the accompanying
 predicate environment — compiling the rendered text with that environment
 reproduces the property.
 
+:func:`format_ast` is the *syntactic* sibling: it renders a parsed
+:class:`~repro.lang.ast.PropertyAst` back to source without elaborating
+first, so ``repro lint --fix`` can rewrite a property file through a
+parse → transform → format round-trip (named ``@predicates`` render
+by name, no environment needed).  ``parse(format_ast(p))[0] == p``
+structurally — AST equality ignores source positions.
+
 ``tests/property/test_format_roundtrip.py`` holds the invariant:
 ``analyze(compile(format(spec))) == analyze(spec)`` for the whole catalog.
 """
@@ -15,6 +22,8 @@ reproduces the property.
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
+
+from . import ast as _ast
 
 from ..core.refs import (
     Const,
@@ -168,6 +177,112 @@ def _num(value: float) -> str:
     if value == int(value):
         return str(int(value))
     return repr(value)
+
+
+def _ast_value(value: "_ast.Value") -> str:
+    if isinstance(value, _ast.VarRef):
+        return f"${value.name}"
+    v = value.value
+    if isinstance(v, bool):
+        raise FormatError("boolean constants are not DSL values")
+    if isinstance(v, IPv4Address):
+        return str(v)
+    if isinstance(v, MACAddress):
+        return f'"{v}"'
+    if isinstance(v, int):
+        return str(v)
+    if isinstance(v, float):
+        return _num(v)
+    if isinstance(v, str):
+        return f'"{v}"'
+    raise FormatError(f"cannot render literal {v!r}")
+
+
+def _ast_condition(condition: "_ast.Condition") -> str:
+    if isinstance(condition, _ast.Comparison):
+        return f"{condition.field} {condition.op} {_ast_value(condition.value)}"
+    if isinstance(condition, _ast.AnyDiffers):
+        pairs = ", ".join(
+            f"{field} == {_ast_value(value)}"
+            for field, value in condition.pairs)
+        return f"any_differs({pairs})"
+    if isinstance(condition, _ast.NamedPredicate):
+        return f"@{condition.name}"
+    raise FormatError(f"cannot render condition {condition!r}")
+
+
+def _ast_pattern_head(pattern: "_ast.PatternAst", mods: str = "") -> str:
+    head = pattern.kind
+    if pattern.oob_kind is not None:
+        head += f"({pattern.oob_kind})"
+    if mods:
+        head += f" {mods}"
+    if pattern.same_packet_as is not None:
+        head += f" samepacket {pattern.same_packet_as}"
+    if pattern.action is not None:
+        head += f" action {pattern.action}"
+    if pattern.not_action is not None:
+        head += f" not_action {pattern.not_action}"
+    return head
+
+
+def _ast_stage(stage: "_ast.StageAst") -> List[str]:
+    mods = []
+    if stage.negative:
+        keyword = "absent"
+        if stage.within is not None:
+            mods.append(f"within {_num(stage.within)}")
+        if stage.refresh is not None and stage.refresh != "never":
+            mods.append(f"refresh {stage.refresh}")
+        if stage.semantic:
+            mods.append("semantic")
+    else:
+        keyword = "observe"
+        if stage.within is not None:
+            mods.append(f"within {_num(stage.within)}")
+        if stage.no_refresh:
+            mods.append("no_refresh")
+    head = _ast_pattern_head(stage.pattern, " ".join(mods))
+    lines = [f"{keyword} {stage.name} : {head}"]
+    if stage.pattern.conditions:
+        rendered = " and ".join(
+            _ast_condition(c) for c in stage.pattern.conditions)
+        lines.append(f"    where {rendered}")
+    if stage.pattern.binds:
+        rendered = ", ".join(
+            f"{b.var} = {b.field}" for b in stage.pattern.binds)
+        lines.append(f"    bind {rendered}")
+    for unless in stage.unless:
+        line = f"    unless {_ast_pattern_head(unless)}"
+        if unless.conditions:
+            rendered = " and ".join(
+                _ast_condition(c) for c in unless.conditions)
+            line += f" where {rendered}"
+        lines.append(line)
+    return lines
+
+
+def format_ast(prop: "_ast.PropertyAst") -> str:
+    """Render a parsed property AST back to DSL source.
+
+    Purely syntactic — no elaboration, so it works on properties that do
+    not (yet) elaborate, and named predicates render by name.  The result
+    re-parses to a structurally equal AST.
+    """
+    lines = [f'property {prop.name} "{prop.description}"']
+    if prop.key_vars:
+        lines.append(f"key {', '.join(prop.key_vars)}")
+    if prop.message:
+        lines.append(f'message "{prop.message}"')
+    if prop.obligation is not None:
+        lines.append(
+            f"annotate obligation {'true' if prop.obligation else 'false'}")
+    if prop.match_kind is not None:
+        lines.append(f"annotate instance {prop.match_kind}")
+    for stage in prop.stages:
+        lines.append("")
+        lines.extend(_ast_stage(stage))
+    return "\n".join(lines) + "\n"
 
 
 def format_property(prop: PropertySpec) -> Tuple[str, Dict[str, Predicate]]:

@@ -16,7 +16,9 @@ Three pass families over parsed ASTs and compiled
   pipeline/rule/register cost estimates (:mod:`repro.lint.splitmode`).
 """
 
-from .diagnostics import Diagnostic, Rule, RULES, Severity
+from .calibration import CALIBRATION, MeasuredCost, measured_cost
+from .dataflow import rule_cross_stage_contradiction, stage_environments
+from .diagnostics import Diagnostic, Related, Rule, RULES, Severity
 from .dispatch import (
     DispatchReport,
     analyze_dispatch,
@@ -29,6 +31,14 @@ from .engine import (
     lint_file,
     lint_paths,
     lint_source,
+)
+from .fixes import (
+    FIXABLE,
+    AppliedFix,
+    FixResult,
+    SkippedProperty,
+    fix_ast,
+    fix_source,
 )
 from .feasibility import (
     BackendVerdict,
@@ -56,7 +66,13 @@ from .splitmode import (
 )
 
 __all__ = [
+    "CALIBRATION",
+    "MeasuredCost",
+    "measured_cost",
+    "rule_cross_stage_contradiction",
+    "stage_environments",
     "Diagnostic",
+    "Related",
     "Rule",
     "RULES",
     "Severity",
@@ -69,6 +85,12 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "FIXABLE",
+    "AppliedFix",
+    "FixResult",
+    "SkippedProperty",
+    "fix_ast",
+    "fix_source",
     "BackendVerdict",
     "Blocker",
     "feasibility_diagnostics",

@@ -1,0 +1,260 @@
+"""Cross-stage dataflow analysis (rule L016).
+
+L005 reasons about one pattern at a time, so it cannot see that a guard
+is unsatisfiable because of what *earlier* stages guarantee.  The classic
+miss::
+
+    observe knock : arrival
+        where tcp.dst == 7001
+        bind P = tcp.dst            # P is pinned: P == 7001, always
+    observe open : arrival
+        where tcp.dst == $P and tcp.dst != 7001   # can never both hold
+
+Within the ``open`` pattern the two guards compare different *tokens*
+(``$P`` vs ``7001``), so L005 stays quiet — but stage ``knock`` only
+fires when ``tcp.dst == 7001``, and binding ``P`` off the same field in
+the same pattern pins ``P`` to that constant for every instance.
+
+This pass runs an abstract interpretation over the stage sequence,
+propagating two kinds of facts into each later stage's guard
+environment:
+
+* **pins** — ``bind V = f`` in a pattern that also guards ``f == lit``
+  makes ``V == lit`` in every reachable instance;
+* **aliases** — ``bind V = f`` alongside ``f == $X`` makes ``V == X``
+  (and transitively inherits X's pin, if any).
+
+Rebinding a variable (L003's shadowing) conservatively invalidates its
+facts; aliases pointing at the rebound variable are materialised into
+pins first when possible, severed otherwise — the analysis only ever
+*loses* facts at merge points, so every finding it reports is a genuine
+contradiction, never a may-alias guess.
+
+Each finding carries :class:`~repro.lint.diagnostics.Related` positions
+pointing at **both** conflicting sites: the other guard in the pattern
+and the earlier-stage bind/guard pair the pinned value traces back to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..lang.ast import Comparison, PatternAst, PropertyAst, StageAst, VarRef
+from .diagnostics import Diagnostic, Related, make, related_to
+
+
+@dataclass(frozen=True)
+class Pin:
+    """``var == value`` holds in every instance reaching later stages."""
+
+    var: str
+    value: object  # the pinning literal's python value
+    rendered: str  # how to print it in messages
+    stage: str  # stage whose pattern established the fact
+    bind: object  # the BindAst node
+    guard: object  # the Comparison node that pinned the bound field
+
+
+@dataclass(frozen=True)
+class Alias:
+    """``var == other`` holds (bound off a field guarded equal to $other)."""
+
+    var: str
+    other: str
+    stage: str
+    bind: object
+    guard: object
+
+
+class StageEnv:
+    """Facts earlier stages guarantee about variable values."""
+
+    def __init__(self) -> None:
+        self.pins: Dict[str, Pin] = {}
+        self.aliases: Dict[str, Alias] = {}
+
+    # -- resolution ---------------------------------------------------------
+    def resolve(self, value: object) -> Tuple[Tuple[str, object], List[object]]:
+        """Normalise a guard value to ``("lit", v)`` or ``("var", root)``.
+
+        Returns the normalised token and the trail of facts (Pins/Aliases,
+        in derivation order) the normalisation walked through — the trail
+        is what the diagnostic's related positions are built from.
+        """
+        if not isinstance(value, VarRef):
+            return ("lit", value.value), []
+        name = value.name
+        trail: List[object] = []
+        seen = set()
+        while name not in seen:
+            seen.add(name)
+            pin = self.pins.get(name)
+            if pin is not None:
+                trail.append(pin)
+                return ("lit", pin.value), trail
+            alias = self.aliases.get(name)
+            if alias is None:
+                break
+            trail.append(alias)
+            name = alias.other
+        return ("var", name), trail
+
+    # -- fact propagation ---------------------------------------------------
+    def absorb(self, stage: StageAst) -> None:
+        """Fold one stage's main pattern into the environment."""
+        pattern = stage.pattern
+        field_lit: Dict[str, Comparison] = {}
+        field_var: Dict[str, Comparison] = {}
+        for condition in pattern.conditions:
+            if not isinstance(condition, Comparison) or condition.op != "==":
+                continue
+            if isinstance(condition.value, VarRef):
+                field_var.setdefault(condition.field, condition)
+            else:
+                field_lit.setdefault(condition.field, condition)
+        for bind in pattern.binds:
+            self._invalidate(bind.var)
+            pinning = field_lit.get(bind.field)
+            aliasing = field_var.get(bind.field)
+            if pinning is not None:
+                self.pins[bind.var] = Pin(
+                    var=bind.var, value=pinning.value.value,
+                    rendered=repr(pinning.value.value), stage=stage.name,
+                    bind=bind, guard=pinning)
+            elif aliasing is not None:
+                other = aliasing.value.name
+                if other != bind.var:
+                    self.aliases[bind.var] = Alias(
+                        var=bind.var, other=other, stage=stage.name,
+                        bind=bind, guard=aliasing)
+
+    def _invalidate(self, var: str) -> None:
+        """A rebind of ``var``: earlier facts about it no longer hold.
+
+        Aliases *to* ``var`` recorded the old value — materialise them as
+        pins when the old value is known, sever them otherwise.
+        """
+        old_pin = self.pins.get(var)
+        for name, alias in list(self.aliases.items()):
+            if alias.other != var:
+                continue
+            del self.aliases[name]
+            if old_pin is not None:
+                self.pins[name] = Pin(
+                    var=name, value=old_pin.value, rendered=old_pin.rendered,
+                    stage=alias.stage, bind=alias.bind, guard=alias.guard)
+        self.pins.pop(var, None)
+        self.aliases.pop(var, None)
+
+
+def _render_value(value) -> str:
+    if isinstance(value, VarRef):
+        return f"${value.name}"
+    return repr(value.value)
+
+
+def _trail_related(trail: List[object]) -> List[Related]:
+    out: List[Related] = []
+    for fact in trail:
+        if isinstance(fact, Pin):
+            out.append(related_to(
+                f"${fact.var} is pinned here: bound from a field stage "
+                f"{fact.stage!r} guards == {fact.rendered}", fact.bind))
+        else:
+            out.append(related_to(
+                f"${fact.var} aliases ${fact.other} here: bound from a "
+                f"field stage {fact.stage!r} guards == ${fact.other}",
+                fact.bind))
+    return out
+
+
+def _explain(trail: List[object]) -> str:
+    parts = []
+    for fact in trail:
+        if isinstance(fact, Pin):
+            parts.append(
+                f"stage {fact.stage!r} pins ${fact.var} to {fact.rendered}")
+        else:
+            parts.append(
+                f"stage {fact.stage!r} binds ${fact.var} equal to "
+                f"${fact.other}")
+    return "; ".join(parts)
+
+
+def _check_pattern(
+    stage: StageAst, pattern: PatternAst, env: StageEnv, prop_name: str,
+    in_unless: bool,
+) -> Iterator[Diagnostic]:
+    eqs: Dict[str, List[Comparison]] = {}
+    nes: Dict[str, List[Comparison]] = {}
+    for condition in pattern.conditions:
+        if not isinstance(condition, Comparison):
+            continue
+        target = eqs if condition.op == "==" else nes
+        target.setdefault(condition.field, []).append(condition)
+    for field_name, eq_list in eqs.items():
+        for eq in eq_list:
+            for ne in nes.get(field_name, []):
+                # Token-identical eq/ne pairs are L005's (or L006's, in
+                # unless) within-pattern contradiction; L016 owns only
+                # the pairs a cross-stage fact is needed to expose.
+                if _token(eq.value) == _token(ne.value):
+                    continue
+                eq_norm, eq_trail = env.resolve(eq.value)
+                ne_norm, ne_trail = env.resolve(ne.value)
+                if eq_trail == [] and ne_trail == []:
+                    continue  # nothing cross-stage involved
+                if eq_norm != ne_norm:
+                    continue
+                where = (f"unless pattern on stage {stage.name!r} is "
+                         "unreachable" if in_unless
+                         else f"stage {stage.name!r} can never match")
+                explanation = _explain(eq_trail + ne_trail)
+                related = tuple(
+                    [related_to(
+                        f"conflicts with the guard {field_name} == "
+                        f"{_render_value(eq.value)} here", eq)]
+                    + _trail_related(eq_trail) + _trail_related(ne_trail))
+                yield make(
+                    "L016",
+                    f"{where}: {field_name} == {_render_value(eq.value)} "
+                    f"and {field_name} != {_render_value(ne.value)} can "
+                    f"never both hold — {explanation}",
+                    ne, prop=prop_name, related=related,
+                )
+
+
+def _token(value) -> Tuple[str, object]:
+    if isinstance(value, VarRef):
+        return ("var", value.name)
+    return ("lit", value.value)
+
+
+def rule_cross_stage_contradiction(prop: PropertyAst) -> Iterator[Diagnostic]:
+    """L016 — guards unsatisfiable under earlier stages' guarantees."""
+    env = StageEnv()
+    for stage in prop.stages:
+        # A stage's guards see facts from strictly earlier stages (its
+        # own binds take effect only once the pattern matches).
+        yield from _check_pattern(stage, stage.pattern, env, prop.name,
+                                  in_unless=False)
+        for unless in stage.unless:
+            yield from _check_pattern(stage, unless, env, prop.name,
+                                      in_unless=True)
+        env.absorb(stage)
+
+
+def stage_environments(prop: PropertyAst) -> List[Dict[str, object]]:
+    """The environment visible to each stage's guards, for tooling: a
+    list (one entry per stage, same order) of ``var -> fact`` snapshots
+    taken *before* that stage's own pattern is absorbed."""
+    env = StageEnv()
+    snapshots: List[Dict[str, object]] = []
+    for stage in prop.stages:
+        snapshot: Dict[str, object] = {}
+        snapshot.update(env.aliases)
+        snapshot.update(env.pins)  # pins win when both exist
+        snapshots.append(snapshot)
+        env.absorb(stage)
+    return snapshots

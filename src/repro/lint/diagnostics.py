@@ -82,6 +82,9 @@ RULES: Dict[str, Rule] = {
         Rule("L015", "hot-event-scan", Severity.WARNING,
              "a stage with no indexable guard scans every live instance "
              "on a per-packet event kind"),
+        Rule("L016", "cross-stage-contradiction", Severity.ERROR,
+             "a stage's guards can never hold given what earlier stages' "
+             "binds and guards guarantee"),
         Rule("L100", "infeasible-everywhere", Severity.ERROR,
              "no surveyed backend can host the property"),
         Rule("L101", "backend-infeasible", Severity.INFO,
@@ -102,6 +105,16 @@ RULES: Dict[str, Rule] = {
 
 
 @dataclass(frozen=True)
+class Related:
+    """A secondary source position a finding points at (e.g. the earlier
+    stage's bind a cross-stage contradiction traces back to)."""
+
+    message: str
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One lint finding, anchored to a source position."""
 
@@ -113,6 +126,8 @@ class Diagnostic:
     #: name of the property the finding belongs to ("" for file-level)
     prop: str = ""
     path: str = ""
+    #: further positions involved in the finding, in presentation order
+    related: Tuple[Related, ...] = ()
 
     def __post_init__(self) -> None:
         if self.code not in RULES:
@@ -126,8 +141,18 @@ class Diagnostic:
         return (self.line, self.column, self.severity.rank, self.code)
 
 
+def related_to(message: str, node: object = None) -> Related:
+    """Build a :class:`Related` position, lifting line/column off ``node``."""
+    return Related(
+        message=message,
+        line=getattr(node, "line", 0) or 0,
+        column=getattr(node, "column", 0) or 0,
+    )
+
+
 def make(code: str, message: str, node: object = None, *,
-         prop: str = "", severity: Optional[Severity] = None) -> Diagnostic:
+         prop: str = "", severity: Optional[Severity] = None,
+         related: Tuple[Related, ...] = ()) -> Diagnostic:
     """Build a diagnostic, lifting the position off any AST ``node``."""
     return Diagnostic(
         code=code,
@@ -136,4 +161,5 @@ def make(code: str, message: str, node: object = None, *,
         line=getattr(node, "line", 0) or 0,
         column=getattr(node, "column", 0) or 0,
         prop=prop,
+        related=related,
     )

@@ -1,0 +1,291 @@
+"""Mechanical autofixes for lint findings (``repro lint --fix``).
+
+Three rules are mechanically fixable — their fixes delete dead syntax
+and provably cannot change what the property matches:
+
+* **L004 duplicate guards** — a guard repeated verbatim in one pattern
+  is idempotent; drop every repeat after the first.
+* **L002 unused binds** — a bind never read by any guard or the
+  instance key writes a value nothing observes; drop it.  Skipped when
+  the property uses named ``@predicates`` (a predicate may read any
+  bound variable through the environment) and for stage-0 binds of a
+  property with no explicit ``key`` (those binds *are* the implicit
+  key).
+* **L003 shadowed rebinds** — an exact within-stage duplicate bind
+  (same variable, same field) is dropped always; a cross-stage rebind
+  is dropped only when it is *dead* — the variable is a non-key
+  variable no later stage (or the rebinding stage's own ``unless``)
+  reads — so the overwritten value could never be observed.
+
+Fixes apply at the AST level and iterate to a fixpoint, then the file is
+rewritten by splicing each changed property's reformatted text
+(:func:`repro.lang.format.format_ast`) over its original line span.
+Properties whose span contains ``#`` comments (including lint
+suppressions) are left untouched and reported as skipped — reformatting
+would silently drop the comments.  Text outside rewritten spans is
+preserved byte-for-byte, and a second ``--fix`` pass is a no-op
+(idempotence is locked by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..lang.ast import BindAst, Comparison, PatternAst, PropertyAst, StageAst
+from ..lang.format import format_ast
+from ..lang.parser import ParseError, parse
+
+#: The rule codes ``--fix`` knows how to repair.
+FIXABLE = ("L002", "L003", "L004")
+
+
+@dataclass(frozen=True)
+class AppliedFix:
+    """One mechanical repair made to one property."""
+
+    code: str
+    prop: str
+    line: int  # source line of the removed syntax (0 if unknown)
+    description: str
+
+
+@dataclass(frozen=True)
+class SkippedProperty:
+    """A property --fix left alone, and why."""
+
+    prop: str
+    line: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class FixResult:
+    """The outcome of fixing one source file."""
+
+    source: str  # the rewritten text (== input when nothing changed)
+    fixes: Tuple[AppliedFix, ...]
+    skipped: Tuple[SkippedProperty, ...]
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.fixes)
+
+
+# ---------------------------------------------------------------------------
+# AST-level transformations
+# ---------------------------------------------------------------------------
+def _has_named_predicates(prop: PropertyAst) -> bool:
+    from .rules import _has_named_predicates as impl
+
+    return impl(prop)
+
+
+def _all_patterns(prop: PropertyAst) -> Iterator[PatternAst]:
+    for stage in prop.stages:
+        yield stage.pattern
+        yield from stage.unless
+
+
+def _refs(pattern: PatternAst) -> Set[str]:
+    from .rules import _var_refs
+
+    return {ref.name for ref in _var_refs(pattern)}
+
+
+def _comparison_token(condition: Comparison):
+    from .rules import _comparison_key
+
+    return _comparison_key(condition)
+
+
+def _fix_duplicate_guards(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]:
+    """L004: drop verbatim guard repeats (main patterns, matching the rule)."""
+    fixes: List[AppliedFix] = []
+    stages: List[StageAst] = []
+    for stage in prop.stages:
+        seen = set()
+        kept = []
+        for condition in stage.pattern.conditions:
+            if isinstance(condition, Comparison):
+                key = _comparison_token(condition)
+                if key in seen:
+                    fixes.append(AppliedFix(
+                        "L004", prop.name, condition.line,
+                        f"dropped repeated guard {condition.field} "
+                        f"{condition.op} … in stage {stage.name!r}"))
+                    continue
+                seen.add(key)
+            kept.append(condition)
+        if len(kept) != len(stage.pattern.conditions):
+            stage = replace(
+                stage, pattern=replace(stage.pattern, conditions=tuple(kept)))
+        stages.append(stage)
+    return replace(prop, stages=tuple(stages)), fixes
+
+
+def _fix_unused_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]:
+    """L002: drop binds nothing reads (mirrors the rule's skip conditions)."""
+    if _has_named_predicates(prop):
+        return prop, []
+    used: Set[str] = set()
+    for pattern in _all_patterns(prop):
+        used |= _refs(pattern)
+    key_vars = set(prop.key_vars)
+    implicit_key = not key_vars  # stage-0 binds *are* the key: keep them
+    fixes: List[AppliedFix] = []
+    stages: List[StageAst] = []
+    for index, stage in enumerate(prop.stages):
+        kept = []
+        for bind in stage.pattern.binds:
+            removable = (
+                bind.var not in used
+                and bind.var not in key_vars
+                and not (implicit_key and index == 0)
+            )
+            if removable:
+                fixes.append(AppliedFix(
+                    "L002", prop.name, bind.line,
+                    f"dropped unused bind {bind.var} = {bind.field} in "
+                    f"stage {stage.name!r}"))
+            else:
+                kept.append(bind)
+        if len(kept) != len(stage.pattern.binds):
+            stage = replace(
+                stage, pattern=replace(stage.pattern, binds=tuple(kept)))
+        stages.append(stage)
+    return replace(prop, stages=tuple(stages)), fixes
+
+
+def _fix_shadowed_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]:
+    """L003: drop exact within-stage duplicates and *dead* cross-stage
+    rebinds (non-key variable, unread at or after the rebinding stage)."""
+    predicates = _has_named_predicates(prop)
+    key_vars = set(prop.key_vars)
+    if not key_vars and prop.stages:
+        key_vars = {b.var for b in prop.stages[0].pattern.binds}
+    fixes: List[AppliedFix] = []
+    stages: List[StageAst] = []
+    bound_earlier: Set[str] = set()
+    for index, stage in enumerate(prop.stages):
+        read_later: Set[str] = set()
+        for later in prop.stages[index + 1:]:
+            read_later |= _refs(later.pattern)
+            for unless in later.unless:
+                read_later |= _refs(unless)
+        for unless in stage.unless:
+            read_later |= _refs(unless)
+        seen_here: List[BindAst] = []
+        kept = []
+        for bind in stage.pattern.binds:
+            exact_dup = any(
+                b.var == bind.var and b.field == bind.field
+                for b in seen_here)
+            dead_rebind = (
+                not predicates
+                and bind.var in bound_earlier
+                and bind.var not in key_vars
+                and bind.var not in read_later
+            )
+            if exact_dup:
+                fixes.append(AppliedFix(
+                    "L003", prop.name, bind.line,
+                    f"dropped duplicate bind {bind.var} = {bind.field} in "
+                    f"stage {stage.name!r}"))
+                continue
+            if dead_rebind:
+                fixes.append(AppliedFix(
+                    "L003", prop.name, bind.line,
+                    f"dropped dead rebind of {bind.var} in stage "
+                    f"{stage.name!r} (the rebound value is never read)"))
+                continue
+            seen_here.append(bind)
+            kept.append(bind)
+        if len(kept) != len(stage.pattern.binds):
+            stage = replace(
+                stage, pattern=replace(stage.pattern, binds=tuple(kept)))
+        stages.append(stage)
+        bound_earlier |= {b.var for b in stage.pattern.binds}
+    return replace(prop, stages=tuple(stages)), fixes
+
+
+_PASSES = (_fix_duplicate_guards, _fix_shadowed_binds, _fix_unused_binds)
+
+
+def fix_ast(prop: PropertyAst) -> Tuple[PropertyAst, Tuple[AppliedFix, ...]]:
+    """Apply every fixable rule to one property, iterated to a fixpoint
+    (dropping a rebind can orphan a bind, which the next round drops)."""
+    applied: List[AppliedFix] = []
+    for _ in range(16):  # fixpoint bound: each round deletes >= 1 node
+        round_fixes: List[AppliedFix] = []
+        for fix_pass in _PASSES:
+            prop, fixes = fix_pass(prop)
+            round_fixes.extend(fixes)
+        if not round_fixes:
+            break
+        applied.extend(round_fixes)
+    return prop, tuple(applied)
+
+
+# ---------------------------------------------------------------------------
+# File rewriting: per-property span splicing
+# ---------------------------------------------------------------------------
+def _property_spans(
+    props: Sequence[PropertyAst], num_lines: int
+) -> List[Tuple[int, int]]:
+    """1-based inclusive (start, end) line spans, one per property — each
+    runs to the line before the next ``property`` keyword (or EOF)."""
+    spans = []
+    for index, prop in enumerate(props):
+        start = prop.line
+        end = (props[index + 1].line - 1 if index + 1 < len(props)
+               else num_lines)
+        spans.append((start, end))
+    return spans
+
+
+def fix_source(source: str) -> FixResult:
+    """Fix one property file's text; returns the (possibly) rewritten
+    source plus what was fixed and what was skipped."""
+    try:
+        props = parse(source)
+    except ParseError:
+        return FixResult(source=source, fixes=(), skipped=())
+    lines = source.splitlines()
+    spans = _property_spans(props, len(lines))
+    all_fixes: List[AppliedFix] = []
+    skipped: List[SkippedProperty] = []
+    replacements: List[Tuple[Tuple[int, int], List[str]]] = []
+    for prop, span in zip(props, spans):
+        fixed, fixes = fix_ast(prop)
+        if not fixes:
+            continue
+        span_lines = lines[span[0] - 1:span[1]]
+        if any("#" in line for line in span_lines):
+            skipped.append(SkippedProperty(
+                prop.name, prop.line,
+                "contains comments the rewrite would drop; apply the "
+                f"{sorted({f.code for f in fixes})} fixes by hand"))
+            continue
+        all_fixes.extend(fixes)
+        new_lines = format_ast(fixed).splitlines()
+        # The formatter leads each stage with a blank line; keep the
+        # original span's trailing blank lines so inter-property spacing
+        # survives the splice.
+        while span_lines and not span_lines[-1].strip():
+            new_lines.append(span_lines.pop())
+        replacements.append((span, new_lines))
+    if not replacements:
+        return FixResult(source=source, fixes=(), skipped=tuple(skipped))
+    out: List[str] = []
+    cursor = 1
+    for (start, end), new_lines in replacements:
+        out.extend(lines[cursor - 1:start - 1])
+        out.extend(new_lines)
+        cursor = end + 1
+    out.extend(lines[cursor - 1:])
+    text = "\n".join(out)
+    if source.endswith("\n") and not text.endswith("\n"):
+        text += "\n"
+    return FixResult(
+        source=text, fixes=tuple(all_fixes), skipped=tuple(skipped))

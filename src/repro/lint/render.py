@@ -25,6 +25,9 @@ def render_text(reports: Sequence[FileReport], verbose: bool = True) -> str:
     for report in reports:
         for diag in report.all_diagnostics():
             lines.append(_diag_line(report.path, diag))
+            for rel in diag.related:
+                where = f"{diag.path or report.path}:{rel.line}:{rel.column}"
+                lines.append(f"{where}: note: {rel.message}")
         if verbose:
             for prop in report.properties:
                 lines.extend(_prop_summary(prop))
@@ -80,6 +83,19 @@ def _prop_summary(prop: PropertyReport) -> List[str]:
             f"{detail}, {cost.slow_updates_per_instance} slow update(s), "
             f"{cost.state_bits_per_instance} state bit(s) per instance"
         )
+        if cost.measured is not None:
+            m = cost.measured
+            agree = (
+                m.instance_tables == cost.instance_tables
+                and m.rules_per_instance == cost.rules_per_instance
+                and m.flow_mods_per_instance == cost.slow_updates_per_instance
+            )
+            lines.append(
+                f"  {prop.name}: compiler-measured {m.instance_tables} "
+                f"instance table(s), {m.rules_per_instance} rule(s), "
+                f"{m.flow_mods_per_instance} flow-mod(s) per instance "
+                f"({'matches estimate' if agree else 'DIVERGES from estimate'})"
+            )
     if prop.dispatch is not None:
         watchers = ", ".join(
             f"{kind}={count}" for kind, count in prop.dispatch.watchers
@@ -142,6 +158,10 @@ def _diag_json(diag: Diagnostic, path: str) -> Dict[str, Any]:
         "line": diag.line,
         "column": diag.column,
         "property": diag.prop,
+        "related": [
+            {"message": rel.message, "line": rel.line, "column": rel.column}
+            for rel in diag.related
+        ],
     }
 
 
@@ -186,6 +206,7 @@ def _prop_json(prop: PropertyReport, path: str) -> Dict[str, Any]:
             ],
             "cost": {
                 "pipeline_tables": split.cost.pipeline_tables,
+                "instance_tables": split.cost.instance_tables,
                 "rules_per_instance": split.cost.rules_per_instance,
                 "slow_updates_per_instance":
                     split.cost.slow_updates_per_instance,
@@ -193,6 +214,14 @@ def _prop_json(prop: PropertyReport, path: str) -> Dict[str, Any]:
                     split.cost.state_bits_per_instance,
                 "model": split.cost.model,
                 "engine_reason": split.cost.engine_reason,
+                "source": split.cost.source,
+                "measured": None if split.cost.measured is None else {
+                    "instance_tables": split.cost.measured.instance_tables,
+                    "rules_per_instance":
+                        split.cost.measured.rules_per_instance,
+                    "flow_mods_per_instance":
+                        split.cost.measured.flow_mods_per_instance,
+                },
             },
         }
     if prop.dispatch is not None:

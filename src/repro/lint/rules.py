@@ -26,6 +26,7 @@ from ..lang.ast import (
     StageAst,
     VarRef,
 )
+from .dataflow import rule_cross_stage_contradiction
 from .diagnostics import Diagnostic, make
 from .schema import (
     FIELD_SCHEMA,
@@ -433,4 +434,5 @@ _AST_RULES = (
     rule_bad_first_stage,
     rule_duplicate_stage,
     rule_unknown_samepacket,
+    rule_cross_stage_contradiction,
 )

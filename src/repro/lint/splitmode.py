@@ -46,6 +46,7 @@ from ..backends.varanus_compiler import VaranusCompileError, check_compilable
 from ..core.refs import EventKind
 from ..core.spec import Absent, Observe, PropertySpec
 from ..switch.switch import DEFAULT_SPLIT_LAG
+from .calibration import MeasuredCost, measured_cost
 from .diagnostics import Diagnostic, make
 from .schema import field_bits
 
@@ -158,6 +159,18 @@ class CostEstimate:
     model: str
     #: why the rule model does not apply ("" under the rules model).
     engine_reason: str = ""
+    #: switch tables one *instance* occupies (the recursive Learn unrolls
+    #: one fresh table per instance regardless of stage count; 0 under
+    #: the engine model, which keeps instances off the switch).
+    instance_tables: int = 0
+    #: the checked-in compiler measurement for this property, when it is
+    #: in the calibration table (``repro.lint.calibration.CALIBRATION``).
+    measured: Optional[MeasuredCost] = None
+
+    @property
+    def source(self) -> str:
+        """"calibrated" when a compiler measurement backs the estimate."""
+        return "calibrated" if self.measured is not None else "model"
 
 
 @dataclass(frozen=True)
@@ -283,28 +296,34 @@ def estimate_cost(prop: PropertySpec) -> CostEstimate:
             model=model,
             engine_reason=reason,
         )
-    rules = 1  # the entry-table suppression rule shadowing the key
-    slow_updates = 2  # stage 0 firing learns: first watcher + suppression
+    # Calibrated against the compiler's emitted plans (see
+    # repro.lint.calibration; the walker is plan_property).  Rules alive
+    # per instance: the entry-table suppression rule, plus per later
+    # stage its watcher (an Absent adds a discharge companion) and one
+    # cancel rule per unless clause.  Flow-mods: stage 0's firing issues
+    # the unroll + suppression learns (2); each positive stage's firing
+    # issues its cleanup DeleteRules sweep and deeper Learn (5 metered
+    # updates); an Absent stage arms a single timer Learn (discharge and
+    # cancels ride inside it as unmetered companions).
+    rules = 1
+    slow_updates = 2
     for index in range(1, prop.num_stages):
         stage = prop.stages[index]
         if isinstance(stage, Absent):
-            rules += 2  # pure timer rule + discharge rule
-            slow_updates += 2
+            rules += 2
+            slow_updates += 1
         else:
-            rules += 1  # the watcher
-            if index > 1:
-                slow_updates += 1  # learned by the previous watcher firing
-        cancels = len(getattr(stage, "unless", ()))
-        rules += cancels
-        slow_updates += cancels
-        if index > 1 or isinstance(stage, Absent):
-            slow_updates += 1  # the firing watcher's DeleteRules cleanup
+            rules += 1
+            slow_updates += 5
+        rules += len(getattr(stage, "unless", ()))
     return CostEstimate(
         pipeline_tables=prop.num_stages,
         rules_per_instance=rules,
         slow_updates_per_instance=slow_updates,
         state_bits_per_instance=state_bits,
         model=model,
+        instance_tables=1,
+        measured=measured_cost(prop.name),
     )
 
 

@@ -1,0 +1,77 @@
+"""Regenerate the compiler-calibration table in ``repro/lint/calibration.py``.
+
+Run after a deliberate Varanus-compiler rule-plan change::
+
+    PYTHONPATH=src python -m tests.regen_calibration
+
+The script measures every calibration-corpus property with
+``plan_property`` and splices the resulting dict literal over the
+``CALIBRATION = {...}`` block in the module source.  ``--check`` compares
+the live measurements against the checked-in table without writing (exit
+1 on drift) — CI runs this so the table cannot go stale silently.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+from repro.lint import calibration
+from repro.lint.calibration import CALIBRATION, regenerate
+
+SOURCE = calibration.__file__
+
+_TABLE_RE = re.compile(
+    r"^CALIBRATION: Dict\[str, Tuple\[int, int, int\]\] = \{$.*?^\}$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def render_table(table):
+    lines = ["CALIBRATION: Dict[str, Tuple[int, int, int]] = {"]
+    for name in sorted(table):
+        lines.append(f"    {name!r}: {table[name]!r},")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def check():
+    live = regenerate()
+    if live == CALIBRATION:
+        print(f"calibration table up to date ({len(live)} properties)")
+        return 0
+    for name in sorted(set(live) | set(CALIBRATION)):
+        if live.get(name) != CALIBRATION.get(name):
+            print(f"  {name}: checked-in {CALIBRATION.get(name)} "
+                  f"vs measured {live.get(name)}")
+    print("calibration table drifted: rerun "
+          "PYTHONPATH=src python -m tests.regen_calibration")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare the checked-in table against live measurements "
+             "instead of rewriting it")
+    args = parser.parse_args()
+    if args.check:
+        raise SystemExit(check())
+    with open(SOURCE, encoding="utf-8") as fp:
+        source = fp.read()
+    if not _TABLE_RE.search(source):
+        print(f"could not locate the CALIBRATION block in {SOURCE}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    table = regenerate()
+    updated = _TABLE_RE.sub(render_table(table).replace("\\", r"\\"),
+                            source, count=1)
+    with open(SOURCE, "w", encoding="utf-8") as fp:
+        fp.write(updated)
+    print(f"wrote {len(table)} measured rows to "
+          f"{os.path.relpath(SOURCE)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,24 +4,70 @@ Run after a deliberate renderer format change::
 
     PYTHONPATH=src python -m tests.regen_lint_goldens
 
-then eyeball the diff before committing.
+then eyeball the diff before committing.  ``--check`` regenerates into a
+temp directory and diffs against the checked-in fixtures instead of
+overwriting them (exit 1 on drift) — CI runs this so the goldens cannot
+go stale silently.
 """
 
+import argparse
+import difflib
 import os
+import sys
+import tempfile
 
 from repro.lint import lint_source, render_json, render_text
 
 GOLDEN = os.path.join(os.path.dirname(__file__), "fixtures", "lint", "golden")
 
 
-def main() -> None:
+def generate(out_dir: str) -> list:
     with open(os.path.join(GOLDEN, "golden_input.prop")) as fp:
         report = lint_source(fp.read(), path="golden_input.prop")
-    with open(os.path.join(GOLDEN, "report.txt"), "w") as fp:
-        fp.write(render_text([report]) + "\n")
-    with open(os.path.join(GOLDEN, "report.json"), "w") as fp:
-        fp.write(render_json([report]) + "\n")
-    print(f"wrote {GOLDEN}/report.txt and report.json")
+    outputs = [
+        ("report.txt", render_text([report]) + "\n"),
+        ("report.json", render_json([report]) + "\n"),
+    ]
+    paths = []
+    for name, text in outputs:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fp:
+            fp.write(text)
+        paths.append(name)
+    return paths
+
+
+def check() -> int:
+    drifted = False
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in generate(tmp):
+            with open(os.path.join(GOLDEN, name)) as fp:
+                want = fp.readlines()
+            with open(os.path.join(tmp, name)) as fp:
+                got = fp.readlines()
+            if want != got:
+                drifted = True
+                sys.stdout.writelines(difflib.unified_diff(
+                    want, got, fromfile=f"golden/{name}",
+                    tofile=f"regenerated/{name}"))
+    if drifted:
+        print("lint goldens drifted: rerun "
+              "PYTHONPATH=src python -m tests.regen_lint_goldens")
+        return 1
+    print("lint goldens up to date")
+    return 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="diff regenerated goldens against fixtures instead of writing")
+    args = parser.parse_args()
+    if args.check:
+        raise SystemExit(check())
+    for name in generate(GOLDEN):
+        print(f"wrote {GOLDEN}/{name}")
 
 
 if __name__ == "__main__":

@@ -10,9 +10,17 @@ byte-stable across runs and machines.  It registers one representative
 metric per instrumented subsystem (monitor, switch, pipeline, instance
 store, postcards) so the goldens pin the full family vocabulary, not just
 the renderer mechanics.
+
+``--check`` regenerates into a temp directory and diffs against the
+checked-in fixtures instead of overwriting them (exit 1 on drift) — CI
+runs this so the goldens cannot go stale silently.
 """
 
+import argparse
+import difflib
 import os
+import sys
+import tempfile
 
 from repro.telemetry import (
     LATENCY_BUCKETS,
@@ -77,19 +85,52 @@ def build_scenario_registry():
     return registry
 
 
-def main():
-    os.makedirs(GOLDEN, exist_ok=True)
+def generate(out_dir):
+    """Write both renderings into ``out_dir``; return the file names."""
     registry = build_scenario_registry()
     snapshot = registry.snapshot()
-    prom_path = os.path.join(GOLDEN, "snapshot.prom")
-    json_path = os.path.join(GOLDEN, "snapshot.json")
-    with open(prom_path, "w", encoding="utf-8") as fp:
+    with open(os.path.join(out_dir, "snapshot.prom"), "w",
+              encoding="utf-8") as fp:
         fp.write(render_prometheus(snapshot))
-    with open(json_path, "w", encoding="utf-8") as fp:
+    with open(os.path.join(out_dir, "snapshot.json"), "w",
+              encoding="utf-8") as fp:
         fp.write(render_json(snapshot))
         fp.write("\n")
-    print(f"wrote {prom_path}")
-    print(f"wrote {json_path}")
+    return ["snapshot.prom", "snapshot.json"]
+
+
+def check():
+    drifted = False
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in generate(tmp):
+            with open(os.path.join(GOLDEN, name), encoding="utf-8") as fp:
+                want = fp.readlines()
+            with open(os.path.join(tmp, name), encoding="utf-8") as fp:
+                got = fp.readlines()
+            if want != got:
+                drifted = True
+                sys.stdout.writelines(difflib.unified_diff(
+                    want, got, fromfile=f"golden/{name}",
+                    tofile=f"regenerated/{name}"))
+    if drifted:
+        print("telemetry goldens drifted: rerun "
+              "PYTHONPATH=src python -m tests.regen_telemetry_goldens")
+        return 1
+    print("telemetry goldens up to date")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="diff regenerated goldens against fixtures instead of writing")
+    args = parser.parse_args()
+    if args.check:
+        raise SystemExit(check())
+    os.makedirs(GOLDEN, exist_ok=True)
+    for name in generate(GOLDEN):
+        print(f"wrote {os.path.join(GOLDEN, name)}")
 
 
 if __name__ == "__main__":

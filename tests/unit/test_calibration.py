@@ -1,0 +1,111 @@
+"""The compiler-calibrated cost model (repro.lint.calibration).
+
+Three invariants keep the estimate-vs-measured loop closed:
+
+* the analytic estimator (`estimate_cost`, rules model) agrees with the
+  plan the Varanus compiler actually emits (`plan_property`) on
+  tables/rules/flow-mods per instance, for every corpus property;
+* the checked-in CALIBRATION table agrees with live measurements (the
+  regen script's --check, exercised here directly);
+* a compiled corpus property really *behaves* like its plan says — the
+  switch's meter observes the planned flow-mod count on a violating run.
+"""
+
+import pytest
+
+from repro.backends.varanus_compiler import (
+    check_compilable,
+    compile_property,
+    plan_property,
+)
+from repro.lint.calibration import (
+    CALIBRATION,
+    MeasuredCost,
+    calibration_corpus,
+    measured_cost,
+    regenerate,
+)
+from repro.lint.splitmode import estimate_cost
+
+CORPUS = {prop.name: prop for prop in calibration_corpus()}
+
+
+def test_corpus_is_rule_compilable():
+    for prop in CORPUS.values():
+        check_compilable(prop)  # raises VaranusCompileError on regression
+
+
+def test_corpus_covers_every_plan_shape():
+    from repro.core.spec import Absent
+
+    shapes = {
+        "two_stage": any(p.num_stages == 2 for p in CORPUS.values()),
+        "three_stage": any(p.num_stages >= 3 for p in CORPUS.values()),
+        "cancel": any(
+            any(getattr(s, "unless", ()) for s in p.stages)
+            for p in CORPUS.values()),
+        "final_absent": any(
+            isinstance(p.stages[-1], Absent) for p in CORPUS.values()),
+        "deadline": any(
+            any(getattr(s, "within", None) for s in p.stages
+                if not isinstance(s, Absent))
+            for p in CORPUS.values()),
+    }
+    missing = [name for name, present in shapes.items() if not present]
+    assert not missing, f"corpus lost plan shapes: {missing}"
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_estimate_matches_emitted_plan(name):
+    est = estimate_cost(CORPUS[name])
+    plan = plan_property(CORPUS[name])
+    assert est.model == "rules"
+    assert est.instance_tables == plan.instance_tables
+    assert est.rules_per_instance == plan.rules_per_instance
+    assert est.slow_updates_per_instance == plan.flow_mods_per_instance
+
+
+def test_checked_in_table_matches_live_measurements():
+    assert regenerate() == CALIBRATION, (
+        "CALIBRATION drifted from the compiler: rerun "
+        "PYTHONPATH=src python -m tests.regen_calibration")
+
+
+def test_estimator_consults_the_table():
+    est = estimate_cost(CORPUS["cal-chain-3"])
+    assert est.source == "calibrated"
+    assert est.measured == MeasuredCost(*CALIBRATION["cal-chain-3"])
+
+
+def test_uncalibrated_property_has_no_measurement():
+    assert measured_cost("not-in-the-table") is None
+    prop = CORPUS["cal-chain-2"]
+    renamed = type(prop)(
+        name="uncalibrated-echo", description=prop.description,
+        stages=prop.stages, key_vars=prop.key_vars)
+    est = estimate_cost(renamed)
+    assert est.measured is None
+    assert est.source == "model"
+
+
+def test_planned_flow_mods_match_metered_run():
+    """Drive one instance of the 3-stage chain through its full violating
+    lifecycle on a real switch; the meter's slow-update count must equal
+    the plan's flow-mods-per-instance."""
+    from repro.netsim import EventScheduler
+    from repro.packet import tcp_syn
+    from repro.switch.pipeline import MissPolicy
+    from repro.switch.switch import Switch
+
+    prop = CORPUS["cal-chain-3"]
+    plan = plan_property(prop)
+    switch = Switch("cal", EventScheduler(), num_ports=2, num_tables=1,
+                    miss_policy=MissPolicy.FLOOD)
+    compile_property(switch, prop)
+    baseline = switch.meter.slow_updates
+    for port in (7001, 7002, 22):
+        switch.receive(
+            tcp_syn(1, 2, "10.0.0.1", "10.0.0.9", 30000, port), 1)
+    assert switch.meter.slow_updates - baseline == \
+        plan.flow_mods_per_instance
+    assert plan.instance_tables == 1

@@ -1,0 +1,159 @@
+"""``repro lint --fix`` (repro.lint.fixes): mechanical autofixes.
+
+The golden pair under ``tests/fixtures/lint/fix/`` pins the full rewrite
+(input -> fixed); idempotence and clean re-lints are asserted over the
+fixture corpus.
+"""
+
+import glob
+import os
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.lint import FIXABLE, fix_source, lint_source
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures", "lint")
+FIX_DIR = os.path.join(FIXTURES, "fix")
+
+
+def read(path):
+    with open(path, encoding="utf-8") as fp:
+        return fp.read()
+
+
+class TestGoldenRewrite:
+    def test_fixture_rewrites_to_the_golden(self):
+        result = fix_source(read(os.path.join(FIX_DIR, "fixable_input.prop")))
+        assert result.source == read(
+            os.path.join(FIX_DIR, "fixable_fixed.prop"))
+        assert sorted({f.code for f in result.fixes}) == list(FIXABLE)
+        assert not result.skipped
+
+    def test_clean_property_is_untouched(self):
+        fixed = read(os.path.join(FIX_DIR, "fixable_fixed.prop"))
+        # The second property in the pair was clean from the start and
+        # must survive the first property's rewrite byte-for-byte.
+        assert 'property already_clean' in fixed
+        result = fix_source(fixed)
+        assert result.source == fixed
+        assert not result.changed
+
+    def test_fix_is_idempotent(self):
+        once = fix_source(read(os.path.join(FIX_DIR, "fixable_input.prop")))
+        twice = fix_source(once.source)
+        assert twice.source == once.source
+        assert not twice.fixes
+
+    def test_fixed_output_relints_clean_for_mechanical_rules(self):
+        result = fix_source(read(os.path.join(FIX_DIR, "fixable_input.prop")))
+        report = lint_source(result.source)
+        hits = [d for d in report.all_diagnostics() if d.code in FIXABLE]
+        assert not hits, hits
+
+
+class TestSkipConditions:
+    def test_commented_property_is_skipped(self):
+        source = (
+            'property p "comment blocks the rewrite"\n'
+            "key D\n"
+            "observe a : arrival\n"
+            "    # this comment would be lost\n"
+            "    where in_port == 1 and in_port == 1\n"
+            "    bind D = eth.src\n")
+        result = fix_source(source)
+        assert result.source == source
+        (skip,) = result.skipped
+        assert skip.prop == "p"
+        assert "comments" in skip.reason
+
+    def test_unparseable_source_is_left_alone(self):
+        source = "property broken\nobserve s : zebra\n"
+        result = fix_source(source)
+        assert result.source == source
+        assert not result.fixes and not result.skipped
+
+    def test_predicate_property_keeps_its_binds(self):
+        source = (
+            'property p "a predicate may read any bound variable"\n'
+            "key D\n"
+            "observe a : arrival\n"
+            "    where @internal\n"
+            "    bind D = eth.src, maybe_used = tcp.src\n")
+        result = fix_source(source)
+        assert result.source == source
+
+    def test_implicit_key_stage0_binds_survive(self):
+        source = (
+            'property p "stage-0 binds are the implicit key"\n'
+            "observe a : arrival\n"
+            "    bind d = eth.src, x = tcp.src\n"
+            "observe b : egress\n"
+            "    where eth.dst == $d\n")
+        result = fix_source(source)
+        assert result.source == source  # dropping x would change the key
+
+
+class TestFixtureCorpus:
+    """Applying --fix to every comment-free mechanical-rule fixture
+    yields a re-lint clean of the rules it targets."""
+
+    @pytest.mark.parametrize("code", ["L002", "L004"])
+    def test_fixture_relints_clean_after_fix(self, code):
+        (path,) = glob.glob(os.path.join(FIXTURES, code + "_*.prop"))
+        before = lint_source(read(path))
+        assert any(d.code == code for d in before.all_diagnostics())
+        result = fix_source(read(path))
+        assert result.changed
+        after = lint_source(result.source)
+        hits = [d for d in after.all_diagnostics() if d.code in FIXABLE]
+        assert not hits, hits
+
+    def test_live_key_rebind_is_not_auto_fixed(self):
+        # The L003 fixture rebinds the key var D and reads it later, so
+        # either value could be intended — deleting the rebind would
+        # silently change semantics and --fix must refuse.
+        (path,) = glob.glob(os.path.join(FIXTURES, "L003_*.prop"))
+        result = fix_source(read(path))
+        assert not result.changed
+        assert result.source == read(path)
+
+    def test_fix_never_breaks_a_parseable_fixture(self):
+        for path in glob.glob(os.path.join(FIXTURES, "*.prop")):
+            source = read(path)
+            before = [d for d in lint_source(source, path=path)
+                      .all_diagnostics() if d.code == "L000"]
+            result = fix_source(source)
+            after = [d for d in lint_source(result.source, path=path)
+                     .all_diagnostics() if d.code == "L000"]
+            # Fixing must not introduce parse errors anywhere.
+            assert len(after) == len(before), path
+
+
+class TestCli:
+    def _copy(self, tmp_path):
+        dst = str(tmp_path / "input.prop")
+        shutil.copy(os.path.join(FIX_DIR, "fixable_input.prop"), dst)
+        return dst
+
+    def test_diff_mode_prints_but_does_not_write(self, tmp_path, capsys):
+        path = self._copy(tmp_path)
+        before = read(path)
+        main(["lint", "--fix", "--diff", path])
+        out = capsys.readouterr().out
+        assert out.startswith("---")
+        assert "+++ " in out and "(fixed)" in out
+        assert read(path) == before
+
+    def test_fix_mode_rewrites_in_place(self, tmp_path, capsys):
+        path = self._copy(tmp_path)
+        main(["lint", "--fix", path])
+        err = capsys.readouterr().err
+        assert "fixed L004" in err
+        assert read(path) == read(
+            os.path.join(FIX_DIR, "fixable_fixed.prop"))
+
+    def test_diff_without_fix_is_a_usage_error(self, capsys):
+        assert main(["lint", "--diff",
+                     os.path.join(FIX_DIR, "fixable_input.prop")]) == 2
