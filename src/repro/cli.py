@@ -380,6 +380,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from .netsim.chaos import PROFILES
     from .resilience import render_report, run_soak
 
+    if args.attack:
+        from .adversarial import render_attack_report, run_attacks
+
+        report = run_attacks(rounds=args.rounds)
+        print(render_attack_report(report))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fp:
+                json.dump(report.to_dict(), fp, indent=2, sort_keys=True)
+                fp.write("\n")
+            print(f"wrote {args.json}")
+        if report.failed:
+            print("attack sweep FAILED: a flagged property did not degrade "
+                  "as the lint predicted", file=sys.stderr)
+            return 1
+        return 0
+
     profile = PROFILES[args.profile]
     reports = run_soak(profile, seed=args.seed, rounds=args.rounds,
                        num_events=args.events, settle=args.settle)
@@ -518,6 +534,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="virtual seconds to run timers past the trace")
     chaos.add_argument("--json", default=None, metavar="OUT",
                        help="also write the degradation report(s) as JSON")
+    chaos.add_argument("--attack", action="store_true",
+                       help="synthesize attacks from taint findings "
+                            "(L017/L018) instead of replaying a fault "
+                            "profile")
     chaos.set_defaults(fn=cmd_chaos)
     return parser
 

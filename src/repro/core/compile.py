@@ -38,7 +38,9 @@ from typing import Callable, Dict, List, Mapping, Tuple, Type
 from ..switch.events import DataplaneEvent
 from .instances import stage_index_plan, uid_var
 from .refs import (
+    CMP_FNS,
     EventPattern,
+    FieldCmp,
     FieldEq,
     FieldNe,
     MismatchAny,
@@ -92,6 +94,34 @@ def _compile_guard(guard) -> GuardCheck:
         def check(fields, env, _f=field, _v=value, _M=_MISSING):
             got = fields.get(_f, _M)
             return got is _M or got != _v
+
+        return check
+    if isinstance(guard, FieldCmp):
+        field = guard.field
+        cmp = CMP_FNS[guard.op]
+        if isinstance(guard.value, Var):
+            name = guard.value.name
+
+            def check(fields, env, _f=field, _n=name, _c=cmp, _M=_MISSING):
+                got = fields.get(_f, _M)
+                if got is _M:
+                    return False
+                try:
+                    return bool(_c(got, env[_n]))
+                except TypeError:  # unorderable pair never satisfies
+                    return False
+
+            return check
+        value = guard.value.value  # constant folded
+
+        def check(fields, env, _f=field, _v=value, _c=cmp, _M=_MISSING):
+            got = fields.get(_f, _M)
+            if got is _M:
+                return False
+            try:
+                return bool(_c(got, _v))
+            except TypeError:
+                return False
 
         return check
     if isinstance(guard, MismatchAny):

@@ -96,6 +96,34 @@ def classify_op(kind: str, disposition: str) -> Tuple[str, ...]:
     return (primary, other)
 
 
+#: default ceiling :func:`suggested_policy` clamps instance caps to —
+#: roughly a hardware match table's worth of per-property state
+DEFAULT_INSTANCE_CAP = 4096
+
+
+def suggested_policy(
+    instance_bound: int,
+    attacker_keyed: bool = False,
+    cap: int = DEFAULT_INSTANCE_CAP,
+) -> DegradationPolicy:
+    """A policy sized for a property's worst-case instance bound.
+
+    ``instance_bound`` is the taint pass's static worst case (key
+    cardinality × stage fan-out).  When it fits under ``cap`` the bound
+    itself is the limit — the property genuinely cannot need more.  An
+    attacker-keyed property gets LRU eviction rather than reject-new:
+    under a flood the recently-active instances are the ones tracking
+    real traffic, while reject-new would let the first wave of bogus
+    keys permanently lock legitimate ones out.
+    """
+    if instance_bound < 1:
+        raise ValueError(f"instance_bound={instance_bound!r} must be >= 1")
+    return DegradationPolicy(
+        max_instances=min(instance_bound, cap),
+        eviction=EVICT_LRU if attacker_keyed else EVICT_REJECT,
+    )
+
+
 @dataclass(frozen=True)
 class ShedRecord:
     """One unit of work the degraded monitor did not perform faithfully."""

@@ -71,3 +71,43 @@ class FeatureRequirements:
             dot(self.timeout_actions),
             self.match_kind.value,
         )
+
+
+# ---------------------------------------------------------------------------
+# Field provenance (adversarial analysis)
+# ---------------------------------------------------------------------------
+#: Provenance labels the taint pass (:mod:`repro.lint.taint`) assigns to
+#: event fields.  A field is *attacker-controlled* when an end host can put
+#: an arbitrary value in it just by sending a packet — every parsed header
+#: field qualifies, because the switch parses whatever bytes arrive.  A
+#: field is *trusted* when only the switch itself decides its value: which
+#: physical port a packet arrived on, the switch's clock, the forwarding
+#: action the pipeline chose, out-of-band port/link events.
+ATTACKER_CONTROLLED = "attacker-controlled"
+TRUSTED = "trusted"
+
+#: Event-metadata fields whose values the switch, not the sender, supplies
+#: (see :func:`repro.core.refs.event_fields` for where each is populated).
+TRUSTED_FIELDS = frozenset({
+    "time",
+    "switch",
+    "uid",
+    "in_port",
+    "out_port",
+    "egress.action",
+    "drop.reason",
+    "oob.kind",
+    "oob.port",
+    "timer.id",
+})
+
+
+def field_provenance(name: str) -> str:
+    """Provenance label for one dotted event field.
+
+    Defaults to attacker-controlled: packet header fields all are, and an
+    unknown field must be assumed hostile — a taint pass that guessed
+    "trusted" for fields it has never heard of would rubber-stamp exactly
+    the properties it exists to flag.
+    """
+    return TRUSTED if name in TRUSTED_FIELDS else ATTACKER_CONTROLLED

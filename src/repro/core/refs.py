@@ -161,6 +161,41 @@ class FieldNe:
         return fields[self.field] != resolve(self.value, env)
 
 
+#: ordered comparison operators, op text -> binary predicate
+CMP_FNS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class FieldCmp:
+    """``field < value`` (or ``<=`` / ``>`` / ``>=``) — ordered match.
+
+    An absent field, or one whose value does not order against the
+    reference (a string against an integer), never satisfies the guard.
+    """
+
+    field: str
+    op: str  # "<" | "<=" | ">" | ">="
+    value: ValueRef
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_FNS:
+            raise ValueError(f"unknown ordered operator {self.op!r}")
+
+    def holds(self, fields: Mapping[str, object], env: Mapping[str, object]) -> bool:
+        if self.field not in fields:
+            return False
+        try:
+            return bool(CMP_FNS[self.op](
+                fields[self.field], resolve(self.value, env)))
+        except TypeError:
+            return False
+
+
 @dataclass(frozen=True)
 class MismatchAny:
     """At least one of the (field, ref) pairs differs.
@@ -203,7 +238,7 @@ class Predicate:
         return bool(self.fn(fields, env))
 
 
-Guard = Union[FieldEq, FieldNe, MismatchAny, Predicate]
+Guard = Union[FieldEq, FieldNe, FieldCmp, MismatchAny, Predicate]
 
 
 @dataclass(frozen=True)
@@ -270,7 +305,7 @@ class EventPattern:
         """Every field this pattern reads (guards + binds + predicates)."""
         names = []
         for guard in self.guards:
-            if isinstance(guard, (FieldEq, FieldNe)):
+            if isinstance(guard, (FieldEq, FieldNe, FieldCmp)):
                 names.append(guard.field)
             elif isinstance(guard, MismatchAny):
                 names.extend(name for name, _ in guard.pairs)

@@ -164,11 +164,12 @@ class PropertySpec:
     def _check_pattern_vars(
         self, pattern: EventPattern, bound: Set[str], stage_index: int
     ) -> None:
-        from .refs import FieldEq, FieldNe, MismatchAny
+        from .refs import FieldCmp, FieldEq, FieldNe, MismatchAny
 
         for guard in pattern.guards:
             refs = []
-            if isinstance(guard, (FieldEq, FieldNe)) and isinstance(guard.value, Var):
+            if isinstance(guard, (FieldEq, FieldNe, FieldCmp)) \
+                    and isinstance(guard.value, Var):
                 refs.append(guard.value.name)
             elif isinstance(guard, MismatchAny):
                 refs.extend(

@@ -33,12 +33,16 @@ class Literal:
 Value = Union[VarRef, Literal]
 
 
+#: comparison operators carrying an order (everything except == and !=)
+ORDERED_OPS = ("<", "<=", ">", ">=")
+
+
 @dataclass(frozen=True)
 class Comparison:
-    """``field == value`` or ``field != value``."""
+    """``field <op> value`` for ``==``, ``!=``, or an ordered operator."""
 
     field: str
-    op: str  # "==" or "!="
+    op: str  # "==" | "!=" | "<" | "<=" | ">" | ">="
     value: Value
     line: int = field(default=0, compare=False)
     column: int = field(default=0, compare=False)

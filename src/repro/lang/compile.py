@@ -9,6 +9,7 @@ from ..core.refs import (
     Const,
     EventKind,
     EventPattern,
+    FieldCmp,
     FieldEq,
     FieldNe,
     MismatchAny,
@@ -81,8 +82,10 @@ def _pattern(ast: PatternAst, predicates: PredicateEnv) -> EventPattern:
             ref = _value(condition.value)
             if condition.op == "==":
                 guards.append(FieldEq(condition.field, ref))
-            else:
+            elif condition.op == "!=":
                 guards.append(FieldNe(condition.field, ref))
+            else:
+                guards.append(FieldCmp(condition.field, condition.op, ref))
         elif isinstance(condition, AnyDiffers):
             guards.append(
                 MismatchAny(

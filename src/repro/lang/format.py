@@ -29,6 +29,7 @@ from ..core.refs import (
     Const,
     EventKind,
     EventPattern,
+    FieldCmp,
     FieldEq,
     FieldNe,
     MismatchAny,
@@ -97,6 +98,8 @@ class _Formatter:
             return f"{guard.field} == {self.value(guard.value)}"
         if isinstance(guard, FieldNe):
             return f"{guard.field} != {self.value(guard.value)}"
+        if isinstance(guard, FieldCmp):
+            return f"{guard.field} {guard.op} {self.value(guard.value)}"
         if isinstance(guard, MismatchAny):
             pairs = ", ".join(
                 f"{field} == {self.value(ref)}" for field, ref in guard.pairs

@@ -10,7 +10,8 @@ The language is a small Varanus-flavoured surface syntax for
 * ``NUMBER``  — integers and floats;
 * ``IP``      — dotted-quad literals (``10.0.0.1``);
 * ``STRING``  — double-quoted strings;
-* punctuation — ``:`` ``,`` ``(`` ``)`` ``==`` ``!=`` ``=``.
+* punctuation — ``:`` ``,`` ``(`` ``)`` ``==`` ``!=`` ``<=`` ``>=``
+  ``<`` ``>`` ``=``.
 
 Comments run from ``#`` to end of line.  Newlines are insignificant.
 """
@@ -54,6 +55,10 @@ _TOKEN_SPEC: Tuple[Tuple[str, str], ...] = (
     ("PRED", r"@[A-Za-z_][A-Za-z0-9_]*"),
     ("EQ", r"=="),
     ("NE", r"!="),
+    ("LE", r"<="),  # two-char ordered ops before their one-char prefixes
+    ("GE", r">="),
+    ("LT", r"<"),
+    ("GT", r">"),
     ("ASSIGN", r"="),
     ("COLON", r":"),
     ("COMMA", r","),

@@ -20,7 +20,7 @@ Grammar (EBNF, newline-insensitive)::
     clause     := "where" condition ("and" condition)*
                 | "bind" binding ("," binding)*
                 | "unless" kind modifier* ["where" condition ("and" condition)*]
-    condition  := FIELD ("==" | "!=") value
+    condition  := FIELD ("==" | "!=" | "<" | "<=" | ">" | ">=") value
                 | "any_differs" "(" FIELD "==" value ("," FIELD "==" value)* ")"
                 | PRED
     binding    := IDENT "=" FIELD
@@ -53,6 +53,10 @@ _OOB_KINDS = ("port_down", "port_up", "link_down", "link_up")
 _ACTIONS = ("unicast", "flood")
 
 _MAC_LIKE = __import__("re").compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+_COMPARISON_OPS = {
+    "EQ": "==", "NE": "!=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">=",
+}
 
 
 class ParseError(ValueError):
@@ -297,12 +301,11 @@ class _Parser:
                               column=token.column)
         field = self.parse_field_name()
         op_token = self.peek()
-        if op_token.kind == "EQ":
-            op = "=="
-        elif op_token.kind == "NE":
-            op = "!="
-        else:
-            raise ParseError("expected == or !=", op_token)
+        op = _COMPARISON_OPS.get(op_token.kind)
+        if op is None:
+            raise ParseError(
+                "expected a comparison operator (==, !=, <, <=, >, >=)",
+                op_token)
         self.advance()
         return Comparison(field=field, op=op, value=self.parse_value(),
                           line=token.line, column=token.column)

@@ -49,6 +49,16 @@ from .feasibility import (
 )
 from .render import render_json, render_text
 from .rules import run_ast_rules
+from .taint import (
+    CONSTANT,
+    LABEL_ORDER,
+    MAX_BOUND,
+    TaintReport,
+    VarTaint,
+    analyze_taint,
+    label_rank,
+    taint_diagnostics,
+)
 from .splitmode import (
     DEFAULT_SPLIT_LAG,
     INLINE_REQUIRED,
@@ -99,6 +109,14 @@ __all__ = [
     "render_json",
     "render_text",
     "run_ast_rules",
+    "CONSTANT",
+    "LABEL_ORDER",
+    "MAX_BOUND",
+    "TaintReport",
+    "VarTaint",
+    "analyze_taint",
+    "label_rank",
+    "taint_diagnostics",
     "DEFAULT_SPLIT_LAG",
     "INLINE_REQUIRED",
     "SPLIT_SAFE",

@@ -22,7 +22,10 @@ environment:
 * **pins** — ``bind V = f`` in a pattern that also guards ``f == lit``
   makes ``V == lit`` in every reachable instance;
 * **aliases** — ``bind V = f`` alongside ``f == $X`` makes ``V == X``
-  (and transitively inherits X's pin, if any).
+  (and transitively inherits X's pin, if any);
+* **ranges** — ``bind V = f`` alongside ordered guards (``f >= 7000 and
+  f < 8000``) confines ``V`` to an interval, so a later ``$V``-guarded
+  field contradicting the interval is just as dead as a pinned one.
 
 Rebinding a variable (L003's shadowing) conservatively invalidates its
 facts; aliases pointing at the rebound variable are materialised into
@@ -40,8 +43,69 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..lang.ast import Comparison, PatternAst, PropertyAst, StageAst, VarRef
+from ..core.refs import CMP_FNS
+from ..lang.ast import (
+    ORDERED_OPS,
+    Comparison,
+    PatternAst,
+    PropertyAst,
+    StageAst,
+    VarRef,
+)
 from .diagnostics import Diagnostic, Related, make, related_to
+
+
+# ---------------------------------------------------------------------------
+# Interval arithmetic (shared with the taint pass's resource bounds)
+# ---------------------------------------------------------------------------
+#: (lo, lo_strict, hi, hi_strict); None bounds are unbounded.
+Interval = Tuple[object, bool, object, bool]
+
+UNBOUNDED: Interval = (None, False, None, False)
+
+
+def interval_of(op: str, bound: object) -> Interval:
+    """The interval a single ordered guard ``field <op> bound`` admits."""
+    if op == ">":
+        return (bound, True, None, False)
+    if op == ">=":
+        return (bound, False, None, False)
+    if op == "<":
+        return (None, False, bound, True)
+    if op == "<=":
+        return (None, False, bound, False)
+    raise ValueError(f"not an ordered operator: {op!r}")
+
+
+def intersect(a: Interval, b: Interval) -> Optional[Interval]:
+    """Meet of two intervals; ``None`` when empty.
+
+    Raises :class:`TypeError` when the bounds do not order against each
+    other — callers treat that as "nothing provable" and skip.
+    """
+    lo, lo_strict = a[0], a[1]
+    if b[0] is not None and (
+        lo is None or b[0] > lo or (b[0] == lo and b[1])
+    ):
+        lo, lo_strict = b[0], b[1]
+    hi, hi_strict = a[2], a[3]
+    if b[2] is not None and (
+        hi is None or b[2] < hi or (b[2] == hi and b[3])
+    ):
+        hi, hi_strict = b[2], b[3]
+    if lo is not None and hi is not None:
+        if lo > hi or (lo == hi and (lo_strict or hi_strict)):
+            return None
+    return (lo, lo_strict, hi, hi_strict)
+
+
+def render_interval(interval: Interval) -> str:
+    lo, lo_strict, hi, hi_strict = interval
+    left = "(" if lo_strict or lo is None else "["
+    right = ")" if hi_strict or hi is None else "]"
+    lo_text = "-inf" if lo is None else str(lo)
+    hi_text = "+inf" if hi is None else str(hi)
+    return f"{left}{lo_text}, {hi_text}{right}"
 
 
 @dataclass(frozen=True)
@@ -67,12 +131,31 @@ class Alias:
     guard: object
 
 
+@dataclass(frozen=True)
+class Range:
+    """``var`` lies inside ``interval`` in every reachable instance."""
+
+    var: str
+    interval: Interval
+    stage: str
+    bind: object
+    guards: Tuple[object, ...]  # the ordered Comparison nodes that bound it
+
+
 class StageEnv:
     """Facts earlier stages guarantee about variable values."""
 
     def __init__(self) -> None:
         self.pins: Dict[str, Pin] = {}
         self.aliases: Dict[str, Alias] = {}
+        self.ranges: Dict[str, Range] = {}
+
+    def range_of(self, name: str) -> Optional[Range]:
+        """The interval fact for a variable, following aliases."""
+        norm, _ = self.resolve(VarRef(name))
+        if norm[0] != "var":
+            return None
+        return self.ranges.get(norm[1])
 
     # -- resolution ---------------------------------------------------------
     def resolve(self, value: object) -> Tuple[Tuple[str, object], List[object]]:
@@ -106,13 +189,22 @@ class StageEnv:
         pattern = stage.pattern
         field_lit: Dict[str, Comparison] = {}
         field_var: Dict[str, Comparison] = {}
+        field_ord: Dict[str, List[Tuple[Comparison, object]]] = {}
         for condition in pattern.conditions:
-            if not isinstance(condition, Comparison) or condition.op != "==":
+            if not isinstance(condition, Comparison):
                 continue
-            if isinstance(condition.value, VarRef):
-                field_var.setdefault(condition.field, condition)
-            else:
-                field_lit.setdefault(condition.field, condition)
+            if condition.op == "==":
+                if isinstance(condition.value, VarRef):
+                    field_var.setdefault(condition.field, condition)
+                else:
+                    field_lit.setdefault(condition.field, condition)
+            elif condition.op in ORDERED_OPS:
+                # a Var bound still yields an interval when the Var is
+                # itself pinned to a literal by an earlier stage
+                norm, _ = self.resolve(condition.value)
+                if norm[0] == "lit":
+                    field_ord.setdefault(condition.field, []).append(
+                        (condition, norm[1]))
         for bind in pattern.binds:
             self._invalidate(bind.var)
             pinning = field_lit.get(bind.field)
@@ -128,14 +220,34 @@ class StageEnv:
                     self.aliases[bind.var] = Alias(
                         var=bind.var, other=other, stage=stage.name,
                         bind=bind, guard=aliasing)
+            elif bind.field in field_ord:
+                interval: Optional[Interval] = UNBOUNDED
+                guards: List[object] = []
+                for cond, bound in field_ord[bind.field]:
+                    try:
+                        met = intersect(interval, interval_of(cond.op, bound))
+                    except TypeError:
+                        continue  # unorderable bound: no fact
+                    if met is None:
+                        # statically-empty pattern — L005/L016 report it;
+                        # an unreachable stage pins nothing here
+                        guards = []
+                        break
+                    interval = met
+                    guards.append(cond)
+                if guards:
+                    self.ranges[bind.var] = Range(
+                        var=bind.var, interval=interval, stage=stage.name,
+                        bind=bind, guards=tuple(guards))
 
     def _invalidate(self, var: str) -> None:
         """A rebind of ``var``: earlier facts about it no longer hold.
 
         Aliases *to* ``var`` recorded the old value — materialise them as
-        pins when the old value is known, sever them otherwise.
+        pins (or ranges) when the old value is known, sever them otherwise.
         """
         old_pin = self.pins.get(var)
+        old_range = self.ranges.get(var)
         for name, alias in list(self.aliases.items()):
             if alias.other != var:
                 continue
@@ -144,8 +256,13 @@ class StageEnv:
                 self.pins[name] = Pin(
                     var=name, value=old_pin.value, rendered=old_pin.rendered,
                     stage=alias.stage, bind=alias.bind, guard=alias.guard)
+            elif old_range is not None:
+                self.ranges[name] = Range(
+                    var=name, interval=old_range.interval, stage=alias.stage,
+                    bind=alias.bind, guards=old_range.guards)
         self.pins.pop(var, None)
         self.aliases.pop(var, None)
+        self.ranges.pop(var, None)
 
 
 def _render_value(value) -> str:
@@ -182,17 +299,38 @@ def _explain(trail: List[object]) -> str:
     return "; ".join(parts)
 
 
+def _range_related(rng: Range) -> List[Related]:
+    out = [related_to(
+        f"${rng.var} is confined here: bound from a field stage "
+        f"{rng.stage!r} constrains to {render_interval(rng.interval)}",
+        rng.bind)]
+    out.extend(
+        related_to(
+            f"stage {rng.stage!r} bounding guard here", guard)
+        for guard in rng.guards
+    )
+    return out
+
+
 def _check_pattern(
     stage: StageAst, pattern: PatternAst, env: StageEnv, prop_name: str,
     in_unless: bool,
 ) -> Iterator[Diagnostic]:
     eqs: Dict[str, List[Comparison]] = {}
     nes: Dict[str, List[Comparison]] = {}
+    ords: Dict[str, List[Comparison]] = {}
     for condition in pattern.conditions:
         if not isinstance(condition, Comparison):
             continue
-        target = eqs if condition.op == "==" else nes
+        if condition.op == "==":
+            target = eqs
+        elif condition.op == "!=":
+            target = nes
+        else:
+            target = ords
         target.setdefault(condition.field, []).append(condition)
+    where = (f"unless pattern on stage {stage.name!r} is unreachable"
+             if in_unless else f"stage {stage.name!r} can never match")
     for field_name, eq_list in eqs.items():
         for eq in eq_list:
             for ne in nes.get(field_name, []):
@@ -207,9 +345,6 @@ def _check_pattern(
                     continue  # nothing cross-stage involved
                 if eq_norm != ne_norm:
                     continue
-                where = (f"unless pattern on stage {stage.name!r} is "
-                         "unreachable" if in_unless
-                         else f"stage {stage.name!r} can never match")
                 explanation = _explain(eq_trail + ne_trail)
                 related = tuple(
                     [related_to(
@@ -223,6 +358,104 @@ def _check_pattern(
                     f"never both hold — {explanation}",
                     ne, prop=prop_name, related=related,
                 )
+            for cmp_cond in ords.get(field_name, []):
+                yield from _check_eq_vs_ordered(
+                    where, field_name, eq, cmp_cond, env, prop_name)
+    for field_name, cmp_list in ords.items():
+        resolved = []
+        for cond in cmp_list:
+            norm, trail = env.resolve(cond.value)
+            if norm[0] == "lit":
+                resolved.append((cond, norm[1], trail))
+        for i, (first, first_val, first_trail) in enumerate(resolved):
+            for second, second_val, second_trail in resolved[i + 1:]:
+                if not (first_trail or second_trail):
+                    continue  # both literal in-pattern: L005's case
+                try:
+                    met = intersect(interval_of(first.op, first_val),
+                                    interval_of(second.op, second_val))
+                except TypeError:
+                    continue
+                if met is not None:
+                    continue
+                explanation = _explain(first_trail + second_trail)
+                related = tuple(
+                    [related_to(
+                        f"conflicts with the guard {field_name} "
+                        f"{first.op} {_render_value(first.value)} here",
+                        first)]
+                    + _trail_related(first_trail)
+                    + _trail_related(second_trail))
+                yield make(
+                    "L016",
+                    f"{where}: {field_name} {first.op} "
+                    f"{_render_value(first.value)} and {field_name} "
+                    f"{second.op} {_render_value(second.value)} can never "
+                    f"both hold — {explanation}",
+                    second, prop=prop_name, related=related,
+                )
+
+
+def _check_eq_vs_ordered(
+    where: str, field_name: str, eq: Comparison, cmp_cond: Comparison,
+    env: StageEnv, prop_name: str,
+) -> Iterator[Diagnostic]:
+    eq_norm, eq_trail = env.resolve(eq.value)
+    bound_norm, bound_trail = env.resolve(cmp_cond.value)
+    if bound_norm[0] != "lit":
+        return
+    if eq_norm[0] == "lit":
+        if not (eq_trail or bound_trail):
+            return  # both literal in-pattern: L005's case
+        try:
+            satisfied = CMP_FNS[cmp_cond.op](eq_norm[1], bound_norm[1])
+        except TypeError:
+            return
+        if satisfied:
+            return
+        explanation = _explain(eq_trail + bound_trail)
+        related = tuple(
+            [related_to(
+                f"conflicts with the guard {field_name} == "
+                f"{_render_value(eq.value)} here", eq)]
+            + _trail_related(eq_trail) + _trail_related(bound_trail))
+        yield make(
+            "L016",
+            f"{where}: {field_name} == {_render_value(eq.value)} and "
+            f"{field_name} {cmp_cond.op} {_render_value(cmp_cond.value)} "
+            f"can never both hold — {explanation}",
+            cmp_cond, prop=prop_name, related=related,
+        )
+        return
+    # eq resolves to a variable: contradiction provable when the
+    # variable carries a range fact disjoint from the ordered guard
+    rng = env.ranges.get(eq_norm[1])
+    if rng is None:
+        return
+    try:
+        met = intersect(rng.interval, interval_of(cmp_cond.op, bound_norm[1]))
+    except TypeError:
+        return
+    if met is not None:
+        return
+    explanation = "; ".join(filter(None, [
+        _explain(eq_trail + bound_trail),
+        f"stage {rng.stage!r} confines ${rng.var} to "
+        f"{render_interval(rng.interval)}",
+    ]))
+    related = tuple(
+        [related_to(
+            f"conflicts with the guard {field_name} == "
+            f"{_render_value(eq.value)} here", eq)]
+        + _trail_related(eq_trail) + _trail_related(bound_trail)
+        + _range_related(rng))
+    yield make(
+        "L016",
+        f"{where}: {field_name} == {_render_value(eq.value)} and "
+        f"{field_name} {cmp_cond.op} {_render_value(cmp_cond.value)} "
+        f"can never both hold — {explanation}",
+        cmp_cond, prop=prop_name, related=related,
+    )
 
 
 def _token(value) -> Tuple[str, object]:
@@ -254,7 +487,8 @@ def stage_environments(prop: PropertyAst) -> List[Dict[str, object]]:
     for stage in prop.stages:
         snapshot: Dict[str, object] = {}
         snapshot.update(env.aliases)
-        snapshot.update(env.pins)  # pins win when both exist
+        snapshot.update(env.ranges)
+        snapshot.update(env.pins)  # pins win when several facts exist
         snapshots.append(snapshot)
         env.absorb(stage)
     return snapshots

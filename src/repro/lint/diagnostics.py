@@ -85,6 +85,15 @@ RULES: Dict[str, Rule] = {
         Rule("L016", "cross-stage-contradiction", Severity.ERROR,
              "a stage's guards can never hold given what earlier stages' "
              "binds and guards guarantee"),
+        Rule("L017", "attacker-keyed-instances", Severity.WARNING,
+             "every instance-key variable is attacker-controlled: a sender "
+             "can mint unbounded monitor instances (state exhaustion)"),
+        Rule("L018", "timeout-evasion-window", Severity.WARNING,
+             "a within deadline is reachable (and refreshable) purely via "
+             "attacker-controlled events, so a paced sender evades it"),
+        Rule("L019", "tainted-violation-predicate", Severity.INFO,
+             "every guard on the violating path reads attacker-controlled "
+             "fields only, so the violation itself is spoofable"),
         Rule("L100", "infeasible-everywhere", Severity.ERROR,
              "no surveyed backend can host the property"),
         Rule("L101", "backend-infeasible", Severity.INFO,
@@ -132,6 +141,14 @@ class Diagnostic:
     def __post_init__(self) -> None:
         if self.code not in RULES:
             raise ValueError(f"unregistered rule code {self.code!r}")
+        # Related positions render in source order regardless of the
+        # order a rule discovered them — diagnostics stay byte-stable
+        # across refactors of the rules' internal iteration.
+        object.__setattr__(
+            self, "related",
+            tuple(sorted(self.related,
+                         key=lambda r: (r.line, r.column, r.message))),
+        )
 
     @property
     def rule(self) -> Rule:

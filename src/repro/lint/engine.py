@@ -39,6 +39,7 @@ from .feasibility import (
     survey_property,
 )
 from .rules import run_ast_rules
+from .taint import TaintReport, analyze_taint, taint_diagnostics
 from .splitmode import (
     DEFAULT_SPLIT_LAG,
     SplitLagSpec,
@@ -62,6 +63,8 @@ class LintOptions:
     split: bool = True
     #: run the dispatch-plan pass (watcher counts + hot-scan warnings)
     dispatch: bool = True
+    #: run the taint / resource-bound pass (L017–L019)
+    taint: bool = True
     #: canonical backend name to treat as the deployment target: its
     #: feasibility failures become errors (L102)
     focus_backend: Optional[str] = None
@@ -83,6 +86,7 @@ class PropertyReport:
     feasibility: Tuple[BackendVerdict, ...] = ()
     split: Optional[SplitReport] = None
     dispatch: Optional[DispatchReport] = None
+    taint: Optional[TaintReport] = None
 
 
 @dataclass
@@ -205,6 +209,9 @@ def lint_source(
                 diags.extend(dispatch_diagnostics(
                     prop_report.dispatch, anchor=ast
                 ))
+            if options.taint:
+                prop_report.taint = analyze_taint(ast)
+                diags.extend(taint_diagnostics(ast, prop_report.taint))
         kept = [d for d in diags if not suppressions.covers(d)]
         report.suppressed += len(diags) - len(kept)
         prop_report.diagnostics = sorted(kept, key=Diagnostic.sort_key)

@@ -20,17 +20,18 @@ and provably cannot change what the property matches:
 Fixes apply at the AST level and iterate to a fixpoint, then the file is
 rewritten by splicing each changed property's reformatted text
 (:func:`repro.lang.format.format_ast`) over its original line span.
-Properties whose span contains ``#`` comments (including lint
-suppressions) are left untouched and reported as skipped — reformatting
-would silently drop the comments.  Text outside rewritten spans is
-preserved byte-for-byte, and a second ``--fix`` pass is a no-op
-(idempotence is locked by tests).
+``#`` comments in the span (including lint suppressions) survive the
+splice: standalone comment blocks re-anchor to the code line that
+followed them, trailing comments re-join their line, and a comment whose
+line the fix deleted sinks to the end of the property instead of
+vanishing.  Text outside rewritten spans is preserved byte-for-byte, and
+a second ``--fix`` pass is a no-op (idempotence is locked by tests).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..lang.ast import BindAst, Comparison, PatternAst, PropertyAst, StageAst
 from ..lang.format import format_ast
@@ -38,6 +39,15 @@ from ..lang.parser import ParseError, parse
 
 #: The rule codes ``--fix`` knows how to repair.
 FIXABLE = ("L002", "L003", "L004")
+
+#: veto hook: may this (code, source line) actually be repaired?  The
+#: file-level driver wires this to the lint suppressions so ``--fix``
+#: never deletes syntax whose diagnostic the author silenced.
+FixFilter = Callable[[str, int], bool]
+
+
+def _allow_all(code: str, line: int) -> bool:
+    return True
 
 
 @dataclass(frozen=True)
@@ -99,7 +109,9 @@ def _comparison_token(condition: Comparison):
     return _comparison_key(condition)
 
 
-def _fix_duplicate_guards(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]:
+def _fix_duplicate_guards(
+    prop: PropertyAst, allowed: FixFilter = _allow_all
+) -> Tuple[PropertyAst, List[AppliedFix]]:
     """L004: drop verbatim guard repeats (main patterns, matching the rule)."""
     fixes: List[AppliedFix] = []
     stages: List[StageAst] = []
@@ -109,7 +121,7 @@ def _fix_duplicate_guards(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedF
         for condition in stage.pattern.conditions:
             if isinstance(condition, Comparison):
                 key = _comparison_token(condition)
-                if key in seen:
+                if key in seen and allowed("L004", condition.line):
                     fixes.append(AppliedFix(
                         "L004", prop.name, condition.line,
                         f"dropped repeated guard {condition.field} "
@@ -124,7 +136,9 @@ def _fix_duplicate_guards(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedF
     return replace(prop, stages=tuple(stages)), fixes
 
 
-def _fix_unused_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]:
+def _fix_unused_binds(
+    prop: PropertyAst, allowed: FixFilter = _allow_all
+) -> Tuple[PropertyAst, List[AppliedFix]]:
     """L002: drop binds nothing reads (mirrors the rule's skip conditions)."""
     if _has_named_predicates(prop):
         return prop, []
@@ -142,6 +156,7 @@ def _fix_unused_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]
                 bind.var not in used
                 and bind.var not in key_vars
                 and not (implicit_key and index == 0)
+                and allowed("L002", bind.line)
             )
             if removable:
                 fixes.append(AppliedFix(
@@ -157,7 +172,9 @@ def _fix_unused_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]
     return replace(prop, stages=tuple(stages)), fixes
 
 
-def _fix_shadowed_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix]]:
+def _fix_shadowed_binds(
+    prop: PropertyAst, allowed: FixFilter = _allow_all
+) -> Tuple[PropertyAst, List[AppliedFix]]:
     """L003: drop exact within-stage duplicates and *dead* cross-stage
     rebinds (non-key variable, unread at or after the rebinding stage)."""
     predicates = _has_named_predicates(prop)
@@ -178,7 +195,7 @@ def _fix_shadowed_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix
         seen_here: List[BindAst] = []
         kept = []
         for bind in stage.pattern.binds:
-            exact_dup = any(
+            exact_dup = allowed("L003", bind.line) and any(
                 b.var == bind.var and b.field == bind.field
                 for b in seen_here)
             dead_rebind = (
@@ -186,6 +203,7 @@ def _fix_shadowed_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix
                 and bind.var in bound_earlier
                 and bind.var not in key_vars
                 and bind.var not in read_later
+                and allowed("L003", bind.line)
             )
             if exact_dup:
                 fixes.append(AppliedFix(
@@ -212,19 +230,112 @@ def _fix_shadowed_binds(prop: PropertyAst) -> Tuple[PropertyAst, List[AppliedFix
 _PASSES = (_fix_duplicate_guards, _fix_shadowed_binds, _fix_unused_binds)
 
 
-def fix_ast(prop: PropertyAst) -> Tuple[PropertyAst, Tuple[AppliedFix, ...]]:
+def fix_ast(
+    prop: PropertyAst, allowed: FixFilter = _allow_all
+) -> Tuple[PropertyAst, Tuple[AppliedFix, ...]]:
     """Apply every fixable rule to one property, iterated to a fixpoint
     (dropping a rebind can orphan a bind, which the next round drops)."""
     applied: List[AppliedFix] = []
     for _ in range(16):  # fixpoint bound: each round deletes >= 1 node
         round_fixes: List[AppliedFix] = []
         for fix_pass in _PASSES:
-            prop, fixes = fix_pass(prop)
+            prop, fixes = fix_pass(prop, allowed)
             round_fixes.extend(fixes)
         if not round_fixes:
             break
         applied.extend(round_fixes)
     return prop, tuple(applied)
+
+
+# ---------------------------------------------------------------------------
+# Comment preservation across the reformat
+# ---------------------------------------------------------------------------
+def _split_comment(line: str) -> Tuple[str, str]:
+    """(code, comment) — the first ``#`` outside double quotes starts the
+    comment ('' when there is none)."""
+    in_quote = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_quote = not in_quote
+        elif char == "#" and not in_quote:
+            return line[:index], line[index:].rstrip()
+    return line, ""
+
+
+def _find_anchor(
+    out: List[str], cursor: int, anchor: Optional[str]
+) -> Optional[int]:
+    """Where ``anchor`` landed in the reformatted lines (or None).
+
+    Exact stripped-text match first; failing that, the first later line
+    opening with the same keyword (``where``, ``bind``, ``observe`` …) —
+    the fix usually *rewrote* the anchor line rather than deleting it,
+    and the keyword identifies its successor.
+    """
+    if anchor is None:
+        return None
+    for j in range(cursor, len(out)):
+        if out[j].strip() == anchor:
+            return j
+    tokens = anchor.split(None, 1)
+    if not tokens:
+        return None
+    for j in range(cursor, len(out)):
+        if out[j].split(None, 1)[:1] == tokens[:1]:
+            return j
+    return None
+
+
+def _reattach_comments(
+    span_lines: Sequence[str], new_lines: List[str]
+) -> List[str]:
+    """Carry a property span's comments into its reformatted lines.
+
+    Each standalone comment block re-anchors to the next code line
+    (matched by stripped text, scanning forward so repeated lines pair up
+    in order); a trailing comment re-joins its own line.  When a fix
+    deleted or reworded the anchoring line, the comment sinks to the end
+    of the property rather than being dropped.
+    """
+    ops: List[Tuple[str, object, Optional[str]]] = []
+    pending: List[str] = []
+    for line in span_lines:
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            pending.append(line.rstrip())
+            continue
+        if not stripped:
+            continue
+        code, comment = _split_comment(line)
+        anchor = code.strip()
+        if pending:
+            ops.append(("block", tuple(pending), anchor))
+            pending = []
+        if comment:
+            ops.append(("trail", comment, anchor))
+    if pending:
+        ops.append(("block", tuple(pending), None))
+
+    out = list(new_lines)
+    cursor = 0
+    leftovers: List[str] = []
+    for kind, payload, anchor in ops:
+        position = _find_anchor(out, cursor, anchor)
+        if position is None:
+            if kind == "block":
+                leftovers.extend(payload)
+            else:
+                leftovers.append(payload)
+            continue
+        if kind == "block":
+            out[position:position] = list(payload)
+            cursor = position + len(payload)
+        else:
+            out[position] = f"{out[position]}  {payload}"
+            cursor = position + 1
+    if leftovers:
+        out.extend(leftovers)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -244,6 +355,22 @@ def _property_spans(
     return spans
 
 
+def _suppression_filter(source: str) -> FixFilter:
+    """A FixFilter honouring the file's ``# lint: disable`` annotations —
+    a silenced diagnostic is the author saying the syntax is intentional,
+    so ``--fix`` must not delete it."""
+    from .engine import _Suppressions
+
+    suppressions = _Suppressions(source)
+
+    def allowed(code: str, line: int) -> bool:
+        if code in suppressions.file_wide:
+            return False
+        return code not in suppressions.by_line.get(line, set())
+
+    return allowed
+
+
 def fix_source(source: str) -> FixResult:
     """Fix one property file's text; returns the (possibly) rewritten
     source plus what was fixed and what was skipped."""
@@ -251,24 +378,22 @@ def fix_source(source: str) -> FixResult:
         props = parse(source)
     except ParseError:
         return FixResult(source=source, fixes=(), skipped=())
+    allowed = _suppression_filter(source)
     lines = source.splitlines()
     spans = _property_spans(props, len(lines))
     all_fixes: List[AppliedFix] = []
     skipped: List[SkippedProperty] = []
     replacements: List[Tuple[Tuple[int, int], List[str]]] = []
     for prop, span in zip(props, spans):
-        fixed, fixes = fix_ast(prop)
+        fixed, fixes = fix_ast(prop, allowed)
         if not fixes:
             continue
         span_lines = lines[span[0] - 1:span[1]]
-        if any("#" in line for line in span_lines):
-            skipped.append(SkippedProperty(
-                prop.name, prop.line,
-                "contains comments the rewrite would drop; apply the "
-                f"{sorted({f.code for f in fixes})} fixes by hand"))
-            continue
         all_fixes.extend(fixes)
         new_lines = format_ast(fixed).splitlines()
+        if any(_split_comment(line)[1] or line.lstrip().startswith("#")
+               for line in span_lines):
+            new_lines = _reattach_comments(span_lines, new_lines)
         # The formatter leads each stage with a blank line; keep the
         # original span's trailing blank lines so inter-property spacing
         # survives the splice.

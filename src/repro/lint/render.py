@@ -105,6 +105,19 @@ def _prop_summary(prop: PropertyReport) -> List[str]:
         if scans:
             line += f"; {scans} hot scan(s)"
         lines.append(line)
+    if prop.taint is not None:
+        taint = prop.taint
+        bound = ("≥2^63" if taint.capped
+                 else f"≤{taint.instance_bound:,}")
+        line = (
+            f"  {prop.name}: key taint {taint.key_label}, "
+            f"{bound} instance(s)"
+        )
+        if taint.suggested_max_instances is not None:
+            line += (
+                f"; suggest max_instances={taint.suggested_max_instances}"
+            )
+        lines.append(line)
     return lines
 
 
@@ -231,5 +244,24 @@ def _prop_json(prop: PropertyReport, path: str) -> Dict[str, Any]:
                 {"kind": kind, "stage": stage, "role": role}
                 for kind, stage, role in prop.dispatch.scans
             ],
+        }
+    if prop.taint is not None:
+        taint = prop.taint
+        out["taint"] = {
+            "key_vars": list(taint.key_vars),
+            "key_label": taint.key_label,
+            "instance_bound": taint.instance_bound,
+            "capped": taint.capped,
+            "attacker_matchable": list(taint.attacker_matchable),
+            "suggested_max_instances": taint.suggested_max_instances,
+            "labels": {
+                name: {
+                    "label": t.label,
+                    "field": t.field,
+                    "stage": t.stage,
+                    "reason": t.reason,
+                }
+                for name, t in sorted(taint.labels.items())
+            },
         }
     return out

@@ -26,6 +26,7 @@ from ..lang.ast import (
     StageAst,
     VarRef,
 )
+from ..core.refs import CMP_FNS
 from .dataflow import rule_cross_stage_contradiction
 from .diagnostics import Diagnostic, make
 from .schema import (
@@ -175,10 +176,26 @@ def _duplicate_guards(pattern: PatternAst) -> Iterator[Comparison]:
         seen.add(key)
 
 
+def _ordered_pair_empty(a: Comparison, b: Comparison) -> bool:
+    """True when two literal ordered guards on one field exclude each other."""
+    lo, hi = (a, b) if a.op in (">", ">=") else (b, a)
+    if lo.op not in (">", ">=") or hi.op not in ("<", "<="):
+        return False  # same-direction bounds always intersect
+    try:
+        if lo.value.value > hi.value.value:
+            return True
+        if lo.value.value == hi.value.value:
+            return lo.op == ">" or hi.op == "<"
+    except TypeError:
+        pass  # unorderable bounds: nothing provable
+    return False
+
+
 def _contradictions(pattern: PatternAst) -> Iterator[Tuple[Comparison, str]]:
     """(node, explanation) for every internally unsatisfiable guard set."""
     eq_by_field: Dict[str, Comparison] = {}
     ne_by_field: Dict[str, List[Comparison]] = {}
+    ord_by_field: Dict[str, List[Comparison]] = {}
     for condition in pattern.conditions:
         if not isinstance(condition, Comparison):
             continue
@@ -191,8 +208,11 @@ def _contradictions(pattern: PatternAst) -> Iterator[Tuple[Comparison, str]]:
                        f"{_render_value(prior.value)} and "
                        f"{_render_value(condition.value)}")
             eq_by_field.setdefault(condition.field, condition)
-        else:
+        elif condition.op == "!=":
             ne_by_field.setdefault(condition.field, []).append(condition)
+        elif isinstance(condition.value, Literal):
+            # ordered guards with Var bounds carry no static interval
+            ord_by_field.setdefault(condition.field, []).append(condition)
     for field_name, eq in eq_by_field.items():
         for ne in ne_by_field.get(field_name, []):
             if _value_token(eq.value) == _value_token(ne.value):
@@ -200,6 +220,29 @@ def _contradictions(pattern: PatternAst) -> Iterator[Tuple[Comparison, str]]:
                        f"{field_name} == {_render_value(eq.value)} and "
                        f"{field_name} != {_render_value(ne.value)} can never "
                        "both hold")
+        if not isinstance(eq.value, Literal):
+            continue
+        for cmp_cond in ord_by_field.get(field_name, []):
+            try:
+                satisfied = CMP_FNS[cmp_cond.op](
+                    eq.value.value, cmp_cond.value.value)
+            except TypeError:
+                continue
+            if not satisfied:
+                yield (cmp_cond,
+                       f"{field_name} == {_render_value(eq.value)} and "
+                       f"{field_name} {cmp_cond.op} "
+                       f"{_render_value(cmp_cond.value)} can never both hold")
+    for field_name, conds in ord_by_field.items():
+        for i, first in enumerate(conds):
+            for second in conds[i + 1:]:
+                if _ordered_pair_empty(first, second):
+                    yield (second,
+                           f"{field_name} {first.op} "
+                           f"{_render_value(first.value)} and "
+                           f"{field_name} {second.op} "
+                           f"{_render_value(second.value)} can never both "
+                           "hold")
 
 
 def _render_value(value) -> str:

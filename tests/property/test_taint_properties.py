@@ -1,0 +1,94 @@
+"""Property-based tests for the taint pass (repro.lint.taint).
+
+The load-bearing invariant is *monotonicity under guard strengthening*:
+adding conjuncts to a ``where`` clause can only pin more, never less, so
+a variable's taint label may fall (attacker-controlled -> trusted ->
+constant) but never rise, and the worst-case instance bound may shrink
+but never grow.  The lint's L017 verdict is trustworthy exactly because
+an author cannot *worsen* a property's taint by guarding it harder.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse_one
+from repro.lint.taint import analyze_taint, label_rank
+
+#: (field, literal) pairs an equality guard can pin — typed so the
+#: generated sources stay parseable and value-comparable
+PINNABLE = [
+    ("ipv4.src", "10.0.0.1"),
+    ("ipv4.dst", "10.0.0.2"),
+    ("tcp.src", "4242"),
+    ("tcp.dst", "22"),
+    ("udp.src", "5353"),
+    ("in_port", "3"),
+    ("dhcp.xid", "7"),
+]
+
+BINDABLE = [field for field, _ in PINNABLE]
+
+
+@st.composite
+def stage0_cases(draw):
+    """(base source, strengthened source) differing only by extra
+    stage-0 equality guards."""
+    bind_fields = draw(st.lists(
+        st.sampled_from(BINDABLE), min_size=1, max_size=3, unique=True))
+    binds = ", ".join(
+        f"V{i} = {field}" for i, field in enumerate(bind_fields))
+    base_pins = draw(st.lists(
+        st.sampled_from(PINNABLE), max_size=2, unique_by=lambda p: p[0]))
+    extra_pins = draw(st.lists(
+        st.sampled_from(PINNABLE), min_size=1, max_size=3,
+        unique_by=lambda p: p[0]))
+
+    def source(pins):
+        guards = [f"{field} == {value}" for field, value in pins]
+        where = (f"    where {' and '.join(guards)}\n" if guards else "")
+        return (
+            f'property p "generated"\n'
+            f"key {', '.join(f'V{i}' for i in range(len(bind_fields)))}\n"
+            f"observe a : arrival\n"
+            f"{where}"
+            f"    bind {binds}\n"
+            f"observe b : arrival\n"
+            f"    where tcp.dst == 1\n"
+        )
+
+    # strengthening = the base guards plus at least one more conjunct
+    merged = {field: value for field, value in base_pins}
+    for field, value in extra_pins:
+        merged.setdefault(field, value)
+    return source(base_pins), source(sorted(merged.items()))
+
+
+class TestMonotonicity:
+    @given(stage0_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_strengthening_never_raises_a_label(self, case):
+        base_src, strong_src = case
+        base = analyze_taint(parse_one(base_src))
+        strong = analyze_taint(parse_one(strong_src))
+        for var, taint in strong.labels.items():
+            assert label_rank(taint.label) <= label_rank(
+                base.labels[var].label), (
+                f"${var} rose from {base.labels[var].label} to "
+                f"{taint.label} when guards were added")
+
+    @given(stage0_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_strengthening_never_grows_the_bound(self, case):
+        base_src, strong_src = case
+        base = analyze_taint(parse_one(base_src))
+        strong = analyze_taint(parse_one(strong_src))
+        assert strong.instance_bound <= base.instance_bound
+
+    @given(stage0_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_key_label_tracks_the_max_key_var(self, case):
+        for src in case:
+            report = analyze_taint(parse_one(src))
+            ranks = [label_rank(report.labels[v].label)
+                     for v in report.key_vars if v in report.labels]
+            assert label_rank(report.key_label) == max(ranks)

@@ -56,7 +56,9 @@ observe open : arrival
     def test_related_positions_point_at_both_sites(self):
         (diag,) = findings(PINNED_EQ_NE)
         assert len(diag.related) == 2
-        conflicting, pin_site = diag.related
+        # related notes render in source order: the earlier stage's bind
+        # precedes the conflicting guard on the later stage
+        pin_site, conflicting = diag.related
         assert "conflicts with the guard" in conflicting.message
         assert pin_site.line < diag.line  # the earlier stage's bind
         assert "pinned here" in pin_site.message

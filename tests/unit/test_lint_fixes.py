@@ -53,20 +53,64 @@ class TestGoldenRewrite:
         assert not hits, hits
 
 
-class TestSkipConditions:
-    def test_commented_property_is_skipped(self):
+class TestCommentPreservation:
+    def test_commented_property_is_fixed_and_keeps_the_comment(self):
         source = (
-            'property p "comment blocks the rewrite"\n'
+            'property p "comments survive the rewrite"\n'
             "key D\n"
             "observe a : arrival\n"
-            "    # this comment would be lost\n"
+            "    # this comment must survive\n"
             "    where in_port == 1 and in_port == 1\n"
             "    bind D = eth.src\n")
         result = fix_source(source)
-        assert result.source == source
-        (skip,) = result.skipped
-        assert skip.prop == "p"
-        assert "comments" in skip.reason
+        assert result.changed
+        assert not result.skipped
+        lines = result.source.splitlines()
+        comment_at = lines.index("    # this comment must survive")
+        # still anchored to the (now deduplicated) guard line below it
+        assert "in_port == 1" in lines[comment_at + 1]
+        assert result.source.count("in_port == 1") == 1
+        # and the rewrite has reached its fixpoint
+        again = fix_source(result.source)
+        assert again.source == result.source and not again.fixes
+
+    def test_suppressed_fix_is_not_applied(self):
+        # A silenced diagnostic means the syntax is intentional: --fix
+        # drops the (unsuppressed) L004 repeat but must keep the bind
+        # whose L002 the author disabled — with its annotation intact.
+        source = (
+            'property p "suppressions keep working after --fix"\n'
+            "key D\n"
+            "observe a : arrival\n"
+            "    where in_port == 1 and in_port == 1\n"
+            "    bind D = eth.src, x = tcp.src  # lint: disable=L002\n")
+        result = fix_source(source)
+        assert {f.code for f in result.fixes} == {"L004"}
+        (bind_line,) = [l for l in result.source.splitlines()
+                        if "x = tcp.src" in l]
+        assert bind_line.rstrip().endswith("# lint: disable=L002")
+        report = lint_source(result.source)
+        assert not [d for d in report.all_diagnostics() if d.code == "L002"]
+
+    def test_comment_on_a_rewritten_line_is_not_dropped(self):
+        source = (
+            'property p "the anchor line itself gets rewritten"\n'
+            "key D\n"
+            "observe a : arrival\n"
+            "    where in_port == 1\n"
+            "    # explains the bind below\n"
+            "    bind D = eth.src, x = tcp.src\n")
+        result = fix_source(source)
+        assert result.changed  # the unused bind x was dropped
+        assert "x = tcp.src" not in result.source
+        # the anchor line was rewritten under the comment; it re-anchors
+        # to the surviving bind line instead of vanishing
+        lines = result.source.splitlines()
+        comment_at = lines.index("    # explains the bind below")
+        assert lines[comment_at + 1].strip() == "bind D = eth.src"
+
+
+class TestSkipConditions:
 
     def test_unparseable_source_is_left_alone(self):
         source = "property broken\nobserve s : zebra\n"

@@ -1,0 +1,286 @@
+"""The taint / resource-bound pass (repro.lint.taint): rules L017-L019."""
+
+from repro.core.degradation import (
+    DEFAULT_INSTANCE_CAP,
+    EVICT_LRU,
+    EVICT_REJECT,
+    suggested_policy,
+)
+from repro.core.features import ATTACKER_CONTROLLED, TRUSTED, field_provenance
+from repro.lang.parser import parse_one
+from repro.lint import lint_source
+from repro.lint.taint import (
+    CONSTANT,
+    MAX_BOUND,
+    analyze_taint,
+    label_rank,
+    taint_diagnostics,
+)
+
+import pytest
+
+
+def analyze(source):
+    ast = parse_one(source)
+    report = analyze_taint(ast)
+    return report, taint_diagnostics(ast, report)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+FLOODABLE = """\
+property flood "fully attacker-keyed"
+key A, P
+observe start : arrival
+    bind A = ipv4.src, P = tcp.src
+observe finish : arrival
+    where ipv4.src == $A and tcp.src == $P
+"""
+
+
+class TestLabels:
+    def test_header_bind_is_attacker_controlled(self):
+        report, _ = analyze(FLOODABLE)
+        assert report.labels["A"].label == ATTACKER_CONTROLLED
+        assert report.labels["P"].label == ATTACKER_CONTROLLED
+        assert report.key_label == ATTACKER_CONTROLLED
+
+    def test_trusted_field_bind_is_trusted(self):
+        report, _ = analyze("""\
+property p "switch-supplied key"
+key PORT
+observe a : arrival
+    bind PORT = in_port
+observe b : arrival
+    where tcp.src == 80
+""")
+        assert report.labels["PORT"].label == TRUSTED
+
+    def test_guard_pinned_bind_is_constant(self):
+        report, _ = analyze("""\
+property p "pinned key"
+key D
+observe a : arrival
+    where tcp.dst == 22
+    bind D = tcp.dst
+observe b : arrival
+    where tcp.src == 22
+""")
+        assert report.labels["D"].label == CONSTANT
+        assert report.labels["D"].cardinality() == 1
+
+    def test_alias_inherits_the_source_label(self):
+        report, _ = analyze("""\
+property p "alias flows"
+key D
+observe a : arrival
+    where tcp.dst == 22
+    bind D = tcp.dst
+observe b : arrival
+    where tcp.src == $D
+    bind E = tcp.src
+observe c : arrival
+    where tcp.dst == $E
+""")
+        assert report.labels["E"].label == CONSTANT
+
+    def test_unknown_fields_default_to_attacker_controlled(self):
+        # conservative: anything the provenance table does not know is
+        # assumed to be sender-controlled
+        assert field_provenance("made.up.field") == ATTACKER_CONTROLLED
+
+    def test_label_order_is_total(self):
+        assert (label_rank(CONSTANT) < label_rank(TRUSTED)
+                < label_rank(ATTACKER_CONTROLLED))
+
+
+class TestL017:
+    def test_fires_when_every_key_var_is_attacker_controlled(self):
+        _, diags = analyze(FLOODABLE)
+        (l017,) = [d for d in diags if d.code == "L017"]
+        assert "entirely attacker-controlled" in l017.message
+        # the derivation chain names every key variable
+        notes = " ".join(n.message for n in l017.related)
+        assert "$A" in notes and "$P" in notes
+
+    def test_silent_when_one_key_var_is_pinned(self):
+        # the lb-catalog calibration: vip pinned to the service address
+        # spares the property even though the client half is attacker-run
+        _, diags = analyze("""\
+property lb "half the key is pinned"
+key CLIENT, VIP
+observe req : arrival
+    where ipv4.dst == 10.0.0.100
+    bind CLIENT = ipv4.src, VIP = ipv4.dst
+observe resp : arrival
+    where ipv4.src == $VIP and ipv4.dst == $CLIENT
+""")
+        assert "L017" not in codes(diags)
+
+    def test_silent_when_the_key_is_trusted(self):
+        _, diags = analyze("""\
+property p "switch-keyed"
+key PORT
+observe a : arrival
+    bind PORT = in_port
+observe b : arrival
+    where tcp.src == 80
+""")
+        assert "L017" not in codes(diags)
+
+    def test_silent_when_stage0_is_not_a_packet_event(self):
+        _, diags = analyze("""\
+property p "oob-opened"
+key PORT
+observe down : oob
+    bind PORT = oob.port
+observe later : arrival
+    where tcp.src == 80
+""")
+        assert "L017" not in codes(diags)
+
+
+class TestL018:
+    SOURCE = """\
+property paced "refreshable deadline"
+key PORT
+observe request : arrival
+    where tcp.dst == 7001
+    bind PORT = in_port
+absent reply : arrival within 5 refresh on_prior
+    where tcp.src == 7001
+"""
+
+    def test_fires_on_attacker_opened_deadline(self):
+        _, diags = analyze(self.SOURCE)
+        (l018,) = [d for d in diags if d.code == "L018"]
+        assert "within 5" in l018.message
+        assert "refresh on_prior" in l018.message
+        assert any("attacker-matchable" in n.message for n in l018.related)
+
+    def test_silent_when_the_opener_needs_a_predicate(self):
+        _, diags = analyze("""\
+property p "opaque opener"
+key D
+observe request : arrival
+    where @internal
+    bind D = ipv4.src
+absent reply : arrival within 5
+    where tcp.src == 7001
+""")
+        assert "L018" not in codes(diags)
+
+    def test_silent_when_the_opener_matches_trusted_fields(self):
+        _, diags = analyze("""\
+property p "the network must cooperate"
+key D
+observe request : arrival
+    where in_port == 3
+    bind D = ipv4.src
+absent reply : arrival within 5
+    where tcp.src == 7001
+""")
+        assert "L018" not in codes(diags)
+
+
+class TestL019:
+    def test_fires_when_the_whole_path_is_forgeable(self):
+        _, diags = analyze(FLOODABLE)
+        (l019,) = [d for d in diags if d.code == "L019"]
+        assert "spoofable" in l019.message
+        assert len(l019.related) == 2  # one note per stage
+
+    def test_silent_when_the_violation_is_an_absence(self):
+        _, diags = analyze(TestL018.SOURCE)
+        assert "L019" not in codes(diags)
+
+    def test_silent_when_a_stage_needs_the_switch(self):
+        _, diags = analyze("""\
+property p "egress needs the pipeline"
+key D
+observe a : arrival
+    bind D = ipv4.src
+observe b : egress
+    where ipv4.src == $D
+""")
+        assert "L019" not in codes(diags)
+
+
+class TestResourceBounds:
+    def test_bound_is_key_cardinality_product(self):
+        report, _ = analyze("""\
+property p "one 16-bit key var"
+key P
+observe a : arrival
+    bind P = tcp.src
+observe b : arrival
+    where tcp.src == $P
+""")
+        assert report.instance_bound == 1 << 16
+        assert not report.capped
+
+    def test_wide_keys_cap_at_max_bound(self):
+        report, _ = analyze(FLOODABLE)  # 32-bit ip x 16-bit port is fine
+        assert report.instance_bound == (1 << 32) * (1 << 16)
+        report, _ = analyze("""\
+property p "two macs saturate"
+key A, B
+observe a : arrival
+    bind A = eth.src, B = eth.dst
+observe b : arrival
+    where eth.src == $A and eth.dst == $B
+""")
+        assert report.capped
+        assert report.instance_bound == MAX_BOUND
+
+    def test_interval_facts_shrink_the_bound(self):
+        report, _ = analyze("""\
+property p "range-bounded key"
+key P
+observe knock : arrival
+    where tcp.dst >= 7000 and tcp.dst < 7008
+    bind P = tcp.dst
+observe open : arrival
+    where tcp.dst == $P
+""")
+        assert report.labels["P"].cardinality() == 8
+        assert report.instance_bound == 8
+
+    def test_suggested_cap_rides_the_json_report(self):
+        report = lint_source(FLOODABLE)
+        (prop,) = report.properties
+        taint = prop.taint
+        assert taint.suggested_max_instances == DEFAULT_INSTANCE_CAP
+
+    def test_suggested_policy_shape(self):
+        policy = suggested_policy(1 << 40, attacker_keyed=True)
+        assert policy.max_instances == DEFAULT_INSTANCE_CAP
+        assert policy.eviction == EVICT_LRU
+        small = suggested_policy(100, attacker_keyed=False)
+        assert small.max_instances == 100
+        assert small.eviction == EVICT_REJECT
+        with pytest.raises(ValueError):
+            suggested_policy(0)
+
+
+class TestEngineWiring:
+    def test_taint_report_attached_to_property_report(self):
+        report = lint_source(FLOODABLE)
+        (prop,) = report.properties
+        assert prop.taint is not None
+        assert prop.taint.key_vars == ("A", "P")
+
+    def test_taint_pass_can_be_disabled(self):
+        from repro.lint import LintOptions
+
+        report = lint_source(FLOODABLE, options=LintOptions(taint=False))
+        assert not [d for d in report.all_diagnostics()
+                    if d.code in ("L017", "L018", "L019")]
+
+    def test_related_notes_are_position_sorted(self):
+        _, diags = analyze(FLOODABLE)
+        for diag in diags:
+            positions = [(n.line, n.column) for n in diag.related]
+            assert positions == sorted(positions)
