@@ -1,0 +1,117 @@
+"""Experiment S1 — live ingest throughput vs. the direct hot path.
+
+``repro serve`` puts a socket, a JSON parse, a bounded queue, and an
+event loop between the wire and ``observe_batch``.  This bench prices
+that plumbing: the same recorded trace is (a) dispatched straight into
+a catalog monitor via ``observe_batch`` — the replay upper bound — and
+(b) streamed over a real TCP socket into a running :class:`ServeDaemon`
+until the monitor has observed every event.  Alongside the two
+events/sec figures it captures the ingest queue-depth histogram
+(``repro_serve_queue_depth_at_enqueue``), which shows how deep the
+backlog actually ran while the flood was in progress.
+
+Results land in ``BENCH_serve.json`` next to the working directory so
+CI can archive them.  ``REPRO_BENCH_EVENTS`` reduces the stream length
+for smoke runs.
+"""
+
+import json
+import os
+import time
+
+from repro.netsim import TraceRecorder, single_switch_network
+from repro.netsim.serialize import read_trace, save_trace
+from repro.netsim.workload import l2_pairs, send_all
+from repro.resilience import build_monitor
+from repro.serve import ServeConfig, ServeDaemon, serve_in_thread, stream_trace
+from repro.switch.pipeline import MissPolicy
+
+NUM_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "1500"))
+OUT_PATH = os.environ.get("REPRO_BENCH_SERVE_OUT", "BENCH_serve.json")
+
+
+def record_trace(path):
+    """A learning-switch trace of roughly NUM_EVENTS tap events."""
+    from repro.apps import LearningSwitchApp, sometimes
+
+    hosts_n = 8
+    packets = max(20, NUM_EVENTS // 3)
+    net, switch, hosts = single_switch_network(
+        hosts_n, switch_kwargs={"miss_policy": MissPolicy.CONTROLLER})
+    switch.set_app(LearningSwitchApp(faults=sometimes("wrong_port", 0.1,
+                                                      seed=5)))
+    recorder = TraceRecorder()
+    switch.add_tap(recorder)
+    send_all(hosts, l2_pairs(hosts_n, packets, seed=5))
+    net.run()
+    save_trace(recorder.events, path)
+    return len(recorder.events)
+
+
+def wait_until(predicate, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def test_serve_ingest_vs_direct(tmp_path):
+    trace_path = str(tmp_path / "bench-trace.jsonl")
+    total = record_trace(trace_path)
+    events = read_trace(trace_path)
+    assert len(events) == total
+
+    # (a) Direct: the replay upper bound, no sockets, no queue.
+    direct_monitor = build_monitor()
+    start = time.perf_counter()
+    direct_monitor.observe_batch(events)
+    direct_elapsed = time.perf_counter() - start
+    direct_eps = total / direct_elapsed if direct_elapsed > 0 else float("inf")
+
+    # (b) Live: flood the daemon over TCP, stop the clock when the
+    # monitor has seen everything.  Tracing off and a long poll interval
+    # keep this a measurement of the ingest plumbing itself.
+    daemon = ServeDaemon(ServeConfig(
+        port=0, ingest=("tcp:0",), poll_interval=30.0, trace_buffer=0,
+        max_queue=max(4096, total)))
+    handle = serve_in_thread(daemon)
+    start = time.perf_counter()
+    result = stream_trace(trace_path, "127.0.0.1", daemon.ingest_ports[0],
+                          rate=0)
+    assert wait_until(lambda: daemon.monitor.stats.events >= total)
+    serve_elapsed = time.perf_counter() - start
+    serve_eps = total / serve_elapsed if serve_elapsed > 0 else float("inf")
+
+    depth_hist = daemon.registry.histogram(
+        "repro_serve_queue_depth_at_enqueue")
+    depth_buckets = [[le, n] for le, n in depth_hist.cumulative()]
+    report = handle.stop()
+
+    assert result.events == total
+    assert report.events_ingested == total
+    assert report.events_observed == total
+    assert report.events_shed == 0
+
+    payload = {
+        "events": total,
+        "direct": {"seconds": direct_elapsed, "events_per_sec": direct_eps},
+        "serve": {"seconds": serve_elapsed, "events_per_sec": serve_eps,
+                  "send_achieved_rate": result.achieved_rate},
+        "overhead_ratio": (direct_eps / serve_eps if serve_eps else None),
+        "queue_depth_at_enqueue": {
+            "buckets": [[("+Inf" if le == float("inf") else le), n]
+                        for le, n in depth_buckets],
+            "max": depth_hist.max,
+            "mean": (depth_hist.sum / depth_hist.count
+                     if depth_hist.count else None),
+        },
+        "final_report": report.to_dict(),
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"\ndirect {direct_eps:,.0f} ev/s | serve {serve_eps:,.0f} ev/s "
+          f"| ratio {direct_eps / serve_eps:.1f}x "
+          f"| peak queue depth {depth_hist.max}")

@@ -21,6 +21,15 @@
                                         # replay the Table-1 catalog under a
                                         #   fault profile; report detection
                                         #   degradation vs. a clean run
+    python -m repro serve [--port P --ingest tcp:PORT|pipe:PATH ...]
+                                        # live daemon: stream frames in over
+                                        #   TCP/pipes, scrape /metrics,
+                                        #   /stats, /healthz, /readyz, /trace;
+                                        #   SIGTERM drains and reports
+    python -m repro send TRACE [--host H --port P --rate R --repeat N]
+                                        # stream a recorded trace into a
+                                        #   running serve daemon at a target
+                                        #   event rate
 
 Named predicates available to DSL files via ``check``/``replay``:
 ``@internal`` (RFC1918 source, public destination), ``@tcp_syn``,
@@ -425,6 +434,61 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeConfig, ServeDaemon, render_serve_report
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            ingest=tuple(args.ingest or ["tcp:9801"]),
+            max_queue=args.max_queue,
+            poll_interval=args.poll_interval,
+            chaos_profile=args.chaos_profile,
+            trace_buffer=args.trace_buffer,
+            spans_path=args.spans,
+            report_path=args.report,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    daemon = ServeDaemon(config)
+
+    def banner(d: ServeDaemon) -> None:
+        ingest = ", ".join(
+            [f"tcp:{port}" for port in d.ingest_ports]
+            + [spec for spec in config.ingest if spec.startswith("pipe:")])
+        print(f"serving http://{config.host}:{d.http_port} "
+              f"(profile={config.chaos_profile}, ingest {ingest}); "
+              f"SIGTERM or Ctrl-C drains and reports", file=sys.stderr)
+
+    daemon.on_started = banner
+    report = asyncio.run(daemon.run())
+    print(render_serve_report(report))
+    if args.report:
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0
+
+
+def cmd_send(args: argparse.Namespace) -> int:
+    from .serve import stream_trace
+
+    try:
+        result = stream_trace(args.trace, args.host, args.port,
+                              rate=args.rate, repeat=args.repeat)
+    except ConnectionRefusedError:
+        print(f"error: nothing listening on {args.host}:{args.port} "
+              "(is `repro serve` running?)", file=sys.stderr)
+        return 1
+    rate = ("unpaced" if result.target_rate == 0
+            else f"target {result.target_rate:g} ev/s")
+    print(f"sent {result.events} events in {result.duration:.3f}s "
+          f"({result.achieved_rate:.0f} ev/s, {rate})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -539,6 +603,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "(L017/L018) instead of replaying a fault "
                             "profile")
     chaos.set_defaults(fn=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="live monitor daemon: stream events in, scrape metrics out")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for HTTP and TCP ingest "
+                            "(default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9800,
+                       help="HTTP observability port: /metrics /stats "
+                            "/healthz /readyz /trace (default: 9800; "
+                            "0 picks an ephemeral port)")
+    serve.add_argument("--ingest", action="append", default=None,
+                       metavar="tcp:PORT|pipe:PATH",
+                       help="event source; repeatable (default: tcp:9801). "
+                            "tcp:0 picks an ephemeral port; pipe:PATH "
+                            "tails newline-JSON frames from a file or FIFO")
+    serve.add_argument("--chaos-profile", default="clean",
+                       choices=sorted(_chaos_profile_names()),
+                       help="run the monitor under a fault profile's "
+                            "degradation policy (default: clean)")
+    serve.add_argument("--max-queue", type=int, default=4096,
+                       help="ingest queue bound; frames beyond it are shed "
+                            "into the overflow ledger (default: 4096)")
+    serve.add_argument("--poll-interval", type=float, default=1.0,
+                       help="gauge sampling period in wall seconds "
+                            "(default: 1.0)")
+    serve.add_argument("--trace-buffer", type=int, default=512,
+                       help="spans kept for /trace, newest first "
+                            "(default: 512)")
+    serve.add_argument("--spans", default=None, metavar="SPANS.jsonl",
+                       help="also append every closed span to this JSONL "
+                            "file (crash-safe, one line per span)")
+    serve.add_argument("--report", default=None, metavar="OUT",
+                       help="write the final degradation report as JSON "
+                            "on shutdown")
+    serve.set_defaults(fn=cmd_serve)
+
+    send = sub.add_parser(
+        "send", help="stream a recorded trace into a running serve daemon")
+    send.add_argument("trace", help="JSONL trace file (from `repro record`)")
+    send.add_argument("--host", default="127.0.0.1",
+                      help="daemon address (default: 127.0.0.1)")
+    send.add_argument("--port", type=int, default=9801,
+                      help="daemon TCP ingest port (default: 9801)")
+    send.add_argument("--rate", type=float, default=0.0,
+                      help="target events/second; 0 = as fast as the "
+                           "socket accepts (default: 0)")
+    send.add_argument("--repeat", type=int, default=1,
+                      help="stream the whole trace N times (default: 1)")
+    send.set_defaults(fn=cmd_send)
     return parser
 
 

@@ -303,6 +303,8 @@ class Monitor:
         self._retry: List[Tuple[float, int, int, float, _Op]] = []
         self._retry_seq = itertools.count()
         self._now = 0.0
+        #: set by start(); None for replay monitors that never start()
+        self.started_at: Optional[float] = None
 
     def _init_instruments(self) -> None:
         """Cache hot-path instrument handles (no per-event dict lookups)."""
@@ -1067,6 +1069,60 @@ class Monitor:
             total += live
             self._prop_live_gauges[name].set(float(live))
         self._g_live.set(float(total))
+
+    # -- lifecycle (the serve daemon's start/drain/stop contract) --------------------
+    def start(self, now: float = 0.0) -> None:
+        """Mark the monitor live at ``now`` (a long-running process's t0).
+
+        Replay never needs this — the first event's timestamp starts the
+        clock implicitly.  A daemon does: it records when monitoring
+        began so the final report can bound the covered interval even if
+        the first event arrives much later (or never).
+        """
+        self.started_at = now
+        self.advance_to(now)
+
+    def drain(self, until: Optional[float] = None) -> int:
+        """Apply every deferred op and due timer; returns ops left.
+
+        With no horizon, time advances just far enough to flush the
+        split-mode pending queue and retry queue (retries may re-enqueue
+        with backoff, so this loops until both are empty).  A nonzero
+        return means ``until`` cut the drain short.
+        """
+        if until is not None:
+            self.advance_to(until)
+            return self.pending_op_count()
+        while self._pending or self._retry:
+            horizon = max(
+                [t for t, _, _ in self._pending]
+                + [t for t, _, _, _, _ in self._retry]
+            )
+            self.advance_to(max(horizon, self._now))
+        return 0
+
+    def stop(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Drain, close trace spans, and return the lifecycle summary.
+
+        The summary is what ``repro serve`` folds into its final
+        degradation report: totals, the overflow ledger's digest, and
+        the uncertainty interval around the observed violation count.
+        """
+        remaining = self.drain(until=None if now is None else max(now, self._now))
+        if now is not None and now > self._now:
+            self.advance_to(now)
+        self.tracer.close_all(self._now)
+        observed = len(self.violations)
+        return {
+            "started_at": self.started_at,
+            "stopped_at": self._now,
+            "events": self.stats.events,
+            "violations": observed,
+            "violations_interval": list(self.ledger.interval(observed)),
+            "live_instances": self.live_instances(),
+            "pending_ops": remaining,
+            "ledger": self.ledger.summary(),
+        }
 
     # -- conveniences ------------------------------------------------------------------
     def attach(self, switch) -> None:

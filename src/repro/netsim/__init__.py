@@ -12,7 +12,7 @@ from .chaos import (
     install_host_chaos,
     install_link_chaos,
 )
-from .clock import ClockError, VirtualClock
+from .clock import ClockError, VirtualClock, WallClock
 from .scheduler import EventScheduler, ScheduledEvent, SchedulerTruncationError
 from .topology import Host, Network, SwitchLink, single_switch_network
 from .serialize import (
@@ -48,6 +48,7 @@ __all__ = [
     "install_link_chaos",
     "ClockError",
     "VirtualClock",
+    "WallClock",
     "EventScheduler",
     "ScheduledEvent",
     "SchedulerTruncationError",

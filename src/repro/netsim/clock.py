@@ -1,4 +1,4 @@
-"""Virtual time for deterministic simulation.
+"""Virtual time for deterministic simulation — and its wall-clock twin.
 
 Every component in the reproduction — the switch pipeline, the monitor's
 timer wheel, workload generators — reads time from a :class:`VirtualClock`
@@ -9,9 +9,19 @@ timeout action ran.
 
 Time is a float number of seconds since simulation start.  The clock is
 monotonic by construction: it can only be advanced.
+
+:class:`WallClock` is the live-daemon counterpart: the same ``now()``
+shape, but backed by a monotonic real-time source and re-zeroed at
+construction, so ``repro serve`` timestamps ("seconds since the daemon
+started") read exactly like replay timestamps ("seconds since the
+simulation started").  The source is injectable, which is how the test
+suite drives "wall" time deterministically.
 """
 
 from __future__ import annotations
+
+import time
+from typing import Callable, Optional
 
 
 class ClockError(Exception):
@@ -63,3 +73,38 @@ class VirtualClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualClock(now={self._now!r})"
+
+
+class WallClock:
+    """Monotonic wall time, zeroed at construction.
+
+    Shares :class:`VirtualClock`'s read interface (``now()`` in float
+    seconds, never decreasing) but advances on its own: real time passes
+    whether or not anything calls it.  ``source`` defaults to
+    :func:`time.monotonic`; tests inject a fake to script the passage of
+    wall time.
+
+    >>> ticks = iter([100.0, 100.25, 107.5])
+    >>> clock = WallClock(source=lambda: next(ticks))
+    >>> clock.now()
+    0.25
+    >>> clock.now()
+    7.5
+    """
+
+    __slots__ = ("_source", "_epoch", "_last")
+
+    def __init__(self, source: Optional[Callable[[], float]] = None) -> None:
+        self._source = source if source is not None else time.monotonic
+        self._epoch = self._source()
+        self._last = 0.0
+
+    def now(self) -> float:
+        """Seconds since this clock was created (monotonic, >= 0)."""
+        elapsed = self._source() - self._epoch
+        if elapsed > self._last:
+            self._last = elapsed
+        return self._last
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WallClock(now={self.now()!r})"

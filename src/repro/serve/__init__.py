@@ -1,0 +1,40 @@
+"""The live controller daemon — ``repro serve`` and friends.
+
+Everything else in the reproduction replays recorded traces on the
+virtual clock; this package is the long-running counterpart.  A
+:class:`ServeDaemon` ingests serialized event frames (the
+``netsim/serialize.py`` JSONL format) from TCP sockets and newline-JSON
+pipes into a bounded :class:`IngestQueue` with explicit backpressure —
+accept/shed decisions land in the monitor's
+:class:`~repro.core.degradation.OverflowLedger`, so overload degrades
+into a detection-uncertainty interval instead of silent loss — and
+dispatches them through the compiled ``observe_batch`` hot path.  An
+HTTP observability plane (stdlib only) exposes ``/metrics`` (Prometheus
+text), ``/stats`` (JSON), ``/healthz`` + ``/readyz`` (liveness vs.
+queue-pressure readiness), and ``/trace`` (recent spans from the
+tracer's ring buffer).  SIGTERM drains the queue and emits a final
+:class:`ServeDegradationReport`.
+
+``stream_trace`` is the client half (``repro send``): pace a recorded
+trace at a target event rate into a running daemon, for demos,
+benchmarks, and the CI smoke job.
+"""
+
+from .daemon import DaemonHandle, ServeConfig, ServeDaemon, serve_in_thread
+from .ingest import FrameError, IngestQueue, parse_frame
+from .report import ServeDegradationReport, render_serve_report
+from .send import SendResult, stream_trace
+
+__all__ = [
+    "DaemonHandle",
+    "FrameError",
+    "IngestQueue",
+    "SendResult",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeDegradationReport",
+    "parse_frame",
+    "render_serve_report",
+    "serve_in_thread",
+    "stream_trace",
+]

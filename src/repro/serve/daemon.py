@@ -1,0 +1,483 @@
+"""The live controller daemon behind ``repro serve``.
+
+One asyncio event loop owns everything: TCP ingest servers and pipe
+readers feed frames into the bounded :class:`~repro.serve.ingest.IngestQueue`;
+a dispatcher coroutine drains it in batches through the monitor's
+compiled ``observe_batch`` hot path; a poller coroutine drives
+:class:`~repro.telemetry.StatsPoller` on the wall clock; and the HTTP
+plane answers ``/metrics``, ``/stats``, ``/healthz``, ``/readyz`` and
+``/trace`` between batches.  Single-loop concurrency is the point —
+the monitor is single-threaded by design (it models one switch-local
+monitor), so nothing here needs a lock.
+
+Shutdown is a drain, not a kill: SIGTERM (or :meth:`ServeDaemon.request_stop`)
+closes the ingest listeners, lets the dispatcher empty the queue, runs
+``Monitor.stop()`` (which drains deferred split-mode ops and closes
+spans), takes one final stats sample, and emits a
+:class:`~repro.serve.report.ServeDegradationReport` with the
+detection-uncertainty interval for everything that was shed along the
+way.
+
+Tests and benchmarks run the daemon with :func:`serve_in_thread`, which
+boots the loop in a background thread and hands back a
+:class:`DaemonHandle` whose ``stop()`` returns the final report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core.monitor import Monitor
+from ..netsim.chaos import PROFILES
+from ..netsim.clock import WallClock
+from ..resilience import build_monitor
+from ..telemetry import (
+    MetricsRegistry,
+    NullTracer,
+    SpanWriter,
+    StatsPoller,
+    Tracer,
+    render_prometheus,
+)
+from .http import HttpPlane, json_response, start_http
+from .ingest import FrameError, IngestQueue, parse_frame
+from .report import ServeDegradationReport
+
+
+def parse_ingest_spec(spec: str) -> Tuple[str, object]:
+    """``"tcp:PORT"`` → ``("tcp", port)``; ``"pipe:PATH"`` → ``("pipe", path)``."""
+    kind, sep, rest = spec.partition(":")
+    if not sep or not rest:
+        raise ValueError(f"ingest spec {spec!r} must be tcp:PORT or pipe:PATH")
+    if kind == "tcp":
+        try:
+            return ("tcp", int(rest))
+        except ValueError as exc:
+            raise ValueError(f"ingest spec {spec!r}: bad port {rest!r}") from exc
+    if kind == "pipe":
+        return ("pipe", rest)
+    raise ValueError(f"ingest spec {spec!r}: unknown kind {kind!r}")
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` takes on the command line."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # HTTP plane; 0 = ephemeral
+    ingest: Tuple[str, ...] = ("tcp:0",)
+    max_queue: int = 4096
+    batch_max: int = 256
+    poll_interval: float = 1.0
+    chaos_profile: str = "clean"
+    trace_buffer: int = 512
+    spans_path: Optional[str] = None
+    report_path: Optional[str] = None
+    high_mark: float = 0.9
+    low_mark: float = 0.5
+    shed_window: float = 1.0
+    max_layer: int = 7
+    #: Seconds shutdown waits for in-flight ingest connections to finish
+    #: sending before they are forcibly closed.  Already-received frames
+    #: are always dispatched; this bounds how long a slow sender can
+    #: hold the drain open.
+    drain_grace: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.chaos_profile not in PROFILES:
+            raise ValueError(
+                f"unknown chaos profile {self.chaos_profile!r}; "
+                f"choose from {sorted(PROFILES)}")
+        for spec in self.ingest:
+            parse_ingest_spec(spec)  # validate early, fail before boot
+
+
+class ServeDaemon:
+    """A monitor wrapped in an event loop, a queue, and a health plane."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        clock: Optional[WallClock] = None,
+        monitor: Optional[Monitor] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.clock = clock if clock is not None else WallClock()
+        self.registry = MetricsRegistry(time_fn=self.clock.now)
+        if monitor is not None:
+            self.monitor = monitor
+        else:
+            self.monitor = build_monitor(
+                PROFILES[self.config.chaos_profile], registry=self.registry)
+        # trace_buffer 0 disables span emission entirely: /trace serves
+        # nothing and dispatch takes the plain observe_batch path.
+        self.tracer: Tracer = (
+            Tracer(max_spans=self.config.trace_buffer)
+            if self.config.trace_buffer > 0 else NullTracer())
+        self.monitor.tracer = self.tracer
+        self._span_writer: Optional[SpanWriter] = None
+        if self.config.spans_path:
+            self._span_writer = SpanWriter(
+                self.config.spans_path, tracer=self.tracer)
+        self.queue = IngestQueue(
+            self.config.max_queue,
+            ledger=self.monitor.ledger,
+            clock=self.clock.now,
+            registry=self.registry,
+            high_mark=self.config.high_mark,
+            low_mark=self.config.low_mark,
+            shed_window=self.config.shed_window,
+        )
+        self.poller = StatsPoller(
+            self.registry,
+            interval=self.config.poll_interval,
+            clock=self.clock.now,
+        )
+        self._frame_errors = self.registry.counter(
+            "repro_serve_frame_errors_total",
+            help="Ingest lines that failed to parse as event frames.")
+        self._uptime_gauge = self.registry.gauge(
+            "repro_serve_uptime_seconds",
+            help="Seconds since the daemon started.", unit="seconds")
+
+        self.plane = HttpPlane({
+            "/metrics": self._ep_metrics,
+            "/stats": self._ep_stats,
+            "/healthz": self._ep_healthz,
+            "/readyz": self._ep_readyz,
+            "/trace": self._ep_trace,
+        })
+
+        #: Bound ports, filled once :meth:`run` has opened its listeners.
+        self.http_port: Optional[int] = None
+        self.ingest_ports: List[int] = []
+        #: Set once the loop is up and listeners are bound (cross-thread).
+        self.started = threading.Event()
+        #: Optional callback fired (in-loop) once listeners are bound —
+        #: the CLI uses it to print the actual ports under ``--port 0``.
+        self.on_started: Optional[Callable[["ServeDaemon"], None]] = None
+        self.report: Optional[ServeDegradationReport] = None
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._servers: List[asyncio.base_events.Server] = []
+        self._pipe_threads: List[threading.Thread] = []
+        self._conn_tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+    async def run(self) -> ServeDegradationReport:
+        """Boot, serve until stopped, drain, and return the final report."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stopping = asyncio.Event()
+        self._wake = asyncio.Event()
+        self.monitor.start(0.0)
+
+        http_server, self.http_port = await start_http(
+            self.plane, self.config.host, self.config.port)
+        self._servers.append(http_server)
+        for spec in self.config.ingest:
+            kind, arg = parse_ingest_spec(spec)
+            if kind == "tcp":
+                server = await asyncio.start_server(
+                    self._handle_ingest_conn,
+                    host=self.config.host, port=arg)
+                self._servers.append(server)
+                self.ingest_ports.append(server.sockets[0].getsockname()[1])
+            else:
+                self._start_pipe_reader(str(arg))
+
+        installed_signals: List[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_stop)
+                installed_signals.append(signum)
+            except (NotImplementedError, ValueError, RuntimeError):
+                break  # not the main thread (tests) or unsupported platform
+
+        dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        poller = asyncio.ensure_future(self._poll_loop())
+        self.started.set()
+        if self.on_started is not None:
+            self.on_started(self)
+        try:
+            await self._stopping.wait()
+            # Stop accepting: new connections get refused.  In-flight
+            # connections get a bounded grace to finish sending (their
+            # frames still count), then are forcibly closed.
+            for server in self._servers:
+                server.close()
+            for server in self._servers:
+                await server.wait_closed()
+            if self._conn_tasks:
+                _, lingering = await asyncio.wait(
+                    set(self._conn_tasks),
+                    timeout=self.config.drain_grace)
+                for task in lingering:
+                    task.cancel()
+                if lingering:
+                    await asyncio.gather(*lingering, return_exceptions=True)
+            await dispatcher          # exits once the queue is drained
+            await poller
+        finally:
+            for signum in installed_signals:
+                loop.remove_signal_handler(signum)
+        return self._finalize()
+
+    def request_stop(self) -> None:
+        """Begin graceful shutdown; safe to call from any thread."""
+        loop = self._loop
+        if loop is None or self._stopping is None:
+            return
+        def _set() -> None:
+            self._stopping.set()
+            self._wake.set()
+        loop.call_soon_threadsafe(_set)
+
+    def _finalize(self) -> ServeDegradationReport:
+        now = self.clock.now()
+        self._uptime_gauge.set(now)
+        summary = self.monitor.stop(now=now)
+        # One last sample so the poller's tail reflects the drained state.
+        self.poller.sample(now)
+        if self._span_writer is not None:
+            self._span_writer.close()
+        observed = int(summary["events"])
+        lo, hi = summary["violations_interval"]  # type: ignore[misc]
+        self.report = ServeDegradationReport(
+            profile=self.config.chaos_profile,
+            uptime=now,
+            events_ingested=self.queue.accepted,
+            events_shed=self.queue.shed,
+            events_observed=observed,
+            violations=int(summary["violations"]),
+            interval=(int(lo), int(hi)),
+            live_instances=int(summary["live_instances"]),
+            pending_ops=int(summary["pending_ops"]),
+            frame_errors=int(self._frame_errors.value),
+            queue=self.queue.stats(),
+            ledger=dict(summary["ledger"]),  # type: ignore[arg-type]
+            http_requests=self.plane.requests_served,
+        )
+        if self.config.report_path:
+            with open(self.config.report_path, "w", encoding="utf-8") as fp:
+                json.dump(self.report.to_dict(), fp, indent=2, sort_keys=True)
+                fp.write("\n")
+        return self.report
+
+    # -- ingest ------------------------------------------------------------
+    async def _handle_ingest_conn(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        source = f"tcp:{peer[1]}" if isinstance(peer, tuple) else "tcp:?"
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self._offer_line(line, source)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    def _offer_line(self, line: bytes, source: str) -> None:
+        try:
+            event = parse_frame(line, max_layer=self.config.max_layer)
+        except FrameError:
+            self._frame_errors.inc()
+            return
+        if event is None:
+            return  # blank line or trace header
+        self.queue.offer(event, source=source)
+        if self._wake is not None:
+            self._wake.set()
+
+    def _start_pipe_reader(self, path: str) -> None:
+        loop = self._loop
+        assert loop is not None
+
+        def read_pipe() -> None:
+            # Blocking reads in a daemon thread: a FIFO open blocks until
+            # a writer connects, which must not stall the event loop.
+            try:
+                with open(path, "rb") as fp:
+                    for line in fp:
+                        loop.call_soon_threadsafe(
+                            self._offer_line, line, f"pipe:{path}")
+            except OSError:
+                pass  # pipe vanished; the daemon keeps serving
+            except RuntimeError:
+                pass  # loop shut down mid-read; remaining lines are lost
+
+        thread = threading.Thread(
+            target=read_pipe, name=f"repro-serve-pipe:{path}", daemon=True)
+        thread.start()
+        self._pipe_threads.append(thread)
+
+    # -- loop bodies -------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._stopping is not None and self._wake is not None
+        while True:
+            batch = self.queue.take_batch(self.config.batch_max)
+            if batch:
+                self._dispatch(batch)
+                continue
+            if self._stopping.is_set() and not self._conn_tasks:
+                return  # stopped, ingest quiesced, and drained
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=0.05)
+            except asyncio.TimeoutError:
+                pass
+
+    def _dispatch(self, batch: List) -> None:
+        """Feed one batch to the monitor, wrapping each event in a root
+        span so ``/trace`` can answer "what happened to packet uid N?".
+
+        With tracing disabled (``trace_buffer=0``) this is a straight
+        ``observe_batch`` call — the same entry point replay uses.
+        """
+        if not self.tracer.enabled:
+            self.monitor.observe_batch(batch)
+            return
+        tracer = self.tracer
+        monitor = self.monitor
+        for event in batch:
+            packet = getattr(event, "packet", None)
+            root = tracer.start(
+                type(event).__name__, event.time,
+                uid=packet.uid if packet is not None else None,
+                root=True, switch=event.switch_id)
+            monitor.observe(event)
+            tracer.end(root, monitor.now)
+
+    async def _poll_loop(self) -> None:
+        assert self._stopping is not None
+        while not self._stopping.is_set():
+            self._uptime_gauge.set(self.clock.now())
+            self.poller.poll()
+            delay = max(0.01, min(self.poller.seconds_until_due(), 0.25))
+            try:
+                await asyncio.wait_for(self._stopping.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                pass
+
+    # -- endpoints ---------------------------------------------------------
+    def _ep_metrics(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
+        self._uptime_gauge.set(self.clock.now())
+        return (200, "text/plain; version=0.0.4",
+                render_prometheus(self.registry.snapshot()))
+
+    def _ep_stats(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
+        return json_response(200, self.stats_payload())
+
+    def _ep_healthz(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
+        return json_response(200, {
+            "status": "ok",
+            "uptime": self.clock.now(),
+            "profile": self.config.chaos_profile,
+        })
+
+    def _ep_readyz(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
+        reasons = self.queue.unready_reasons()
+        if self._stopping is not None and self._stopping.is_set():
+            reasons = ["shutting down"] + reasons
+        ready = not reasons and self.queue.ready()
+        return json_response(200 if ready else 503, {
+            "ready": ready,
+            "reasons": reasons,
+            "queue": self.queue.stats(),
+        })
+
+    def _ep_trace(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
+        try:
+            limit = int(query.get("limit", "100"))
+            uid = int(query["uid"]) if "uid" in query else None
+        except ValueError:
+            return json_response(400, {"error": "limit/uid must be integers"})
+        spans = self.tracer.recent(limit=limit, uid=uid)
+        return json_response(200, {
+            "count": len(spans),
+            "spans": [span.to_dict() for span in spans],
+        })
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The ``/stats`` body: a live JSON digest of daemon state."""
+        observed_violations = len(self.monitor.violations)
+        return {
+            "time": self.clock.now(),
+            "profile": self.config.chaos_profile,
+            "queue": self.queue.stats(),
+            "frame_errors": int(self._frame_errors.value),
+            "monitor": {
+                "events": int(self.monitor.stats.events),
+                "violations": observed_violations,
+                "interval": list(
+                    self.monitor.ledger.interval(observed_violations)),
+                "live_instances": self.monitor.live_instances(),
+                "pending_ops": self.monitor.pending_op_count(),
+            },
+            "poller_samples": len(self.poller.samples),
+            "http_requests": self.plane.requests_served,
+        }
+
+
+@dataclass
+class DaemonHandle:
+    """A daemon running in a background thread (tests, benchmarks)."""
+
+    daemon: ServeDaemon
+    thread: threading.Thread
+    error: List[BaseException] = field(default_factory=list)
+
+    def stop(self, timeout: float = 30.0) -> ServeDegradationReport:
+        """Request a graceful drain and return the final report."""
+        self.daemon.request_stop()
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("serve daemon did not drain within timeout")
+        if self.error:
+            raise self.error[0]
+        assert self.daemon.report is not None
+        return self.daemon.report
+
+
+def serve_in_thread(
+    daemon: ServeDaemon, start_timeout: float = 10.0
+) -> DaemonHandle:
+    """Boot ``daemon`` in a background thread and wait until it is bound."""
+    errors: List[BaseException] = []
+
+    def target() -> None:
+        try:
+            asyncio.run(daemon.run())
+        except BaseException as exc:  # surfaced by DaemonHandle.stop
+            errors.append(exc)
+
+    thread = threading.Thread(
+        target=target, name="repro-serve", daemon=True)
+    thread.start()
+    if not daemon.started.wait(start_timeout):
+        if errors:
+            raise errors[0]
+        raise RuntimeError("serve daemon failed to start within timeout")
+    return DaemonHandle(daemon=daemon, thread=thread, error=errors)

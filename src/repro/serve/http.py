@@ -1,0 +1,120 @@
+"""A minimal HTTP/1.1 observability plane on raw asyncio streams.
+
+Deliberately not ``http.server``: the daemon already owns an asyncio
+event loop for ingest, and a threaded HTTP server would force locks
+around the monitor.  Serving the four read-only endpoints from the same
+loop means every response is a consistent point-in-time view — the
+snapshot renders between batches, never mid-``observe``.
+
+The protocol subset is exactly what ``curl`` and a Prometheus scraper
+need: request-line + headers in, ``Content-Length``-framed response out,
+``Connection: close`` always (scrape intervals dwarf connection setup,
+and keep-alive bookkeeping is where toy HTTP servers grow bugs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+#: A route handler: ``(query) -> (status, content_type, body)``.
+Handler = Callable[[Mapping[str, str]], Tuple[int, str, str]]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+#: Cap on request head size — this plane serves scrapers, not uploads.
+MAX_REQUEST_BYTES = 16 * 1024
+
+
+def json_response(status: int, payload: object) -> Tuple[int, str, str]:
+    """Helper for handlers returning JSON bodies."""
+    return (status, "application/json",
+            json.dumps(payload, sort_keys=True, indent=2) + "\n")
+
+
+class HttpPlane:
+    """Route table + asyncio connection handler for the health plane."""
+
+    def __init__(self, routes: Optional[Dict[str, Handler]] = None) -> None:
+        self.routes: Dict[str, Handler] = dict(routes or {})
+        self.requests_served = 0
+
+    def route(self, path: str, handler: Handler) -> None:
+        self.routes[path] = handler
+
+    async def handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve exactly one request on this connection, then close."""
+        try:
+            status, content_type, body = await self._respond(reader)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}; charset=utf-8\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n"
+                f"\r\n"
+            ).encode("ascii")
+            writer.write(head + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to clean up but the socket
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, str, str]:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return json_response(400, {"error": "unreadable request"})
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return json_response(400, {"error": "malformed request line"})
+        method, target = parts[0], parts[1]
+        # Drain headers so well-behaved clients are not reset mid-send.
+        consumed = len(request_line)
+        while True:
+            line = await reader.readline()
+            consumed += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if consumed > MAX_REQUEST_BYTES:
+                return json_response(400, {"error": "request head too large"})
+        if method not in ("GET", "HEAD"):
+            return json_response(405, {"error": f"method {method} not allowed"})
+        split = urlsplit(target)
+        handler = self.routes.get(split.path)
+        if handler is None:
+            return json_response(
+                404,
+                {"error": f"no route {split.path}",
+                 "routes": sorted(self.routes)})
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        self.requests_served += 1
+        return handler(query)
+
+
+async def start_http(
+    plane: HttpPlane, host: str, port: int
+) -> Tuple[asyncio.base_events.Server, int]:
+    """Bind the plane; returns ``(server, bound_port)`` (port 0 = pick)."""
+    server = await asyncio.start_server(plane.handle, host=host, port=port)
+    bound = server.sockets[0].getsockname()[1]
+    return server, bound

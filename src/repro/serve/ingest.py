@@ -1,0 +1,212 @@
+"""Bounded ingest with explicit backpressure.
+
+The queue between the network and the monitor is where overload becomes
+*visible* instead of silent.  :class:`IngestQueue` is deliberately dumb:
+a bounded deque whose :meth:`offer` either accepts a frame or sheds it
+— and every shed is recorded in the monitor's
+:class:`~repro.core.degradation.OverflowLedger` with both impact kinds,
+because a missing event can suppress a real violation (a dropped kill
+packet) or fabricate one (a dropped refresh lets a timeout fire).  The
+daemon's ``/readyz`` endpoint and the final degradation report both read
+this queue's accounting; nothing is lost without a ledger entry.
+
+Readiness has hysteresis: the queue goes not-ready when depth crosses
+``high_mark`` (or on any shed) and only returns once depth has fallen
+back under ``low_mark`` *and* no shed has happened for
+``shed_window`` seconds.  That keeps a scraping load balancer from
+flapping a daemon that is oscillating at the edge of its capacity.
+
+Frame parsing (:func:`parse_frame`) wraps ``event_from_dict`` from the
+trace serializer so the wire format of the live daemon is byte-identical
+to the recorded-trace format: anything ``repro record`` wrote can be
+piped straight into a socket.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..core.degradation import IMPACT_FALSE, IMPACT_MISSED, OverflowLedger
+from ..netsim.serialize import TraceFormatError, event_from_dict
+from ..switch.events import DataplaneEvent
+from ..telemetry import LATENCY_BUCKETS, MetricsRegistry, NullRegistry
+
+#: Ledger kind for frames shed at the ingest boundary (before the
+#: monitor ever saw them) — distinct from the monitor's own op-shed
+#: kinds so reports can separate "network overload" from "state
+#: overload".
+SHED_KIND = "ingest-shed"
+
+
+class FrameError(TraceFormatError):
+    """Raised on a line that is neither a frame nor a trace header."""
+
+
+def parse_frame(line: bytes, max_layer: int = 7) -> Optional[DataplaneEvent]:
+    """Decode one newline-JSON frame into a dataplane event.
+
+    Returns ``None`` for blank lines and ``TraceHeader`` lines (senders
+    may stream a recorded trace file verbatim, header included); raises
+    :class:`FrameError` for anything else that does not parse.
+    """
+    text = line.strip()
+    if not text:
+        return None
+    try:
+        data = json.loads(text.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"invalid frame: {exc}") from exc
+    if not isinstance(data, dict):
+        raise FrameError(f"frame must be a JSON object, got {type(data).__name__}")
+    if data.get("kind") == "TraceHeader":
+        return None
+    try:
+        return event_from_dict(data, max_layer=max_layer)
+    except (TraceFormatError, KeyError, ValueError) as exc:
+        raise FrameError(f"invalid frame: {exc}") from exc
+
+
+class IngestQueue:
+    """A bounded accept-or-shed queue feeding ``observe_batch``.
+
+    ``clock`` supplies enqueue timestamps (daemon seconds); dwell time
+    between :meth:`offer` and :meth:`take_batch` is observed into the
+    ``repro_serve_ingest_latency_seconds`` histogram, and queue depth at
+    enqueue into ``repro_serve_queue_depth_at_enqueue``.
+    """
+
+    def __init__(
+        self,
+        max_depth: int,
+        ledger: Optional[OverflowLedger] = None,
+        clock: Optional[Callable[[], float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        high_mark: float = 0.9,
+        low_mark: float = 0.5,
+        shed_window: float = 1.0,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth!r}")
+        if not 0.0 < low_mark <= high_mark <= 1.0:
+            raise ValueError(
+                f"need 0 < low_mark <= high_mark <= 1, "
+                f"got {low_mark!r}/{high_mark!r}"
+            )
+        self.max_depth = max_depth
+        self.ledger = ledger if ledger is not None else OverflowLedger()
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        registry = registry if registry is not None else NullRegistry()
+        self.high_mark = high_mark
+        self.low_mark = low_mark
+        self.shed_window = shed_window
+
+        self._frames: Deque[Tuple[DataplaneEvent, float]] = deque()
+        self.accepted = 0
+        self.shed = 0
+        self.last_shed_at: Optional[float] = None
+        self._saturated = False  # hysteresis latch
+
+        self._ingested_total = registry.counter(
+            "repro_serve_events_ingested_total",
+            help="Frames accepted into the ingest queue.")
+        self._shed_total = registry.counter(
+            "repro_serve_events_shed_total",
+            help="Frames shed at the ingest boundary (queue full).")
+        self._depth_gauge = registry.gauge(
+            "repro_serve_queue_depth",
+            help="Current ingest queue depth.", unit="frames")
+        self._depth_hist = registry.histogram(
+            "repro_serve_queue_depth_at_enqueue",
+            help="Queue depth observed at each accepted enqueue.",
+            unit="frames")
+        self._latency_hist = registry.histogram(
+            "repro_serve_ingest_latency_seconds",
+            help="Dwell time between frame enqueue and monitor dispatch.",
+            unit="seconds",
+            buckets=LATENCY_BUCKETS)
+
+    # -- producer side ----------------------------------------------------
+    def offer(self, event: DataplaneEvent, source: str = "?") -> bool:
+        """Accept ``event`` into the queue, or shed it (ledgered)."""
+        now = self.clock()
+        if len(self._frames) >= self.max_depth:
+            self.shed += 1
+            self.last_shed_at = now
+            self._saturated = True
+            self._shed_total.inc()
+            self.ledger.record(
+                SHED_KIND, "(ingest)", f"source={source}", now,
+                (IMPACT_MISSED, IMPACT_FALSE))
+            return False
+        self._depth_hist.observe(float(len(self._frames)))
+        self._frames.append((event, now))
+        self.accepted += 1
+        self._ingested_total.inc()
+        self._depth_gauge.set(float(len(self._frames)))
+        if len(self._frames) >= self.high_mark * self.max_depth:
+            self._saturated = True
+        return True
+
+    # -- consumer side ----------------------------------------------------
+    def take_batch(self, max_events: int = 256) -> List[DataplaneEvent]:
+        """Pop up to ``max_events`` frames, oldest first."""
+        now = self.clock()
+        batch: List[DataplaneEvent] = []
+        while self._frames and len(batch) < max_events:
+            event, enqueued_at = self._frames.popleft()
+            self._latency_hist.observe(max(0.0, now - enqueued_at))
+            batch.append(event)
+        self._depth_gauge.set(float(len(self._frames)))
+        return batch
+
+    # -- introspection ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def ready(self) -> bool:
+        """Backpressure-aware readiness (with hysteresis).
+
+        Not-ready while saturated; ready again only once depth is back
+        under ``low_mark * max_depth`` and the last shed is older than
+        ``shed_window`` seconds.
+        """
+        if self._saturated:
+            if len(self._frames) > self.low_mark * self.max_depth:
+                return False
+            if self.last_shed_at is not None \
+                    and self.clock() - self.last_shed_at < self.shed_window:
+                return False
+            self._saturated = False
+        return True
+
+    def unready_reasons(self) -> List[str]:
+        """Human-readable reasons ``ready()`` is False (empty if ready)."""
+        reasons: List[str] = []
+        if self._saturated:
+            if len(self._frames) > self.low_mark * self.max_depth:
+                reasons.append(
+                    f"queue depth {len(self._frames)} above low mark "
+                    f"{self.low_mark * self.max_depth:g}")
+            if self.last_shed_at is not None:
+                since = self.clock() - self.last_shed_at
+                if since < self.shed_window:
+                    reasons.append(
+                        f"shed {since:.3f}s ago (window {self.shed_window:g}s)")
+        return reasons
+
+    def stats(self) -> dict:
+        """A JSON-able accounting of this queue's lifetime."""
+        return {
+            "depth": len(self._frames),
+            "max_depth": self.max_depth,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "last_shed_at": self.last_shed_at,
+            "ready": self.ready(),
+        }

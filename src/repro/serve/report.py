@@ -1,0 +1,91 @@
+"""The daemon's exit receipt: what was seen, what was shed, what it means.
+
+A live monitor that sheds under load is only honest if it says so on the
+way out.  :class:`ServeDegradationReport` is the serve-mode analogue of
+``resilience.DegradationReport``: it folds the monitor's own shutdown
+summary (``Monitor.stop()``) together with the ingest queue's
+accept/shed accounting and reports the **detection-uncertainty
+interval** — the range the true violation count could occupy given
+everything that was dropped.  The CI smoke job parses this JSON; humans
+get :func:`render_serve_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class ServeDegradationReport:
+    """Final accounting emitted when a daemon drains and stops."""
+
+    profile: str
+    uptime: float
+    events_ingested: int
+    events_shed: int
+    events_observed: int
+    violations: int
+    interval: Tuple[int, int]
+    live_instances: int
+    pending_ops: int
+    frame_errors: int = 0
+    queue: Dict[str, object] = field(default_factory=dict)
+    ledger: Dict[str, object] = field(default_factory=dict)
+    http_requests: int = 0
+
+    @property
+    def exact(self) -> bool:
+        """True when nothing was shed: the observed count is the truth."""
+        lo, hi = self.interval
+        return lo == self.violations == hi
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "uptime": self.uptime,
+            "events": {
+                "ingested": self.events_ingested,
+                "shed": self.events_shed,
+                "observed": self.events_observed,
+                "frame_errors": self.frame_errors,
+            },
+            "violations": {
+                "observed": self.violations,
+                "interval": list(self.interval),
+                "exact": self.exact,
+            },
+            "monitor": {
+                "live_instances": self.live_instances,
+                "pending_ops": self.pending_ops,
+            },
+            "queue": dict(self.queue),
+            "ledger": dict(self.ledger),
+            "http_requests": self.http_requests,
+        }
+
+
+def render_serve_report(report: ServeDegradationReport) -> str:
+    """A terminal-friendly rendering of the final report."""
+    lo, hi = report.interval
+    lines: List[str] = []
+    lines.append(f"serve report — profile={report.profile} "
+                 f"uptime={report.uptime:.3f}s")
+    lines.append(f"  events    ingested={report.events_ingested} "
+                 f"shed={report.events_shed} "
+                 f"observed={report.events_observed} "
+                 f"frame_errors={report.frame_errors}")
+    verdict = "exact" if report.exact else "uncertain"
+    lines.append(f"  violations observed={report.violations} "
+                 f"interval=[{lo}, {hi}] ({verdict})")
+    lines.append(f"  monitor   live_instances={report.live_instances} "
+                 f"pending_ops={report.pending_ops}")
+    by_kind = report.ledger.get("by_kind") or {}
+    if by_kind:
+        sheds = " ".join(f"{kind}={count}"
+                         for kind, count in sorted(by_kind.items()))
+        lines.append(f"  ledger    {sheds}")
+    else:
+        lines.append("  ledger    (empty — nothing shed)")
+    lines.append(f"  http      requests={report.http_requests}")
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ from .tracing import (
     NULL_TRACER,
     NullTracer,
     Span,
+    SpanWriter,
     Tracer,
     dump_spans,
     load_spans,
@@ -51,6 +52,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "SpanWriter",
     "Tracer",
     "dump_spans",
     "load_spans",

@@ -6,13 +6,16 @@ long after the simulation objects are gone (e.g. on a snapshot reloaded
 from the file ``repro replay --metrics`` wrote).
 
 The Prometheus format follows the text exposition conventions: ``# HELP``
-/ ``# TYPE`` headers per family, ``{label="value"}`` sample suffixes,
+/ ``# TYPE`` headers per family, ``{label="value"}`` sample suffixes with
+label values escaped per the spec (backslash, double-quote, newline),
 histogram ``_bucket``/``_sum``/``_count`` series with cumulative ``le``
 bounds, and gauges additionally exported with a ``_peak`` series carrying
 the high watermark (virtual-time peaks are how the repro reports
-Sec. 3.3's "depth grows with live instances" numbers).  Output ordering
-is fully deterministic — families by name, samples by sorted labels — so
-golden tests can pin the exact bytes.
+Sec. 3.3's "depth grows with live instances" numbers).  ``_peak`` is a
+distinct metric name, so it gets its own ``# TYPE`` header and its
+samples are grouped under it rather than interleaved with the base
+gauge.  Output ordering is fully deterministic — families by name,
+samples by sorted labels — so golden tests can pin the exact bytes.
 """
 
 from __future__ import annotations
@@ -21,6 +24,22 @@ import json
 from typing import Mapping
 
 __all__ = ["render_prometheus", "render_json"]
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text-exposition spec: backslash,
+    double-quote, and line feed become ``\\\\``, ``\\"``, ``\\n``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: only backslash and line feed are special."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt_value(value: object) -> str:
@@ -36,7 +55,9 @@ def _fmt_value(value: object) -> str:
 
 
 def _fmt_labels(labels: Mapping[str, str], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    parts = [
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -51,7 +72,7 @@ def render_prometheus(snapshot: dict) -> str:
     for family in snapshot.get("metrics", ()):
         name = family["name"]
         if family.get("help"):
-            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
         kind = family["kind"]
         lines.append(f"# TYPE {name} {kind}")
         for sample in family["samples"]:
@@ -64,10 +85,6 @@ def render_prometheus(snapshot: dict) -> str:
                 lines.append(
                     f"{name}{_fmt_labels(labels)} {_fmt_value(sample['value'])}"
                 )
-                lines.append(
-                    f"{name}_peak{_fmt_labels(labels)} "
-                    f"{_fmt_value(sample['peak'])}"
-                )
             else:  # histogram
                 for le, count in sample["buckets"]:
                     bound = 'le="+Inf"' if le == "+Inf" else f'le="{_fmt_value(le)}"'
@@ -79,6 +96,18 @@ def render_prometheus(snapshot: dict) -> str:
                 )
                 lines.append(
                     f"{name}_count{_fmt_labels(labels)} {sample['count']}"
+                )
+        if kind == "gauge":
+            # The high watermark is its own metric name, so it needs its
+            # own # TYPE header (the spec groups all samples of a name
+            # under one header; interleaving them with the base gauge
+            # would make name_peak an untyped orphan).
+            lines.append(f"# TYPE {name}_peak gauge")
+            for sample in family["samples"]:
+                labels = sample.get("labels", {})
+                lines.append(
+                    f"{name}_peak{_fmt_labels(labels)} "
+                    f"{_fmt_value(sample['peak'])}"
                 )
     return "\n".join(lines) + "\n"
 

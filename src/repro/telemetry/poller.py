@@ -14,6 +14,17 @@ memory) and then samples **every gauge** in the registry, appending one
 ``{"time": t, "values": {rendered_name: value}}`` row.  The time series
 is what turns point-in-time gauges (live instances, pending split-mode
 ops, stored postcards) into the growth curves Sec. 3.3 talks about.
+
+``repro serve`` adds a third driving mode: **wall clock**.  Construct
+the poller with a ``clock`` (any zero-argument monotonic-seconds
+callable; the daemon passes its :class:`~repro.netsim.clock.WallClock`)
+and call :meth:`StatsPoller.poll` from a periodic task.  Ticks still
+fire at their nominal deadlines — a late ``poll()`` fires every missed
+tick, stamped with the deadline it *should* have fired at, and records
+the lateness in the row's ``"jitter"`` field — so wall-clock series
+stay aligned to the interval grid exactly like virtual-clock ones
+(replay parity: rows produced by ``advance_to`` carry no jitter field
+and are byte-identical to pre-wall-clock output).
 """
 
 from __future__ import annotations
@@ -39,12 +50,14 @@ class StatsPoller:
         interval: float,
         sources: Sequence[Callable[[], None]] = (),
         start_time: float = 0.0,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"poll interval must be positive, got {interval!r}")
         self.registry = registry
         self.interval = interval
         self.sources = list(sources)
+        self.clock = clock
         self.samples: List[dict] = []
         self._next_tick = start_time + interval
 
@@ -57,6 +70,36 @@ class StatsPoller:
             self._next_tick += self.interval
             fired += 1
         return fired
+
+    # -- wall-clock driven (repro serve) -----------------------------------
+    def poll(self) -> int:
+        """Fire every tick due at ``clock()`` now; returns ticks fired.
+
+        Each fired row is stamped with its nominal deadline (keeping the
+        series on the interval grid regardless of scheduling delay) and
+        carries ``"jitter"``: how many real seconds after the deadline
+        the sample was actually taken.  Calling ``poll()`` on schedule
+        bounds jitter below one interval; a stalled loop catches up with
+        one row per missed tick, jitter revealing the stall.
+        """
+        if self.clock is None:
+            raise ValueError("poll() needs a clock; pass clock= or use "
+                             "advance_to()/attach()")
+        now = self.clock()
+        fired = 0
+        while self._next_tick <= now:
+            deadline = self._next_tick
+            row = self.sample(deadline)
+            row["jitter"] = _jsonable(max(0.0, now - deadline))
+            self._next_tick = deadline + self.interval
+            fired += 1
+        return fired
+
+    def seconds_until_due(self) -> float:
+        """Wall seconds until the next tick (sleep hint; >= 0)."""
+        if self.clock is None:
+            raise ValueError("seconds_until_due() needs a clock")
+        return max(0.0, self._next_tick - self.clock())
 
     # -- scheduler driven (live simulations) -------------------------------
     def attach(self, scheduler, until: float) -> int:

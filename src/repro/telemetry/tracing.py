@@ -29,8 +29,20 @@ costs one attribute check per call site.
 
 from __future__ import annotations
 
+import atexit
 import json
-from typing import IO, Dict, Iterable, List, Optional, Sequence
+from collections import deque
+from typing import (
+    IO,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 
 class Span:
@@ -78,14 +90,36 @@ class Span:
 
 
 class Tracer:
-    """Records spans in memory; see module docstring for the contract."""
+    """Records spans in memory; see module docstring for the contract.
+
+    ``max_spans`` turns the in-memory record into a ring buffer: only the
+    most recent spans are retained (what ``repro serve`` exposes over
+    ``GET /trace``).  Ring eviction drops *retention*, not lifecycle —
+    the :class:`Span` object outlives the ring, so ``end()`` on an
+    already-evicted span still fires ``on_close`` and a
+    :class:`SpanWriter` persisting the stream loses nothing.
+    ``on_close`` fires once per span, at the moment it closes
+    (``end``/``event``/``close_all``).
+
+    A tracer is also a context manager: leaving the ``with`` block closes
+    any span still open at the latest time the tracer has seen, so a
+    scope that raises cannot leave dangling spans behind.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.spans: List[Span] = []
+    def __init__(
+        self,
+        max_spans: Optional[int] = None,
+        on_close: Optional[Callable[[Span], None]] = None,
+    ) -> None:
+        self.spans: Union[List[Span], Deque[Span]] = (
+            [] if max_spans is None else deque(maxlen=max_spans)
+        )
+        self.on_close = on_close
         self._next_id = 1
         self._root_by_uid: Dict[int, Span] = {}
+        self._latest = 0.0
 
     # -- span lifecycle ----------------------------------------------------
     def start(
@@ -117,16 +151,22 @@ class Tracer:
         )
         self._next_id += 1
         self.spans.append(span)
+        if time > self._latest:
+            self._latest = time
         if root and uid is not None:
             self._root_by_uid[uid] = span
         return span
 
     def end(self, span: Span, time: float, **attrs: object) -> None:
         span.end = max(time, span.start)
+        if span.end > self._latest:
+            self._latest = span.end
         if attrs:
             span.attrs.update(attrs)
         if span.uid is not None and self._root_by_uid.get(span.uid) is span:
             del self._root_by_uid[span.uid]
+        if self.on_close is not None:
+            self.on_close(span)
 
     def event(
         self,
@@ -139,22 +179,48 @@ class Tracer:
         """A zero-duration span (instantaneous point event)."""
         span = self.start(name, time, uid=uid, parent=parent, **attrs)
         span.end = time
+        if self.on_close is not None:
+            self.on_close(span)
         return span
 
-    def close_all(self, time: float) -> int:
-        """Close any span still open (defensive; returns how many)."""
+    def close_all(self, time: Optional[float] = None) -> int:
+        """Close any span still open (defensive; returns how many).
+
+        With no explicit ``time``, spans close at the latest timestamp
+        the tracer has seen — the right default for context-manager and
+        shutdown paths that have no clock of their own.
+        """
+        when = self._latest if time is None else time
         closed = 0
         for span in self.spans:
             if span.end is None:
-                span.end = max(time, span.start)
+                span.end = max(when, span.start)
                 closed += 1
+                if self.on_close is not None:
+                    self.on_close(span)
         self._root_by_uid.clear()
         return closed
+
+    def recent(self, limit: int = 100, uid: Optional[int] = None) -> List[Span]:
+        """The most recent ``limit`` spans in span-id order, optionally
+        filtered to one packet uid (the ``GET /trace`` query)."""
+        spans: Iterable[Span] = self.spans
+        if uid is not None:
+            spans = [s for s in spans if s.uid == uid]
+        tail = list(spans)[-max(0, limit):]
+        return sorted(tail, key=lambda s: s.span_id)
 
     def reset(self) -> None:
         self.spans.clear()
         self._root_by_uid.clear()
         self._next_id = 1
+        self._latest = 0.0
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close_all()
 
 
 class NullTracer(Tracer):
@@ -174,8 +240,11 @@ class NullTracer(Tracer):
     def event(self, name, time, uid=None, parent=None, **attrs):  # type: ignore[override]
         return None
 
-    def close_all(self, time):  # type: ignore[override]
+    def close_all(self, time=None):  # type: ignore[override]
         return 0
+
+    def recent(self, limit=100, uid=None):  # type: ignore[override]
+        return []
 
     def reset(self):  # type: ignore[override]
         pass
@@ -222,6 +291,63 @@ def load_spans(fp: IO[str]) -> List[Span]:
 def save_spans(spans: Iterable[Span], path: str) -> int:
     with open(path, "w", encoding="utf-8") as fp:
         return dump_spans(spans, fp)
+
+
+class SpanWriter:
+    """Crash-safe incremental JSONL span sink for long-running processes.
+
+    ``save_spans`` writes everything at the end of a run — fine for
+    replay, fatal for a daemon: a ``repro serve`` process killed mid-run
+    would lose every span, and a buffered writer killed mid-``write``
+    would leave a truncated final record.  A ``SpanWriter`` instead:
+
+    * persists each span the moment it **closes** (via the tracer's
+      ``on_close`` hook), writing the full line in one call and flushing
+      before returning — a ``SIGKILL`` at any instant leaves a valid
+      JSONL prefix of complete records, never half a line;
+    * registers an ``atexit`` hook so a normal-but-unclean interpreter
+      exit (an uncaught exception in ``repro serve``/``replay``) still
+      closes open spans and the file;
+    * is a context manager, and ``close()`` is idempotent.
+
+    Lines appear in span *completion* order (children usually precede
+    parents), not span-id order; sort after :func:`load_spans` before
+    :func:`validate_spans`.
+    """
+
+    def __init__(self, path: str, tracer: Optional[Tracer] = None) -> None:
+        self.path = path
+        self.written = 0
+        self._fp: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.on_close = self.write
+        atexit.register(self.close)
+
+    def write(self, span: Span) -> None:
+        """Persist one closed span: a single write of a full line, then
+        an explicit flush so the record is durable before we return."""
+        if self._fp is None:
+            return
+        self._fp.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        self._fp.flush()
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fp is None:
+            return
+        if self._tracer is not None:
+            self._tracer.close_all()  # flushes stragglers through write()
+            self._tracer.on_close = None
+        fp, self._fp = self._fp, None
+        fp.close()
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "SpanWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------

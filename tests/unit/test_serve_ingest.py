@@ -1,0 +1,220 @@
+"""IngestQueue backpressure, frame parsing, and the serve report.
+
+The queue is the daemon's honesty mechanism: every shed must be
+ledgered with both impact kinds, readiness must flap conservatively
+(hysteresis), and dwell time must land in the latency histogram.  These
+tests drive it with a fake clock — no sockets, no event loop.
+"""
+
+import json
+
+import pytest
+
+from repro.core.degradation import IMPACT_FALSE, IMPACT_MISSED, OverflowLedger
+from repro.serve import FrameError, IngestQueue, parse_frame
+from repro.serve.daemon import parse_ingest_spec
+from repro.serve.report import ServeDegradationReport, render_serve_report
+from repro.switch.events import OutOfBandEvent, OobKind
+from repro.telemetry import MetricsRegistry
+
+
+def oob(time=0.0):
+    return OutOfBandEvent(switch_id="s1", time=time,
+                          oob_kind=OobKind.PORT_UP, port=1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestOfferAndShed:
+    def test_accepts_until_full_then_sheds(self):
+        q = IngestQueue(max_depth=3)
+        assert [q.offer(oob()) for _ in range(5)] \
+            == [True, True, True, False, False]
+        assert q.accepted == 3
+        assert q.shed == 2
+        assert q.depth == 3
+
+    def test_sheds_are_ledgered_with_both_impacts(self):
+        ledger = OverflowLedger()
+        clock = FakeClock()
+        q = IngestQueue(max_depth=1, ledger=ledger, clock=clock)
+        q.offer(oob(), source="tcp:1234")
+        clock.now = 2.5
+        q.offer(oob(), source="tcp:1234")
+        assert len(ledger) == 1
+        record = ledger.records[0]
+        assert record.kind == "ingest-shed"
+        assert record.prop == "(ingest)"
+        assert record.detail == "source=tcp:1234"
+        assert record.time == 2.5
+        assert set(record.impacts) == {IMPACT_MISSED, IMPACT_FALSE}
+
+    def test_shed_widens_uncertainty_interval_both_ways(self):
+        ledger = OverflowLedger()
+        q = IngestQueue(max_depth=1, ledger=ledger)
+        q.offer(oob())
+        q.offer(oob())
+        assert ledger.interval(observed=3) == (2, 4)
+
+    def test_take_batch_drains_oldest_first(self):
+        q = IngestQueue(max_depth=10)
+        events = [oob(time=float(i)) for i in range(5)]
+        for e in events:
+            q.offer(e)
+        assert q.take_batch(3) == events[:3]
+        assert q.take_batch(10) == events[3:]
+        assert q.take_batch(10) == []
+
+    def test_rejects_degenerate_configuration(self):
+        with pytest.raises(ValueError):
+            IngestQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            IngestQueue(max_depth=10, low_mark=0.9, high_mark=0.5)
+
+
+class TestReadiness:
+    def test_ready_until_high_mark(self):
+        q = IngestQueue(max_depth=10, high_mark=0.8, low_mark=0.3)
+        for _ in range(7):
+            q.offer(oob())
+        assert q.ready()
+        q.offer(oob())  # depth 8 >= 0.8 * 10
+        assert not q.ready()
+        assert q.unready_reasons()
+
+    def test_hysteresis_requires_draining_to_low_mark(self):
+        q = IngestQueue(max_depth=10, high_mark=0.8, low_mark=0.3)
+        for _ in range(8):
+            q.offer(oob())
+        q.take_batch(4)  # depth 4, still above low mark of 3
+        assert not q.ready()
+        q.take_batch(2)  # depth 2
+        assert q.ready()
+
+    def test_shed_holds_unready_for_the_window(self):
+        clock = FakeClock()
+        q = IngestQueue(max_depth=1, clock=clock, shed_window=1.0)
+        q.offer(oob())
+        q.offer(oob())  # shed at t=0
+        q.take_batch(5)
+        clock.now = 0.5
+        assert not q.ready()  # drained, but shed too recent
+        assert any("shed" in r for r in q.unready_reasons())
+        clock.now = 1.5
+        assert q.ready()
+        assert q.unready_reasons() == []
+
+    def test_stats_digest_is_jsonable(self):
+        q = IngestQueue(max_depth=2)
+        q.offer(oob())
+        digest = json.loads(json.dumps(q.stats()))
+        assert digest["depth"] == 1
+        assert digest["accepted"] == 1
+        assert digest["shed"] == 0
+        assert digest["ready"] is True
+
+
+class TestInstrumentation:
+    def test_latency_histogram_measures_dwell_time(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        q = IngestQueue(max_depth=10, clock=clock, registry=registry)
+        q.offer(oob())
+        clock.now = 0.002
+        q.take_batch(1)
+        hist = registry.histogram("repro_serve_ingest_latency_seconds")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.002)
+
+    def test_counters_and_depth_gauge_track_traffic(self):
+        registry = MetricsRegistry()
+        q = IngestQueue(max_depth=2, registry=registry)
+        for _ in range(3):
+            q.offer(oob())
+        assert registry.counter("repro_serve_events_ingested_total").value == 2
+        assert registry.counter("repro_serve_events_shed_total").value == 1
+        gauge = registry.gauge("repro_serve_queue_depth")
+        assert gauge.value == 2
+        assert gauge.high_watermark == 2
+
+
+class TestParseFrame:
+    def test_round_trips_a_serialized_event(self):
+        from repro.netsim.serialize import event_to_dict
+
+        line = (json.dumps(event_to_dict(oob(time=1.5))) + "\n").encode()
+        event = parse_frame(line)
+        assert isinstance(event, OutOfBandEvent)
+        assert event.time == 1.5
+        assert event.oob_kind is OobKind.PORT_UP
+
+    def test_blank_lines_and_headers_are_skipped(self):
+        assert parse_frame(b"") is None
+        assert parse_frame(b"   \n") is None
+        header = json.dumps({"kind": "TraceHeader", "schema": 1}).encode()
+        assert parse_frame(header) is None
+
+    @pytest.mark.parametrize("junk", [
+        b"not json\n",
+        b"[1, 2, 3]\n",
+        b'{"kind": "NoSuchEvent", "switch": "s1", "time": 0}\n',
+        b'{"kind": "PacketArrival", "switch": "s1"}\n',  # missing fields
+        b"\xff\xfe\n",
+    ])
+    def test_junk_raises_frame_error(self, junk):
+        with pytest.raises(FrameError):
+            parse_frame(junk)
+
+
+class TestIngestSpec:
+    def test_tcp_and_pipe_specs(self):
+        assert parse_ingest_spec("tcp:9801") == ("tcp", 9801)
+        assert parse_ingest_spec("pipe:/tmp/frames") == ("pipe", "/tmp/frames")
+
+    @pytest.mark.parametrize("bad", [
+        "tcp", "tcp:", "tcp:http", "udp:9801", "9801", "pipe:",
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_ingest_spec(bad)
+
+
+class TestServeReport:
+    def report(self, **overrides):
+        fields = dict(
+            profile="clean", uptime=1.25, events_ingested=100,
+            events_shed=0, events_observed=100, violations=2,
+            interval=(2, 2), live_instances=3, pending_ops=0)
+        fields.update(overrides)
+        return ServeDegradationReport(**fields)
+
+    def test_exact_when_nothing_shed(self):
+        assert self.report().exact is True
+        assert self.report(interval=(1, 4)).exact is False
+
+    def test_to_dict_round_trips_through_json(self):
+        data = json.loads(json.dumps(self.report(
+            events_shed=5, interval=(0, 7),
+            ledger={"by_kind": {"ingest-shed": 5}}).to_dict()))
+        assert data["events"]["shed"] == 5
+        assert data["violations"]["interval"] == [0, 7]
+        assert data["violations"]["exact"] is False
+
+    def test_render_mentions_interval_and_sheds(self):
+        text = render_serve_report(self.report(
+            events_shed=5, interval=(0, 7),
+            ledger={"by_kind": {"ingest-shed": 5}}))
+        assert "interval=[0, 7]" in text
+        assert "uncertain" in text
+        assert "ingest-shed=5" in text
+
+    def test_render_clean_run_says_exact(self):
+        text = render_serve_report(self.report())
+        assert "(exact)" in text
+        assert "nothing shed" in text

@@ -132,6 +132,61 @@ class TestExpositionGoldens:
         assert "monitor_events_total=86" in digest
 
 
+class TestPrometheusEscaping:
+    """Label values and help text follow the text-exposition spec."""
+
+    def render(self, label_value, help_text="help"):
+        registry = MetricsRegistry()
+        registry.counter("x_total", help_text,
+                         labels={"k": label_value}).inc(1)
+        return render_prometheus(registry.snapshot())
+
+    def test_double_quote_escaped(self):
+        assert 'x_total{k="say \\"hi\\""} 1' in self.render('say "hi"')
+
+    def test_newline_escaped(self):
+        text = self.render("line1\nline2")
+        assert 'x_total{k="line1\\nline2"} 1' in text
+        # The sample must stay on one physical line.
+        assert all(line.startswith(("#", "x_total"))
+                   for line in text.strip().splitlines())
+
+    def test_backslash_escaped(self):
+        assert 'x_total{k="a\\\\b"} 1' in self.render("a\\b")
+
+    def test_backslash_before_quote_does_not_unescape(self):
+        # Adversarial: a literal backslash-then-quote must render as
+        # escaped-backslash escaped-quote, not as an escaped quote alone.
+        assert 'x_total{k="a\\\\\\"b"} 1' in self.render('a\\"b')
+
+    def test_help_newline_and_backslash_escaped(self):
+        text = self.render("v", help_text="first\nsecond \\ third")
+        assert "# HELP x_total first\\nsecond \\\\ third" in text
+
+    def test_gauge_peak_gets_its_own_type_line(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth", "queue depth")
+        g.set(9)
+        g.set(4)
+        text = render_prometheus(registry.snapshot())
+        lines = text.strip().splitlines()
+        assert "# TYPE depth gauge" in lines
+        assert "# TYPE depth_peak gauge" in lines
+        # All depth_peak samples come after their TYPE header.
+        assert lines.index("# TYPE depth_peak gauge") \
+            < lines.index("depth_peak 9")
+
+    def test_labeled_gauge_peaks_grouped_under_one_header(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", labels={"q": "a"}).set(1)
+        registry.gauge("depth", labels={"q": "b"}).set(2)
+        lines = render_prometheus(registry.snapshot()).strip().splitlines()
+        assert lines.count("# TYPE depth_peak gauge") == 1
+        header = lines.index("# TYPE depth_peak gauge")
+        assert lines[header + 1] == 'depth_peak{q="a"} 1'
+        assert lines[header + 2] == 'depth_peak{q="b"} 2'
+
+
 class TestStatsPoller:
     def test_samples_on_interval(self):
         registry = MetricsRegistry()
