@@ -1,0 +1,206 @@
+"""Experiment F1 — sharded fabric throughput vs. the single compiled path.
+
+The fabric's pitch is the paper's: keyed monitor state partitions
+cleanly, so N cores should buy ~N-fold monitor throughput.  This bench
+prices it on a large keyed workload: the same event stream is driven
+through (a) one plain compiled :class:`Monitor` — the PR 3 hot path,
+(b) an in-process :class:`ShardedMonitor` — partitioning without
+parallelism, the ablation that isolates router overhead, and (c) a
+multiprocessing fabric with ``SHARDS`` forked workers.
+
+The workload is a pre-generated batch over ``NUM_KEYS`` flows, streamed
+repeatedly until ``NUM_EVENTS`` total events have been observed.  Every
+property keys on the same ``(ipv4.src, tcp.src)`` pair, so the router
+forwards each event to exactly one shard (extractor dedup), and none of
+the properties uses timers — re-feeding the batch at unchanged
+timestamps is semantically a no-op stream of refreshes and probes, the
+same per-event work every round, in every configuration.
+
+The multi-worker speedup assertion only arms on machines with at least
+``GATE_MIN_CPUS`` cores and a full-size run (``GATE_MIN_EVENTS``): on a
+one- or two-core box the workers time-slice one another, so the
+measured ratio is reported in ``BENCH_shard.json`` without failing the
+build.  Counter equivalence across all three configurations is asserted
+unconditionally.  ``REPRO_BENCH_EVENTS`` reduces the stream for smoke
+runs.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro.core.monitor import Monitor
+from repro.core.refs import Bind, Const, EventKind, EventPattern, FieldEq, Var
+from repro.core.spec import Observe, PropertySpec
+from repro.fabric import ShardedMonitor, fork_available
+from repro.packet import tcp_packet
+from repro.switch.events import EgressAction, PacketArrival, PacketEgress
+
+NUM_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "2000000"))
+NUM_KEYS = 8192
+BATCH = 4096
+SHARDS = 4
+OUT_PATH = os.environ.get("REPRO_BENCH_SHARD_OUT", "BENCH_shard.json")
+
+#: the >= 1.8x multi-worker gate arms only when both hold — otherwise
+#: the measurement is still taken and recorded, just not asserted.
+GATE_MIN_CPUS = 4
+GATE_MIN_EVENTS = 1_000_000
+GATE_SPEEDUP = 1.8
+
+COUNTER_KEYS = (
+    "events", "violations", "instances_created", "refreshes",
+    "candidates_examined", "ops_applied",
+)
+
+
+def flow_properties(count=6):
+    """``count`` keyed, timer-free two-stage properties.
+
+    All key on ``(ipv4.src, tcp.src)``: stage 0 creates on any flow
+    arrival, stage 1 waits for an egress of the same flow on a port
+    that never occurs — instances park at stage 1 and every later
+    arrival of the key costs a probe plus a refresh op, every egress a
+    candidate probe.  Identical key fields across properties mean the
+    router sends each event to exactly ONE shard while every shard
+    still runs ``count`` properties' worth of matching.
+    """
+    props = []
+    for i in range(count):
+        props.append(PropertySpec(
+            name=f"bench-flow-{i}",
+            description="per-flow parked obligation (bench workload)",
+            stages=(
+                Observe("seen", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    binds=(Bind("src", "ipv4.src"),
+                           Bind("sport", "tcp.src")))),
+                Observe("never", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("ipv4.src", Var("src")),
+                            FieldEq("tcp.src", Var("sport")),
+                            FieldEq("tcp.dst", Const(1 + i))))),
+            ),
+            key_vars=("src", "sport"),
+        ))
+    return props
+
+
+def flow_batch(num_keys=NUM_KEYS, size=BATCH * 4, seed=11):
+    """One reusable batch: arrivals and egresses over ``num_keys`` flows."""
+    rng = random.Random(seed)
+    packets = [
+        tcp_packet(i % 8, (i + 1) % 8,
+                   f"10.{(i >> 8) & 255}.{i & 255}.1",
+                   f"198.51.{(i >> 8) & 255}.{i & 255}",
+                   1024 + (i % 16384), 80)
+        for i in range(num_keys)
+    ]
+    events = []
+    t = 0.0
+    for _ in range(size):
+        t += 1e-4
+        packet = packets[rng.randrange(num_keys)]
+        if rng.random() < 0.6:
+            events.append(PacketArrival(
+                switch_id="s", time=t, packet=packet, in_port=1))
+        else:
+            events.append(PacketEgress(
+                switch_id="s", time=t, packet=packet, in_port=1,
+                out_port=2, action=EgressAction.UNICAST))
+    return events
+
+
+def drive(monitor, batch, total_events):
+    """Feed ``batch`` repeatedly until ``total_events`` observed; returns
+    (elapsed_seconds, counter_digest)."""
+    reps = max(1, total_events // len(batch))
+    start = time.perf_counter()
+    for _ in range(reps):
+        monitor.observe_batch(batch)
+    if hasattr(monitor, "sync"):
+        monitor.sync()  # fabric: wait for workers to confirm everything
+    elapsed = time.perf_counter() - start
+    counters = {key: getattr(monitor.stats, key) for key in COUNTER_KEYS}
+    return elapsed, counters, reps * len(batch)
+
+
+def test_shard_scaling():
+    props = flow_properties()
+    batch = flow_batch(size=min(BATCH * 4, max(BATCH, NUM_EVENTS)))
+    results = {}
+
+    single = Monitor()
+    for prop in props:
+        single.add_property(prop)
+    elapsed, counters, observed = drive(single, batch, NUM_EVENTS)
+    results["single"] = {
+        "seconds": elapsed, "events": observed,
+        "events_per_sec": observed / elapsed, "counters": counters,
+    }
+
+    inproc = ShardedMonitor(props, num_shards=SHARDS, mode="inprocess")
+    elapsed, counters, observed = drive(inproc, batch, NUM_EVENTS)
+    results["inprocess"] = {
+        "seconds": elapsed, "events": observed,
+        "events_per_sec": observed / elapsed, "counters": counters,
+        "shards": SHARDS,
+    }
+
+    if fork_available():
+        fabric = ShardedMonitor(props, num_shards=SHARDS, mode="mp")
+        try:
+            elapsed, counters, observed = drive(fabric, batch, NUM_EVENTS)
+        finally:
+            fabric.stop()
+        results["mp"] = {
+            "seconds": elapsed, "events": observed,
+            "events_per_sec": observed / elapsed, "counters": counters,
+            "shards": SHARDS,
+        }
+
+    # Partitioning must not change what was monitored, at any scale.
+    for name, entry in results.items():
+        assert entry["counters"] == results["single"]["counters"], (
+            name, entry["counters"], results["single"]["counters"])
+
+    cpus = os.cpu_count() or 1
+    speedup = (results["mp"]["events_per_sec"]
+               / results["single"]["events_per_sec"]
+               if "mp" in results else None)
+    gate_armed = (
+        "mp" in results
+        and cpus >= GATE_MIN_CPUS
+        and results["mp"]["events"] >= GATE_MIN_EVENTS
+    )
+    payload = {
+        "events_requested": NUM_EVENTS,
+        "keys": NUM_KEYS,
+        "properties": len(props),
+        "cpus": cpus,
+        "results": results,
+        "mp_speedup_vs_single": speedup,
+        "gate": {
+            "armed": gate_armed,
+            "min_cpus": GATE_MIN_CPUS,
+            "min_events": GATE_MIN_EVENTS,
+            "required_speedup": GATE_SPEEDUP,
+        },
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+    line = " | ".join(
+        f"{name} {entry['events_per_sec']:,.0f} ev/s"
+        for name, entry in results.items())
+    if speedup is not None:
+        line += f" | cpus={cpus} | mp speedup {speedup:.2f}x"
+    print(f"\n{line}")
+
+    if gate_armed:
+        assert speedup >= GATE_SPEEDUP, (
+            f"{SHARDS}-worker fabric managed only {speedup:.2f}x over the "
+            f"single-process compiled path on a {cpus}-core machine "
+            f"(required {GATE_SPEEDUP}x)")

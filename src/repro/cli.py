@@ -260,21 +260,31 @@ def cmd_replay(args: argparse.Namespace) -> int:
         props = compile_source(fp.read(), _predicates())
     events = read_trace(args.trace)
     registry = None
-    kwargs = dict(store_strategy=args.store_strategy,
-                  match_strategy=args.match_strategy)
     if args.metrics:
         registry = MetricsRegistry()
-        monitor = Monitor(registry=registry, **kwargs)
-        registry.time_fn = lambda: monitor.now
+    kwargs = dict(store_strategy=args.store_strategy,
+                  match_strategy=args.match_strategy)
+    if args.shards > 0:
+        from .fabric import ShardedMonitor
+
+        monitor = ShardedMonitor(
+            props, num_shards=args.shards, mode=args.shard_mode,
+            registry=registry, monitor_kwargs=kwargs)
     else:
-        monitor = Monitor(**kwargs)
-    for prop in props:
-        monitor.add_property(prop)
+        monitor = Monitor(registry=registry, **kwargs)
+        for prop in props:
+            monitor.add_property(prop)
+    if registry is not None:
+        registry.time_fn = lambda: monitor.now
     monitor.observe_batch(events)
     if events:
         monitor.advance_to(events[-1].time + args.settle)
+    if args.shards > 0:
+        monitor.stop()  # reap fabric workers; merges the final deltas
     print(f"replayed {len(events)} events against "
-          f"{len(props)} propert{'y' if len(props) == 1 else 'ies'}")
+          f"{len(props)} propert{'y' if len(props) == 1 else 'ies'}"
+          + (f" across {args.shards} {args.shard_mode} shard(s)"
+             if args.shards > 0 else ""))
     print(f"violations: {len(monitor.violations)}")
     for violation in monitor.violations:
         print()
@@ -450,6 +460,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             trace_buffer=args.trace_buffer,
             spans_path=args.spans,
             report_path=args.report,
+            shards=args.shards,
+            shard_mode=args.shard_mode,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -477,15 +489,23 @@ def cmd_send(args: argparse.Namespace) -> int:
 
     try:
         result = stream_trace(args.trace, args.host, args.port,
-                              rate=args.rate, repeat=args.repeat)
+                              rate=args.rate, repeat=args.repeat,
+                              retry=args.retry, backoff=args.backoff)
     except ConnectionRefusedError:
         print(f"error: nothing listening on {args.host}:{args.port} "
-              "(is `repro serve` running?)", file=sys.stderr)
+              "(is `repro serve` running?"
+              + (" retry budget exhausted" if args.retry else "") + ")",
+              file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: connection to {args.host}:{args.port} lost and "
+              f"retry budget exhausted: {exc}", file=sys.stderr)
         return 1
     rate = ("unpaced" if result.target_rate == 0
             else f"target {result.target_rate:g} ev/s")
     print(f"sent {result.events} events in {result.duration:.3f}s "
-          f"({result.achieved_rate:.0f} ev/s, {rate})")
+          f"({result.achieved_rate:.0f} ev/s, {rate}, "
+          f"{result.reconnects} reconnect(s))")
     return 0
 
 
@@ -555,6 +575,14 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("compiled", "interpreted"),
                         help="event matching: compiled dispatch plan "
                              "(default) or the interpreted ablation")
+    replay.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="partition monitor instances by key hash into "
+                             "N shards (0 = plain single monitor)")
+    replay.add_argument("--shard-mode", default="inprocess",
+                        choices=["inprocess", "mp"],
+                        help="fabric execution mode: N in-process shards "
+                             "(ablation/oracle) or N forked worker "
+                             "processes fed serialized event frames")
     replay.add_argument("--store-strategy", default="indexed",
                         choices=("indexed", "linear"),
                         help="instance lookup: hash index (default) or "
@@ -635,6 +663,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--spans", default=None, metavar="SPANS.jsonl",
                        help="also append every closed span to this JSONL "
                             "file (crash-safe, one line per span)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="drain the ingest queue into a sharded monitor "
+                            "fabric of N shards (0 = single monitor)")
+    serve.add_argument("--shard-mode", default="mp",
+                       choices=["inprocess", "mp"],
+                       help="fabric execution mode behind the ingest queue "
+                            "(mp forks one worker process per shard)")
     serve.add_argument("--report", default=None, metavar="OUT",
                        help="write the final degradation report as JSON "
                             "on shutdown")
@@ -650,6 +685,13 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("--rate", type=float, default=0.0,
                       help="target events/second; 0 = as fast as the "
                            "socket accepts (default: 0)")
+    send.add_argument("--retry", type=int, default=0, metavar="N",
+                      help="reconnect budget for the whole stream: retry "
+                           "refused/lost connections up to N times, "
+                           "resending the interrupted chunk")
+    send.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                      help="base reconnect delay in seconds, doubled per "
+                           "consecutive failure (reset on success)")
     send.add_argument("--repeat", type=int, default=1,
                       help="stream the whole trace N times (default: 1)")
     send.set_defaults(fn=cmd_send)

@@ -253,6 +253,7 @@ class Monitor:
         tracer: Optional[Tracer] = None,
         degradation: Optional[DegradationPolicy] = None,
         op_faults: Optional[object] = None,
+        key_filter: Optional[Callable[[str, Tuple[object, ...]], bool]] = None,
     ) -> None:
         if match_strategy not in MATCH_STRATEGIES:
             raise ValueError(
@@ -273,6 +274,11 @@ class Monitor:
         #: ``perturb() -> Optional[float]`` (None = drop the update, float
         #: = extra lag); see ControlFaultProfile.channel() in netsim.chaos.
         self.op_faults = op_faults
+        #: ownership predicate ``(prop_name, key) -> bool`` consulted before
+        #: creating an instance.  The sharded fabric (repro.fabric) installs
+        #: one per shard so each instance key has exactly one owner even when
+        #: an event batch is forwarded to several shards; None = own all keys.
+        self.key_filter = key_filter
         self.ledger = OverflowLedger()
         self.registry = registry if registry is not None else NullRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -637,6 +643,7 @@ class Monitor:
             return ops
         t = event.time
         inc_candidate = self._c_candidates.inc
+        key_filter = self.key_filter
         has_uid = "uid" in fields
         uid = fields["uid"] if has_uid else None
         for plan in plans:
@@ -707,6 +714,10 @@ class Monitor:
                     if has_uid:
                         env0[uid_key] = uid
                     key = tuple(env0[k] for k in key_vars)
+                    if key_filter is not None and not key_filter(
+                        plan.prop.name, key
+                    ):
+                        continue
                     existing = store.by_key(key)
                     if existing is not None and existing.alive:
                         if (
@@ -798,6 +809,10 @@ class Monitor:
                 if "uid" in fields:
                     env0[uid_var(stage0.name)] = fields["uid"]
                 key = tuple(env0[k] for k in prop.key_vars)
+                if self.key_filter is not None and not self.key_filter(
+                    prop.name, key
+                ):
+                    continue
                 existing = store.by_key(key)
                 if existing is not None and existing.alive:
                     if existing.stage == 1 and existing.instance_id not in doomed:

@@ -1,0 +1,28 @@
+"""Sharded monitor fabric: key-partitioned multi-core execution.
+
+See :mod:`repro.fabric.fabric` for the :class:`ShardedMonitor` facade,
+:mod:`repro.fabric.routing` for the key-partitioning analysis, and
+:mod:`repro.fabric.mp` for the forked-worker transport.
+"""
+
+from .fabric import FABRIC_MODES, FabricStats, ShardedMonitor
+from .mp import fork_available
+from .routing import PropRoute, Router, build_route, build_routes, \
+    shard_key_filter, stable_hash
+from .shard import ShardSnapshot, build_shard_monitor, take_snapshot
+
+__all__ = [
+    "FABRIC_MODES",
+    "FabricStats",
+    "PropRoute",
+    "Router",
+    "ShardSnapshot",
+    "ShardedMonitor",
+    "build_route",
+    "build_routes",
+    "build_shard_monitor",
+    "fork_available",
+    "shard_key_filter",
+    "stable_hash",
+    "take_snapshot",
+]

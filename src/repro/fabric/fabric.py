@@ -1,0 +1,365 @@
+"""The sharded monitor fabric: N shards behind one Monitor-shaped facade.
+
+:class:`ShardedMonitor` is drop-in for the call surface the rest of the
+system uses — ``observe``/``observe_batch``, ``advance_to``/``flush``,
+``start``/``drain``/``stop``, ``violations``, ``stats``, ``ledger``,
+``live_instances``/``pending_op_count`` — so ``repro replay``,
+``repro serve``, and the stats plane are shard-transparent.
+
+Two execution modes share all routing and merging logic:
+
+* ``"inprocess"`` — N shard monitors in this process, called
+  synchronously.  No IPC, no parallelism: the ablation twin that
+  isolates *partitioning* effects from *transport* effects, and the
+  correctness oracle the differential suite compares against.
+* ``"mp"`` — N forked worker processes fed serialized event frames
+  (``fabric.mp``).  The parent never blocks on the data path; state
+  flows back as cursor-based snapshot deltas on explicit ``sync()``.
+
+Merging rules (the parts worth being careful about):
+
+* ``stats.events`` is the router's count — each offered event once —
+  not the sum of shard counters, which double-counts fan-out.
+* All other counters sum across shards.  With the default indexed
+  stores this reproduces the single-monitor counts exactly: every
+  candidate probe touches instances sharing the event's full key, all
+  of which live on the shard the event routed to.
+* Peak gauges sum per-shard peaks — an upper bound on the true global
+  peak (shards may peak at different times), documented as such.
+* Violations merge into one list ordered by (time, property, bindings);
+  shed records append to one fabric-owned :class:`OverflowLedger`, so
+  the uncertainty interval spans all shards plus anything the serve
+  ingest queue sheds into the same ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.degradation import OverflowLedger
+from ..core.monitor import Monitor, MonitorStats
+from ..core.spec import PropertySpec
+from ..core.violations import Violation
+from ..switch.events import DataplaneEvent
+from ..telemetry import NULL_TRACER, MetricsRegistry, NullRegistry, Tracer
+from .mp import MpShard
+from .routing import Router, build_routes
+from .shard import SNAPSHOT_COUNTERS, SNAPSHOT_GAUGES, ShardSnapshot, \
+    build_shard_monitor, take_snapshot
+
+FABRIC_MODES = ("inprocess", "mp")
+
+
+def _violation_order(violation: Violation) -> Tuple:
+    return (
+        violation.time,
+        violation.property_name,
+        tuple(sorted((k, str(v)) for k, v in violation.bindings.items())),
+    )
+
+
+class FabricStats:
+    """A :class:`MonitorStats`-shaped view over the merged shard state.
+
+    ``events`` reads the router; counters sum across shards; peak
+    gauges sum per-shard peaks (an upper bound — shards peak
+    independently).  Reads trigger a fabric sync, which is a no-op
+    unless events or time advanced since the last one.
+    """
+
+    def __init__(self, fabric: "ShardedMonitor") -> None:
+        self._fabric = fabric
+
+    def __getattr__(self, name: str) -> int:
+        fabric = self._fabric
+        if name == "events":
+            return int(fabric.router.events_total)
+        if name in MonitorStats._COUNTERS:
+            fabric.sync()
+            return int(sum(
+                snap.counters[name] for snap in fabric._snapshots))
+        if name in MonitorStats._GAUGES:
+            fabric.sync()
+            return int(sum(snap.peaks[name] for snap in fabric._snapshots))
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = {name: getattr(self, name)
+                  for name in (*MonitorStats._COUNTERS,
+                               *MonitorStats._GAUGES)}
+        inner = ", ".join(f"{k}={v}" for k, v in fields.items())
+        return f"FabricStats({inner})"
+
+
+class ShardedMonitor:
+    """Key-partitioned monitor execution behind the Monitor call surface."""
+
+    def __init__(
+        self,
+        props: Sequence[PropertySpec],
+        num_shards: int = 2,
+        mode: str = "inprocess",
+        registry: Optional[MetricsRegistry] = None,
+        max_layer: int = 7,
+        monitor_kwargs: Optional[Dict[str, object]] = None,
+        monitor_kwargs_fn: Optional[
+            Callable[[int], Dict[str, object]]] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if mode not in FABRIC_MODES:
+            raise ValueError(
+                f"unknown fabric mode {mode!r} "
+                f"(expected one of {FABRIC_MODES})")
+        self.num_shards = num_shards
+        self.mode = mode
+        self.max_layer = max_layer
+        self.registry = registry if registry is not None else NullRegistry()
+        self._props = list(props)
+        self.routes = build_routes(self._props, num_shards)
+        self.router = Router(
+            self.routes, num_shards, max_layer=max_layer,
+            registry=self.registry)
+        self.ledger = OverflowLedger()
+        self.stats = FabricStats(self)
+        self.started_at: Optional[float] = None
+        self._now = 0.0
+        self._tracer: Tracer = NULL_TRACER
+        self._violations: List[Violation] = []
+        self._sorted_violations: Optional[List[Violation]] = None
+        self._snapshots: List[ShardSnapshot] = [
+            ShardSnapshot(shard=i, now=0.0, live_instances=0, pending_ops=0,
+                          counters={n: 0.0 for n in SNAPSHOT_COUNTERS},
+                          peaks={n: 0.0 for n in SNAPSHOT_GAUGES})
+            for i in range(num_shards)
+        ]
+        self._dirty = False
+        self._stopped = False
+        self._inflight = [0] * num_shards
+        self._g_queue = [
+            self.registry.gauge(
+                "repro_fabric_shard_queue_depth",
+                help="Events forwarded to one shard and not yet confirmed "
+                     "by a snapshot sync (always 0 for in-process shards)",
+                labels={"shard": str(i)})
+            for i in range(num_shards)
+        ]
+        self._mirrored: Dict[str, float] = {}
+
+        def shard_kwargs(idx: int) -> Dict[str, object]:
+            if monitor_kwargs_fn is not None:
+                return dict(monitor_kwargs_fn(idx))
+            return dict(monitor_kwargs or {})
+
+        if mode == "inprocess":
+            self._shards: List[Monitor] = [
+                build_shard_monitor(self._props, i, num_shards, self.routes,
+                                    shard_kwargs(i))
+                for i in range(num_shards)
+            ]
+            self._cursors = [(0, 0)] * num_shards
+            self._workers: List[MpShard] = []
+        else:
+            self._shards = []
+            self._cursors = []
+            self._workers = []
+            try:
+                for i in range(num_shards):
+                    self._workers.append(MpShard(
+                        self._props, i, num_shards, self.routes,
+                        shard_kwargs(i), max_layer))
+            except BaseException:
+                for worker in self._workers:
+                    worker.kill()
+                raise
+
+    # -- event intake ------------------------------------------------------
+    def observe(self, event: DataplaneEvent) -> None:
+        self.observe_batch((event,))
+
+    def observe_batch(self, events: Sequence[DataplaneEvent]) -> None:
+        if not events:
+            return
+        batches = self.router.split(events)
+        last = events[-1].time
+        if last > self._now:
+            self._now = last
+        if self.mode == "inprocess":
+            for idx, batch in enumerate(batches):
+                if batch:
+                    self._shards[idx].observe_batch(batch)
+        else:
+            for idx, batch in enumerate(batches):
+                if batch:
+                    self._workers[idx].send_batch(batch)
+                    self._inflight[idx] += len(batch)
+                    self._g_queue[idx].set(float(self._inflight[idx]))
+        self._dirty = True
+
+    def advance_to(self, when: float) -> None:
+        if when > self._now:
+            self._now = when
+        if self.mode == "inprocess":
+            for shard in self._shards:
+                shard.advance_to(when)
+        else:
+            for worker in self._workers:
+                worker.advance_to(when)
+        self._dirty = True
+
+    def flush(self, until: float) -> None:
+        self.advance_to(until)
+
+    def start(self, now: float = 0.0) -> None:
+        self.started_at = now
+        self.advance_to(now)
+
+    def drain(self, until: Optional[float] = None) -> int:
+        if until is not None:
+            self.advance_to(until)
+        elif self.mode == "inprocess":
+            for shard in self._shards:
+                shard.drain()
+            self._dirty = True
+        else:
+            for worker in self._workers:
+                worker.drain()
+            self._dirty = True
+        self.sync()
+        return self.pending_op_count()
+
+    # -- merged state ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        # Shards keep their null tracers: spans are a single-process
+        # debug instrument, and serve's per-event root spans are opened
+        # by the daemon around fabric calls, not inside the engine.
+        self._tracer = tracer
+
+    def sync(self) -> None:
+        """Refresh merged state from every shard (no-op when clean)."""
+        if not self._dirty:
+            return
+        self._dirty = False
+        if self.mode == "inprocess":
+            for idx, shard in enumerate(self._shards):
+                viol_cursor, shed_cursor = self._cursors[idx]
+                snapshot, viol_cursor, shed_cursor = take_snapshot(
+                    shard, idx, viol_cursor, shed_cursor)
+                self._cursors[idx] = (viol_cursor, shed_cursor)
+                self._merge(snapshot)
+        else:
+            for worker in self._workers:
+                worker.request_snapshot()
+            for worker in self._workers:
+                self._merge(worker.recv_snapshot())
+        self._mirror_monitor_metrics()
+
+    def _merge(self, snapshot: ShardSnapshot) -> None:
+        idx = snapshot.shard
+        self._snapshots[idx] = snapshot
+        if snapshot.violations:
+            self._violations.extend(snapshot.violations)
+            self._sorted_violations = None
+        self.ledger.records.extend(snapshot.sheds)
+        self._inflight[idx] = 0
+        self._g_queue[idx].set(0.0)
+
+    def _mirror_monitor_metrics(self) -> None:
+        """Reflect shard totals into the fabric's registry.
+
+        Shard monitors run NullRegistries (their counters still count;
+        they export nothing), so the fabric republishes the merged
+        ``repro_monitor_*`` families — a scrape of a sharded daemon
+        shows the same names a single-monitor daemon does.
+        """
+        if not self.registry.enabled:
+            return
+        for attr, name in MonitorStats._COUNTERS.items():
+            if attr == "events":
+                total = float(self.router.events_total)
+            else:
+                total = float(sum(
+                    snap.counters[attr] for snap in self._snapshots))
+            delta = total - self._mirrored.get(name, 0.0)
+            if delta:
+                self.registry.counter(name).inc(delta)
+                self._mirrored[name] = total
+        self.registry.gauge("repro_monitor_live_instances").set(
+            float(sum(s.live_instances for s in self._snapshots)))
+        self.registry.gauge("repro_monitor_pending_ops").set(
+            float(sum(s.pending_ops for s in self._snapshots)))
+
+    @property
+    def violations(self) -> List[Violation]:
+        self.sync()
+        if self._sorted_violations is None:
+            self._sorted_violations = sorted(
+                self._violations, key=_violation_order)
+        return self._sorted_violations
+
+    def live_instances(self) -> int:
+        self.sync()
+        return sum(s.live_instances for s in self._snapshots)
+
+    def pending_op_count(self) -> int:
+        self.sync()
+        return sum(s.pending_ops for s in self._snapshots)
+
+    @property
+    def shard_monitors(self) -> List[Monitor]:
+        """In-process shard monitors (tests, invariant checks); [] in mp."""
+        return list(self._shards)
+
+    # -- lifecycle ---------------------------------------------------------
+    def stop(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Drain every shard and return a Monitor-compatible summary."""
+        if not self._stopped:
+            self._stopped = True
+            if now is not None and now > self._now:
+                self._now = now
+            if self.mode == "inprocess":
+                for shard in self._shards:
+                    remaining = shard.drain(until=now)
+                    if remaining and now is None:  # pragma: no cover
+                        shard.drain()
+            else:
+                horizon = self._now if now is None else max(now, self._now)
+                for worker in self._workers:
+                    worker.advance_to(horizon)
+                    if now is None:
+                        worker.drain()
+                self._dirty = True
+                for worker in self._workers:
+                    self._merge(worker.quit())
+                self._dirty = False
+                self._mirror_monitor_metrics()
+            if self.mode == "inprocess":
+                self._dirty = True
+                self.sync()
+            self._tracer.close_all(self._now)
+        observed = len(self.violations)
+        return {
+            "started_at": self.started_at,
+            "stopped_at": self._now,
+            "events": self.stats.events,
+            "violations": observed,
+            "violations_interval": list(self.ledger.interval(observed)),
+            "live_instances": self.live_instances(),
+            "pending_ops": self.pending_op_count(),
+            "ledger": self.ledger.summary(),
+        }
+
+    def close(self) -> None:
+        """Tear down workers without draining (error paths, __del__)."""
+        for worker in self._workers:
+            worker.kill()
+        self._workers = []

@@ -1,0 +1,147 @@
+"""Multiprocessing shard workers and their byte protocol.
+
+Each shard runs a plain :class:`Monitor` in a forked worker process.
+Fork (not spawn) is required: property specs carry compiled predicate
+closures that do not pickle, and a forked child inherits them directly.
+Event batches cross the pipe as the framed encoding from
+``netsim/serialize.py`` — the same bytes a recorded trace round-trips
+through, so the IPC format is covered by the serialization tests.
+
+Command channel (parent -> worker), one ``send_bytes`` per command:
+
+* ``b"B" + encode_frames(batch)`` — observe the batch;
+* ``b"A" + f64(when)``            — advance monitor time;
+* ``b"D"``                        — drain all deferred ops and timers;
+* ``b"S"``                        — reply with a :class:`ShardSnapshot`
+                                    delta on the result channel;
+* ``b"Q"``                        — final snapshot, then exit.
+
+Workers reply only when asked (cursor-based deltas), so the data path
+never blocks on per-event acknowledgements.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import struct
+from multiprocessing.connection import Connection
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.spec import PropertySpec
+from ..netsim.serialize import decode_frames, encode_frames
+from ..switch.events import DataplaneEvent
+from .routing import PropRoute
+from .shard import ShardSnapshot, build_shard_monitor, take_snapshot
+
+_F64 = struct.Struct(">d")
+
+
+def fork_available() -> bool:
+    """Whether this platform can run fabric workers at all."""
+    return (
+        hasattr(os, "fork")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def _worker_main(
+    conn: Connection,
+    results: Connection,
+    props: Sequence[PropertySpec],
+    shard_idx: int,
+    num_shards: int,
+    routes: Mapping[str, PropRoute],
+    monitor_kwargs: Optional[Dict[str, object]],
+    max_layer: int,
+) -> None:
+    monitor = build_shard_monitor(
+        props, shard_idx, num_shards, routes, monitor_kwargs)
+    violation_cursor = shed_cursor = 0
+    while True:
+        try:
+            message = conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # parent died; nothing useful left to do
+        tag, payload = message[:1], message[1:]
+        if tag == b"B":
+            monitor.observe_batch(decode_frames(payload, max_layer=max_layer))
+        elif tag == b"A":
+            monitor.advance_to(_F64.unpack(payload)[0])
+        elif tag == b"D":
+            monitor.drain()
+        elif tag in (b"S", b"Q"):
+            snapshot, violation_cursor, shed_cursor = take_snapshot(
+                monitor, shard_idx, violation_cursor, shed_cursor)
+            results.send(snapshot)
+            if tag == b"Q":
+                break
+        else:  # pragma: no cover - protocol is closed
+            raise ValueError(f"unknown fabric command {tag!r}")
+
+
+class MpShard:
+    """Parent-side handle to one forked shard worker."""
+
+    def __init__(
+        self,
+        props: Sequence[PropertySpec],
+        shard_idx: int,
+        num_shards: int,
+        routes: Mapping[str, PropRoute],
+        monitor_kwargs: Optional[Dict[str, object]],
+        max_layer: int,
+    ) -> None:
+        if not fork_available():
+            raise RuntimeError(
+                "fabric mode 'mp' needs the fork start method (unavailable "
+                "on this platform); use mode='inprocess'")
+        ctx = multiprocessing.get_context("fork")
+        self._cmd, child_cmd = ctx.Pipe()
+        self._results, child_results = ctx.Pipe()
+        self.shard_idx = shard_idx
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_cmd, child_results, props, shard_idx, num_shards,
+                  routes, monitor_kwargs, max_layer),
+            name=f"repro-fabric-shard-{shard_idx}",
+            daemon=True,
+        )
+        self.process.start()
+        child_cmd.close()
+        child_results.close()
+
+    def send_batch(self, events: List[DataplaneEvent]) -> None:
+        self._cmd.send_bytes(b"B" + encode_frames(events))
+
+    def advance_to(self, when: float) -> None:
+        self._cmd.send_bytes(b"A" + _F64.pack(when))
+
+    def drain(self) -> None:
+        self._cmd.send_bytes(b"D")
+
+    def request_snapshot(self) -> None:
+        self._cmd.send_bytes(b"S")
+
+    def recv_snapshot(self) -> ShardSnapshot:
+        return self._results.recv()
+
+    def quit(self, timeout: float = 30.0) -> ShardSnapshot:
+        """Fetch the final snapshot and reap the worker."""
+        self._cmd.send_bytes(b"Q")
+        snapshot = self._results.recv()
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout)
+        self._cmd.close()
+        self._results.close()
+        return snapshot
+
+    def kill(self) -> None:
+        """Hard teardown (error paths only)."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(5.0)
+        self._cmd.close()
+        self._results.close()

@@ -1,0 +1,86 @@
+"""One shard: a plain :class:`Monitor` that owns a key partition.
+
+A shard is not a new engine — it is the existing monitor with a
+``key_filter`` installed, so every semantic feature (timers, split mode,
+degradation, provenance) works unchanged per shard.  This module builds
+shard monitors and snapshots their state into picklable deltas the
+fabric merges into its single external view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.degradation import ShedRecord
+from ..core.monitor import Monitor, MonitorStats
+from ..core.spec import PropertySpec
+from ..core.violations import Violation
+from .routing import PropRoute, shard_key_filter
+
+#: MonitorStats attributes a snapshot carries (counter name -> metric).
+SNAPSHOT_COUNTERS = tuple(MonitorStats._COUNTERS)
+SNAPSHOT_GAUGES = tuple(MonitorStats._GAUGES)
+
+
+def build_shard_monitor(
+    props: Sequence[PropertySpec],
+    shard_idx: int,
+    num_shards: int,
+    routes: Mapping[str, PropRoute],
+    monitor_kwargs: Optional[Dict[str, object]] = None,
+) -> Monitor:
+    """A monitor owning shard ``shard_idx`` of the key space.
+
+    Every shard registers EVERY property: an event fanned out for one
+    property's key may also match another property's watchers, and the
+    key filter — not the property set — is what scopes ownership.
+    """
+    kwargs = dict(monitor_kwargs or {})
+    kwargs["key_filter"] = shard_key_filter(routes, shard_idx, num_shards)
+    monitor = Monitor(**kwargs)
+    for prop in props:
+        monitor.add_property(prop)
+    return monitor
+
+
+@dataclass
+class ShardSnapshot:
+    """A shard's state delta since the previous snapshot.
+
+    Counters and gauges are cumulative (cheap, idempotent to re-read);
+    violations and shed records are deltas past a cursor so the fabric
+    appends each exactly once.  Everything here pickles — violations
+    carry events and provenance records, which are plain dataclasses —
+    so the same type crosses the multiprocessing result channel.
+    """
+
+    shard: int
+    now: float
+    live_instances: int
+    pending_ops: int
+    counters: Dict[str, float]
+    peaks: Dict[str, float]
+    violations: List[Violation] = field(default_factory=list)
+    sheds: List[ShedRecord] = field(default_factory=list)
+
+
+def take_snapshot(
+    monitor: Monitor,
+    shard_idx: int,
+    violation_cursor: int,
+    shed_cursor: int,
+) -> Tuple[ShardSnapshot, int, int]:
+    """Snapshot ``monitor``; returns (snapshot, new cursors)."""
+    stats = monitor.stats
+    snapshot = ShardSnapshot(
+        shard=shard_idx,
+        now=monitor.now,
+        live_instances=monitor.live_instances(),
+        pending_ops=monitor.pending_op_count(),
+        counters={name: getattr(stats, name) for name in SNAPSHOT_COUNTERS},
+        peaks={name: getattr(stats, name) for name in SNAPSHOT_GAUGES},
+        violations=list(monitor.violations[violation_cursor:]),
+        sheds=list(monitor.ledger.records[shed_cursor:]),
+    )
+    return snapshot, len(monitor.violations), len(monitor.ledger.records)

@@ -13,12 +13,23 @@ count — which ``repro stats`` echoes back so a snapshot is traceable to
 the workload that produced it.  Readers skip the header transparently
 (``load_trace`` returns events only; use ``read_trace_with_header`` to
 get both), so headered traces stay readable by older tooling patterns.
+
+Next to the line-oriented JSONL format lives a **framed batch encoding**
+(:func:`encode_frames` / :func:`decode_frames`): a magic + count prefix
+followed by length-prefixed frames, one per event.  The sharded fabric
+uses it as the IPC wire format between the batching router and its
+``multiprocessing`` workers — length prefixes let a reader consume a
+batch without scanning for newlines, and the framing survives payloads
+that themselves contain newlines.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..packet.addresses import IPv4Address, MACAddress
 
 from ..packet.packet import Packet
 from ..packet.parser import encode as wire_encode
@@ -41,6 +52,48 @@ class TraceFormatError(ValueError):
 
 #: Bumped whenever the event dict layout changes incompatibly.
 TRACE_SCHEMA_VERSION = 1
+
+
+def _key_scalar_to_json(value: object) -> object:
+    """One instance-key element as JSON.
+
+    JSON-native scalars pass through untouched (old traces stay
+    readable); the richer types a monitor key can carry — addresses and
+    the event-metadata enums — get a ``{"t": ..., "v": ...}`` tag so the
+    round trip restores the original type, not its string shadow.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, IPv4Address):
+        return {"t": "ip", "v": str(value)}
+    if isinstance(value, MACAddress):
+        return {"t": "mac", "v": str(value)}
+    if isinstance(value, EgressAction):
+        return {"t": "egress-action", "v": value.value}
+    if isinstance(value, OobKind):
+        return {"t": "oob-kind", "v": value.value}
+    raise TraceFormatError(
+        f"instance-key element {value!r} ({type(value).__name__}) has no "
+        "trace encoding")
+
+
+def _key_scalar_from_json(value: object) -> object:
+    if isinstance(value, dict):
+        try:
+            tag, payload = value["t"], value["v"]
+        except KeyError as exc:
+            raise TraceFormatError(
+                f"tagged key element missing field {exc}") from exc
+        if tag == "ip":
+            return IPv4Address(payload)
+        if tag == "mac":
+            return MACAddress(payload)
+        if tag == "egress-action":
+            return EgressAction(payload)
+        if tag == "oob-kind":
+            return OobKind(payload)
+        raise TraceFormatError(f"unknown key element tag {tag!r}")
+    return value
 
 
 def trace_header(**provenance: object) -> dict:
@@ -70,7 +123,8 @@ def event_to_dict(event: DataplaneEvent) -> dict:
         base.update(oob_kind=event.oob_kind.value, port=event.port)
     elif isinstance(event, TimerFired):
         base.update(timer_id=event.timer_id,
-                    instance_key=list(event.instance_key))
+                    instance_key=[_key_scalar_to_json(k)
+                                  for k in event.instance_key])
     else:  # pragma: no cover - taxonomy is closed
         raise TraceFormatError(f"unknown event type {type(event).__name__}")
     return base
@@ -109,7 +163,9 @@ def event_from_dict(data: dict, max_layer: int = 7) -> DataplaneEvent:
     if kind == "TimerFired":
         return TimerFired(switch_id=switch_id, time=time,
                           timer_id=data.get("timer_id", ""),
-                          instance_key=tuple(data.get("instance_key", ())))
+                          instance_key=tuple(
+                              _key_scalar_from_json(k)
+                              for k in data.get("instance_key", ())))
     raise TraceFormatError(f"unknown event kind {kind!r}")
 
 
@@ -182,3 +238,68 @@ def read_trace_with_header(
     """Like :func:`read_trace` but also returns the header (or ``None``)."""
     with open(path, "r", encoding="utf-8") as fp:
         return _load(fp, max_layer=max_layer)
+
+
+# ---------------------------------------------------------------------------
+# Framed batch encoding
+
+
+#: Leading bytes of a framed batch — lets a reader reject a JSONL stream
+#: (or any other garbage) fed to :func:`decode_frames` immediately.
+FRAME_MAGIC = b"RPF1"
+
+_U32 = struct.Struct(">I")
+
+
+def encode_frames(events: Iterable[DataplaneEvent]) -> bytes:
+    """Encode a batch of events as one framed byte string.
+
+    Layout: ``FRAME_MAGIC`` + u32 event count + per event (u32 payload
+    length + JSON payload).  The payloads are the same dicts the JSONL
+    format writes, so both formats stay round-trip compatible with each
+    other.
+    """
+    frames = []
+    for event in events:
+        payload = json.dumps(event_to_dict(event), sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        frames.append(_U32.pack(len(payload)))
+        frames.append(payload)
+    return FRAME_MAGIC + _U32.pack(len(frames) // 2) + b"".join(frames)
+
+
+def decode_frames(data: bytes, max_layer: int = 7) -> List[DataplaneEvent]:
+    """Decode a framed batch produced by :func:`encode_frames`.
+
+    Raises :class:`TraceFormatError` on a bad magic, a truncated frame,
+    or trailing bytes after the declared count — a partial IPC read must
+    never silently drop events.
+    """
+    if data[:4] != FRAME_MAGIC:
+        raise TraceFormatError(
+            f"bad frame magic {data[:4]!r} (expected {FRAME_MAGIC!r})")
+    if len(data) < 8:
+        raise TraceFormatError("truncated frame header")
+    (count,) = _U32.unpack_from(data, 4)
+    events: List[DataplaneEvent] = []
+    offset = 8
+    for index in range(count):
+        if offset + 4 > len(data):
+            raise TraceFormatError(
+                f"truncated batch: frame {index} length missing")
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        if offset + length > len(data):
+            raise TraceFormatError(
+                f"truncated batch: frame {index} payload short")
+        try:
+            payload = json.loads(data[offset:offset + length].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(
+                f"frame {index}: invalid JSON payload: {exc}") from exc
+        events.append(event_from_dict(payload, max_layer=max_layer))
+        offset += length
+    if offset != len(data):
+        raise TraceFormatError(
+            f"{len(data) - offset} trailing bytes after {count} frames")
+    return events

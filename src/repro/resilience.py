@@ -126,30 +126,64 @@ def degradation_policy(profile: ChaosProfile) -> Optional[DegradationPolicy]:
     )
 
 
-def build_monitor(
+def monitor_profile_kwargs(
     profile: Optional[ChaosProfile] = None,
-    registry: Optional[MetricsRegistry] = None,
-) -> Monitor:
-    """A catalog monitor, optionally configured for a chaos profile."""
+) -> Dict[str, object]:
+    """The ``Monitor(...)`` kwargs a chaos profile implies.
+
+    Called once per monitor (or per fabric shard): fault channels carry
+    RNG state, so every call mints fresh ones rather than sharing.
+    """
     if profile is None or (
         profile.mode == "inline"
         and profile.control.is_null
         and not profile.degraded()
     ):
-        monitor = Monitor(registry=registry)
-    else:
-        monitor = Monitor(
-            mode=(ProcessingMode.SPLIT if profile.mode == "split"
-                  else ProcessingMode.INLINE),
-            split_lag=profile.split_lag,
-            degradation=degradation_policy(profile),
-            op_faults=(None if profile.control.is_null
-                       else profile.control.channel(name=profile.name)),
-            registry=registry,
-        )
+        return {}
+    return {
+        "mode": (ProcessingMode.SPLIT if profile.mode == "split"
+                 else ProcessingMode.INLINE),
+        "split_lag": profile.split_lag,
+        "degradation": degradation_policy(profile),
+        "op_faults": (None if profile.control.is_null
+                      else profile.control.channel(name=profile.name)),
+    }
+
+
+def build_monitor(
+    profile: Optional[ChaosProfile] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Monitor:
+    """A catalog monitor, optionally configured for a chaos profile."""
+    monitor = Monitor(registry=registry, **monitor_profile_kwargs(profile))
     for entry in build_table1():
         monitor.add_property(entry.prop)
     return monitor
+
+
+def build_sharded_monitor(
+    profile: Optional[ChaosProfile] = None,
+    num_shards: int = 2,
+    mode: str = "inprocess",
+    registry: Optional[MetricsRegistry] = None,
+):
+    """A catalog :class:`~repro.fabric.ShardedMonitor` for a profile.
+
+    Each shard gets its own profile-derived kwargs — in particular its
+    own control-channel fault source and its own bounded-store budget
+    (per-shard capacity, a documented difference from the single
+    monitor's global bound).
+    """
+    from .fabric import ShardedMonitor
+
+    props = [entry.prop for entry in build_table1()]
+    return ShardedMonitor(
+        props,
+        num_shards=num_shards,
+        mode=mode,
+        registry=registry,
+        monitor_kwargs_fn=lambda idx: monitor_profile_kwargs(profile),
+    )
 
 
 @dataclass
@@ -439,7 +473,9 @@ __all__ = [
     "PropertyDegradation",
     "RunResult",
     "build_monitor",
+    "build_sharded_monitor",
     "catalog_trace",
+    "monitor_profile_kwargs",
     "check_invariants",
     "compare_runs",
     "degradation_policy",

@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from ..core.monitor import Monitor
 from ..netsim.chaos import PROFILES
 from ..netsim.clock import WallClock
-from ..resilience import build_monitor
+from ..resilience import build_monitor, build_sharded_monitor
 from ..telemetry import (
     MetricsRegistry,
     NullTracer,
@@ -87,12 +87,22 @@ class ServeConfig:
     #: are always dispatched; this bounds how long a slow sender can
     #: hold the drain open.
     drain_grace: float = 1.0
+    #: 0 = one monitor; N > 0 = drain the queue into a ShardedMonitor
+    #: fabric of N shards (``--shards``).
+    shards: int = 0
+    shard_mode: str = "mp"
 
     def __post_init__(self) -> None:
         if self.chaos_profile not in PROFILES:
             raise ValueError(
                 f"unknown chaos profile {self.chaos_profile!r}; "
                 f"choose from {sorted(PROFILES)}")
+        if self.shards < 0:
+            raise ValueError(f"shards must be >= 0, got {self.shards}")
+        if self.shard_mode not in ("inprocess", "mp"):
+            raise ValueError(
+                f"unknown shard mode {self.shard_mode!r}; "
+                "choose inprocess or mp")
         for spec in self.ingest:
             parse_ingest_spec(spec)  # validate early, fail before boot
 
@@ -111,6 +121,12 @@ class ServeDaemon:
         self.registry = MetricsRegistry(time_fn=self.clock.now)
         if monitor is not None:
             self.monitor = monitor
+        elif self.config.shards > 0:
+            self.monitor = build_sharded_monitor(
+                PROFILES[self.config.chaos_profile],
+                num_shards=self.config.shards,
+                mode=self.config.shard_mode,
+                registry=self.registry)
         else:
             self.monitor = build_monitor(
                 PROFILES[self.config.chaos_profile], registry=self.registry)

@@ -10,6 +10,14 @@ regardless of how late event N-1 went out.
 ``rate=0`` means "as fast as the socket accepts", which is how the
 benchmark and the CI smoke job flood the daemon's ingest queue to
 exercise shedding and the ``/readyz`` flip.
+
+Connection loss is survivable: ``retry`` grants that many reconnect
+attempts (with exponential ``backoff`` doubling per consecutive
+failure, reset on success), and the chunk that was in flight when the
+connection died is resent whole on the new connection.  The daemon's
+frame parser tolerates the resulting duplicate/partial lines — a torn
+line fails to parse and is counted as a frame error, never crashing
+ingest.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ class SendResult:
     events: int
     duration: float
     target_rate: float
+    reconnects: int = 0
 
     @property
     def achieved_rate(self) -> float:
@@ -40,6 +49,7 @@ class SendResult:
             "duration": self.duration,
             "target_rate": self.target_rate,
             "achieved_rate": self.achieved_rate,
+            "reconnects": self.reconnects,
         }
 
 
@@ -61,8 +71,11 @@ def stream_trace(
     rate: float = 0.0,
     repeat: int = 1,
     chunk: int = 64,
+    retry: int = 0,
+    backoff: float = 0.5,
     monotonic: Optional[Callable[[], float]] = None,
     sleep: Optional[Callable[[float], None]] = None,
+    connect: Optional[Callable[[str, int], socket.socket]] = None,
 ) -> SendResult:
     """Stream the trace at ``path`` to ``host:port`` at ``rate`` events/s.
 
@@ -70,25 +83,59 @@ def stream_trace(
     connection.  ``rate=0`` disables pacing.  ``chunk`` bounds how many
     events are written between pacing checks (coarse pacing costs far
     fewer syscalls than per-event sleeps; at 10k ev/s a chunk of 64 is
-    a pacing decision every ~6ms).  ``monotonic``/``sleep`` are
+    a pacing decision every ~6ms).  ``retry`` is the reconnect budget
+    for the whole stream: each connection failure — initial or mid-send
+    — consumes one attempt and waits ``backoff * 2**consecutive_failures``
+    seconds; a successful reconnect resets the consecutive count, the
+    budget never refills.  ``monotonic``/``sleep``/``connect`` are
     injectable for tests.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat!r}")
     if rate < 0:
         raise ValueError(f"rate must be >= 0, got {rate!r}")
+    if retry < 0:
+        raise ValueError(f"retry must be >= 0, got {retry!r}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff!r}")
     now = monotonic if monotonic is not None else time.monotonic
     pause = sleep if sleep is not None else time.sleep
+    dial = (connect if connect is not None
+            else lambda h, p: socket.create_connection((h, p)))
     lines = _read_lines(path)
 
     sent = 0  # events only; header lines don't count toward pacing
+    reconnects = 0
+    attempts_left = retry
+    consecutive_failures = 0
+    sock: Optional[socket.socket] = None
     start = now()
-    with socket.create_connection((host, port)) as sock:
-        for _ in range(repeat):
+    try:
+        for round_idx in range(repeat):
             i = 0
             while i < len(lines):
+                if sock is None:
+                    try:
+                        sock = dial(host, port)
+                    except OSError:
+                        if attempts_left <= 0:
+                            raise
+                        attempts_left -= 1
+                        pause(backoff * (2 ** consecutive_failures))
+                        consecutive_failures += 1
+                        continue
+                    if round_idx or i or consecutive_failures:
+                        reconnects += 1
+                    consecutive_failures = 0
                 batch = lines[i:i + chunk]
-                sock.sendall(b"".join(batch))
+                try:
+                    sock.sendall(b"".join(batch))
+                except OSError:
+                    # The failed chunk is resent whole on the next
+                    # connection; it was not counted as sent.
+                    sock.close()
+                    sock = None
+                    continue
                 i += len(batch)
                 sent += sum(1 for line in batch
                             if b'"TraceHeader"' not in line)
@@ -97,5 +144,9 @@ def stream_trace(
                     delay = due - now()
                     if delay > 0:
                         pause(delay)
+    finally:
+        if sock is not None:
+            sock.close()
     duration = max(0.0, now() - start)
-    return SendResult(events=sent, duration=duration, target_rate=rate)
+    return SendResult(events=sent, duration=duration, target_rate=rate,
+                      reconnects=reconnects)

@@ -1,0 +1,142 @@
+"""Differential suite: the sharded fabric is observationally identical
+to one plain :class:`Monitor` on unbounded (clean) configurations.
+
+This is the fabric's correctness contract — partitioning by key must
+never change *what* is monitored, only *where*.  Equality is asserted on
+violation fingerprints, the full counter set, live/pending state, and
+ledger emptiness, across shard counts and both execution modes.  Chaos
+profiles with bounded stores split one global budget into per-shard
+budgets (a documented difference), so for those the suite checks the
+per-shard soak invariants and ledger-interval arithmetic instead of
+exact equality.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import Monitor, MonitorStats
+from repro.fabric import ShardedMonitor, fork_available
+from repro.props import build_table1
+from repro.resilience import (
+    PROFILES,
+    RunResult,
+    build_sharded_monitor,
+    catalog_trace,
+    check_invariants,
+)
+
+SETTLE = 600.0
+COUNTERS = tuple(MonitorStats._COUNTERS)
+
+
+def catalog_props():
+    return [entry.prop for entry in build_table1()]
+
+
+def fingerprint(violations):
+    # Sorted: the fabric orders same-timestamp violations by (time,
+    # property, bindings) while the plain monitor keeps emission order.
+    return sorted(
+        (v.property_name, round(v.time, 9),
+         tuple(sorted((k, str(val)) for k, val in v.bindings.items())))
+        for v in violations
+    )
+
+
+def run_plain(events):
+    monitor = Monitor()
+    for prop in catalog_props():
+        monitor.add_property(prop)
+    monitor.observe_batch(events)
+    monitor.advance_to(events[-1].time + SETTLE)
+    return monitor
+
+
+def run_sharded(events, num_shards, mode, batch=256):
+    fabric = ShardedMonitor(
+        catalog_props(), num_shards=num_shards, mode=mode)
+    try:
+        for i in range(0, len(events), batch):
+            fabric.observe_batch(events[i:i + batch])
+        fabric.advance_to(events[-1].time + SETTLE)
+        fabric.sync()
+    finally:
+        if mode == "mp":
+            fabric.stop()
+    return fabric
+
+
+def assert_equivalent(plain, fabric):
+    assert fingerprint(fabric.violations) == fingerprint(plain.violations)
+    for name in COUNTERS:
+        assert getattr(fabric.stats, name) == getattr(plain.stats, name), name
+    assert fabric.live_instances() == plain.live_instances()
+    assert fabric.pending_op_count() == plain.pending_op_count() == 0
+    assert not fabric.ledger.records
+    assert not plain.ledger.records
+
+
+class TestInprocessDifferential:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_matches_plain_monitor(self, num_shards):
+        events = catalog_trace(seed=7, num_events=2000)
+        plain = run_plain(events)
+        fabric = run_sharded(events, num_shards, "inprocess")
+        assert fabric.violations, "workload produced no violations — vacuous"
+        assert_equivalent(plain, fabric)
+
+    def test_every_shard_contributes(self):
+        # The catalog has keyed and pinned properties on several shards;
+        # a partitioning bug that starves one shard would shift work.
+        events = catalog_trace(seed=7, num_events=2000)
+        fabric = run_sharded(events, 4, "inprocess")
+        per_shard = [m.stats.events for m in fabric.shard_monitors]
+        assert all(count > 0 for count in per_shard), per_shard
+
+
+@pytest.mark.skipif(not fork_available(),
+                    reason="fork start method unavailable")
+class TestMpDifferential:
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_matches_plain_monitor(self, num_shards):
+        events = catalog_trace(seed=7, num_events=2000)
+        plain = run_plain(events)
+        fabric = run_sharded(events, num_shards, "mp")
+        assert fabric.violations, "workload produced no violations — vacuous"
+        assert_equivalent(plain, fabric)
+
+
+class TestHypothesisWorkloads:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           num_shards=st.sampled_from([2, 3, 4]))
+    def test_random_workload_equivalence(self, seed, num_shards):
+        events = catalog_trace(seed=seed, num_events=400)
+        plain = run_plain(events)
+        fabric = run_sharded(events, num_shards, "inprocess", batch=64)
+        assert_equivalent(plain, fabric)
+
+
+class TestChaosProfilesPerShard:
+    @pytest.mark.parametrize("profile_name", sorted(PROFILES))
+    def test_invariants_hold_on_every_shard(self, profile_name):
+        events = catalog_trace(seed=13, num_events=1500)
+        fabric = build_sharded_monitor(
+            PROFILES[profile_name], num_shards=2, mode="inprocess")
+        for i in range(0, len(events), 256):
+            fabric.observe_batch(events[i:i + 256])
+        assert fabric.drain(until=events[-1].time + SETTLE) == 0
+        for shard in fabric.shard_monitors:
+            result = RunResult(monitor=shard, events_offered=len(events),
+                               events_seen=shard.stats.events,
+                               link_counters={})
+            assert check_invariants(result) == []
+        # Shed records from every shard land in the one fabric ledger,
+        # and the interval stays well-formed around the observed count.
+        observed = len(fabric.violations)
+        lo, hi = fabric.ledger.interval(observed)
+        assert lo <= observed <= hi
+        shard_sheds = sum(
+            len(m.ledger.records) for m in fabric.shard_monitors)
+        assert len(fabric.ledger.records) == shard_sheds

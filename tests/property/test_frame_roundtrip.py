@@ -1,0 +1,161 @@
+"""Property-based tests: the framed batch encoding round-trips every
+recorded event kind — including the TimerFired instance keys carrying
+addresses and enums that the plain JSONL path used to flatten into
+strings (the gap the fabric's IPC transport surfaced)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.serialize import (
+    FRAME_MAGIC,
+    TraceFormatError,
+    decode_frames,
+    dump_trace,
+    encode_frames,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+)
+from repro.packet import IPv4Address, MACAddress, arp_request, tcp_packet
+from repro.switch.events import (
+    EgressAction,
+    OobKind,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+    TimerFired,
+)
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MACAddress)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address)
+ports = st.integers(min_value=0, max_value=65535)
+times = st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+switch_ids = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=8)
+
+packets = st.one_of(
+    st.tuples(st.integers(0, 7), st.integers(0, 7), ips, ips, ports, ports)
+    .map(lambda t: tcp_packet(t[0], t[1], str(t[2]), str(t[3]), t[4], t[5])),
+    st.tuples(st.integers(0, 7), ips, ips)
+    .map(lambda t: arp_request(t[0], str(t[1]), str(t[2]))),
+)
+
+#: every scalar type an instance key can carry across the wire
+key_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 62), max_value=1 << 62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    ips,
+    macs,
+    st.sampled_from(list(EgressAction)),
+    st.sampled_from(list(OobKind)),
+)
+
+arrivals = st.builds(
+    PacketArrival, switch_id=switch_ids, time=times, packet=packets,
+    in_port=st.integers(0, 64))
+egresses = st.builds(
+    PacketEgress, switch_id=switch_ids, time=times, packet=packets,
+    in_port=st.integers(0, 64), out_port=st.integers(0, 64),
+    action=st.sampled_from(list(EgressAction)))
+drops = st.builds(
+    PacketDrop, switch_id=switch_ids, time=times, packet=packets,
+    in_port=st.integers(0, 64), reason=st.text(max_size=16))
+oobs = st.builds(
+    OutOfBandEvent, switch_id=switch_ids, time=times,
+    oob_kind=st.sampled_from(list(OobKind)),
+    port=st.one_of(st.none(), st.integers(0, 64)))
+timers = st.builds(
+    TimerFired, switch_id=switch_ids, time=times,
+    timer_id=st.text(max_size=12),
+    instance_key=st.tuples() | st.tuples(key_scalars)
+    | st.tuples(key_scalars, key_scalars)
+    | st.tuples(key_scalars, key_scalars, key_scalars))
+
+events = st.one_of(arrivals, egresses, drops, oobs, timers)
+
+
+def assert_same_event(left, right):
+    assert type(left) is type(right)
+    assert left.switch_id == right.switch_id
+    assert left.time == right.time
+    packet = getattr(left, "packet", None)
+    if packet is not None:
+        assert right.packet.uid == packet.uid
+        assert right.packet.headers == packet.headers
+    if isinstance(left, TimerFired):
+        assert right.instance_key == left.instance_key
+        for a, b in zip(left.instance_key, right.instance_key):
+            assert type(a) is type(b), (a, b)
+
+
+class TestFrameRoundtrip:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(events, max_size=12))
+    def test_encode_decode_identity(self, batch):
+        decoded = decode_frames(encode_frames(batch))
+        assert len(decoded) == len(batch)
+        for original, restored in zip(batch, decoded):
+            assert_same_event(original, restored)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(events, max_size=8))
+    def test_framed_and_jsonl_agree(self, batch):
+        """Both wire formats produce the same event dicts."""
+        import io
+
+        fp = io.StringIO()
+        dump_trace(batch, fp)
+        fp.seek(0)
+        via_jsonl = load_trace(fp)
+        via_frames = decode_frames(encode_frames(batch))
+        assert ([event_to_dict(e) for e in via_jsonl]
+                == [event_to_dict(e) for e in via_frames])
+
+    @settings(max_examples=60, deadline=None)
+    @given(events)
+    def test_event_dict_roundtrip_preserves_types(self, event):
+        restored = event_from_dict(
+            json.loads(json.dumps(event_to_dict(event))))
+        assert_same_event(event, restored)
+
+
+class TestFrameErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            decode_frames(b'{"kind": "TraceHeader"}\n')
+
+    def test_truncated_payload_rejected(self):
+        blob = encode_frames([OutOfBandEvent(
+            switch_id="s", time=1.0, oob_kind=OobKind.PORT_UP, port=1)])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            decode_frames(blob[:-3])
+
+    def test_trailing_garbage_rejected(self):
+        blob = encode_frames([])
+        assert blob == FRAME_MAGIC + b"\x00\x00\x00\x00"
+        with pytest.raises(TraceFormatError, match="trailing"):
+            decode_frames(blob + b"xx")
+
+    def test_unknown_key_tag_rejected(self):
+        blob = json.dumps({
+            "kind": "TimerFired", "switch": "s", "time": 1.0,
+            "timer_id": "t", "instance_key": [{"t": "nope", "v": "x"}]})
+        framed = FRAME_MAGIC + b"\x00\x00\x00\x01" \
+            + len(blob).to_bytes(4, "big") + blob.encode()
+        with pytest.raises(TraceFormatError, match="unknown key element"):
+            decode_frames(framed)
+
+    def test_unencodable_key_rejected(self):
+        event = TimerFired(switch_id="s", time=1.0, timer_id="t",
+                           instance_key=((1, 2),))
+        with pytest.raises(TraceFormatError, match="no\\s+trace encoding"):
+            encode_frames([event])

@@ -23,6 +23,7 @@ import sys
 import tempfile
 
 from repro.telemetry import (
+    COUNT_BUCKETS,
     LATENCY_BUCKETS,
     MetricsRegistry,
     render_json,
@@ -81,6 +82,28 @@ def build_scenario_registry():
     # Postcard family.
     registry.counter("repro_postcards_bytes_total",
                      "Postcard bytes shipped to the collector").inc(3520)
+
+    # Fabric family: the router counter, per-shard labeled series, and
+    # the imbalance gauge (86 events split 48/38 across two shards).
+    registry.counter("repro_fabric_router_events_total",
+                     "Events offered to the fabric router").inc(86)
+    for shard, count in (("0", 48), ("1", 38)):
+        registry.counter("repro_fabric_shard_events_total",
+                         "Events forwarded to one shard",
+                         labels={"shard": shard}).inc(count)
+        registry.histogram("repro_fabric_shard_batch_events",
+                           "Sub-batch sizes forwarded to one shard per split",
+                           labels={"shard": shard},
+                           buckets=COUNT_BUCKETS).observe(count)
+        registry.gauge(
+            "repro_fabric_shard_queue_depth",
+            "Events forwarded to one shard and not yet confirmed "
+            "by a snapshot sync (always 0 for in-process shards)",
+            labels={"shard": shard}).set(0)
+    registry.gauge(
+        "repro_fabric_router_imbalance",
+        "Max over mean of cumulative per-shard event counts "
+        "(1.0 = perfectly balanced, 0 = no events yet)").set(48 / 43)
 
     return registry
 

@@ -1,0 +1,236 @@
+"""Unit tests for the fabric's key-partitioned routing layer."""
+
+import zlib
+
+import pytest
+
+from repro.core.refs import Bind, Const, EventKind, EventPattern, FieldEq, Var
+from repro.core.spec import Observe, PropertySpec
+from repro.fabric import (
+    Router,
+    build_route,
+    build_routes,
+    shard_key_filter,
+    stable_hash,
+)
+from repro.packet import IPv4Address, tcp_packet
+from repro.props import build_table1
+from repro.switch.events import (
+    EgressAction,
+    OutOfBandEvent,
+    OobKind,
+    PacketArrival,
+    PacketEgress,
+    TimerFired,
+)
+from repro.telemetry import MetricsRegistry
+
+#: catalog properties whose every watcher names the full key — anything
+#: else (unless scans, partial-key stages, empty keys) must pin.
+EXPECTED_KEYED = {
+    "arp-known-not-forwarded",
+    "dhcp-no-overlap",
+    "dhcp-reply-within",
+    "ftp-data-port-matches",
+    "knocking-invalidated",
+    "knocking-recognized",
+}
+
+
+def keyed_prop(name="flow", dst_port=99):
+    """Two stages, both of which recover (src-ip, src-port) from the event."""
+    return PropertySpec(
+        name=name,
+        description="keyed two-stage test property",
+        stages=(
+            Observe("seen", EventPattern(
+                kind=EventKind.ARRIVAL,
+                binds=(Bind("src", "ipv4.src"), Bind("sport", "tcp.src")))),
+            Observe("gone", EventPattern(
+                kind=EventKind.EGRESS,
+                guards=(FieldEq("ipv4.src", Var("src")),
+                        FieldEq("tcp.src", Var("sport")),
+                        FieldEq("tcp.dst", Const(dst_port))))),
+        ),
+        key_vars=("src", "sport"),
+    )
+
+
+def partial_key_prop():
+    """Stage 1 only constrains one of two key vars — unroutable."""
+    return PropertySpec(
+        name="partial",
+        description="stage forgets a key var",
+        stages=(
+            Observe("seen", EventPattern(
+                kind=EventKind.ARRIVAL,
+                binds=(Bind("src", "ipv4.src"), Bind("sport", "tcp.src")))),
+            Observe("gone", EventPattern(
+                kind=EventKind.EGRESS,
+                guards=(FieldEq("ipv4.src", Var("src")),))),
+        ),
+        key_vars=("src", "sport"),
+    )
+
+
+def unkeyed_prop():
+    return PropertySpec(
+        name="global",
+        description="no key at all",
+        stages=(
+            Observe("up", EventPattern(kind=EventKind.OOB)),
+            Observe("down", EventPattern(kind=EventKind.OOB)),
+        ),
+        key_vars=(),
+    )
+
+
+def flow_event(src, sport, egress=False, t=1.0):
+    packet = tcp_packet(0, 1, src, "198.51.100.9", sport, 99)
+    if egress:
+        return PacketEgress(switch_id="s", time=t, packet=packet,
+                            in_port=1, out_port=2,
+                            action=EgressAction.UNICAST)
+    return PacketArrival(switch_id="s", time=t, packet=packet, in_port=1)
+
+
+class TestStableHash:
+    def test_is_crc32_of_repr(self):
+        key = (IPv4Address("10.0.0.1"), 4242)
+        assert stable_hash(key) == zlib.crc32(repr(key).encode("utf-8"))
+
+    def test_deterministic_across_calls(self):
+        key = ("a", 1, None)
+        assert stable_hash(key) == stable_hash(key)
+
+    def test_spreads_keys(self):
+        shards = {stable_hash((i,)) % 4 for i in range(256)}
+        assert shards == {0, 1, 2, 3}
+
+
+class TestBuildRoute:
+    def test_catalog_classification(self):
+        routes = build_routes(
+            [e.prop for e in build_table1()], num_shards=4)
+        keyed = {name for name, r in routes.items() if r.keyed}
+        assert keyed == EXPECTED_KEYED
+
+    def test_keyed_prop_has_extractors(self):
+        route = build_route(keyed_prop(), num_shards=4)
+        assert route.keyed
+        assert route.extractors[PacketArrival] == (("ipv4.src", "tcp.src"),)
+        assert route.extractors[PacketEgress] == (("ipv4.src", "tcp.src"),)
+        assert route.classes == frozenset({PacketArrival, PacketEgress})
+
+    def test_partial_key_stage_pins(self):
+        route = build_route(partial_key_prop(), num_shards=4)
+        assert not route.keyed
+        assert route.extractors == {}
+
+    def test_empty_key_pins(self):
+        route = build_route(unkeyed_prop(), num_shards=4)
+        assert not route.keyed
+
+    def test_pin_is_deterministic_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            route = build_route(unkeyed_prop(), shards)
+            assert route.pin == stable_hash(("global",)) % shards
+
+
+class TestShardKeyFilter:
+    def test_exactly_one_shard_owns_each_key(self):
+        num_shards = 4
+        routes = build_routes([keyed_prop(), unkeyed_prop()], num_shards)
+        filters = [shard_key_filter(routes, i, num_shards)
+                   for i in range(num_shards)]
+        for i in range(32):
+            key = (IPv4Address(f"10.0.0.{i}"), 1000 + i)
+            owners = [idx for idx, f in enumerate(filters)
+                      if f("flow", key)]
+            assert owners == [stable_hash(key) % num_shards]
+        pin_owners = [idx for idx, f in enumerate(filters)
+                      if f("global", ())]
+        assert pin_owners == [routes["global"].pin]
+
+
+class TestRouterSplit:
+    def test_keyed_event_goes_to_its_key_shard(self):
+        num_shards = 4
+        routes = build_routes([keyed_prop()], num_shards)
+        router = Router(routes, num_shards)
+        event = flow_event("10.0.0.7", 5555)
+        batches = router.split([event])
+        expected = stable_hash((IPv4Address("10.0.0.7"), 5555)) % num_shards
+        assert [len(b) for b in batches] == [
+            1 if i == expected else 0 for i in range(num_shards)]
+
+    def test_pinned_event_goes_to_pin(self):
+        num_shards = 4
+        routes = build_routes([unkeyed_prop()], num_shards)
+        router = Router(routes, num_shards)
+        event = OutOfBandEvent(switch_id="s", time=1.0,
+                               oob_kind=OobKind.PORT_UP, port=3)
+        batches = router.split([event])
+        assert [len(b) for b in batches] == [
+            1 if i == routes["global"].pin else 0 for i in range(num_shards)]
+
+    def test_unwatched_event_dropped(self):
+        routes = build_routes([keyed_prop()], 2)
+        router = Router(routes, 2)
+        timer = TimerFired(switch_id="s", time=1.0, timer_id="t",
+                           instance_key=())
+        assert router.split([timer]) == [[], []]
+        assert router.events_total == 1
+        assert router.shard_events == [0, 0]
+
+    def test_event_can_fan_out_to_multiple_shards(self):
+        # Two keyed properties with different keys pull one event two ways.
+        other = PropertySpec(
+            name="dst-flow",
+            description="keys on the destination instead",
+            stages=(
+                Observe("seen", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    binds=(Bind("dst", "ipv4.dst"),))),
+                Observe("gone", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldEq("ipv4.dst", Var("dst")),
+                            FieldEq("tcp.dst", Const(7))))),
+            ),
+            key_vars=("dst",),
+        )
+        num_shards = 16  # wide enough that the two keys rarely collide
+        routes = build_routes([keyed_prop(), other], num_shards)
+        router = Router(routes, num_shards)
+        event = flow_event("10.0.0.1", 1234)
+        src_shard = stable_hash(
+            (IPv4Address("10.0.0.1"), 1234)) % num_shards
+        dst_shard = stable_hash(
+            (IPv4Address("198.51.100.9"),)) % num_shards
+        batches = router.split([event])
+        targets = {i for i, b in enumerate(batches) if b}
+        assert targets == {src_shard, dst_shard}
+
+    def test_metrics_and_imbalance(self):
+        registry = MetricsRegistry()
+        routes = build_routes([unkeyed_prop()], 2)
+        router = Router(routes, 2, registry=registry)
+        events = [OutOfBandEvent(switch_id="s", time=float(i),
+                                 oob_kind=OobKind.PORT_UP, port=1)
+                  for i in range(6)]
+        router.split(events)
+        pin = routes["global"].pin
+        assert router.events_total == 6
+        assert router.shard_events[pin] == 6
+        assert router.shard_events[1 - pin] == 0
+        # all 6 events on one of two shards: max/mean = 6 / 3 = 2.0
+        gauge = registry.gauge("repro_fabric_router_imbalance", help="")
+        assert gauge.value == pytest.approx(2.0)
+
+    def test_single_shard_takes_everything(self):
+        routes = build_routes([keyed_prop(), unkeyed_prop()], 1)
+        router = Router(routes, 1)
+        events = [flow_event(f"10.0.0.{i}", 1000 + i) for i in range(8)]
+        batches = router.split(events)
+        assert len(batches) == 1
+        assert len(batches[0]) == 8

@@ -1,0 +1,165 @@
+"""Unit tests for ``repro send`` reconnect/retry behavior.
+
+All network and clock effects are injected: a scripted dialer either
+refuses or hands out fake sockets that die after a set number of writes,
+and ``sleep`` just records what it was asked to wait.  That makes the
+backoff schedule and the resend-the-torn-chunk guarantee exactly
+checkable.
+"""
+
+import pytest
+
+from repro.serve.send import stream_trace
+
+HEADER = b'{"kind": "TraceHeader", "schema": 1}\n'
+EVENTS = [
+    b'{"kind": "PacketArrival", "time": %d.0}\n' % i for i in range(5)
+]
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_bytes(HEADER + b"".join(EVENTS))
+    return str(path)
+
+
+class FakeSocket:
+    """Accepts ``fail_after`` sendall calls, then raises on every write."""
+
+    def __init__(self, fail_after=None):
+        self.sent = []
+        self.closed = False
+        self.fail_after = fail_after
+
+    def sendall(self, data):
+        if self.fail_after is not None and len(self.sent) >= self.fail_after:
+            raise OSError("connection reset by peer")
+        self.sent.append(data)
+
+    def close(self):
+        self.closed = True
+
+
+class ScriptedDialer:
+    """Connect callable following a plan of "refuse" / FakeSocket entries."""
+
+    def __init__(self, plan):
+        self.plan = list(plan)
+        self.sockets = []
+
+    def __call__(self, host, port):
+        if not self.plan:
+            raise AssertionError("dialer called more times than planned")
+        action = self.plan.pop(0)
+        if action == "refuse":
+            raise OSError("connection refused")
+        self.sockets.append(action)
+        return action
+
+
+def fake_clock():
+    state = {"t": 0.0}
+
+    def monotonic():
+        state["t"] += 1e-3
+        return state["t"]
+
+    return monotonic
+
+
+def run(trace_path, dialer, sleeps=None, **kwargs):
+    return stream_trace(
+        trace_path, "127.0.0.1", 9999,
+        monotonic=fake_clock(),
+        sleep=(sleeps.append if sleeps is not None else lambda s: None),
+        connect=dialer, **kwargs)
+
+
+class TestDialRetry:
+    def test_no_retry_propagates_refusal(self, trace_path):
+        dialer = ScriptedDialer(["refuse"])
+        with pytest.raises(OSError, match="refused"):
+            run(trace_path, dialer)
+
+    def test_refused_then_accepted(self, trace_path):
+        dialer = ScriptedDialer(["refuse", "refuse", FakeSocket()])
+        sleeps = []
+        result = run(trace_path, dialer, sleeps=sleeps, retry=3)
+        assert result.events == len(EVENTS)
+        assert result.reconnects == 1  # one successful re-dial
+        assert sleeps == [0.5, 1.0]  # backoff doubles per consecutive miss
+        assert b"".join(dialer.sockets[0].sent) == HEADER + b"".join(EVENTS)
+
+    def test_budget_exhaustion_raises(self, trace_path):
+        dialer = ScriptedDialer(["refuse"] * 3)
+        sleeps = []
+        with pytest.raises(OSError, match="refused"):
+            run(trace_path, dialer, sleeps=sleeps, retry=2)
+        assert not dialer.plan  # initial attempt + 2 retries all consumed
+        assert sleeps == [0.5, 1.0]
+
+    def test_backoff_is_configurable(self, trace_path):
+        dialer = ScriptedDialer(["refuse"] * 4)
+        sleeps = []
+        with pytest.raises(OSError):
+            run(trace_path, dialer, sleeps=sleeps, retry=3, backoff=0.25)
+        assert sleeps == [0.25, 0.5, 1.0]
+
+    def test_zero_backoff_allowed(self, trace_path):
+        dialer = ScriptedDialer(["refuse", FakeSocket()])
+        sleeps = []
+        result = run(trace_path, dialer, sleeps=sleeps, retry=1, backoff=0.0)
+        assert sleeps == [0.0]
+        assert result.events == len(EVENTS)
+
+
+class TestMidSendReconnect:
+    def test_torn_chunk_is_resent_whole(self, trace_path):
+        first = FakeSocket(fail_after=1)
+        second = FakeSocket()
+        dialer = ScriptedDialer([first, second])
+        result = run(trace_path, dialer, retry=1, chunk=2)
+        # chunks: [header, e0] ok | [e1, e2] dies | resent on socket 2
+        assert first.sent == [HEADER + EVENTS[0]]
+        assert first.closed
+        assert second.sent == [EVENTS[1] + EVENTS[2], EVENTS[3] + EVENTS[4]]
+        assert result.events == len(EVENTS)  # nothing lost, nothing double
+        assert result.reconnects == 1
+
+    def test_backoff_resets_after_successful_connection(self, trace_path):
+        # refuse, refuse, accept-then-die, refuse, accept: the post-success
+        # refusal backs off from the base again, not from where it left off.
+        first = FakeSocket(fail_after=1)
+        dialer = ScriptedDialer(
+            ["refuse", "refuse", first, "refuse", FakeSocket()])
+        sleeps = []
+        result = run(trace_path, dialer, sleeps=sleeps, retry=3, chunk=2)
+        assert sleeps == [0.5, 1.0, 0.5]
+        assert result.reconnects == 2
+        assert result.events == len(EVENTS)
+
+    def test_repeat_spans_reconnects(self, trace_path):
+        first = FakeSocket(fail_after=1)
+        second = FakeSocket()
+        dialer = ScriptedDialer([first, second])
+        result = run(trace_path, dialer, retry=1, chunk=6, repeat=2)
+        # round 1 sent whole, round 2's single chunk dies and is resent
+        assert result.events == 2 * len(EVENTS)
+        assert result.reconnects == 1
+        assert second.sent == [HEADER + b"".join(EVENTS)]
+
+
+class TestValidation:
+    def test_negative_retry_rejected(self, trace_path):
+        with pytest.raises(ValueError, match="retry"):
+            stream_trace(trace_path, "h", 1, retry=-1)
+
+    def test_negative_backoff_rejected(self, trace_path):
+        with pytest.raises(ValueError, match="backoff"):
+            stream_trace(trace_path, "h", 1, backoff=-0.1)
+
+    def test_result_reports_reconnects_in_dict(self, trace_path):
+        dialer = ScriptedDialer(["refuse", FakeSocket()])
+        result = run(trace_path, dialer, retry=1)
+        assert result.to_dict()["reconnects"] == 1
