@@ -416,6 +416,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 0
 
     profile = PROFILES[args.profile]
+    if not profile.worker_crash.is_null:
+        return _run_crash_profile(args, profile)
     reports = run_soak(profile, seed=args.seed, rounds=args.rounds,
                        num_events=args.events, settle=args.settle)
     failed = False
@@ -444,6 +446,55 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_crash_profile(args: argparse.Namespace, profile) -> int:
+    """`repro chaos --profile worker-crash`: SIGKILL workers mid-run."""
+    import json
+
+    from .fabric import SupervisorPolicy, fork_available
+    from .resilience import render_crash_report, run_crash_chaos
+
+    if not fork_available():
+        print("error: the worker-crash profile needs mp fabric workers, "
+              "and this platform lacks the fork start method",
+              file=sys.stderr)
+        return 2
+    supervision = SupervisorPolicy(
+        heartbeat_interval=0.2, heartbeat_timeout=10.0,
+        backoff_base=0.01, backoff_max=0.5,
+        restart_budget=args.restart_budget,
+        checkpoint_interval=args.checkpoint_interval)
+    reports = []
+    for offset in range(args.rounds):
+        reports.append(run_crash_chaos(
+            profile, seed=args.seed + offset, num_events=args.events,
+            settle=args.settle, num_shards=args.shards or 2,
+            supervision=supervision))
+    failed = False
+    for index, report in enumerate(reports):
+        if args.rounds > 1:
+            print(f"--- round {index + 1}/{args.rounds} "
+                  f"(seed {report.seed}) ---")
+        print(render_crash_report(report))
+        if not report.bounded or report.invariant_failures \
+                or report.failed_shards:
+            failed = True
+    if args.json:
+        payload = {
+            "profile": profile.name,
+            "rounds": [report.to_dict() for report in reports],
+        }
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}")
+    if failed:
+        print("crash chaos FAILED: clean count outside the uncertainty "
+              "interval, an invariant broke, or a shard exhausted its "
+              "restart budget", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -462,6 +513,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             report_path=args.report,
             shards=args.shards,
             shard_mode=args.shard_mode,
+            restart_budget=args.restart_budget,
+            checkpoint_interval=args.checkpoint_interval,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -490,7 +543,8 @@ def cmd_send(args: argparse.Namespace) -> int:
     try:
         result = stream_trace(args.trace, args.host, args.port,
                               rate=args.rate, repeat=args.repeat,
-                              retry=args.retry, backoff=args.backoff)
+                              retry=args.retry, backoff=args.backoff,
+                              format=args.format)
     except ConnectionRefusedError:
         print(f"error: nothing listening on {args.host}:{args.port} "
               "(is `repro serve` running?"
@@ -630,6 +684,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthesize attacks from taint findings "
                             "(L017/L018) instead of replaying a fault "
                             "profile")
+    chaos.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="mp fabric shards for crash profiles "
+                            "(worker-crash only; default: 2)")
+    chaos.add_argument("--shard-mode", default="mp", choices=["mp"],
+                       help="crash profiles always run the mp fabric "
+                            "(worker crashes need worker processes)")
+    chaos.add_argument("--restart-budget", type=int, default=5, metavar="N",
+                       help="worker restarts allowed per shard before the "
+                            "shard is declared failed (default: 5)")
+    chaos.add_argument("--checkpoint-interval", type=int, default=2048,
+                       metavar="EVENTS",
+                       help="events per shard between recovery checkpoints "
+                            "(default: 2048)")
     chaos.set_defaults(fn=cmd_chaos)
 
     serve = sub.add_parser(
@@ -670,6 +737,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["inprocess", "mp"],
                        help="fabric execution mode behind the ingest queue "
                             "(mp forks one worker process per shard)")
+    serve.add_argument("--restart-budget", type=int, default=5, metavar="N",
+                       help="mp fabric: worker restarts allowed per shard "
+                            "before the shard is declared failed "
+                            "(default: 5)")
+    serve.add_argument("--checkpoint-interval", type=int, default=2048,
+                       metavar="EVENTS",
+                       help="mp fabric: events per shard between recovery "
+                            "checkpoints (default: 2048)")
     serve.add_argument("--report", default=None, metavar="OUT",
                        help="write the final degradation report as JSON "
                             "on shutdown")
@@ -694,6 +769,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "consecutive failure (reset on success)")
     send.add_argument("--repeat", type=int, default=1,
                       help="stream the whole trace N times (default: 1)")
+    send.add_argument("--format", default="jsonl",
+                      choices=["jsonl", "rpf1"],
+                      help="wire encoding: newline-JSON lines, or the "
+                           "RPF1 framed binary codec (the daemon "
+                           "auto-detects either; default: jsonl)")
     send.set_defaults(fn=cmd_send)
     return parser
 

@@ -61,6 +61,42 @@ from .violations import Violation
 
 ViolationSink = Callable[[Violation], None]
 
+
+@dataclass(frozen=True)
+class InstanceCheckpoint:
+    """One live instance, flattened to picklable values.
+
+    Specs do not pickle (compiled predicate closures), so an instance is
+    exported by property *name* and re-linked to the spec on restore.
+    Everything else — bindings, stage, deadlines, provenance records —
+    is plain data.
+    """
+
+    prop: str
+    key: Tuple
+    env: Dict[str, object]
+    stage: int
+    created_at: float
+    advanced_at: float
+    deadline: Optional[float]
+    deadline_kind: str
+    provenance: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class MonitorState:
+    """A picklable checkpoint of a monitor's recoverable state.
+
+    Covers every live instance (with its armed timer) and the clock.
+    Deferred split-mode ops are *not* exportable — they hold spec and
+    instance references — so their count is carried instead; a restore
+    path that cares (the fabric supervisor) ledgers them as lost.
+    """
+
+    now: float
+    instances: Tuple[InstanceCheckpoint, ...]
+    lost_pending_ops: int = 0
+
 #: the empty env stage-0 patterns match against (never written to).
 _EMPTY_ENV: Dict[str, object] = {}
 
@@ -1138,6 +1174,76 @@ class Monitor:
             "pending_ops": remaining,
             "ledger": self.ledger.summary(),
         }
+
+    # -- checkpoint / restore ----------------------------------------------------------
+    def export_state(self) -> MonitorState:
+        """Flatten recoverable state into a picklable :class:`MonitorState`.
+
+        Iteration order is deterministic (property registration order,
+        then store insertion order), so two exports of the same monitor
+        are identical — the fabric's crash-replay equivalence depends on
+        restored timers re-arming in a reproducible order.
+        """
+        instances: List[InstanceCheckpoint] = []
+        for name, store in self._stores.items():
+            for inst in store.all():
+                instances.append(InstanceCheckpoint(
+                    prop=name,
+                    key=inst.key,
+                    env=dict(inst.env),
+                    stage=inst.stage,
+                    created_at=inst.created_at,
+                    advanced_at=inst.advanced_at,
+                    deadline=inst.deadline,
+                    deadline_kind=inst.deadline_kind,
+                    provenance=tuple(inst.provenance),
+                ))
+        return MonitorState(
+            now=self._now,
+            instances=tuple(instances),
+            lost_pending_ops=self.pending_op_count(),
+        )
+
+    def restore_state(self, state: MonitorState) -> None:
+        """Rebuild instances (and their timers) from a checkpoint.
+
+        The monitor must have the same properties registered as the one
+        that exported ``state``.  Restored instances do not re-increment
+        the ``instances_created`` counter — the exporter already counted
+        them; fabric merging accounts for counters across worker
+        generations separately.  Timers re-arm at their saved absolute
+        deadlines: a deadline in a checkpoint is always strictly in the
+        checkpoint's future (an elapsed timer would have fired before
+        the export), so nothing fires during restore.
+        """
+        for snap in state.instances:
+            prop = self._props.get(snap.prop)
+            if prop is None:
+                raise ValueError(
+                    f"checkpoint references unknown property {snap.prop!r}")
+            instance = Instance(prop, snap.key, dict(snap.env),
+                                created_at=snap.created_at)
+            instance.stage = snap.stage
+            instance.advanced_at = snap.advanced_at
+            instance.provenance = list(snap.provenance)
+            self._stores[snap.prop].add(instance)
+            self._live_total += 1
+            if snap.deadline is not None:
+                instance.deadline = snap.deadline
+                instance.deadline_kind = snap.deadline_kind
+                gen = self._bump_gen(instance)
+                heapq.heappush(
+                    self._wheel,
+                    (snap.deadline, next(self._wheel_seq), instance, gen))
+                if self.scheduler is not None \
+                        and snap.deadline_kind == "advance":
+                    self.scheduler.call_at(
+                        snap.deadline,
+                        lambda d=snap.deadline: self.advance_to(d),
+                        label="monitor-timeout-action")
+        if state.now > self._now:
+            self._now = state.now
+        self._track_peak()
 
     # -- conveniences ------------------------------------------------------------------
     def attach(self, switch) -> None:

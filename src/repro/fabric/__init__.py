@@ -1,23 +1,31 @@
 """Sharded monitor fabric: key-partitioned multi-core execution.
 
 See :mod:`repro.fabric.fabric` for the :class:`ShardedMonitor` facade,
-:mod:`repro.fabric.routing` for the key-partitioning analysis, and
-:mod:`repro.fabric.mp` for the forked-worker transport.
+:mod:`repro.fabric.routing` for the key-partitioning analysis,
+:mod:`repro.fabric.mp` for the forked-worker transport, and
+:mod:`repro.fabric.supervise` for crash detection and recovery.
 """
 
 from .fabric import FABRIC_MODES, FabricStats, ShardedMonitor
-from .mp import fork_available
+from .mp import MpShard, ShardDied, ShardTimeout, fork_available
 from .routing import PropRoute, Router, build_route, build_routes, \
     shard_key_filter, stable_hash
 from .shard import ShardSnapshot, build_shard_monitor, take_snapshot
+from .supervise import QuarantineRecord, Supervisor, SupervisorPolicy
 
 __all__ = [
     "FABRIC_MODES",
     "FabricStats",
+    "MpShard",
     "PropRoute",
+    "QuarantineRecord",
     "Router",
+    "ShardDied",
     "ShardSnapshot",
+    "ShardTimeout",
     "ShardedMonitor",
+    "Supervisor",
+    "SupervisorPolicy",
     "build_route",
     "build_routes",
     "build_shard_monitor",

@@ -46,6 +46,7 @@ from .mp import MpShard
 from .routing import Router, build_routes
 from .shard import SNAPSHOT_COUNTERS, SNAPSHOT_GAUGES, ShardSnapshot, \
     build_shard_monitor, take_snapshot
+from .supervise import Supervisor, SupervisorPolicy
 
 FABRIC_MODES = ("inprocess", "mp")
 
@@ -77,10 +78,14 @@ class FabricStats:
         if name in MonitorStats._COUNTERS:
             fabric.sync()
             return int(sum(
-                snap.counters[name] for snap in fabric._snapshots))
+                snap.counters[name] + base[name]
+                for snap, base in zip(fabric._snapshots,
+                                      fabric._counter_base)))
         if name in MonitorStats._GAUGES:
             fabric.sync()
-            return int(sum(snap.peaks[name] for snap in fabric._snapshots))
+            return int(sum(
+                max(snap.peaks[name], base[name])
+                for snap, base in zip(fabric._snapshots, fabric._peak_base)))
         raise AttributeError(name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -104,6 +109,7 @@ class ShardedMonitor:
         monitor_kwargs: Optional[Dict[str, object]] = None,
         monitor_kwargs_fn: Optional[
             Callable[[int], Dict[str, object]]] = None,
+        supervision: Optional[SupervisorPolicy] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -136,6 +142,15 @@ class ShardedMonitor:
         self._dirty = False
         self._stopped = False
         self._inflight = [0] * num_shards
+        # Folded-in totals from dead workers: a restarted shard's
+        # counters restart near zero, so the supervisor's down callback
+        # banks the last merged totals here.  Replayed journal events
+        # are counted again by the replacement, making post-crash
+        # counters an upper bound (documented in ROBUSTNESS.md).
+        self._counter_base: List[Dict[str, float]] = [
+            {n: 0.0 for n in SNAPSHOT_COUNTERS} for _ in range(num_shards)]
+        self._peak_base: List[Dict[str, float]] = [
+            {n: 0.0 for n in SNAPSHOT_GAUGES} for _ in range(num_shards)]
         self._g_queue = [
             self.registry.gauge(
                 "repro_fabric_shard_queue_depth",
@@ -151,6 +166,7 @@ class ShardedMonitor:
                 return dict(monitor_kwargs_fn(idx))
             return dict(monitor_kwargs or {})
 
+        self.supervisor: Optional[Supervisor] = None
         if mode == "inprocess":
             self._shards: List[Monitor] = [
                 build_shard_monitor(self._props, i, num_shards, self.routes,
@@ -158,20 +174,22 @@ class ShardedMonitor:
                 for i in range(num_shards)
             ]
             self._cursors = [(0, 0)] * num_shards
-            self._workers: List[MpShard] = []
         else:
             self._shards = []
             self._cursors = []
-            self._workers = []
-            try:
-                for i in range(num_shards):
-                    self._workers.append(MpShard(
-                        self._props, i, num_shards, self.routes,
-                        shard_kwargs(i), max_layer))
-            except BaseException:
-                for worker in self._workers:
-                    worker.kill()
-                raise
+            policy = supervision if supervision is not None \
+                else SupervisorPolicy()
+
+            def spawn(idx: int) -> MpShard:
+                return MpShard(
+                    self._props, idx, num_shards, self.routes,
+                    shard_kwargs(idx), max_layer,
+                    send_timeout=policy.send_timeout)
+
+            self.supervisor = Supervisor(
+                spawn, num_shards, self.ledger, policy=policy,
+                registry=self.registry, now_fn=lambda: self._now,
+                merge_cb=self._merge, down_cb=self._on_shard_down)
 
     # -- event intake ------------------------------------------------------
     def observe(self, event: DataplaneEvent) -> None:
@@ -191,9 +209,10 @@ class ShardedMonitor:
         else:
             for idx, batch in enumerate(batches):
                 if batch:
-                    self._workers[idx].send_batch(batch)
+                    self.supervisor.send_batch(idx, batch)
                     self._inflight[idx] += len(batch)
                     self._g_queue[idx].set(float(self._inflight[idx]))
+            self.supervisor.tick()
         self._dirty = True
 
     def advance_to(self, when: float) -> None:
@@ -203,8 +222,7 @@ class ShardedMonitor:
             for shard in self._shards:
                 shard.advance_to(when)
         else:
-            for worker in self._workers:
-                worker.advance_to(when)
+            self.supervisor.advance_to(when)
         self._dirty = True
 
     def flush(self, until: float) -> None:
@@ -222,8 +240,7 @@ class ShardedMonitor:
                 shard.drain()
             self._dirty = True
         else:
-            for worker in self._workers:
-                worker.drain()
+            self.supervisor.drain()
             self._dirty = True
         self.sync()
         return self.pending_op_count()
@@ -257,10 +274,11 @@ class ShardedMonitor:
                 self._cursors[idx] = (viol_cursor, shed_cursor)
                 self._merge(snapshot)
         else:
-            for worker in self._workers:
-                worker.request_snapshot()
-            for worker in self._workers:
-                self._merge(worker.recv_snapshot())
+            # The supervisor delivers each shard's snapshot through
+            # self._merge (after trimming replay duplicates); shards
+            # that are down this round simply skip a beat and their
+            # state arrives with a later sync.
+            self.supervisor.sync_snapshots()
         self._mirror_monitor_metrics()
 
     def _merge(self, snapshot: ShardSnapshot) -> None:
@@ -272,6 +290,26 @@ class ShardedMonitor:
         self.ledger.records.extend(snapshot.sheds)
         self._inflight[idx] = 0
         self._g_queue[idx].set(0.0)
+
+    def _on_shard_down(self, idx: int) -> None:
+        """Supervisor callback: bank a dead worker's merged totals.
+
+        The replacement's cumulative counters restart near zero, so the
+        last merged snapshot's totals fold into a per-shard base before
+        the stored snapshot is zeroed out; the merged view never goes
+        backwards.
+        """
+        snap = self._snapshots[idx]
+        base = self._counter_base[idx]
+        for name in SNAPSHOT_COUNTERS:
+            base[name] += snap.counters[name]
+            snap.counters[name] = 0.0
+        peaks = self._peak_base[idx]
+        for name in SNAPSHOT_GAUGES:
+            peaks[name] = max(peaks[name], snap.peaks[name])
+            snap.peaks[name] = 0.0
+        snap.live_instances = 0
+        snap.pending_ops = 0
 
     def _mirror_monitor_metrics(self) -> None:
         """Reflect shard totals into the fabric's registry.
@@ -288,9 +326,14 @@ class ShardedMonitor:
                 total = float(self.router.events_total)
             else:
                 total = float(sum(
-                    snap.counters[attr] for snap in self._snapshots))
+                    snap.counters[attr] + base[attr]
+                    for snap, base in zip(self._snapshots,
+                                          self._counter_base)))
             delta = total - self._mirrored.get(name, 0.0)
-            if delta:
+            # Only positive deltas: mid-recovery a replacement shard
+            # briefly reports less than its predecessor did, and a
+            # Prometheus counter must never decrease.
+            if delta > 0:
                 self.registry.counter(name).inc(delta)
                 self._mirrored[name] = total
         self.registry.gauge("repro_monitor_live_instances").set(
@@ -319,6 +362,34 @@ class ShardedMonitor:
         """In-process shard monitors (tests, invariant checks); [] in mp."""
         return list(self._shards)
 
+    # -- supervision surface ----------------------------------------------
+    def tick(self) -> None:
+        """Periodic supervision duty (heartbeats, due restarts).
+
+        The data path already ticks per batch; poll loops (the serve
+        daemon) call this so an idle fabric still notices dead workers.
+        """
+        if self.supervisor is not None:
+            self.supervisor.tick()
+
+    def recovering_shards(self) -> List[int]:
+        """Shards currently down and rebuilding (readiness degrades)."""
+        if self.supervisor is not None:
+            return self.supervisor.recovering()
+        return []
+
+    def shard_liveness(self) -> List[Dict[str, object]]:
+        """Per-shard health rows for /healthz, /stats, and reports."""
+        if self.supervisor is not None:
+            return self.supervisor.liveness()
+        return [
+            {"shard": idx, "alive": True, "recovering": False,
+             "failed": False, "pid": None, "restarts": 0,
+             "journal_batches": 0, "journal_events": 0,
+             "quarantined_batches": 0, "down_reason": ""}
+            for idx in range(self.num_shards)
+        ]
+
     # -- lifecycle ---------------------------------------------------------
     def stop(self, now: Optional[float] = None) -> Dict[str, object]:
         """Drain every shard and return a Monitor-compatible summary."""
@@ -333,13 +404,14 @@ class ShardedMonitor:
                         shard.drain()
             else:
                 horizon = self._now if now is None else max(now, self._now)
-                for worker in self._workers:
-                    worker.advance_to(horizon)
-                    if now is None:
-                        worker.drain()
-                self._dirty = True
-                for worker in self._workers:
-                    self._merge(worker.quit())
+                self.supervisor.advance_to(horizon)
+                if now is None:
+                    self.supervisor.drain()
+                # quiesce() forces down shards through recovery first,
+                # then bounded-quits each worker; snapshots arrive via
+                # self._merge, and a hung worker is killed + ledgered
+                # instead of deadlocking this call.
+                self.supervisor.quiesce()
                 self._dirty = False
                 self._mirror_monitor_metrics()
             if self.mode == "inprocess":
@@ -360,6 +432,5 @@ class ShardedMonitor:
 
     def close(self) -> None:
         """Tear down workers without draining (error paths, __del__)."""
-        for worker in self._workers:
-            worker.kill()
-        self._workers = []
+        if self.supervisor is not None:
+            self.supervisor.close()

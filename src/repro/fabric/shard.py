@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.degradation import ShedRecord
-from ..core.monitor import Monitor, MonitorStats
+from ..core.monitor import Monitor, MonitorState, MonitorStats
 from ..core.spec import PropertySpec
 from ..core.violations import Violation
 from .routing import PropRoute, shard_key_filter
@@ -63,6 +63,9 @@ class ShardSnapshot:
     peaks: Dict[str, float]
     violations: List[Violation] = field(default_factory=list)
     sheds: List[ShedRecord] = field(default_factory=list)
+    #: full recoverable state, attached only on checkpoint requests —
+    #: regular syncs stay cheap deltas.
+    state: Optional[MonitorState] = None
 
 
 def take_snapshot(
@@ -70,8 +73,14 @@ def take_snapshot(
     shard_idx: int,
     violation_cursor: int,
     shed_cursor: int,
+    with_state: bool = False,
 ) -> Tuple[ShardSnapshot, int, int]:
-    """Snapshot ``monitor``; returns (snapshot, new cursors)."""
+    """Snapshot ``monitor``; returns (snapshot, new cursors).
+
+    ``with_state=True`` additionally exports the monitor's recoverable
+    state (:meth:`Monitor.export_state`), turning the snapshot into a
+    checkpoint a replacement worker can be rehydrated from.
+    """
     stats = monitor.stats
     snapshot = ShardSnapshot(
         shard=shard_idx,
@@ -82,5 +91,6 @@ def take_snapshot(
         peaks={name: getattr(stats, name) for name in SNAPSHOT_GAUGES},
         violations=list(monitor.violations[violation_cursor:]),
         sheds=list(monitor.ledger.records[shed_cursor:]),
+        state=monitor.export_state() if with_state else None,
     )
     return snapshot, len(monitor.violations), len(monitor.ledger.records)

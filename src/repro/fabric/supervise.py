@@ -1,0 +1,623 @@
+"""Shard supervision: heartbeats, crash recovery, poison quarantine.
+
+PR 8's fabric assumed immortal workers: a crashed shard silently stopped
+monitoring its key slice forever.  The :class:`Supervisor` makes worker
+death a *ledgered, recoverable* event instead:
+
+* **Detection** — every parent-side pipe interaction is bounded
+  (``ShardDied`` on a closed pipe, ``ShardTimeout`` on a wedged one),
+  and a periodic heartbeat (``b"H"`` ping / ``b"A"`` ack) catches
+  workers that hang between data-path calls.
+* **Recovery** — dead workers restart with exponential backoff under a
+  per-shard restart budget.  The replacement is rehydrated from the
+  last periodic checkpoint (a :class:`~repro.core.monitor.MonitorState`
+  carried on a ``ShardSnapshot``) plus a bounded per-shard journal of
+  every batch delivered since that checkpoint, replayed in order, then
+  advanced to the fabric's present.  Pipe FIFO ordering makes the
+  checkpoint a consistent cut: it reflects exactly the batches sent
+  before it, and the journal holds exactly the batches sent after.
+* **Honesty** — anything recovery cannot reconstruct (journal overflow,
+  deferred split-mode ops at the checkpoint, a shard that exhausts its
+  budget) is recorded in the fabric's :class:`OverflowLedger` with both
+  impact kinds, so crashes *widen the detection-uncertainty interval*
+  instead of silently dropping violations.
+* **Quarantine** — a batch whose replay kills the replacement worker
+  ``poison_threshold`` times is set aside: removed from the journal,
+  ledgered event by event, counted in
+  ``repro_fabric_quarantined_batches_total``, and reported via
+  :meth:`Supervisor.liveness` — rather than retried until the restart
+  budget burns out.
+
+Duplicate suppression: a regular sync between a checkpoint and a crash
+already reported some post-checkpoint violations.  Replay re-detects
+them — deterministically, in the same order — so the supervisor trims
+that many violations (and shed records) from the replacement's first
+snapshots before handing them to the fabric's merge.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from ..core.degradation import IMPACT_FALSE, IMPACT_MISSED, OverflowLedger
+from ..core.monitor import MonitorState
+from ..switch.events import DataplaneEvent
+from ..telemetry import MetricsRegistry, NullRegistry
+from ..telemetry.metrics import LATENCY_BUCKETS
+from .mp import MpShard, ShardDied, ShardTimeout
+from .shard import ShardSnapshot
+
+#: ledger kinds the supervisor writes (both impact kinds each: a lost
+#: event could hide a real violation or leave a stale instance that
+#: later completes spuriously).
+KIND_GAP = "crash-gap"              # journal overflow: events unreplayable
+KIND_LOST_OP = "crash-lost-op"      # deferred split ops at the checkpoint
+KIND_QUARANTINE = "quarantined-batch"
+KIND_SHARD_LOST = "shard-lost"      # restart budget exhausted
+KIND_QUIT_TIMEOUT = "shard-quit-timeout"
+
+_BOTH = (IMPACT_MISSED, IMPACT_FALSE)
+_FABRIC_PROP = "(fabric)"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs for crash detection, restart pacing, and recovery cost."""
+
+    #: wall seconds between heartbeat rounds (``tick()`` rate-limits)
+    heartbeat_interval: float = 1.0
+    #: wall seconds a worker gets to ack a ping or answer a snapshot
+    heartbeat_timeout: float = 5.0
+    #: restarts allowed per shard before it is declared failed
+    restart_budget: int = 5
+    #: backoff before restart attempt k is ``base * 2**k`` (capped)
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    #: events per shard between checkpoints (``--checkpoint-interval``)
+    checkpoint_interval: int = 2048
+    #: journal bound, in *batches* per shard; older batches drop into
+    #: the ledger as an unrecoverable gap
+    journal_batches: int = 512
+    #: replay deaths attributed to one batch before it is quarantined
+    poison_threshold: int = 2
+    #: wall seconds ``quiesce`` waits for a final snapshot per shard
+    quiesce_timeout: float = 30.0
+    #: wall seconds a full command pipe may stall a send
+    send_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {self.checkpoint_interval}")
+        if self.journal_batches < 1:
+            raise ValueError(
+                f"journal_batches must be >= 1, got {self.journal_batches}")
+        if self.poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}")
+        for name in ("heartbeat_interval", "heartbeat_timeout",
+                     "backoff_base", "backoff_max", "quiesce_timeout",
+                     "send_timeout"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class QuarantineRecord:
+    """One poison batch set aside during recovery."""
+
+    shard: int
+    events: int
+    first_time: float
+    last_time: float
+    kills: int
+
+
+@dataclass
+class _ShardState:
+    """Supervisor-side bookkeeping for one shard."""
+
+    worker: Optional[MpShard] = None
+    #: batches delivered (or deferred while down) since the last
+    #: checkpoint, oldest first; the recovery replay source.
+    journal: Deque[List[DataplaneEvent]] = field(default_factory=deque)
+    journal_events: int = 0
+    #: events aged out of the bounded journal since the last checkpoint
+    journal_dropped: int = 0
+    #: how many of ``journal_dropped`` have already been ledgered as a
+    #: gap — later restarts only ledger drops newer than this mark
+    dropped_ledgered: int = 0
+    checkpoint: Optional[MonitorState] = None
+    checkpoint_ops_ledgered: bool = False
+    restarts: int = 0
+    consecutive_failures: int = 0
+    failed: bool = False
+    down_reason: str = ""
+    next_restart_at: float = 0.0
+    #: events sent since the last snapshot actually received (what a
+    #: quit-timeout loses)
+    since_snapshot_events: int = 0
+    since_checkpoint_events: int = 0
+    #: unique violations / shed records merged since the checkpoint —
+    #: becomes the post-restore duplicate-discard count
+    merged_violations: int = 0
+    merged_sheds: int = 0
+    discard_violations: int = 0
+    discard_sheds: int = 0
+    #: replay deaths per journal batch (key: id() of the batch list,
+    #: stable while the journal holds the reference)
+    kills: Dict[int, int] = field(default_factory=dict)
+    quarantined: int = 0
+
+
+class Supervisor:
+    """Owns the mp workers; turns crashes into restarts and ledger ink.
+
+    The fabric routes every worker interaction through here: sends
+    journal first, receives are bounded, and any detected death marks
+    the shard *down* (``recovering``) until the backoff elapses and a
+    replacement is rehydrated.  While down, routed batches accumulate
+    in the journal and are replayed on restart — so a shard that is
+    down for a few batches loses nothing, it just answers late.
+    """
+
+    def __init__(
+        self,
+        spawn: Callable[[int], MpShard],
+        num_shards: int,
+        ledger: OverflowLedger,
+        policy: Optional[SupervisorPolicy] = None,
+        registry: Optional[MetricsRegistry] = None,
+        now_fn: Callable[[], float] = lambda: 0.0,
+        merge_cb: Optional[Callable[[ShardSnapshot], None]] = None,
+        down_cb: Optional[Callable[[int], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self.num_shards = num_shards
+        self.ledger = ledger
+        self.registry = registry if registry is not None else NullRegistry()
+        self._spawn = spawn
+        self._now_fn = now_fn      # fabric/monitor (virtual) time
+        self._merge_cb = merge_cb  # fabric._merge
+        self._down_cb = down_cb    # fabric counter-base fold
+        self._clock = clock        # wall time for backoff/heartbeats
+        self._sleep = sleep
+        self._hb_seq = 0
+        self._last_hb = clock()
+        self.quarantine_log: List[QuarantineRecord] = []
+        self.states = [_ShardState() for _ in range(num_shards)]
+        self._c_restarts = [
+            self.registry.counter(
+                "repro_fabric_shard_restarts_total",
+                help="Worker restarts performed by the fabric supervisor",
+                labels={"shard": str(i)})
+            for i in range(num_shards)
+        ]
+        self._h_recovery = self.registry.histogram(
+            "repro_fabric_recovery_seconds",
+            help="Wall seconds from restart attempt to a rehydrated, "
+                 "replayed, and re-advanced replacement worker",
+            unit="seconds", buckets=LATENCY_BUCKETS)
+        self._c_quarantined = self.registry.counter(
+            "repro_fabric_quarantined_batches_total",
+            help="Poison batches set aside (ledgered, never retried) "
+                 "after repeatedly killing a shard worker")
+        self._g_journal = [
+            self.registry.gauge(
+                "repro_fabric_journal_depth",
+                help="Events in one shard's recovery journal (replayable "
+                     "since the last checkpoint)",
+                labels={"shard": str(i)})
+            for i in range(num_shards)
+        ]
+        self._g_up = [
+            self.registry.gauge(
+                "repro_fabric_shard_up",
+                help="1 when the shard worker is live, 0 while it is "
+                     "down/recovering or permanently failed",
+                labels={"shard": str(i)})
+            for i in range(num_shards)
+        ]
+        try:
+            for idx in range(num_shards):
+                self.states[idx].worker = spawn(idx)
+                self._g_up[idx].set(1.0)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- data path ---------------------------------------------------------
+    def send_batch(self, idx: int, events: List[DataplaneEvent]) -> None:
+        """Journal + deliver one routed batch; absorb worker death."""
+        st = self.states[idx]
+        if st.failed:
+            self._ledger_events(KIND_SHARD_LOST, len(events),
+                               f"shard={idx} budget exhausted")
+            return
+        self._journal_append(st, idx, events)
+        if st.worker is None:
+            # A successful restart replays the whole journal — which
+            # already includes the batch just appended — so this path
+            # must never ALSO deliver it directly (double-observation).
+            self._maybe_restart(idx)
+            return
+        try:
+            st.worker.send_batch(events)
+        except (ShardDied, ShardTimeout) as exc:
+            self._on_death(idx, str(exc))
+            return
+        st.since_snapshot_events += len(events)
+        st.since_checkpoint_events += len(events)
+        if st.since_checkpoint_events >= self.policy.checkpoint_interval:
+            self._checkpoint(idx)
+
+    def advance_to(self, when: float) -> None:
+        for idx, st in enumerate(self.states):
+            if st.worker is None:
+                continue
+            try:
+                st.worker.advance_to(when)
+            except (ShardDied, ShardTimeout) as exc:
+                self._on_death(idx, str(exc))
+
+    def drain(self) -> None:
+        for idx, st in enumerate(self.states):
+            if st.worker is None:
+                continue
+            try:
+                st.worker.drain()
+            except (ShardDied, ShardTimeout) as exc:
+                self._on_death(idx, str(exc))
+
+    # -- snapshots ---------------------------------------------------------
+    def sync_snapshots(self) -> List[Optional[ShardSnapshot]]:
+        """One snapshot per shard; None for shards down this round."""
+        requested: List[int] = []
+        for idx, st in enumerate(self.states):
+            if st.worker is None and not st.failed:
+                self._maybe_restart(idx)
+            if st.worker is None:
+                continue
+            try:
+                st.worker.request_snapshot()
+                requested.append(idx)
+            except (ShardDied, ShardTimeout) as exc:
+                self._on_death(idx, str(exc))
+        out: List[Optional[ShardSnapshot]] = [None] * self.num_shards
+        for idx in requested:
+            st = self.states[idx]
+            try:
+                snap = st.worker.recv_snapshot(self.policy.heartbeat_timeout)
+            except (ShardDied, ShardTimeout) as exc:
+                self._on_death(idx, str(exc))
+                continue
+            out[idx] = self._deliver(idx, snap)
+        return out
+
+    def _deliver(self, idx: int, snap: ShardSnapshot) -> ShardSnapshot:
+        """Trim replay re-detections, account, and merge one snapshot."""
+        st = self.states[idx]
+        if st.discard_violations:
+            dropped = min(st.discard_violations, len(snap.violations))
+            snap.violations = snap.violations[dropped:]
+            st.discard_violations -= dropped
+        if st.discard_sheds:
+            dropped = min(st.discard_sheds, len(snap.sheds))
+            snap.sheds = snap.sheds[dropped:]
+            st.discard_sheds -= dropped
+        st.merged_violations += len(snap.violations)
+        st.merged_sheds += len(snap.sheds)
+        st.since_snapshot_events = 0
+        if self._merge_cb is not None:
+            self._merge_cb(snap)
+        return snap
+
+    def _checkpoint(self, idx: int) -> None:
+        """Cut a checkpoint: full-state snapshot, then truncate journal."""
+        st = self.states[idx]
+        if st.worker is None:
+            return
+        try:
+            st.worker.request_snapshot(checkpoint=True)
+            snap = st.worker.recv_snapshot(self.policy.heartbeat_timeout)
+        except (ShardDied, ShardTimeout) as exc:
+            self._on_death(idx, str(exc))
+            return
+        self._deliver(idx, snap)
+        st.checkpoint = snap.state
+        st.checkpoint_ops_ledgered = False
+        st.journal.clear()
+        st.journal_events = 0
+        st.journal_dropped = 0
+        st.dropped_ledgered = 0
+        st.since_checkpoint_events = 0
+        st.merged_violations = 0
+        st.merged_sheds = 0
+        st.kills.clear()
+        self._g_journal[idx].set(0.0)
+
+    # -- liveness ----------------------------------------------------------
+    def tick(self) -> None:
+        """Cheap periodic duty: due restarts and heartbeat rounds.
+
+        Call from the data path (the fabric calls it per batch) or a
+        poll loop (the daemon); rate-limited to ``heartbeat_interval``.
+        """
+        for idx, st in enumerate(self.states):
+            if st.worker is None and not st.failed \
+                    and self._clock() >= st.next_restart_at:
+                self._maybe_restart(idx)
+        if self._clock() - self._last_hb < self.policy.heartbeat_interval:
+            return
+        self._last_hb = self._clock()
+        self.heartbeat()
+
+    def heartbeat(self) -> None:
+        """Ping every live worker; a missing/late ack kills and recovers."""
+        pinged: List[int] = []
+        self._hb_seq += 1
+        for idx, st in enumerate(self.states):
+            if st.worker is None:
+                continue
+            if not st.worker.is_alive():
+                self._on_death(idx, "process exited")
+                continue
+            try:
+                st.worker.ping(self._hb_seq)
+                pinged.append(idx)
+            except (ShardDied, ShardTimeout) as exc:
+                self._on_death(idx, str(exc))
+        for idx in pinged:
+            st = self.states[idx]
+            try:
+                ack = st.worker.recv_ack(self.policy.heartbeat_timeout)
+            except ShardDied as exc:
+                self._on_death(idx, str(exc))
+                continue
+            if ack is None:
+                self._on_death(
+                    idx, f"no heartbeat ack within "
+                         f"{self.policy.heartbeat_timeout}s")
+
+    def recovering(self) -> List[int]:
+        """Shards currently down awaiting (or mid-) restart."""
+        return [idx for idx, st in enumerate(self.states)
+                if st.worker is None and not st.failed]
+
+    def failed(self) -> List[int]:
+        return [idx for idx, st in enumerate(self.states) if st.failed]
+
+    def liveness(self) -> List[Dict[str, object]]:
+        """Per-shard health for ``/healthz``, ``/stats``, and reports."""
+        out: List[Dict[str, object]] = []
+        for idx, st in enumerate(self.states):
+            worker = st.worker
+            out.append({
+                "shard": idx,
+                "alive": worker is not None and worker.is_alive(),
+                "recovering": worker is None and not st.failed,
+                "failed": st.failed,
+                "pid": worker.pid if worker is not None else None,
+                "restarts": st.restarts,
+                "journal_batches": len(st.journal),
+                "journal_events": st.journal_events,
+                "quarantined_batches": st.quarantined,
+                "down_reason": st.down_reason,
+            })
+        return out
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [st.worker.pid if st.worker is not None else None
+                for st in self.states]
+
+    def total_restarts(self) -> int:
+        return sum(st.restarts for st in self.states)
+
+    # -- crash handling ----------------------------------------------------
+    def _on_death(self, idx: int, reason: str) -> None:
+        """Mark a shard down and schedule its restart."""
+        st = self.states[idx]
+        if st.worker is not None:
+            st.worker.kill()
+            st.worker = None
+        st.down_reason = reason
+        backoff = min(
+            self.policy.backoff_max,
+            self.policy.backoff_base * (2 ** st.consecutive_failures))
+        st.consecutive_failures += 1
+        st.next_restart_at = self._clock() + backoff
+        self._g_up[idx].set(0.0)
+        if self._down_cb is not None:
+            self._down_cb(idx)
+
+    def _maybe_restart(self, idx: int, block: bool = False) -> bool:
+        """Restart + rehydrate a down shard; True when it is live again.
+
+        Non-blocking by default: before the backoff deadline this is a
+        no-op (the shard keeps journaling).  ``block=True`` (quiesce)
+        sleeps through the backoff and retries until live or failed.
+        """
+        st = self.states[idx]
+        while st.worker is None and not st.failed:
+            delay = st.next_restart_at - self._clock()
+            if delay > 0:
+                if not block:
+                    return False
+                self._sleep(delay)
+            if st.restarts >= self.policy.restart_budget:
+                self._fail_shard(idx)
+                return False
+            st.restarts += 1
+            self._c_restarts[idx].inc()
+            t0 = self._clock()
+            try:
+                worker = self._spawn(idx)
+            except Exception as exc:  # pragma: no cover - spawn is local
+                self._on_death(idx, f"respawn failed: {exc}")
+                if not block:
+                    return False
+                continue
+            st.worker = worker
+            try:
+                self._rehydrate(idx)
+            except (ShardDied, ShardTimeout) as exc:
+                self._on_death(idx, f"died during recovery: {exc}")
+                if not block:
+                    return False
+                continue
+            st.consecutive_failures = 0
+            st.down_reason = ""
+            st.discard_violations = st.merged_violations
+            st.discard_sheds = st.merged_sheds
+            # The replay delivered everything journaled since the last
+            # checkpoint; resume cadence counters from there.
+            st.since_checkpoint_events = st.journal_events
+            st.since_snapshot_events = st.journal_events
+            self._g_up[idx].set(1.0)
+            self._h_recovery.observe(self._clock() - t0)
+        return st.worker is not None
+
+    def _rehydrate(self, idx: int) -> None:
+        """Checkpoint restore + journal replay + advance, with poison
+        detection: each replayed batch is pinged through, and a batch
+        that keeps killing replacements is quarantined."""
+        st = self.states[idx]
+        worker = st.worker
+        assert worker is not None
+        if st.checkpoint is not None:
+            worker.restore(st.checkpoint)
+            if st.checkpoint.lost_pending_ops \
+                    and not st.checkpoint_ops_ledgered:
+                st.checkpoint_ops_ledgered = True
+                self._ledger_events(
+                    KIND_LOST_OP, st.checkpoint.lost_pending_ops,
+                    f"shard={idx} deferred ops not in checkpoint")
+        if st.journal_dropped > st.dropped_ledgered:
+            fresh = st.journal_dropped - st.dropped_ledgered
+            st.dropped_ledgered = st.journal_dropped
+            self._ledger_events(
+                KIND_GAP, fresh,
+                f"shard={idx} journal overflow: events lost to replay")
+        for batch in list(st.journal):
+            try:
+                worker.send_batch(batch)
+                worker.ping(self._hb_seq)
+                ack = worker.recv_ack(self.policy.heartbeat_timeout)
+                if ack is None:
+                    raise ShardTimeout(
+                        f"shard {idx}: replay batch unacknowledged")
+            except (ShardDied, ShardTimeout):
+                kills = st.kills.get(id(batch), 0) + 1
+                st.kills[id(batch)] = kills
+                if kills >= self.policy.poison_threshold:
+                    self._quarantine(idx, batch, kills)
+                raise
+            st.kills.pop(id(batch), None)
+        worker.advance_to(self._now_fn())
+
+    def _quarantine(self, idx: int, batch: List[DataplaneEvent],
+                    kills: int) -> None:
+        st = self.states[idx]
+        try:
+            st.journal.remove(batch)
+            st.journal_events -= len(batch)
+            self._g_journal[idx].set(float(st.journal_events))
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        st.quarantined += 1
+        self._c_quarantined.inc()
+        self.quarantine_log.append(QuarantineRecord(
+            shard=idx, events=len(batch),
+            first_time=batch[0].time if batch else 0.0,
+            last_time=batch[-1].time if batch else 0.0,
+            kills=kills))
+        self._ledger_events(
+            KIND_QUARANTINE, len(batch),
+            f"shard={idx} poison batch after {kills} worker deaths")
+
+    def _fail_shard(self, idx: int) -> None:
+        """Budget exhausted: give up, ledger everything unrecovered."""
+        st = self.states[idx]
+        st.failed = True
+        st.down_reason = (
+            f"restart budget ({self.policy.restart_budget}) exhausted")
+        lost = st.journal_events \
+            + (st.journal_dropped - st.dropped_ledgered)
+        if lost:
+            self._ledger_events(
+                KIND_SHARD_LOST, lost,
+                f"shard={idx} unrecovered at budget exhaustion")
+        st.journal.clear()
+        st.journal_events = 0
+        st.journal_dropped = 0
+        st.dropped_ledgered = 0
+        self._g_journal[idx].set(0.0)
+        self._g_up[idx].set(0.0)
+
+    # -- teardown ----------------------------------------------------------
+    def quiesce(self) -> List[Optional[ShardSnapshot]]:
+        """Final snapshots: force down shards live, then bounded quits."""
+        out: List[Optional[ShardSnapshot]] = [None] * self.num_shards
+        horizon = self._now_fn()
+        for idx, st in enumerate(self.states):
+            if st.worker is None and not st.failed:
+                # Block through the backoff so end-of-run state is not
+                # lost to unlucky timing; failure is still terminal.
+                if self._maybe_restart(idx, block=True):
+                    try:
+                        st.worker.advance_to(horizon)
+                        st.worker.drain()
+                    except (ShardDied, ShardTimeout) as exc:
+                        self._on_death(idx, str(exc))
+                        continue
+            if st.worker is None:
+                continue
+            snap = st.worker.quit(self.policy.quiesce_timeout)
+            if snap is None:
+                # Hung at quiesce: the worker was killed; whatever it
+                # saw since its last snapshot is unaccounted for.
+                self._ledger_events(
+                    KIND_QUIT_TIMEOUT, max(1, st.since_snapshot_events),
+                    f"shard={idx} no final snapshot within "
+                    f"{self.policy.quiesce_timeout}s")
+                st.worker = None
+                st.down_reason = "hung at quiesce"
+                self._g_up[idx].set(0.0)
+                continue
+            out[idx] = self._deliver(idx, snap)
+            st.worker = None
+            self._g_up[idx].set(0.0)
+        return out
+
+    def close(self) -> None:
+        """Hard teardown of every worker (error paths, ``__del__``)."""
+        for st in self.states:
+            if st.worker is not None:
+                st.worker.kill()
+                st.worker = None
+
+    # -- ledger ------------------------------------------------------------
+    def _ledger_events(self, kind: str, count: int, detail: str) -> None:
+        now = self._now_fn()
+        for _ in range(count):
+            self.ledger.record(kind, _FABRIC_PROP, detail, now, _BOTH)
+
+    def _journal_append(self, st: _ShardState, idx: int,
+                        events: List[DataplaneEvent]) -> None:
+        st.journal.append(list(events))
+        st.journal_events += len(events)
+        while len(st.journal) > self.policy.journal_batches:
+            aged = st.journal.popleft()
+            st.journal_events -= len(aged)
+            st.journal_dropped += len(aged)
+            st.kills.pop(id(aged), None)
+        self._g_journal[idx].set(float(st.journal_events))

@@ -298,12 +298,51 @@ EVICT_LRU = "evict-lru"
 
 
 @dataclass(frozen=True)
+class WorkerCrashProfile:
+    """Process faults against the monitor *itself* (fabric workers).
+
+    Unlike every other fault family, these do not perturb the event
+    stream or the monitor's internal policies — they SIGKILL fabric
+    worker processes mid-run, at fixed fractions of the replay, to
+    exercise the supervisor's detect/restart/replay path.  Only
+    meaningful for sharded mp runs; ``repro chaos`` dispatches profiles
+    with a non-null crash plan to the crash-recovery harness.
+    """
+
+    #: SIGKILLs delivered to each shard over one run
+    kills_per_shard: int = 0
+    #: where in the replay (fraction of events fed) each kill lands;
+    #: kill *k* of a shard uses ``at_fractions[k % len]`` staggered by
+    #: shard index so shards do not die in the same batch.
+    at_fractions: Tuple[float, ...] = (0.5,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kills_per_shard < 0:
+            raise ValueError(
+                f"kills_per_shard must be >= 0, got {self.kills_per_shard}")
+        if not self.at_fractions:
+            raise ValueError("at_fractions must not be empty")
+        for fraction in self.at_fractions:
+            if not 0.0 < fraction < 1.0:
+                raise ValueError(
+                    f"at_fractions entries must be in (0, 1), "
+                    f"got {fraction!r}")
+
+    @property
+    def is_null(self) -> bool:
+        return self.kills_per_shard == 0
+
+
+@dataclass(frozen=True)
 class ChaosProfile:
     """A named, fully-seeded chaos scenario: network + monitor knobs.
 
     ``mode`` is ``"inline"`` or ``"split"`` (kept as a string so this
     module never imports the switch); the degradation knobs mirror
     :class:`repro.core.degradation.DegradationPolicy` as plain values.
+    ``worker_crash`` targets the fabric's worker processes instead of
+    the event stream — the monitor as its own failure domain.
     """
 
     name: str
@@ -317,6 +356,7 @@ class ChaosProfile:
     max_pending_ops: Optional[int] = None
     retry_backoff: float = 1e-3
     max_retries: int = 3
+    worker_crash: WorkerCrashProfile = WorkerCrashProfile()
 
     def __post_init__(self) -> None:
         if self.mode not in ("inline", "split"):
@@ -388,5 +428,15 @@ PROFILES: Dict[str, ChaosProfile] = {
         max_pending_ops=8,
         retry_backoff=1e-3,
         max_retries=1,
+    ),
+    "worker-crash": ChaosProfile(
+        name="worker-crash",
+        description="A perfect tap and an unbounded monitor, but the "
+                    "fabric's worker processes are SIGKILLed mid-run "
+                    "(once per shard): exercises supervisor detection, "
+                    "checkpoint/replay recovery, and ledger honesty. "
+                    "Fully ledgered: reports violations +/- uncertainty.",
+        worker_crash=WorkerCrashProfile(
+            kills_per_shard=1, at_fractions=(0.45,), seed=0),
     ),
 }

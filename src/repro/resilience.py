@@ -166,13 +166,15 @@ def build_sharded_monitor(
     num_shards: int = 2,
     mode: str = "inprocess",
     registry: Optional[MetricsRegistry] = None,
+    supervision=None,
 ):
     """A catalog :class:`~repro.fabric.ShardedMonitor` for a profile.
 
     Each shard gets its own profile-derived kwargs — in particular its
     own control-channel fault source and its own bounded-store budget
     (per-shard capacity, a documented difference from the single
-    monitor's global bound).
+    monitor's global bound).  ``supervision`` is an optional
+    :class:`~repro.fabric.SupervisorPolicy` for mp-mode crash recovery.
     """
     from .fabric import ShardedMonitor
 
@@ -183,6 +185,7 @@ def build_sharded_monitor(
         mode=mode,
         registry=registry,
         monitor_kwargs_fn=lambda idx: monitor_profile_kwargs(profile),
+        supervision=supervision,
     )
 
 
@@ -450,6 +453,240 @@ def render_report(report: DegradationReport) -> str:
     return "\n".join(lines)
 
 
+@dataclass
+class CrashRecoveryReport:
+    """What SIGKILLing fabric workers mid-run did to detection quality.
+
+    The acceptance bar: the run completes with no unhandled exception,
+    every killed worker restarts within the budget, and the merged
+    violation set equals the clean baseline within the overflow
+    ledger's ``[lo, hi]`` uncertainty interval (``bounded``); when no
+    state was actually lost, ``exact_match`` is True as well.
+    """
+
+    profile: str
+    seed: int
+    events: int
+    shards: int
+    clean_total: int
+    fabric_total: int
+    interval: Tuple[int, int]
+    bounded: bool
+    exact_match: bool
+    kills_delivered: int
+    kills_skipped: int
+    restarts: int
+    quarantined_batches: int
+    failed_shards: List[int]
+    shard_liveness: List[Dict[str, object]]
+    per_property: Dict[str, Dict[str, int]]
+    ledger: Dict[str, object]
+    invariant_failures: List[str] = field(default_factory=list)
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "events": self.events,
+            "shards": self.shards,
+            "violations": {
+                "clean": self.clean_total,
+                "fabric": self.fabric_total,
+                "interval": list(self.interval),
+                "bounded": self.bounded,
+                "exact_match": self.exact_match,
+            },
+            "recovery": {
+                "kills_delivered": self.kills_delivered,
+                "kills_skipped": self.kills_skipped,
+                "restarts": self.restarts,
+                "quarantined_batches": self.quarantined_batches,
+                "failed_shards": list(self.failed_shards),
+                "shards": list(self.shard_liveness),
+            },
+            "per_property": self.per_property,
+            "ledger": self.ledger,
+            "invariant_failures": list(self.invariant_failures),
+            "telemetry": self.telemetry,
+        }
+
+
+def crash_schedule(
+    profile: ChaosProfile,
+    num_events: int,
+    num_shards: int,
+    batch: int,
+) -> Dict[int, List[int]]:
+    """Map batch-start event index -> shards to SIGKILL just before it.
+
+    Kill *k* of shard *s* lands at ``at_fractions[k % len]`` of the
+    stream, staggered one batch per shard so no two shards die at the
+    same point (independent recoveries, not a correlated outage).
+    """
+    crash = profile.worker_crash
+    schedule: Dict[int, List[int]] = {}
+    num_batches = max(1, (num_events + batch - 1) // batch)
+    for shard in range(num_shards):
+        for k in range(crash.kills_per_shard):
+            fraction = crash.at_fractions[k % len(crash.at_fractions)]
+            index = min(num_batches - 1,
+                        int(num_batches * fraction) + shard)
+            schedule.setdefault(index * batch, []).append(shard)
+    return schedule
+
+
+def run_crash_chaos(
+    profile: ChaosProfile,
+    seed: int,
+    num_events: int = DEFAULT_EVENTS,
+    settle: float = DEFAULT_SETTLE,
+    num_shards: int = 2,
+    batch: int = 256,
+    supervision=None,
+    with_telemetry: bool = True,
+) -> CrashRecoveryReport:
+    """One crash-chaos round: clean baseline vs a SIGKILLed mp fabric.
+
+    The clean run is a plain single :class:`Monitor` (the oracle the
+    differential suite uses); the fabric run feeds the same stream in
+    batches, delivering SIGKILL to live workers at the profile's
+    schedule.  Only meaningful for mp mode — worker crashes need worker
+    processes — so this always builds an mp fabric.
+    """
+    import os
+    import signal as _signal
+
+    from .fabric import SupervisorPolicy
+
+    if profile.worker_crash.is_null:
+        raise ValueError(
+            f"profile {profile.name!r} has no worker-crash plan; "
+            "use run_chaos for stream/monitor faults")
+    if supervision is None:
+        # Soak-friendly defaults: fast detection and restart so a
+        # virtual-time replay does not stall on wall-clock backoff.
+        supervision = SupervisorPolicy(
+            heartbeat_interval=0.2, heartbeat_timeout=10.0,
+            backoff_base=0.01, backoff_max=0.5)
+    events = catalog_trace(seed, num_events)
+    clean = run_events(None, events, settle=settle)
+    registry = MetricsRegistry() if with_telemetry else None
+    fabric = build_sharded_monitor(
+        profile, num_shards=num_shards, mode="mp", registry=registry,
+        supervision=supervision)
+    if registry is not None:
+        registry.time_fn = lambda: fabric.now
+    schedule = crash_schedule(profile, len(events), num_shards, batch)
+    kills_delivered = kills_skipped = 0
+    try:
+        for start in range(0, len(events), batch):
+            for shard in schedule.get(start, ()):
+                pid = fabric.supervisor.worker_pids()[shard]
+                if pid is None:
+                    kills_skipped += 1  # already down: nothing to kill
+                    continue
+                os.kill(pid, _signal.SIGKILL)
+                kills_delivered += 1
+            fabric.observe_batch(events[start:start + batch])
+        if events:
+            fabric.advance_to(events[-1].time + settle)
+        fabric.stop()
+    except BaseException:
+        fabric.close()
+        raise
+
+    clean_counts = clean.per_property
+    fabric_counts: Dict[str, int] = {}
+    for violation in fabric.violations:
+        fabric_counts[violation.property_name] = \
+            fabric_counts.get(violation.property_name, 0) + 1
+    per_property = {
+        name: {"clean": clean_counts.get(name, 0),
+               "fabric": fabric_counts.get(name, 0)}
+        for name in sorted(set(clean_counts) | set(fabric_counts))
+    }
+    clean_total = len(clean.monitor.violations)
+    fabric_total = len(fabric.violations)
+    interval = fabric.ledger.interval(fabric_total)
+    exact = (sorted(clean.fingerprint()) == sorted(
+        (v.property_name, round(v.time, 9),
+         tuple(sorted((k, str(val)) for k, val in v.bindings.items())))
+        for v in fabric.violations))
+    supervisor = fabric.supervisor
+    invariants = check_invariants(clean)
+    if fabric.pending_op_count() != 0:
+        invariants.append(
+            f"fabric retained {fabric.pending_op_count()} pending op(s)")
+    report = CrashRecoveryReport(
+        profile=profile.name,
+        seed=seed,
+        events=len(events),
+        shards=num_shards,
+        clean_total=clean_total,
+        fabric_total=fabric_total,
+        interval=interval,
+        bounded=interval[0] <= clean_total <= interval[1],
+        exact_match=exact,
+        kills_delivered=kills_delivered,
+        kills_skipped=kills_skipped,
+        restarts=supervisor.total_restarts(),
+        quarantined_batches=len(supervisor.quarantine_log),
+        failed_shards=supervisor.failed(),
+        shard_liveness=fabric.shard_liveness(),
+        per_property=per_property,
+        ledger=fabric.ledger.summary(),
+        invariant_failures=invariants,
+    )
+    if registry is not None:
+        report.telemetry = registry.snapshot()
+    return report
+
+
+def render_crash_report(report: CrashRecoveryReport) -> str:
+    """Human-readable crash-recovery report."""
+    lines: List[str] = []
+    lo, hi = report.interval
+    lines.append(
+        f"profile {report.profile!r} seed={report.seed}: {report.events} "
+        f"events over {report.shards} mp shards, "
+        f"{report.kills_delivered} SIGKILL(s) delivered"
+        + (f" ({report.kills_skipped} skipped: shard already down)"
+           if report.kills_skipped else ""))
+    verdict = "WITHIN interval" if report.bounded else "OUTSIDE interval"
+    exact = ", exact match" if report.exact_match else ""
+    lines.append(
+        f"violations: clean={report.clean_total} "
+        f"fabric={report.fabric_total} interval=[{lo}, {hi}] "
+        f"({verdict}{exact})")
+    lines.append(
+        f"recovery: restarts={report.restarts} "
+        f"quarantined_batches={report.quarantined_batches} "
+        f"failed_shards={report.failed_shards or 'none'}")
+    for row in report.shard_liveness:
+        lines.append(
+            f"  shard {row['shard']}: restarts={row['restarts']} "
+            f"journal={row['journal_events']} "
+            f"quarantined={row['quarantined_batches']}"
+            + (f" FAILED ({row['down_reason']})" if row["failed"] else ""))
+    shed = report.ledger.get("by_kind", {})
+    if shed:
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(shed.items()))
+        lines.append(f"overflow ledger: {detail}")
+    else:
+        lines.append("overflow ledger: empty")
+    mismatched = {
+        name: cf for name, cf in report.per_property.items()
+        if cf["clean"] != cf["fabric"]
+    }
+    for name, cf in sorted(mismatched.items()):
+        lines.append(
+            f"  {name:<28} clean={cf['clean']:<4} fabric={cf['fabric']}")
+    for problem in report.invariant_failures:
+        lines.append(f"  INVARIANT VIOLATED: {problem}")
+    return "\n".join(lines)
+
+
 def run_soak(
     profile: ChaosProfile,
     seed: int,
@@ -469,18 +706,22 @@ __all__ = [
     "DEFAULT_EVENTS",
     "DEFAULT_SETTLE",
     "PROFILES",
+    "CrashRecoveryReport",
     "DegradationReport",
     "PropertyDegradation",
     "RunResult",
     "build_monitor",
     "build_sharded_monitor",
     "catalog_trace",
+    "crash_schedule",
     "monitor_profile_kwargs",
     "check_invariants",
     "compare_runs",
     "degradation_policy",
+    "render_crash_report",
     "render_report",
     "run_chaos",
+    "run_crash_chaos",
     "run_events",
     "run_soak",
 ]

@@ -3,8 +3,10 @@
 Everything else in the reproduction replays recorded traces on the
 virtual clock; this package is the long-running counterpart.  A
 :class:`ServeDaemon` ingests serialized event frames (the
-``netsim/serialize.py`` JSONL format) from TCP sockets and newline-JSON
-pipes into a bounded :class:`IngestQueue` with explicit backpressure —
+``netsim/serialize.py`` JSONL format, or the RPF1 framed binary codec —
+each ingest connection is sniffed for the four-byte magic) from TCP
+sockets and pipes into a bounded :class:`IngestQueue` with explicit
+backpressure —
 accept/shed decisions land in the monitor's
 :class:`~repro.core.degradation.OverflowLedger`, so overload degrades
 into a detection-uncertainty interval instead of silent loss — and

@@ -28,13 +28,16 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import struct
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.monitor import Monitor
+from ..fabric import SupervisorPolicy
 from ..netsim.chaos import PROFILES
 from ..netsim.clock import WallClock
+from ..netsim.serialize import FRAME_MAGIC
 from ..resilience import build_monitor, build_sharded_monitor
 from ..telemetry import (
     MetricsRegistry,
@@ -47,6 +50,8 @@ from ..telemetry import (
 from .http import HttpPlane, json_response, start_http
 from .ingest import FrameError, IngestQueue, parse_frame
 from .report import ServeDegradationReport
+
+_U32 = struct.Struct(">I")
 
 
 def parse_ingest_spec(spec: str) -> Tuple[str, object]:
@@ -91,6 +96,12 @@ class ServeConfig:
     #: fabric of N shards (``--shards``).
     shards: int = 0
     shard_mode: str = "mp"
+    #: mp fabric supervision: worker restarts allowed per shard before
+    #: the shard is declared failed (``--restart-budget``).
+    restart_budget: int = 5
+    #: events per shard between recovery checkpoints
+    #: (``--checkpoint-interval``).
+    checkpoint_interval: int = 2048
 
     def __post_init__(self) -> None:
         if self.chaos_profile not in PROFILES:
@@ -103,6 +114,13 @@ class ServeConfig:
             raise ValueError(
                 f"unknown shard mode {self.shard_mode!r}; "
                 "choose inprocess or mp")
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {self.checkpoint_interval}")
         for spec in self.ingest:
             parse_ingest_spec(spec)  # validate early, fail before boot
 
@@ -126,10 +144,18 @@ class ServeDaemon:
                 PROFILES[self.config.chaos_profile],
                 num_shards=self.config.shards,
                 mode=self.config.shard_mode,
-                registry=self.registry)
+                registry=self.registry,
+                supervision=SupervisorPolicy(
+                    restart_budget=self.config.restart_budget,
+                    checkpoint_interval=self.config.checkpoint_interval))
         else:
             self.monitor = build_monitor(
                 PROFILES[self.config.chaos_profile], registry=self.registry)
+        # Duck-typed: a ShardedMonitor (supervised fabric) answers the
+        # liveness methods; a plain Monitor has no shards to report on.
+        self._fabric = (
+            self.monitor if hasattr(self.monitor, "shard_liveness")
+            else None)
         # trace_buffer 0 disables span emission entirely: /trace serves
         # nothing and dispatch takes the plain observe_batch path.
         self.tracer: Tracer = (
@@ -260,6 +286,16 @@ class ServeDaemon:
         now = self.clock.now()
         self._uptime_gauge.set(now)
         summary = self.monitor.stop(now=now)
+        # Shard rows are read after stop() so restarts that happened
+        # during the final drain are counted.  The quiesce quits every
+        # healthy worker, so post-stop "down but not failed" means
+        # "shut down", not "rebuilding".
+        shard_rows = (
+            self._fabric.shard_liveness() if self._fabric is not None
+            else [])
+        for row in shard_rows:
+            if not row.get("failed"):
+                row["recovering"] = False
         # One last sample so the poller's tail reflects the drained state.
         self.poller.sample(now)
         if self._span_writer is not None:
@@ -280,6 +316,13 @@ class ServeDaemon:
             queue=self.queue.stats(),
             ledger=dict(summary["ledger"]),  # type: ignore[arg-type]
             http_requests=self.plane.requests_served,
+            shards=shard_rows,
+            shard_restarts=sum(
+                int(r.get("restarts", 0)) for r in shard_rows),
+            quarantined_batches=sum(
+                int(r.get("quarantined_batches", 0)) for r in shard_rows),
+            failed_shards=[
+                int(r["shard"]) for r in shard_rows if r.get("failed")],
         )
         if self.config.report_path:
             with open(self.config.report_path, "w", encoding="utf-8") as fp:
@@ -299,11 +342,24 @@ class ServeDaemon:
         if task is not None:
             self._conn_tasks.add(task)
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                self._offer_line(line, source)
+            # Sniff the first four bytes: an RPF1 magic switches the
+            # connection to the framed binary codec, anything else is
+            # treated as the start of a JSONL stream.
+            try:
+                head = await reader.readexactly(4)
+            except asyncio.IncompleteReadError as exc:
+                head = exc.partial  # connection shorter than the magic
+            if head == FRAME_MAGIC:
+                await self._read_framed(reader, source)
+            elif head:
+                buf = head + await reader.readline()
+                for line in buf.splitlines():
+                    self._offer_line(line, source)
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    self._offer_line(line, source)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -327,18 +383,92 @@ class ServeDaemon:
         if self._wake is not None:
             self._wake.set()
 
+    async def _read_framed(self, reader: asyncio.StreamReader,
+                           source: str) -> None:
+        """Drain an RPF1 framed stream: repeated batches of
+        magic + u32 count + per-event (u32 length + JSON payload).
+
+        The payloads are the same JSON dicts the JSONL codec writes, so
+        each one goes through the ordinary frame parser.  A truncated
+        batch counts as one frame error; everything decoded before the
+        truncation still reaches the queue.
+        """
+        first = True
+        while True:
+            if not first:
+                try:
+                    magic = await reader.readexactly(4)
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        self._frame_errors.inc()
+                    return
+                if magic != FRAME_MAGIC:
+                    self._frame_errors.inc()
+                    return
+            first = False
+            try:
+                (count,) = _U32.unpack(await reader.readexactly(4))
+                for _ in range(count):
+                    (size,) = _U32.unpack(await reader.readexactly(4))
+                    payload = await reader.readexactly(size)
+                    self._offer_line(payload, source)
+            except asyncio.IncompleteReadError:
+                self._frame_errors.inc()
+                return
+
     def _start_pipe_reader(self, path: str) -> None:
         loop = self._loop
         assert loop is not None
 
+        source = f"pipe:{path}"
+
+        def offer(data: bytes) -> None:
+            loop.call_soon_threadsafe(self._offer_line, data, source)
+
+        def frame_error() -> None:
+            loop.call_soon_threadsafe(self._frame_errors.inc)
+
+        def read_exact(fp, size: int) -> Optional[bytes]:
+            chunk = fp.read(size)
+            return chunk if chunk is not None and len(chunk) == size else None
+
+        def read_framed(fp) -> None:
+            # First magic was consumed by the sniff; subsequent batches
+            # each lead with their own.
+            while True:
+                raw = read_exact(fp, 4)
+                if raw is None:
+                    frame_error()
+                    return
+                (count,) = _U32.unpack(raw)
+                for _ in range(count):
+                    raw = read_exact(fp, 4)
+                    payload = raw and read_exact(fp, _U32.unpack(raw)[0])
+                    if not payload:
+                        frame_error()
+                        return
+                    offer(payload)
+                magic = fp.read(4)
+                if not magic:
+                    return  # clean EOF between batches
+                if magic != FRAME_MAGIC:
+                    frame_error()
+                    return
+
         def read_pipe() -> None:
             # Blocking reads in a daemon thread: a FIFO open blocks until
             # a writer connects, which must not stall the event loop.
+            # The same four-byte sniff as TCP ingest picks JSONL or RPF1.
             try:
                 with open(path, "rb") as fp:
-                    for line in fp:
-                        loop.call_soon_threadsafe(
-                            self._offer_line, line, f"pipe:{path}")
+                    head = fp.read(4)
+                    if head == FRAME_MAGIC:
+                        read_framed(fp)
+                    elif head:
+                        for line in (head + fp.readline()).splitlines():
+                            offer(line)
+                        for line in fp:
+                            offer(line)
             except OSError:
                 pass  # pipe vanished; the daemon keeps serving
             except RuntimeError:
@@ -390,6 +520,11 @@ class ServeDaemon:
         assert self._stopping is not None
         while not self._stopping.is_set():
             self._uptime_gauge.set(self.clock.now())
+            if self._fabric is not None:
+                # Heartbeat the shard workers even while ingest is idle,
+                # so a crashed worker is noticed and restarted before the
+                # next batch arrives.
+                self._fabric.tick()
             self.poller.poll()
             delay = max(0.01, min(self.poller.seconds_until_due(), 0.25))
             try:
@@ -406,15 +541,35 @@ class ServeDaemon:
     def _ep_stats(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
         return json_response(200, self.stats_payload())
 
+    def _shard_health(self) -> Tuple[List[int], List[int]]:
+        """(recovering shard indices, failed shard indices) — both empty
+        for a plain monitor or an all-healthy fabric."""
+        if self._fabric is None:
+            return [], []
+        recovering = list(self._fabric.recovering_shards())
+        failed = [row["shard"] for row in self._fabric.shard_liveness()
+                  if row.get("failed")]
+        return recovering, failed
+
     def _ep_healthz(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
-        return json_response(200, {
-            "status": "ok",
+        recovering, failed = self._shard_health()
+        payload: Dict[str, object] = {
+            "status": "degraded" if (recovering or failed) else "ok",
             "uptime": self.clock.now(),
             "profile": self.config.chaos_profile,
-        })
+        }
+        if self._fabric is not None:
+            payload["shards"] = self._fabric.shard_liveness()
+        return json_response(200, payload)
 
     def _ep_readyz(self, query: Mapping[str, str]) -> Tuple[int, str, str]:
         reasons = self.queue.unready_reasons()
+        recovering, failed = self._shard_health()
+        if recovering:
+            reasons = [f"shard_recovering:{idx}" for idx in recovering] \
+                + reasons
+        if failed:
+            reasons = [f"shard_failed:{idx}" for idx in failed] + reasons
         if self._stopping is not None and self._stopping.is_set():
             reasons = ["shutting down"] + reasons
         ready = not reasons and self.queue.ready()
@@ -439,7 +594,7 @@ class ServeDaemon:
     def stats_payload(self) -> Dict[str, object]:
         """The ``/stats`` body: a live JSON digest of daemon state."""
         observed_violations = len(self.monitor.violations)
-        return {
+        payload: Dict[str, object] = {
             "time": self.clock.now(),
             "profile": self.config.chaos_profile,
             "queue": self.queue.stats(),
@@ -455,6 +610,19 @@ class ServeDaemon:
             "poller_samples": len(self.poller.samples),
             "http_requests": self.plane.requests_served,
         }
+        if self._fabric is not None:
+            rows = self._fabric.shard_liveness()
+            recovering, failed = self._shard_health()
+            payload["shards"] = {
+                "count": len(rows),
+                "recovering": recovering,
+                "failed": failed,
+                "restarts": sum(int(r.get("restarts", 0)) for r in rows),
+                "quarantined_batches": sum(
+                    int(r.get("quarantined_batches", 0)) for r in rows),
+                "liveness": rows,
+            }
+        return payload
 
 
 @dataclass

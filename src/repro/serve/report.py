@@ -33,6 +33,12 @@ class ServeDegradationReport:
     queue: Dict[str, object] = field(default_factory=dict)
     ledger: Dict[str, object] = field(default_factory=dict)
     http_requests: int = 0
+    #: Per-shard liveness rows captured just before the fabric quiesced
+    #: ([] when serving a plain single monitor).
+    shards: List[Dict[str, object]] = field(default_factory=list)
+    shard_restarts: int = 0
+    quarantined_batches: int = 0
+    failed_shards: List[int] = field(default_factory=list)
 
     @property
     def exact(self) -> bool:
@@ -62,6 +68,12 @@ class ServeDegradationReport:
             "queue": dict(self.queue),
             "ledger": dict(self.ledger),
             "http_requests": self.http_requests,
+            "fabric": {
+                "shards": [dict(row) for row in self.shards],
+                "restarts": self.shard_restarts,
+                "quarantined_batches": self.quarantined_batches,
+                "failed_shards": list(self.failed_shards),
+            },
         }
 
 
@@ -87,5 +99,12 @@ def render_serve_report(report: ServeDegradationReport) -> str:
         lines.append(f"  ledger    {sheds}")
     else:
         lines.append("  ledger    (empty — nothing shed)")
+    if report.shards:
+        failed = (",".join(str(i) for i in report.failed_shards)
+                  if report.failed_shards else "none")
+        lines.append(f"  fabric    shards={len(report.shards)} "
+                     f"restarts={report.shard_restarts} "
+                     f"quarantined={report.quarantined_batches} "
+                     f"failed={failed}")
     lines.append(f"  http      requests={report.http_requests}")
     return "\n".join(lines)

@@ -25,7 +25,9 @@ from __future__ import annotations
 import socket
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+from ..netsim.serialize import encode_frames, read_trace
 
 
 @dataclass
@@ -64,6 +66,27 @@ def _read_lines(path: str) -> List[bytes]:
                 for line in fp if line.strip()]
 
 
+def _build_units(path: str, format: str, chunk: int,
+                 max_layer: int = 7) -> List[Tuple[bytes, int]]:
+    """The trace as ``(payload, event_count)`` send units.
+
+    ``jsonl`` keeps the file's own lines (one unit per line, headers
+    counting zero events).  ``rpf1`` parses the trace and re-encodes it
+    as framed binary batches of up to ``chunk`` events — the daemon's
+    ingest sniffs the magic and switches codec per connection.
+    """
+    if format == "jsonl":
+        return [(line, 0 if b'"TraceHeader"' in line else 1)
+                for line in _read_lines(path)]
+    if format == "rpf1":
+        events = read_trace(path, max_layer=max_layer)
+        return [(encode_frames(events[i:i + chunk]),
+                 len(events[i:i + chunk]))
+                for i in range(0, len(events), chunk)]
+    raise ValueError(f"unknown send format {format!r}; "
+                     "choose jsonl or rpf1")
+
+
 def stream_trace(
     path: str,
     host: str,
@@ -73,6 +96,7 @@ def stream_trace(
     chunk: int = 64,
     retry: int = 0,
     backoff: float = 0.5,
+    format: str = "jsonl",
     monotonic: Optional[Callable[[], float]] = None,
     sleep: Optional[Callable[[float], None]] = None,
     connect: Optional[Callable[[str, int], socket.socket]] = None,
@@ -87,8 +111,10 @@ def stream_trace(
     for the whole stream: each connection failure — initial or mid-send
     — consumes one attempt and waits ``backoff * 2**consecutive_failures``
     seconds; a successful reconnect resets the consecutive count, the
-    budget never refills.  ``monotonic``/``sleep``/``connect`` are
-    injectable for tests.
+    budget never refills.  ``format`` picks the wire codec: ``jsonl``
+    forwards the file's own lines; ``rpf1`` re-encodes the trace as
+    framed binary batches (one batch per chunk).  ``monotonic``/
+    ``sleep``/``connect`` are injectable for tests.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat!r}")
@@ -102,7 +128,10 @@ def stream_trace(
     pause = sleep if sleep is not None else time.sleep
     dial = (connect if connect is not None
             else lambda h, p: socket.create_connection((h, p)))
-    lines = _read_lines(path)
+    units = _build_units(path, format, chunk)
+    # An rpf1 unit is already a whole chunk-sized batch; jsonl units are
+    # single lines grouped chunk-at-a-time at send time.
+    group = chunk if format == "jsonl" else 1
 
     sent = 0  # events only; header lines don't count toward pacing
     reconnects = 0
@@ -113,7 +142,7 @@ def stream_trace(
     try:
         for round_idx in range(repeat):
             i = 0
-            while i < len(lines):
+            while i < len(units):
                 if sock is None:
                     try:
                         sock = dial(host, port)
@@ -127,9 +156,9 @@ def stream_trace(
                     if round_idx or i or consecutive_failures:
                         reconnects += 1
                     consecutive_failures = 0
-                batch = lines[i:i + chunk]
+                batch = units[i:i + group]
                 try:
-                    sock.sendall(b"".join(batch))
+                    sock.sendall(b"".join(payload for payload, _ in batch))
                 except OSError:
                     # The failed chunk is resent whole on the next
                     # connection; it was not counted as sent.
@@ -137,8 +166,7 @@ def stream_trace(
                     sock = None
                     continue
                 i += len(batch)
-                sent += sum(1 for line in batch
-                            if b'"TraceHeader"' not in line)
+                sent += sum(count for _, count in batch)
                 if rate > 0:
                     due = start + sent / rate
                     delay = due - now()

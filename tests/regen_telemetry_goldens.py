@@ -105,6 +105,33 @@ def build_scenario_registry():
         "Max over mean of cumulative per-shard event counts "
         "(1.0 = perfectly balanced, 0 = no events yet)").set(48 / 43)
 
+    # Supervision family: shard 0 crashed once and recovered (journal of
+    # 17 events replayed in 80ms); shard 1 never went down.
+    for shard, restarts, depth, up in (("0", 1, 17, 1), ("1", 0, 0, 1)):
+        registry.counter(
+            "repro_fabric_shard_restarts_total",
+            "Worker restarts performed by the fabric supervisor",
+            labels={"shard": shard}).inc(restarts)
+        registry.gauge(
+            "repro_fabric_journal_depth",
+            "Events in one shard's recovery journal (replayable "
+            "since the last checkpoint)",
+            labels={"shard": shard}).set(depth)
+        registry.gauge(
+            "repro_fabric_shard_up",
+            "1 when the shard worker is live, 0 while it is "
+            "down/recovering or permanently failed",
+            labels={"shard": shard}).set(up)
+    registry.histogram(
+        "repro_fabric_recovery_seconds",
+        "Wall seconds from restart attempt to a rehydrated, "
+        "replayed, and re-advanced replacement worker",
+        unit="seconds", buckets=LATENCY_BUCKETS).observe(0.08)
+    registry.counter(
+        "repro_fabric_quarantined_batches_total",
+        "Poison batches set aside (ledgered, never retried) "
+        "after repeatedly killing a shard worker").inc(0)
+
     return registry
 
 

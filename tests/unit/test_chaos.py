@@ -49,7 +49,7 @@ class TestProfiles:
 
     def test_named_catalog(self):
         assert set(PROFILES) == {"clean", "lossy", "overloaded",
-                                 "adversarial"}
+                                 "adversarial", "worker-crash"}
         clean = PROFILES["clean"]
         assert clean.link.is_null and clean.control.is_null
         assert not clean.degraded() and clean.ledgered
@@ -57,6 +57,10 @@ class TestProfiles:
         assert not PROFILES["lossy"].ledgered
         assert not PROFILES["adversarial"].ledgered
         assert PROFILES["overloaded"].degraded()
+        crash = PROFILES["worker-crash"]
+        assert crash.link.is_null and crash.control.is_null
+        assert crash.ledgered  # perfect tap: all loss is monitor-side
+        assert crash.worker_crash.kills_per_shard == 1
 
 
 class TestControlChannel:

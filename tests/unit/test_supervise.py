@@ -1,0 +1,439 @@
+"""Unit tests for the fabric supervisor: detection, recovery, quarantine.
+
+The supervisor only ever talks to workers through the ``MpShard``
+method surface, so these tests drive it with an in-memory fake — no
+fork, no pipes — and a hand-cranked wall clock.  The checkpoint
+round-trip tests use the real :class:`Monitor` export/restore path,
+including timer re-arming, since crash-replay equivalence depends on
+it being exact.
+"""
+
+import pickle
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.monitor import Monitor, MonitorState
+from repro.core.degradation import OverflowLedger
+from repro.core.refs import Bind, EventKind, EventPattern, FieldEq, Var
+from repro.core.spec import Absent, Observe, PropertySpec
+from repro.fabric import Supervisor, SupervisorPolicy
+from repro.fabric.mp import ShardDied
+from repro.fabric.shard import ShardSnapshot
+from repro.fabric.supervise import (
+    KIND_GAP,
+    KIND_LOST_OP,
+    KIND_QUARANTINE,
+    KIND_SHARD_LOST,
+)
+from repro.packet import tcp_packet
+from repro.switch.events import PacketArrival
+
+
+# -- fakes ------------------------------------------------------------------
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def sleep(self, delay):
+        self.t += delay
+
+
+class FakeWorker:
+    """Duck-typed MpShard: scriptable deaths, full interaction log."""
+
+    def __init__(self, idx, die_on=None):
+        self.idx = idx
+        self.pid = 1000 + idx
+        self.alive = True
+        self.received = []   # batches delivered via send_batch
+        self.restored = None
+        self._acks = []
+        #: predicate(batch) -> bool; True kills this worker on delivery
+        self.die_on = die_on
+
+    def _check(self):
+        if not self.alive:
+            raise ShardDied(f"shard {self.idx}: worker dead")
+
+    def is_alive(self):
+        return self.alive
+
+    def send_batch(self, events):
+        self._check()
+        if self.die_on is not None and self.die_on(events):
+            self.alive = False
+            raise ShardDied(f"shard {self.idx}: poisoned")
+        self.received.append(list(events))
+
+    def advance_to(self, when):
+        self._check()
+
+    def drain(self):
+        self._check()
+
+    def ping(self, seq):
+        self._check()
+        self._acks.append(seq)
+
+    def recv_ack(self, timeout):
+        self._check()
+        return self._acks.pop(0) if self._acks else None
+
+    def restore(self, state):
+        self._check()
+        self.restored = state
+
+    def request_snapshot(self, checkpoint=False):
+        self._check()
+        self._want_state = checkpoint
+
+    def recv_snapshot(self, timeout):
+        self._check()
+        return ShardSnapshot(
+            shard=self.idx, now=0.0, live_instances=0, pending_ops=0,
+            counters={}, peaks={},
+            state=MonitorState(now=0.0, instances=(), lost_pending_ops=0)
+            if self._want_state else None)
+
+    def quit(self, timeout):
+        self.alive = False
+        return ShardSnapshot(shard=self.idx, now=0.0, live_instances=0,
+                             pending_ops=0, counters={}, peaks={})
+
+    def kill(self, sig=None):
+        self.alive = False
+
+
+def batch(*times):
+    return [SimpleNamespace(time=t) for t in times]
+
+
+def make_supervisor(policy=None, die_on=None, num_shards=1):
+    """(supervisor, ledger, spawned-workers list, clock)."""
+    clock = FakeClock()
+    ledger = OverflowLedger()
+    spawned = []
+
+    def spawn(idx):
+        worker = FakeWorker(idx, die_on=die_on)
+        spawned.append(worker)
+        return worker
+
+    sup = Supervisor(spawn, num_shards, ledger, policy=policy,
+                     clock=clock, sleep=clock.sleep)
+    return sup, ledger, spawned, clock
+
+
+# -- policy validation ------------------------------------------------------
+
+class TestPolicyValidation:
+    def test_defaults_valid(self):
+        SupervisorPolicy()
+
+    @pytest.mark.parametrize("field,value", [
+        ("restart_budget", -1),
+        ("checkpoint_interval", 0),
+        ("journal_batches", 0),
+        ("poison_threshold", 0),
+        ("heartbeat_interval", -0.1),
+        ("heartbeat_timeout", -1.0),
+        ("backoff_base", -0.5),
+        ("quiesce_timeout", -1.0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(**{field: value})
+
+
+# -- journal ----------------------------------------------------------------
+
+class TestJournal:
+    def test_truncation_drops_oldest_and_ledgers_gap(self):
+        policy = SupervisorPolicy(journal_batches=2, backoff_base=1.0,
+                                  backoff_max=1.0, restart_budget=5)
+        sup, ledger, spawned, clock = make_supervisor(policy)
+        spawned[0].alive = False  # crash before any delivery
+        batches = [batch(1.0, 2.0), batch(3.0), batch(4.0, 5.0, 6.0),
+                   batch(7.0)]
+        for b in batches:
+            sup.send_batch(0, b)  # first send detects the death; rest queue
+        st = sup.states[0]
+        # bounded at 2 batches: the two oldest aged out (3 events)
+        assert len(st.journal) == 2
+        assert st.journal_events == 4
+        assert st.journal_dropped == 3
+        # clock still inside the backoff window: no restart yet
+        assert sup.recovering() == [0]
+        assert len(spawned) == 1
+        # past the backoff the next send restarts; its own journal
+        # append ages out one more batch (3 events) first
+        clock.t = 10.0
+        sup.send_batch(0, batch(8.0))
+        assert len(spawned) == 2
+        replacement = spawned[1]
+        assert [
+            [e.time for e in b] for b in replacement.received
+        ] == [[7.0], [8.0]]
+        # every aged-out event is an unrecoverable, ledgered gap
+        assert ledger.summary()["by_kind"][KIND_GAP] == 6
+
+    def test_only_fresh_drops_ledgered_per_restart(self):
+        policy = SupervisorPolicy(journal_batches=1, backoff_base=0.0,
+                                  backoff_max=0.0)
+        sup, ledger, spawned, clock = make_supervisor(policy)
+        spawned[0].alive = False
+        sup.send_batch(0, batch(1.0))
+        sup.send_batch(0, batch(2.0))   # restart #1 replays; b1 is a gap
+        assert ledger.summary()["by_kind"][KIND_GAP] == 1
+        spawned[-1].alive = False
+        sup.send_batch(0, batch(3.0))   # journals b3, ages out b2
+        sup.send_batch(0, batch(4.0))   # ages out b3, restart #2 replays b4
+        # drops 2 and 3 are new ink; drop 1 is never re-ledgered
+        assert ledger.summary()["by_kind"][KIND_GAP] == 3
+
+
+# -- backoff and budget -----------------------------------------------------
+
+class TestBackoffAndBudget:
+    def test_backoff_doubles_while_recovery_keeps_failing(self):
+        # a poison batch makes every replay die, so each restart attempt
+        # is a consecutive failure: backoff doubles, then caps
+        policy = SupervisorPolicy(backoff_base=0.1, backoff_max=0.3,
+                                  restart_budget=10, poison_threshold=99)
+        sup, ledger, spawned, clock = make_supervisor(
+            policy, die_on=lambda events: True)
+        sup.send_batch(0, batch(1.0))   # delivery kills worker #1
+        delays = []
+        for _ in range(4):
+            delays.append(sup.states[0].next_restart_at - clock.t)
+            clock.t = sup.states[0].next_restart_at
+            sup.tick()                   # restart attempt; replay dies
+        assert delays == [pytest.approx(0.1), pytest.approx(0.2),
+                          pytest.approx(0.3), pytest.approx(0.3)]
+
+    def test_successful_recovery_resets_backoff(self):
+        policy = SupervisorPolicy(backoff_base=0.1, backoff_max=10.0,
+                                  restart_budget=10)
+        sup, ledger, spawned, clock = make_supervisor(policy)
+        sup.states[0].worker.alive = False
+        sup.heartbeat()
+        clock.t = 100.0
+        sup.tick()
+        assert sup.states[0].consecutive_failures == 0
+        sup.states[0].worker.alive = False
+        sup.heartbeat()
+        # back to the base backoff, not 2x
+        assert sup.states[0].next_restart_at - clock.t \
+            == pytest.approx(0.1)
+
+    def test_budget_exhaustion_fails_shard_and_ledgers(self):
+        policy = SupervisorPolicy(restart_budget=1, backoff_base=0.0,
+                                  backoff_max=0.0)
+        sup, ledger, spawned, clock = make_supervisor(policy)
+        spawned[0].alive = False
+        sup.send_batch(0, batch(1.0))       # death detected, journaled
+        sup.send_batch(0, batch(2.0))       # restart #1 (budget now spent)
+        spawned[-1].alive = False
+        sup.send_batch(0, batch(3.0))       # death again
+        sup.send_batch(0, batch(4.0))       # budget exhausted -> failed
+        assert sup.failed() == [0]
+        rows = sup.liveness()
+        assert rows[0]["failed"] and "budget" in rows[0]["down_reason"]
+        by_kind = ledger.summary()["by_kind"]
+        assert by_kind[KIND_SHARD_LOST] >= 2  # journal + later sends
+        before = by_kind[KIND_SHARD_LOST]
+        sup.send_batch(0, batch(5.0, 6.0))  # every further event ledgered
+        assert ledger.summary()["by_kind"][KIND_SHARD_LOST] == before + 2
+
+
+# -- poison quarantine ------------------------------------------------------
+
+class TestQuarantine:
+    def test_replay_killer_batch_is_quarantined(self):
+        policy = SupervisorPolicy(poison_threshold=2, backoff_base=0.0,
+                                  backoff_max=0.0, restart_budget=10)
+        poison = batch(666.0)
+
+        def die_on(events):
+            return bool(events) and events[0].time == 666.0
+
+        sup, ledger, spawned, clock = make_supervisor(policy, die_on=die_on)
+        sup.send_batch(0, batch(1.0))
+        sup.send_batch(0, poison)          # kills worker #1 on delivery
+        # journal holds both batches; replay hits the poison again
+        sup.send_batch(0, batch(2.0))      # restart -> replay dies (kill 1)
+        sup.send_batch(0, batch(3.0))      # restart -> replay dies (kill 2)
+        assert sup.states[0].quarantined == 1
+        assert len(sup.quarantine_log) == 1
+        record = sup.quarantine_log[0]
+        assert record.shard == 0 and record.events == 1
+        assert record.kills == 2
+        assert ledger.summary()["by_kind"][KIND_QUARANTINE] == 1
+        # with the poison gone the next restart replays clean
+        sup.send_batch(0, batch(4.0))
+        assert sup.states[0].worker is not None
+        replayed = [[e.time for e in b]
+                    for b in spawned[-1].received]
+        assert [666.0] not in replayed
+        assert sup.liveness()[0]["quarantined_batches"] == 1
+
+
+# -- duplicate suppression --------------------------------------------------
+
+class TestDuplicateSuppression:
+    def test_deliver_trims_rereported_violations(self):
+        sup, ledger, spawned, clock = make_supervisor()
+        merged = []
+        sup._merge_cb = merged.append
+        st = sup.states[0]
+        st.discard_violations = 2
+        snap = ShardSnapshot(shard=0, now=0.0, live_instances=0,
+                             pending_ops=0, counters={}, peaks={},
+                             violations=["v1", "v2", "v3"])
+        sup._deliver(0, snap)
+        assert merged[0].violations == ["v3"]
+        assert st.discard_violations == 0
+        assert st.merged_violations == 1
+        # a second snapshot passes through untrimmed
+        snap2 = ShardSnapshot(shard=0, now=0.0, live_instances=0,
+                              pending_ops=0, counters={}, peaks={},
+                              violations=["v4"])
+        sup._deliver(0, snap2)
+        assert merged[1].violations == ["v4"]
+
+
+# -- heartbeat --------------------------------------------------------------
+
+class TestHeartbeat:
+    def test_missing_ack_is_a_death(self):
+        sup, ledger, spawned, clock = make_supervisor(
+            SupervisorPolicy(heartbeat_timeout=0.5))
+        worker = sup.states[0].worker
+
+        worker.ping = lambda seq: None  # swallow: ack queue stays empty
+        sup.heartbeat()
+        assert sup.recovering() == [0]
+        assert "no heartbeat ack" in sup.states[0].down_reason
+
+    def test_tick_rate_limits_heartbeats(self):
+        sup, ledger, spawned, clock = make_supervisor(
+            SupervisorPolicy(heartbeat_interval=1.0))
+        worker = sup.states[0].worker
+        pings = []
+        worker.ping = lambda seq: (pings.append(seq),
+                                   worker._acks.append(seq))
+        clock.t = 0.5
+        sup.tick()                       # inside the interval: no ping
+        assert pings == []
+        clock.t = 1.5
+        sup.tick()
+        assert len(pings) == 1
+
+    def test_lost_pending_ops_ledgered_on_restore(self):
+        policy = SupervisorPolicy(backoff_base=0.0, backoff_max=0.0)
+        sup, ledger, spawned, clock = make_supervisor(policy)
+        st = sup.states[0]
+        st.checkpoint = MonitorState(now=0.0, instances=(),
+                                     lost_pending_ops=3)
+        st.worker.alive = False
+        sup.heartbeat()
+        sup.tick()                       # restart restores the checkpoint
+        assert spawned[-1].restored is st.checkpoint
+        assert ledger.summary()["by_kind"][KIND_LOST_OP] == 3
+        # a second crash does not double-ledger the same checkpoint
+        sup.states[0].worker.alive = False
+        sup.heartbeat()
+        sup.tick()
+        assert ledger.summary()["by_kind"][KIND_LOST_OP] == 3
+
+
+# -- checkpoint round-trip (real Monitor) -----------------------------------
+
+def timed_prop(within=5.0):
+    """No reply from S within the window -> timer-fired violation."""
+    return PropertySpec(
+        name="answered-in-time",
+        description="a reply must arrive within the window",
+        stages=(
+            Observe("asked", EventPattern(
+                kind=EventKind.ARRIVAL, binds=(Bind("S", "eth.src"),))),
+            Absent("answered", EventPattern(
+                kind=EventKind.ARRIVAL,
+                guards=(FieldEq("eth.src", Var("S")),)),
+                within=within),
+        ),
+        key_vars=("S",),
+    )
+
+
+def arrival(src_mac, t):
+    return PacketArrival(
+        switch_id="s", time=t,
+        packet=tcp_packet(src_mac, "00:00:00:00:00:99",
+                          "10.0.0.1", "198.51.100.9", 1111, 99),
+        in_port=1)
+
+
+class TestCheckpointRoundTrip:
+    def _events(self):
+        return [arrival("00:00:00:00:00:01", 1.0),
+                arrival("00:00:00:00:00:02", 2.0)]
+
+    def test_export_is_deterministic_and_picklable(self):
+        events = self._events()  # shared: packet uids are process-global
+        monitors = []
+        for _ in range(2):
+            m = Monitor()
+            m.add_property(timed_prop())
+            for ev in events:
+                m.observe(ev)
+            monitors.append(m)
+        a, b = (m.export_state() for m in monitors)
+        assert pickle.loads(pickle.dumps(a)) == a
+        assert a == b
+
+    def test_restore_rearms_timers_identically(self):
+        baseline = Monitor()
+        baseline.add_property(timed_prop(within=5.0))
+        for ev in self._events():
+            baseline.observe(ev)
+        state = pickle.loads(pickle.dumps(baseline.export_state()))
+
+        restored = Monitor()
+        restored.add_property(timed_prop(within=5.0))
+        restored.restore_state(state)
+        assert restored.live_instances() == baseline.live_instances()
+
+        # advance both past the deadlines: identical violations fire
+        baseline.advance_to(20.0)
+        restored.advance_to(20.0)
+        assert len(restored.violations) == len(baseline.violations) == 2
+        assert ([v.time for v in restored.violations]
+                == [v.time for v in baseline.violations])
+
+    def test_restore_does_not_recount_creations(self):
+        source = Monitor()
+        source.add_property(timed_prop())
+        for ev in self._events():
+            source.observe(ev)
+        created = source.stats.instances_created
+        restored = Monitor()
+        restored.add_property(timed_prop())
+        restored.restore_state(source.export_state())
+        assert restored.stats.instances_created == 0
+        assert restored.live_instances() == 2
+        assert created == 2
+
+    def test_restore_unknown_property_rejected(self):
+        source = Monitor()
+        source.add_property(timed_prop())
+        source.observe(arrival("00:00:00:00:00:01", 1.0))
+        state = source.export_state()
+        empty = Monitor()
+        with pytest.raises(ValueError):
+            empty.restore_state(state)
