@@ -173,42 +173,132 @@ def test_throughput_full_catalog_interpreted(benchmark):
     assert monitor.stats.events == len(EVENTS)
 
 
+def run_catalog_batch(**monitor_kwargs):
+    monitor = Monitor(**monitor_kwargs)
+    for entry in build_table1():
+        monitor.add_property(entry.prop)
+    monitor.observe_batch(EVENTS)
+    return monitor
+
+
 def test_throughput_full_catalog_batch(benchmark):
     """The catalog again via observe_batch (replay's ingestion path)."""
-
-    def run():
-        monitor = Monitor()
-        for entry in build_table1():
-            monitor.add_property(entry.prop)
-        monitor.observe_batch(EVENTS)
-        return monitor
-
-    monitor = benchmark(run)
+    monitor = benchmark(run_catalog_batch)
     assert monitor.stats.events == len(EVENTS)
+
+
+# ---------------------------------------------------------------------------
+# Codegen twins: source-specialized matchers + columnar batches
+# ---------------------------------------------------------------------------
+def test_throughput_full_catalog_codegen(benchmark):
+    """Full catalog under ``match_strategy="codegen"``, event at a time:
+    one exec'd straight-line function per event class, field reads
+    hoisted to locals, constants folded into compares."""
+    monitor = benchmark(lambda: run_catalog(match_strategy="codegen"))
+    assert monitor.stats.events == len(EVENTS)
+
+
+def test_throughput_full_catalog_codegen_batch(benchmark):
+    """The headline codegen pair: observe_batch transposes each chunk
+    into ColumnarBatch columns, prefilters stage-0 creates vectorially,
+    then drives the generated per-event evaluators off the columns.
+    Compare to ``test_throughput_full_catalog_batch``."""
+    monitor = benchmark(lambda: run_catalog_batch(match_strategy="codegen"))
+    assert monitor.stats.events == len(EVENTS)
+
+
+def _best_of(fn, rounds=3):
+    """Min-of-N wall-clock seconds — the same noise discipline for every
+    asserted gate in this file."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        monitor = fn()
+        times.append(time.perf_counter() - start)
+        assert monitor.stats.events == len(EVENTS)
+    return min(times)
 
 
 def test_compiled_dispatch_speedup():
     """The optimization's acceptance gate, asserted, not just printed:
     compiled dispatch processes the full catalog at >= 2x the interpreted
     rate.  Best-of-three timings to shrug off scheduler noise."""
-
-    def best_of(fn, rounds=3):
-        times = []
-        for _ in range(rounds):
-            start = time.perf_counter()
-            monitor = fn()
-            times.append(time.perf_counter() - start)
-            assert monitor.stats.events == len(EVENTS)
-        return min(times)
-
-    interpreted = best_of(lambda: run_catalog(match_strategy="interpreted"))
-    compiled = best_of(run_catalog)
+    interpreted = _best_of(lambda: run_catalog(match_strategy="interpreted"))
+    compiled = _best_of(run_catalog)
     speedup = interpreted / compiled
     print(f"\ncompiled dispatch speedup on full catalog: {speedup:.2f}x "
           f"({interpreted * 1e3:.1f}ms interpreted, "
           f"{compiled * 1e3:.1f}ms compiled)")
     assert speedup >= 2.0, (
         f"compiled dispatch only {speedup:.2f}x over interpreted"
+    )
+
+
+def _best_ingest(rounds=5, **monitor_kwargs):
+    """Min-of-N seconds for ``observe_batch`` over the full catalog with
+    the evaluator already built — a fresh monitor per round (state is
+    cumulative), property registration and (for codegen) the one-time
+    program generation/exec kept outside the timed region.  Returns
+    ``(ingest_seconds, build_seconds)``; build is the codegen program's
+    emit+exec cost, 0.0 for other strategies.
+    """
+    best = None
+    build = 0.0
+    for _ in range(rounds):
+        monitor = Monitor(**monitor_kwargs)
+        for entry in build_table1():
+            monitor.add_property(entry.prop)
+        if monitor_kwargs.get("match_strategy") == "codegen":
+            start = time.perf_counter()
+            monitor.codegen_source()  # forces the lazy program build
+            build = max(build, time.perf_counter() - start)
+        start = time.perf_counter()
+        monitor.observe_batch(EVENTS)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        assert monitor.stats.events == len(EVENTS)
+    return best, build
+
+
+def test_codegen_speedup():
+    """The codegen backend's acceptance gate: generated matchers driving
+    columnar batches ingest the full catalog at >= 1.5x the compiled
+    closure-chain batch rate.  Steady-state throughput is what the gate
+    prices, so the one-time program generation (a startup cost like any
+    compiler's, ~20ms for the 13-property catalog) runs outside the
+    timed region — and is measured and recorded alongside so the docs
+    stay honest about it.  Best-of-five: the margin is tighter than the
+    dispatch gate's, so buy more noise immunity.
+
+    ``REPRO_BENCH_CODEGEN_OUT`` names a JSON file to record the measured
+    numbers into (the checked-in record under ``benchmarks/records/`` is
+    the source the docs speedup table renders from).
+    """
+    compiled, _ = _best_ingest()
+    codegen, build = _best_ingest(match_strategy="codegen")
+    speedup = compiled / codegen
+    print(f"\ncodegen speedup on full catalog (observe_batch): "
+          f"{speedup:.2f}x ({compiled * 1e3:.1f}ms compiled, "
+          f"{codegen * 1e3:.1f}ms codegen, one-time program build "
+          f"{build * 1e3:.1f}ms)")
+    out_path = os.environ.get("REPRO_BENCH_CODEGEN_OUT")
+    if out_path:
+        import json
+        with open(out_path, "w") as fp:
+            json.dump({
+                "experiment": "codegen_speedup",
+                "num_events": len(EVENTS),
+                "rounds": 5,
+                "properties": len(build_table1()),
+                "compiled_ms": round(compiled * 1e3, 1),
+                "codegen_ms": round(codegen * 1e3, 1),
+                "build_ms": round(build * 1e3, 1),
+                "speedup": round(speedup, 2),
+                "gate": 1.5,
+            }, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+    assert speedup >= 1.5, (
+        f"codegen only {speedup:.2f}x over compiled observe_batch"
     )
 
 

@@ -13,6 +13,11 @@
                                         #   (with a provenance header line)
     python -m repro replay TRACE FILE [--metrics OUT]
                                         # replay a trace against DSL properties
+    python -m repro explain PROP [--codegen]
+                                        # how a property compiles: dispatch
+                                        #   plan summary, or the generated
+                                        #   matcher source exec'd by
+                                        #   --match-strategy codegen
     python -m repro stats TRACE FILE... [--json|--prom] [--trace-out S.jsonl]
                                         #   [--poll-interval S]
                                         # replay with full telemetry: metrics
@@ -294,6 +299,51 @@ def cmd_replay(args: argparse.Namespace) -> int:
             fp.write(render_json(registry.snapshot()))
             fp.write("\n")
         print(f"\nmetrics snapshot written to {args.metrics}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import os
+
+    if os.path.exists(args.target):
+        with open(args.target, "r", encoding="utf-8") as fp:
+            props = compile_source(fp.read(), _predicates())
+    else:
+        from .props import (
+            build_table1,
+            learned_no_flood,
+            learned_unicast_port,
+            link_down_clears_learning,
+        )
+
+        known = [e.prop for e in build_table1()]
+        known += [learned_unicast_port(), learned_no_flood(),
+                  link_down_clears_learning()]
+        props = [p for p in known if p.name == args.target]
+        if not props:
+            names = ", ".join(sorted(p.name for p in known))
+            print(f"unknown property {args.target!r} (not a file, not in "
+                  f"the catalog).\ncatalog: {names}", file=sys.stderr)
+            return 2
+    if args.codegen:
+        # The exact source the codegen strategy exec's for these
+        # properties — what actually runs per event, after inlining.
+        monitor = Monitor(match_strategy="codegen",
+                          store_strategy=args.store_strategy)
+        for prop in props:
+            monitor.add_property(prop)
+        print(monitor.codegen_source())
+        return 0
+    from .core.compile import dispatch_summary, scan_watchers
+
+    for prop in props:
+        print(f"property {prop.name}: {len(prop.stages)} stage(s), "
+              f"key vars {list(prop.key_vars)}")
+        for kind, count in dispatch_summary(prop).items():
+            print(f"  {kind}: {count} watcher(s)")
+        for kind, stage, role in scan_watchers(prop):
+            print(f"  full-population scan: {kind} -> "
+                  f"stage {stage!r} ({role})")
     return 0
 
 
@@ -626,9 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--metrics", default=None, metavar="OUT",
                         help="write a JSON metrics snapshot to OUT")
     replay.add_argument("--match-strategy", default="compiled",
-                        choices=("compiled", "interpreted"),
+                        choices=("compiled", "interpreted", "codegen"),
                         help="event matching: compiled dispatch plan "
-                             "(default) or the interpreted ablation")
+                             "(default), the interpreted ablation, or "
+                             "codegen (source-specialized matchers, "
+                             "exec'd once at startup)")
     replay.add_argument("--shards", type=int, default=0, metavar="N",
                         help="partition monitor instances by key hash into "
                              "N shards (0 = plain single monitor)")
@@ -642,6 +694,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="instance lookup: hash index (default) or "
                              "the linear-scan ablation")
     replay.set_defaults(fn=cmd_replay)
+
+    explain = sub.add_parser(
+        "explain",
+        help="show how a property compiles: dispatch plan summary, or "
+             "the generated matcher source (--codegen)")
+    explain.add_argument("target",
+                         help="catalog property name (e.g. "
+                              "learned-unicast-port) or a DSL file")
+    explain.add_argument("--codegen", action="store_true",
+                         help="dump the specialized Python source the "
+                              "codegen match strategy exec's")
+    explain.add_argument("--store-strategy", default="indexed",
+                         choices=("indexed", "linear"),
+                         help="instance lookup the generated source "
+                              "inlines probes for (default: indexed)")
+    explain.set_defaults(fn=cmd_explain)
 
     stats = sub.add_parser(
         "stats",

@@ -1,0 +1,1029 @@
+"""Source-specialized matchers — ``match_strategy="codegen"``.
+
+PR 3 compiled guard trees to *closures*; evaluation still walks plan
+tuples and makes one Python call per guard per candidate.  This module
+removes that interpretive layer entirely: for every (property, event
+class) pair in the dispatch plans it emits straight-line Python source —
+field reads hoisted into locals, constants folded into the compare
+expressions, instance-store probes inlined against the store's own
+dictionaries — and ``exec``'s the whole program once at build time.
+
+Two generated entry points exist per concrete event class:
+
+* ``_eval__<Cls>(event, fields)`` — the single-event evaluator bound as
+  ``Monitor._evaluate``.  One function call per event, zero per guard.
+
+* a columnar batch triple used by ``Monitor.observe_batch``: an
+  *extractor* builds a :class:`ColumnarBatch` (one Python list per field
+  for a chunk of same-class events, with packet field maps cached per
+  packet object), a *create prefilter* matches stage-0 patterns against
+  whole columns at once and returns per-event hit slots, and
+  ``_evalb__<Cls>`` evaluates one event against its column row.  The
+  prefilter is restricted to predicate-free stage-0 patterns, which are
+  provably state-independent (spec validation forbids ``Var`` references
+  at stage 0), so hoisting them before any timer fires cannot change
+  results.
+
+Equivalence is the design invariant, not an aspiration: the generated
+code mirrors ``Monitor._evaluate_compiled`` branch for branch — the same
+candidate iteration order, the same ``candidates_examined`` increments
+(batched into one counter add per event), the same doomed-set and
+key-filter semantics — and the Hypothesis differential suite holds all
+three strategies to identical violations, counters, and ledgers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..switch.events import (
+    DataplaneEvent,
+    OutOfBandEvent,
+    PacketArrival,
+    PacketDrop,
+    PacketEgress,
+)
+from .compile import (
+    _MISSING,
+    bindable_source,
+    dispatch_plan,
+    guard_source,
+    refinement_sources,
+)
+from .instances import (
+    IndexedInstanceStore,
+    InstanceStore,
+    stage_index_plan,
+    uid_var,
+)
+from .refs import EventPattern, MismatchAny, Predicate
+from .spec import PropertySpec
+
+#: event classes whose field map always carries a packet ``uid``.
+_UID_CLASSES = (PacketArrival, PacketEgress, PacketDrop)
+
+_INF = float("inf")
+_NINF = float("-inf")
+
+
+# ---------------------------------------------------------------------------
+# Safe-compare helpers bound into the exec globals (CMP_HELPERS names)
+# ---------------------------------------------------------------------------
+def _lt(a, b):
+    try:
+        return bool(a < b)
+    except TypeError:  # unorderable pair never satisfies
+        return False
+
+
+def _le(a, b):
+    try:
+        return bool(a <= b)
+    except TypeError:
+        return False
+
+
+def _gt(a, b):
+    try:
+        return bool(a > b)
+    except TypeError:
+        return False
+
+
+def _ge(a, b):
+    try:
+        return bool(a >= b)
+    except TypeError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Program-level data
+# ---------------------------------------------------------------------------
+@dataclass
+class PropEmission:
+    """What the emitter actually generated for one property.
+
+    The calibration cost model (:mod:`repro.lint.calibration`) carries an
+    *estimated* twin of the first two numbers derived analytically from
+    the dispatch plan; a test holds estimate and measurement equal.
+    ``matcher_lines`` is measured-only — it counts emitted source lines
+    attributable to the property across all generated functions.
+    """
+
+    name: str
+    event_classes: int = 0
+    inline_terms: int = 0
+    matcher_lines: int = 0
+
+
+@dataclass
+class ColumnarBatch:
+    """One chunk of same-class events, transposed into per-field columns.
+
+    ``columns[i][j]`` is field ``i`` of event ``j`` (``_MISSING`` when the
+    event lacks the field).  ``creates`` — present when the class carries
+    prefiltered stage-0 watchers — holds one slot list per property:
+    ``creates[p][j]`` is ``(env0, key)`` when event ``j`` matched property
+    ``p``'s stage-0 pattern (and passed the key filter), else ``None``.
+    """
+
+    event_class: type
+    events: List[DataplaneEvent]
+    columns: Tuple[list, ...]
+    creates: Optional[list]
+
+
+@dataclass
+class _BatchFns:
+    extract: Callable
+    create_batch: Optional[Callable]
+    eval_batch: Callable
+
+
+@dataclass
+class CodegenProgram:
+    """The exec'd program: generated functions plus their source."""
+
+    source: str
+    eval_fns: Dict[type, Callable]
+    batch_fns: Dict[type, _BatchFns]
+    emissions: Dict[str, PropEmission]
+    exec_globals: Dict[str, object] = field(repr=False, default_factory=dict)
+
+    def columnar(
+        self,
+        cls: type,
+        events: List[DataplaneEvent],
+        pf_cache: Dict[int, Dict[str, object]],
+    ) -> Optional[ColumnarBatch]:
+        """Build the columnar representation for one same-class chunk."""
+        fns = self.batch_fns.get(cls)
+        if fns is None:
+            return None
+        columns = fns.extract(events, pf_cache)
+        creates = (
+            fns.create_batch(events, columns)
+            if fns.create_batch is not None else None
+        )
+        return ColumnarBatch(cls, events, columns, creates)
+
+
+def pattern_terms(pattern: EventPattern) -> int:
+    """Inline boolean terms one emitted matcher contributes.
+
+    The measured side of the calibration model's ``inline_terms``:
+    refinements and ``same_packet_as`` count one each, ``MismatchAny``
+    counts one per pair, every other guard counts one.
+    """
+    n = 0
+    if pattern.oob_kind is not None:
+        n += 1
+    if pattern.egress_action is not None:
+        n += 1
+    if pattern.not_egress_action is not None:
+        n += 1
+    if pattern.same_packet_as is not None:
+        n += 1
+    for guard in pattern.guards:
+        n += len(guard.pairs) if isinstance(guard, MismatchAny) else 1
+    return n
+
+
+def _has_predicate(pattern: EventPattern) -> bool:
+    return any(isinstance(g, Predicate) for g in pattern.guards)
+
+
+# ---------------------------------------------------------------------------
+# Emission plumbing
+# ---------------------------------------------------------------------------
+class _Writer:
+    __slots__ = ("lines", "_ind")
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._ind = 0
+
+    def w(self, line: str = "") -> None:
+        self.lines.append("    " * self._ind + line if line else "")
+
+    def ind(self) -> None:
+        self._ind += 1
+
+    def ded(self) -> None:
+        self._ind -= 1
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+class _FieldMap:
+    """Field name -> stable local name (and, by order, column index)."""
+
+    def __init__(self) -> None:
+        self.order: List[str] = []
+        self._names: Dict[str, str] = {}
+        self._used: set = set()
+        self.record: Optional[set] = None
+
+    def __call__(self, fieldname: str) -> str:
+        name = self._names.get(fieldname)
+        if name is None:
+            base = "_f_" + _sanitize(fieldname)
+            while base in self._used:
+                base += "_"
+            self._used.add(base)
+            self._names[fieldname] = name = base
+            self.order.append(fieldname)
+        if self.record is not None:
+            self.record.add(fieldname)
+        return name
+
+    def index(self, fieldname: str) -> int:
+        return self.order.index(fieldname)
+
+
+class _ConstPool:
+    """Non-literal constants and predicate functions, bound as globals.
+
+    Literals (None/bool/int/str/bytes and finite floats) fold into the
+    source via ``repr``; everything else — enum members, addresses,
+    predicate callables — binds to a deterministically numbered global
+    (``_k<n>`` / ``_pd<n>``), keeping the emitted text stable across
+    interpreter versions for the golden tests.
+    """
+
+    def __init__(self) -> None:
+        self.globals: Dict[str, object] = {}
+        self._ids: Dict[int, str] = {}
+        self._nk = 0
+        self._npd = 0
+
+    def __call__(self, value: object) -> str:
+        if value is None or value is True or value is False:
+            return repr(value)
+        t = type(value)
+        if t in (int, str, bytes):
+            return repr(value)
+        if t is float and value == value and value not in (_INF, _NINF):
+            return repr(value)
+        name = self._ids.get(id(value))
+        if name is None:
+            if callable(value):
+                name = f"_pd{self._npd}"
+                self._npd += 1
+            else:
+                name = f"_k{self._nk}"
+                self._nk += 1
+            self._ids[id(value)] = name
+            self.globals[name] = value
+        return name
+
+
+@dataclass
+class _Sections:
+    """One property's watchers for ONE event class, as raw patterns.
+
+    The structural twin of ``monitor._PropPlan`` — same phase order
+    (cancels in stage order with unless before discharge, then advances
+    by stage, then create), but holding patterns for source emission
+    instead of compiled closures.
+    """
+
+    cancels: List[Tuple[bool, int, Tuple[EventPattern, ...]]]
+    advances: List[Tuple[int, EventPattern]]
+    create: Optional[EventPattern]
+
+
+def _sections_by_class(prop: PropertySpec) -> Dict[type, _Sections]:
+    out: Dict[type, _Sections] = {}
+    for cls, watchers in dispatch_plan(prop).items():
+        unless_at: Dict[int, List[EventPattern]] = {}
+        discharge_at: Dict[int, EventPattern] = {}
+        advances: List[Tuple[int, EventPattern]] = []
+        create: Optional[EventPattern] = None
+        for watcher in watchers:
+            if watcher.role == "unless":
+                unless_at.setdefault(watcher.stage_idx, []).append(
+                    watcher.pattern)
+            elif watcher.role == "discharge":
+                discharge_at[watcher.stage_idx] = watcher.pattern
+            elif watcher.role == "advance":
+                advances.append((watcher.stage_idx, watcher.pattern))
+            else:
+                create = watcher.pattern
+        cancels: List[Tuple[bool, int, Tuple[EventPattern, ...]]] = []
+        for stage_idx in sorted(set(unless_at) | set(discharge_at)):
+            matchers = unless_at.get(stage_idx)
+            if matchers:
+                cancels.append((True, stage_idx, tuple(matchers)))
+            pattern = discharge_at.get(stage_idx)
+            if pattern is not None:
+                cancels.append((False, stage_idx, (pattern,)))
+        out[cls] = _Sections(
+            cancels=cancels,
+            advances=sorted(advances, key=lambda a: a[0]),
+            create=create,
+        )
+    return out
+
+
+@dataclass
+class _Entry:
+    pidx: int
+    prop: PropertySpec
+    store: InstanceStore
+    refresh_ok: bool
+    sections: _Sections
+
+
+# ---------------------------------------------------------------------------
+# The per-class emitter
+# ---------------------------------------------------------------------------
+class _ClassEmitter:
+    """Emits all four functions for one concrete event class."""
+
+    def __init__(
+        self,
+        cls: type,
+        entries: List[_Entry],
+        pool: _ConstPool,
+        exec_globals: Dict[str, object],
+        emissions: Dict[str, PropEmission],
+        max_layer: int,
+    ) -> None:
+        self.cls = cls
+        self.entries = entries
+        self.pool = pool
+        self.g = exec_globals
+        self.emissions = emissions
+        self.max_layer = max_layer
+        self.fmap = _FieldMap()
+        self.has_uid = cls in _UID_CLASSES
+        self.has_create = any(e.sections.create is not None for e in entries)
+        self.counts = any(
+            e.sections.advances
+            or any(not is_unless for is_unless, _, _ in e.sections.cancels)
+            for e in entries
+        )
+        #: fields-dict column needed iff any emitted pattern carries a
+        #: Predicate (predicates receive the full field Mapping).
+        self.needs_fields = any(
+            _has_predicate(p)
+            for e in entries
+            for p in self._all_patterns(e.sections)
+        )
+        #: properties whose stage-0 match is prefiltered columnarly —
+        #: predicate-free create patterns only (state-independence proof).
+        self.prefiltered: List[_Entry] = [
+            e for e in entries
+            if e.sections.create is not None
+            and not _has_predicate(e.sections.create)
+        ]
+        self._slots = {id(e): j for j, e in enumerate(self.prefiltered)}
+        self._term_sink: Optional[PropEmission] = None
+
+    @staticmethod
+    def _all_patterns(sec: _Sections):
+        for _, _, patterns in sec.cancels:
+            yield from patterns
+        for _, pattern in sec.advances:
+            yield pattern
+        if sec.create is not None:
+            yield sec.create
+
+    # -- shared expression builders -------------------------------------
+    def _matcher(self, pattern: EventPattern, env_expr: str,
+                 fields_expr: str) -> str:
+        """``match_instance`` (or ``guards_match``) as one expression."""
+        terms: List[str] = []
+        if pattern.same_packet_as is not None:
+            uid_key = uid_var(pattern.same_packet_as)
+            got = self.fmap("uid")
+            terms.append(
+                f"(_xp := {env_expr}.get({uid_key!r})) is not None")
+            terms.append(f"{got} is not _M and {got} == _xp")
+        terms.extend(refinement_sources(pattern, self.fmap, self.pool))
+        terms.extend(
+            guard_source(g, self.fmap, self.pool, env_expr, fields_expr)
+            for g in pattern.guards
+        )
+        if self._term_sink is not None:
+            self._term_sink.inline_terms += pattern_terms(pattern)
+        return " and ".join(terms) if terms else "True"
+
+    @staticmethod
+    def _needs_env(patterns: Sequence[EventPattern]) -> bool:
+        from .refs import FieldCmp, FieldEq, FieldNe, Var
+        for pattern in patterns:
+            if pattern.same_packet_as is not None:
+                return True
+            for guard in pattern.guards:
+                if isinstance(guard, (FieldEq, FieldNe, FieldCmp)) \
+                        and isinstance(guard.value, Var):
+                    return True
+                if isinstance(guard, MismatchAny) and any(
+                    isinstance(ref, Var) for _, ref in guard.pairs
+                ):
+                    return True
+                if isinstance(guard, Predicate):
+                    return True
+        return False
+
+    def _binds_dict(self, pattern: EventPattern, uid_key: str) -> str:
+        items = [f"{b.var!r}: {self.fmap(b.field)}" for b in pattern.binds]
+        if self.has_uid:
+            items.append(f"{uid_key!r}: {self.fmap('uid')}")
+        return "{" + ", ".join(items) + "}"
+
+    def _key_tuple(self, prop: PropertySpec) -> str:
+        stage0 = prop.stages[0]
+        var_field = {b.var: b.field for b in stage0.pattern.binds}
+        parts = [self.fmap(var_field[v]) for v in prop.key_vars]
+        if len(parts) == 1:
+            return f"({parts[0]},)"
+        return "(" + ", ".join(parts) + ")"
+
+    # -- candidate iteration wrappers -----------------------------------
+    def _stage_pop_ref(self, entry: _Entry, stage_idx: int) -> str:
+        """Bind one stage's population dict as a stable exec global.
+
+        ``InstanceStore`` pre-creates the per-stage dicts and never
+        replaces them, so the generated code can hold the dict itself —
+        no ``_stage_pop.get`` per event.
+        """
+        name = f"_sp{entry.pidx}_{stage_idx}"
+        if name not in self.g:
+            self.g[name] = entry.store._stage_pop[stage_idx]
+        return name
+
+    def _emit_candidates(self, w: _Writer, entry: _Entry, stage_idx: int,
+                         body: Callable[[], None]) -> None:
+        """Inline the store's ``candidates(stage_idx, fields)`` probe.
+
+        The bucket dictionaries referenced here are created once in the
+        store's ``__init__`` and never replaced, so binding them as exec
+        globals stays correct across instance churn and
+        ``restore_state``.
+        """
+        p = entry.pidx
+        store = entry.store
+        if isinstance(store, IndexedInstanceStore):
+            bk_name = f"_bk{p}_{stage_idx}"
+            if bk_name not in self.g:
+                self.g[bk_name] = store._buckets[stage_idx]
+            plan = stage_index_plan(entry.prop.stages[stage_idx])
+            if plan:
+                presence = " and ".join(
+                    f"{self.fmap(f)} is not _M" for f, _ in plan)
+                parts = [self.fmap(f) for f, _ in plan]
+                key = (
+                    f"({parts[0]},)" if len(parts) == 1
+                    else "(" + ", ".join(parts) + ")"
+                )
+                w.w(f"_bkt = {bk_name}")
+                w.w("if _bkt:")
+                w.ind()
+                w.w(f"_hit = _bkt.get({key}) if {presence} else None")
+                w.w("_scan = _bkt.get(None)")
+                w.w("if _hit:")
+                w.ind()
+                w.w("for _inst in _hit.values():")
+                w.ind()
+                body()
+                w.ded()
+                w.ded()
+                w.w("if _scan:")
+                w.ind()
+                w.w("for _inst in _scan.values():")
+                w.ind()
+                body()
+                w.ded()
+                w.ded()
+                w.ded()
+            else:
+                w.w(f"_scan = {bk_name}.get(None)")
+                w.w("if _scan:")
+                w.ind()
+                w.w("for _inst in _scan.values():")
+                w.ind()
+                body()
+                w.ded()
+                w.ded()
+        else:  # linear store: candidates == at_stage
+            sp = self._stage_pop_ref(entry, stage_idx)
+            w.w(f"if {sp}:")
+            w.ind()
+            w.w(f"for _inst in {sp}.values():")
+            w.ind()
+            body()
+            w.ded()
+            w.ded()
+
+    # -- section emitters -------------------------------------------------
+    def _emit_unless(self, w: _Writer, entry: _Entry, stage_idx: int,
+                     patterns: Tuple[EventPattern, ...],
+                     fields_expr: str) -> None:
+        p = entry.pidx
+        # at_stage scan: every waiting instance, no candidate counting
+        # (Feature 4 cancels the whole matching population).
+        sp = self._stage_pop_ref(entry, stage_idx)
+        w.w(f"if {sp}:")
+        w.ind()
+        w.w(f"for _inst in {sp}.values():")
+        w.ind()
+        w.w("if _d is not None and _inst.instance_id in _d:")
+        w.ind()
+        w.w("continue")
+        w.ded()
+        if self._needs_env(patterns):
+            w.w("_env = _inst.env")
+        cond = " or ".join(
+            f"({self._matcher(pat, '_env', fields_expr)})"
+            for pat in patterns
+        )
+        w.w(f"if {cond}:")
+        w.ind()
+        w.w("if _d is None:")
+        w.ind()
+        w.w("_d = set()")
+        w.ded()
+        w.w("_d.add(_inst.instance_id)")
+        w.w(f'_ops.append(_Op("kill", _prop{p}, instance=_inst, '
+            'reason="unless", time=_t))')
+        w.ded()
+        w.ded()
+        w.ded()
+
+    def _emit_discharge(self, w: _Writer, entry: _Entry, stage_idx: int,
+                        pattern: EventPattern, fields_expr: str) -> None:
+        p = entry.pidx
+        matcher = self._matcher(pattern, "_env", fields_expr)
+        needs_env = self._needs_env((pattern,))
+
+        def body() -> None:
+            w.w(f"if _inst.stage != {stage_idx} or "
+                "(_d is not None and _inst.instance_id in _d):")
+            w.ind()
+            w.w("continue")
+            w.ded()
+            w.w("_nc += 1")
+            if needs_env:
+                w.w("_env = _inst.env")
+            w.w(f"if {matcher}:")
+            w.ind()
+            w.w("if _d is None:")
+            w.ind()
+            w.w("_d = set()")
+            w.ded()
+            w.w("_d.add(_inst.instance_id)")
+            w.w(f'_ops.append(_Op("kill", _prop{p}, instance=_inst, '
+                'reason="discharged", time=_t))')
+            w.ded()
+
+        self._emit_candidates(w, entry, stage_idx, body)
+
+    def _emit_advance(self, w: _Writer, entry: _Entry, stage_idx: int,
+                      pattern: EventPattern, fields_expr: str) -> None:
+        p = entry.pidx
+        stage = entry.prop.stages[stage_idx]
+        matcher = self._matcher(pattern, "_env", fields_expr)
+        bindable = bindable_source(pattern, self.fmap)
+        binds = self._binds_dict(pattern, uid_var(stage.name))
+        needs_env = self._needs_env((pattern,))
+
+        def body() -> None:
+            w.w(f"if _inst.stage != {stage_idx} or "
+                "(_d is not None and _inst.instance_id in _d):")
+            w.ind()
+            w.w("continue")
+            w.ded()
+            w.w("_nc += 1")
+            if needs_env:
+                w.w("_env = _inst.env")
+            if matcher != "True":
+                w.w(f"if not ({matcher}):")
+                w.ind()
+                w.w("continue")
+                w.ded()
+            if bindable != "True":
+                w.w(f"if not ({bindable}):")
+                w.ind()
+                w.w("continue")
+                w.ded()
+            w.w(f"_b = {binds}")
+            w.w("if _d is None:")
+            w.ind()
+            w.w("_d = set()")
+            w.ded()
+            w.w("_d.add(_inst.instance_id)")
+            w.w(f'_ops.append(_Op("advance", _prop{p}, instance=_inst, '
+                'binds=_b, event=_ev, time=_t))')
+
+        self._emit_candidates(w, entry, stage_idx, body)
+
+    def _emit_refresh_or_create(self, w: _Writer, entry: _Entry) -> None:
+        """The by-key half of create, shared by inline and prefiltered
+        paths (runs per event against current state)."""
+        p = entry.pidx
+        w.w(f"_ex = _byk{p}(_key)")
+        if entry.refresh_ok:
+            w.w("if _ex is not None and _ex.alive:")
+            w.ind()
+            w.w("if _ex.stage == 1 and "
+                "(_d is None or _ex.instance_id not in _d):")
+            w.ind()
+            w.w(f'_ops.append(_Op("refresh", _prop{p}, instance=_ex, '
+                'binds=_env0, event=_ev, time=_t))')
+            w.ded()
+            w.ded()
+            w.w("else:")
+            w.ind()
+            w.w(f'_ops.append(_Op("create", _prop{p}, key=_key, env=_env0, '
+                'event=_ev, time=_t))')
+            w.ded()
+        else:
+            # Sound Absent timing: a repeat stage-0 match never refreshes.
+            w.w("if _ex is None or not _ex.alive:")
+            w.ind()
+            w.w(f'_ops.append(_Op("create", _prop{p}, key=_key, env=_env0, '
+                'event=_ev, time=_t))')
+            w.ded()
+
+    def _create_cond(self, entry: _Entry, fields_expr: str) -> str:
+        pattern = entry.sections.create
+        assert pattern is not None
+        terms = []
+        matcher = self._matcher(pattern, "_E", fields_expr)
+        if matcher != "True":
+            terms.append(matcher)
+        bindable = bindable_source(pattern, self.fmap)
+        if bindable != "True":
+            terms.append(bindable)
+        return " and ".join(terms) if terms else "True"
+
+    def _env0_dict(self, entry: _Entry) -> str:
+        pattern = entry.sections.create
+        assert pattern is not None
+        return self._binds_dict(
+            pattern, uid_var(entry.prop.stages[0].name))
+
+    def _emit_create_inline(self, w: _Writer, entry: _Entry,
+                            fields_expr: str) -> None:
+        cond = self._create_cond(entry, fields_expr)
+        guarded = cond != "True"
+        if guarded:
+            w.w(f"if {cond}:")
+            w.ind()
+        w.w(f"_env0 = {self._env0_dict(entry)}")
+        w.w(f"_key = {self._key_tuple(entry.prop)}")
+        w.w(f"if _kf is None or _kf({entry.prop.name!r}, _key):")
+        w.ind()
+        self._emit_refresh_or_create(w, entry)
+        w.ded()
+        if guarded:
+            w.ded()
+
+    def _emit_prop_sections(self, w: _Writer, entry: _Entry,
+                            fields_expr: str, batch_mode: bool) -> None:
+        emission = self.emissions[entry.prop.name]
+        start = len(w.lines)
+        if not batch_mode:
+            self._term_sink = emission
+        w.w(f"# --- property {entry.prop.name!r} ---")
+        w.w("_d = None")
+        for is_unless, stage_idx, patterns in entry.sections.cancels:
+            if is_unless:
+                self._emit_unless(w, entry, stage_idx, patterns, fields_expr)
+            else:
+                self._emit_discharge(
+                    w, entry, stage_idx, patterns[0], fields_expr)
+        for stage_idx, pattern in entry.sections.advances:
+            self._emit_advance(w, entry, stage_idx, pattern, fields_expr)
+        if entry.sections.create is not None:
+            if batch_mode and id(entry) in self._slots:
+                j = self._slots[id(entry)]
+                w.w(f"_cr = _creates[{j}][_i]")
+                w.w("if _cr is not None:")
+                w.ind()
+                w.w("_env0, _key = _cr")
+                self._emit_refresh_or_create(w, entry)
+                w.ded()
+            else:
+                self._emit_create_inline(w, entry, fields_expr)
+        self._term_sink = None
+        emission.matcher_lines += len(w.lines) - start
+
+    # -- the four functions -----------------------------------------------
+    def emit_eval(self) -> Tuple[str, str]:
+        """The single-event evaluator (returns (name, source))."""
+        name = f"_eval__{self.cls.__name__}"
+        body = _Writer()
+        body.ind()
+        for entry in self.entries:
+            self._emit_prop_sections(body, entry, "_fields",
+                                     batch_mode=False)
+        head = _Writer()
+        head.w(f"def {name}(_ev, _fields):")
+        head.ind()
+        head.w("_fg = _fields.get")
+        for fieldname in self.fmap.order:
+            head.w(f"{self.fmap(fieldname)} = _fg({fieldname!r}, _M)")
+        head.w("_t = _ev.time")
+        if self.has_create:
+            head.w("_kf = _mon.key_filter")
+        head.w("_ops = []")
+        if self.counts:
+            head.w("_nc = 0")
+        tail = _Writer()
+        tail.ind()
+        if self.counts:
+            tail.w("if _nc:")
+            tail.ind()
+            tail.w("_inc_cand(_nc)")
+            tail.ded()
+        tail.w("return _ops")
+        return name, "\n".join(head.lines + body.lines + tail.lines)
+
+    def emit_extract(self) -> Tuple[str, str]:
+        """The column extractor — the only place event fields are read."""
+        name = f"_extract__{self.cls.__name__}"
+        w = _Writer()
+        w.w(f"def {name}(_events, _pfc):")
+        w.ind()
+        ncols = len(self.fmap.order) + (1 if self.needs_fields else 0)
+        for i in range(ncols):
+            w.w(f"_c{i} = []")
+            w.w(f"_a{i} = _c{i}.append")
+        w.w("for _ev in _events:")
+        w.ind()
+        packet_cls = self.cls in _UID_CLASSES
+        if packet_cls:
+            w.w("_pkt = _ev.packet")
+            w.w("_pid = id(_pkt)")
+            w.w("_pf = _pfc.get(_pid)")
+            w.w("if _pf is None:")
+            w.ind()
+            w.w(f"_pf = _pkt.fields(max_layer={self.max_layer})")
+            w.w("_pfc[_pid] = _pf")
+            w.ded()
+            w.w("_pg = _pf.get")
+        for i, fieldname in enumerate(self.fmap.order):
+            expr = self._column_expr(fieldname)
+            w.w(f"_a{i}({expr})  # {fieldname}")
+        if self.needs_fields:
+            # Predicates receive the full field Mapping; build it inline
+            # (mirroring refs.event_fields for this class) so the cached
+            # packet field map is reused instead of re-parsed.
+            w.w("_fd = {'time': _ev.time, 'switch': _ev.switch_id}")
+            if packet_cls:
+                w.w("_fd.update(_pf)")
+                w.w("_fd['in_port'] = _ev.in_port")
+                if self.cls is PacketEgress:
+                    w.w("_fd['out_port'] = _ev.out_port")
+                    w.w("_fd['egress.action'] = _ev.action")
+                elif self.cls is PacketDrop:
+                    w.w("_fd['drop.reason'] = _ev.reason")
+                w.w("_fd['uid'] = _pkt.uid")
+            elif self.cls is OutOfBandEvent:
+                w.w("_fd['oob.kind'] = _ev.oob_kind")
+                w.w("if _ev.port is not None:")
+                w.ind()
+                w.w("_fd['oob.port'] = _ev.port")
+                w.ded()
+            w.w(f"_a{ncols - 1}(_fd)  # full fields (predicate guards)")
+        w.ded()
+        cols = ", ".join(f"_c{i}" for i in range(ncols))
+        trailing = "," if ncols == 1 else ""
+        w.w(f"return ({cols}{trailing})")
+        return name, "\n".join(w.lines)
+
+    def _column_expr(self, fieldname: str) -> str:
+        """``event_fields`` for one field, specialized to the class.
+
+        Mirrors :func:`repro.core.refs.event_fields` exactly: ``time`` and
+        ``switch`` are written before the packet-field update (the packet
+        dict wins on collision), event metadata after it (the event
+        attribute wins).
+        """
+        cls = self.cls
+        if cls in _UID_CLASSES:
+            meta = {"uid": "_pkt.uid", "in_port": "_ev.in_port"}
+            if cls is PacketEgress:
+                meta["out_port"] = "_ev.out_port"
+                meta["egress.action"] = "_ev.action"
+            elif cls is PacketDrop:
+                meta["drop.reason"] = "_ev.reason"
+            if fieldname in meta:
+                return meta[fieldname]
+            if fieldname == "time":
+                return "_pg('time', _ev.time)"
+            if fieldname == "switch":
+                return "_pg('switch', _ev.switch_id)"
+            return f"_pg({fieldname!r}, _M)"
+        if cls is OutOfBandEvent:
+            return {
+                "time": "_ev.time",
+                "switch": "_ev.switch_id",
+                "oob.kind": "_ev.oob_kind",
+                "oob.port": "_M if _ev.port is None else _ev.port",
+            }.get(fieldname, "_M")
+        return "_M"  # pragma: no cover - no other class carries plans
+
+    def emit_create_batch(self) -> Optional[Tuple[str, str]]:
+        """The stage-0 prefilter: whole-column matching, hit indices out."""
+        if not self.prefiltered:
+            return None
+        name = f"_createb__{self.cls.__name__}"
+        w = _Writer()
+        w.w(f"def {name}(_events, _cols):")
+        w.ind()
+        w.w("_n = len(_events)")
+        w.w("_kf = _mon.key_filter")
+        w.w("_out = []")
+        hoisted: Dict[str, str] = {}
+        real_fmap = self.fmap
+
+        def colfx(fieldname: str) -> str:
+            local = hoisted.get(fieldname)
+            if local is None:
+                idx = real_fmap.index(fieldname)
+                local = f"_col{idx}"
+                hoisted[fieldname] = local
+                w.w(f"{local} = _cols[{idx}]")
+            return f"{local}[_i]"
+
+        for entry in self.prefiltered:
+            emission = self.emissions[entry.prop.name]
+            start = len(w.lines)
+            w.w(f"# --- property {entry.prop.name!r} (stage-0 prefilter) ---")
+            # Reroute field access through column reads for this block.
+            self.fmap = colfx  # type: ignore[assignment]
+            try:
+                cond = self._create_cond(entry, "_E")
+                env0 = self._env0_dict(entry)
+                key = self._key_tuple(entry.prop)
+            finally:
+                self.fmap = real_fmap
+            if cond == "True":
+                w.w("_hits = range(_n)")
+            else:
+                w.w(f"_hits = [_i for _i in range(_n) if {cond}]")
+            w.w("_r = [None] * _n")
+            w.w("for _i in _hits:")
+            w.ind()
+            w.w(f"_env0 = {env0}")
+            w.w(f"_key = {key}")
+            w.w(f"if _kf is None or _kf({entry.prop.name!r}, _key):")
+            w.ind()
+            w.w("_r[_i] = (_env0, _key)")
+            w.ded()
+            w.ded()
+            w.w("_out.append(_r)")
+            emission.matcher_lines += len(w.lines) - start
+        w.w("return _out")
+        return name, "\n".join(w.lines)
+
+    def emit_eval_batch(self) -> Tuple[str, str]:
+        """Per-event evaluation against the columns (state-dependent)."""
+        name = f"_evalb__{self.cls.__name__}"
+        body = _Writer()
+        body.ind()
+        touched: set = set()
+        self.fmap.record = touched
+        for entry in self.entries:
+            self._emit_prop_sections(body, entry, "_fields", batch_mode=True)
+        self.fmap.record = None
+        head = _Writer()
+        head.w(f"def {name}(_ev, _cols, _i, _creates):")
+        head.ind()
+        for fieldname in self.fmap.order:
+            if fieldname in touched:
+                idx = self.fmap.index(fieldname)
+                head.w(f"{self.fmap(fieldname)} = _cols[{idx}][_i]")
+        needs_fields_here = any(
+            _has_predicate(p)
+            for e in self.entries
+            for p in self._batch_patterns(e)
+        )
+        if needs_fields_here:
+            head.w(f"_fields = _cols[{len(self.fmap.order)}][_i]")
+        head.w("_t = _ev.time")
+        if self.has_create:
+            head.w("_kf = _mon.key_filter")
+        head.w("_ops = []")
+        if self.counts:
+            head.w("_nc = 0")
+        tail = _Writer()
+        tail.ind()
+        if self.counts:
+            tail.w("if _nc:")
+            tail.ind()
+            tail.w("_inc_cand(_nc)")
+            tail.ded()
+        tail.w("return _ops")
+        return name, "\n".join(head.lines + body.lines + tail.lines)
+
+    def _batch_patterns(self, entry: _Entry):
+        """Patterns evaluated inside ``_evalb`` (prefiltered creates are
+        matched in ``_createb``, not here)."""
+        sec = entry.sections
+        for _, _, patterns in sec.cancels:
+            yield from patterns
+        for _, pattern in sec.advances:
+            yield pattern
+        if sec.create is not None and id(entry) not in self._slots:
+            yield sec.create
+
+
+# ---------------------------------------------------------------------------
+# Program assembly
+# ---------------------------------------------------------------------------
+def build_program(
+    entries: Sequence[Tuple[PropertySpec, InstanceStore, bool]],
+    host,
+    op_cls: type,
+    inc_candidates: Callable[[float], None],
+    max_layer: int = 7,
+) -> CodegenProgram:
+    """Emit, compile, and exec the full program for a monitor's properties.
+
+    ``entries`` come in property registration order — the generated
+    functions walk properties in exactly the order the compiled
+    evaluator's ``_dispatch`` lists do, keeping op order (and therefore
+    same-timestamp violation order) identical across strategies.
+    """
+    pool = _ConstPool()
+    exec_globals: Dict[str, object] = {
+        "_M": _MISSING,
+        "_Op": op_cls,
+        "_E": {},   # the empty env stage-0 predicates see (never written)
+        "_mon": host,
+        "_inc_cand": inc_candidates,
+        "_lt": _lt,
+        "_le": _le,
+        "_gt": _gt,
+        "_ge": _ge,
+    }
+    emissions: Dict[str, PropEmission] = {}
+    by_class: Dict[type, List[_Entry]] = {}
+    for pidx, (prop, store, refresh_ok) in enumerate(entries):
+        exec_globals[f"_prop{pidx}"] = prop
+        exec_globals[f"_byk{pidx}"] = store.by_key
+        emissions[prop.name] = PropEmission(name=prop.name)
+        sections = _sections_by_class(prop)
+        emissions[prop.name].event_classes = len(sections)
+        for cls, sec in sections.items():
+            by_class.setdefault(cls, []).append(
+                _Entry(pidx, prop, store, refresh_ok, sec))
+
+    parts: List[str] = [
+        "# repro codegen program (match_strategy=\"codegen\")",
+        "# properties: " + ", ".join(
+            prop.name for prop, _, _ in entries),
+    ]
+    eval_names: Dict[type, str] = {}
+    batch_names: Dict[type, Tuple[str, Optional[str], str]] = {}
+    for cls in sorted(by_class, key=lambda c: c.__name__):
+        emitter = _ClassEmitter(
+            cls, by_class[cls], pool, exec_globals, emissions, max_layer)
+        ev_name, ev_src = emitter.emit_eval()
+        ex_name, ex_src = emitter.emit_extract()
+        cb = emitter.emit_create_batch()
+        eb_name, eb_src = emitter.emit_eval_batch()
+        parts.append("")
+        parts.append(f"# ===== {cls.__name__} =====")
+        parts.append(ev_src)
+        parts.append("")
+        parts.append(ex_src)
+        if cb is not None:
+            parts.append("")
+            parts.append(cb[1])
+        parts.append("")
+        parts.append(eb_src)
+        eval_names[cls] = ev_name
+        batch_names[cls] = (ex_name, cb[0] if cb is not None else None,
+                            eb_name)
+
+    exec_globals.update(pool.globals)
+    source = "\n".join(parts) + "\n"
+    code = compile(source, "<repro-codegen>", "exec")
+    exec(code, exec_globals)  # noqa: S102 - the whole point of this module
+    eval_fns = {cls: exec_globals[name] for cls, name in eval_names.items()}
+    batch_fns = {
+        cls: _BatchFns(
+            extract=exec_globals[ex],
+            create_batch=exec_globals[cb] if cb is not None else None,
+            eval_batch=exec_globals[eb],
+        )
+        for cls, (ex, cb, eb) in batch_names.items()
+    }
+    return CodegenProgram(
+        source=source,
+        eval_fns=eval_fns,
+        batch_fns=batch_fns,
+        emissions=emissions,
+        exec_globals=exec_globals,
+    )

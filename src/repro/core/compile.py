@@ -338,6 +338,104 @@ def dispatch_plan(
     return {cls: tuple(ws) for cls, ws in plan.items()}
 
 
+# ---------------------------------------------------------------------------
+# Source emission (the codegen backend — repro.core.codegen assembles these)
+# ---------------------------------------------------------------------------
+#: FieldCmp operator -> the safe-compare helper the generated source calls
+#: (bound into the exec globals by repro.core.codegen).
+CMP_HELPERS = {"<": "_lt", "<=": "_le", ">": "_gt", ">=": "_ge"}
+
+
+def guard_source(guard, fx, const, env_expr: str, fields_expr: str) -> str:
+    """One guard dataclass -> one inline boolean expression.
+
+    The textual twin of :func:`_compile_guard`, branch for branch: the
+    same absence semantics (``_M`` is the missing-field sentinel), the
+    same constant folding (literals inline, other values bound as exec
+    globals via ``const``), the same TypeError-swallowing ordered
+    compares (via the :data:`CMP_HELPERS` functions).
+
+    ``fx`` maps a field name to its access expression — a hoisted local
+    in the per-event matcher, a column index in the batch matcher —
+    which is what makes the emitted compare straight-line: no per-event
+    dict lookups survive into the hot expression.
+    """
+    if isinstance(guard, FieldEq):
+        got = fx(guard.field)
+        val = (f"{env_expr}[{guard.value.name!r}]"
+               if isinstance(guard.value, Var) else const(guard.value.value))
+        return f"({got} is not _M and {got} == {val})"
+    if isinstance(guard, FieldNe):
+        got = fx(guard.field)
+        val = (f"{env_expr}[{guard.value.name!r}]"
+               if isinstance(guard.value, Var) else const(guard.value.value))
+        # an absent field cannot equal the forbidden value
+        return f"({got} is _M or {got} != {val})"
+    if isinstance(guard, FieldCmp):
+        got = fx(guard.field)
+        val = (f"{env_expr}[{guard.value.name!r}]"
+               if isinstance(guard.value, Var) else const(guard.value.value))
+        helper = CMP_HELPERS[guard.op]
+        return f"({got} is not _M and {helper}({got}, {val}))"
+    if isinstance(guard, MismatchAny):
+        present = [f"{fx(name)} is not _M" for name, _ in guard.pairs]
+        differs = []
+        for name, ref in guard.pairs:
+            val = (f"{env_expr}[{ref.name!r}]" if isinstance(ref, Var)
+                   else const(ref.value))
+            differs.append(f"{fx(name)} != {val}")
+        return f"({' and '.join(present)} and ({' or '.join(differs)}))"
+    if isinstance(guard, Predicate):
+        return f"{const(guard.fn)}({fields_expr}, {env_expr})"
+    raise TypeError(f"cannot emit guard {guard!r}")  # pragma: no cover
+
+
+def refinement_sources(pattern: EventPattern, fx, const) -> List[str]:
+    """The oob-kind / egress-action refinements as inline expressions,
+    mirroring :func:`_compile_refinements` (absent fields never equal an
+    enum member, so the ``is not _M`` presence check is equivalent)."""
+    out: List[str] = []
+    if pattern.oob_kind is not None:
+        got = fx("oob.kind")
+        out.append(f"({got} is not _M and {got} == {const(pattern.oob_kind)})")
+    if pattern.egress_action is not None:
+        got = fx("egress.action")
+        out.append(
+            f"({got} is not _M and {got} == {const(pattern.egress_action)})")
+    if pattern.not_egress_action is not None:
+        got = fx("egress.action")
+        out.append(
+            f"({got} is _M or {got} != {const(pattern.not_egress_action)})")
+    return out
+
+
+def match_source(
+    pattern: EventPattern, fx, const, env_expr: str, fields_expr: str
+) -> str:
+    """``guards_match`` as one expression: refinements then guards, no
+    kind check (dispatch already guarantees the event class)."""
+    terms = refinement_sources(pattern, fx, const)
+    terms.extend(
+        guard_source(g, fx, const, env_expr, fields_expr)
+        for g in pattern.guards
+    )
+    return " and ".join(terms) if terms else "True"
+
+
+def bindable_source(pattern: EventPattern, fx) -> str:
+    """``bindable`` as one expression (``"True"`` when nothing binds)."""
+    if not pattern.binds:
+        return "True"
+    return " and ".join(f"{fx(b.field)} is not _M" for b in pattern.binds)
+
+
+def capture_source(pattern: EventPattern, fx) -> str:
+    """``capture`` as a dict display (callers guard with bindable first,
+    matching the compiled path where capture never sees absent fields)."""
+    items = ", ".join(f"{b.var!r}: {fx(b.field)}" for b in pattern.binds)
+    return "{" + items + "}"
+
+
 #: short names for the concrete event classes, for summaries and JSON.
 def event_class_label(cls: Type[DataplaneEvent]) -> str:
     return {

@@ -127,7 +127,13 @@ class InstanceStore:
         self.capacity = capacity
         self._by_key: Dict[Tuple, Instance] = {}
         self._live = 0
-        self._stage_pop: Dict[int, Dict[int, Instance]] = {}
+        #: stage -> {instance_id: instance}.  The per-stage dicts are
+        #: pre-created (and never replaced — ``setdefault`` below reuses
+        #: them), so the codegen backend can bind them directly into its
+        #: generated evaluators as stable references.
+        self._stage_pop: Dict[int, Dict[int, Instance]] = {
+            i: {} for i in range(1, prop.num_stages + 1)
+        }
 
     # -- shared key-based access ------------------------------------------
     def by_key(self, key: Tuple) -> Optional[Instance]:

@@ -56,7 +56,7 @@ from .degradation import (
 from .instances import Instance, InstanceStore, make_store, uid_var
 from .provenance import ProvenanceLevel, StageRecord, record_stage
 from .refs import EventKind, EventPattern, event_fields, kind_matches
-from .spec import Absent, Observe, PropertySpec
+from .spec import Absent, Observe, PropertySpec, refresh_applies
 from .violations import Violation
 
 ViolationSink = Callable[[Violation], None]
@@ -100,7 +100,12 @@ class MonitorState:
 #: the empty env stage-0 patterns match against (never written to).
 _EMPTY_ENV: Dict[str, object] = {}
 
-MATCH_STRATEGIES = ("compiled", "interpreted")
+MATCH_STRATEGIES = ("compiled", "interpreted", "codegen")
+
+#: events per columnar chunk in the codegen batch path.  Bounds the
+#: per-chunk packet-fields cache (keyed by ``id(packet)``) so replaying a
+#: long trace never pins every packet's field map at once.
+CODEGEN_CHUNK = 1024
 
 
 class MonitorStats:
@@ -330,11 +335,15 @@ class Monitor:
         #: live instances across all stores, maintained incrementally so
         #: the telemetry-disabled path never iterates stores per event.
         self._live_total = 0
-        self._evaluate = (
-            self._evaluate_compiled
-            if match_strategy == "compiled"
-            else self._evaluate_interpreted
-        )
+        if match_strategy == "compiled":
+            self._evaluate = self._evaluate_compiled
+        elif match_strategy == "codegen":
+            self._evaluate = self._evaluate_codegen
+        else:
+            self._evaluate = self._evaluate_interpreted
+        #: the exec'd codegen program; built lazily on first evaluation
+        #: and invalidated whenever a property is added.
+        self._codegen_program = None
         self._wheel: List[Tuple[float, int, Instance, int]] = []
         self._wheel_seq = itertools.count()
         self._timer_gens: Dict[int, int] = {}  # instance_id -> generation
@@ -454,6 +463,7 @@ class Monitor:
             prop, self._stores[prop.name], refresh_ok, compiled_cache
         ).items():
             self._dispatch.setdefault(cls, []).append(plan)
+        self._codegen_program = None  # stale: rebuilt on next evaluation
 
     def dispatch_sizes(self) -> Dict[str, int]:
         """Watchers the monitor touches per concrete event class.
@@ -534,6 +544,9 @@ class Monitor:
         if self.mode is not ProcessingMode.INLINE or self.registry.enabled:
             for event in events:
                 self.observe(event)
+            return
+        if self.match_strategy == "codegen":
+            self._run_codegen_batch(events)
             return
         advance_to = self.advance_to
         inc_event = self._c_events.inc
@@ -771,6 +784,122 @@ class Monitor:
                             event=event, time=t))
         return ops
 
+    # -- codegen strategy (source-specialized matchers) -------------------------
+    def _build_codegen(self):
+        """Emit and exec the specialized program for the current properties.
+
+        Deferred import: :mod:`repro.core.codegen` imports from
+        :mod:`repro.core.compile`, and the ``_Op`` class lives here.
+        """
+        from .codegen import build_program
+
+        entries = [
+            (prop, self._stores[name],
+             self._should_refresh(prop, prop.stages[0]))
+            for name, prop in self._props.items()
+        ]
+        program = build_program(
+            entries, host=self, op_cls=_Op,
+            inc_candidates=self._c_candidates.inc,
+            max_layer=self.max_layer,
+        )
+        self._codegen_program = program
+        return program
+
+    def codegen_source(self) -> str:
+        """The full generated-program source (``repro explain --codegen``)."""
+        program = self._codegen_program
+        if program is None:
+            program = self._build_codegen()
+        return program.source
+
+    def codegen_emissions(self):
+        """Per-property emission stats off the generated program — the
+        *measured* side of the lint calibration's codegen cost model
+        (``repro.lint.calibration.CALIBRATION_CODEGEN``)."""
+        program = self._codegen_program
+        if program is None:
+            program = self._build_codegen()
+        return dict(program.emissions)
+
+    def _evaluate_codegen(
+        self, event: DataplaneEvent, fields: Mapping[str, object]
+    ) -> List[_Op]:
+        """Straight-line generated matchers (``match_strategy="codegen"``).
+
+        One exec'd function per concrete event class: field reads are
+        hoisted to locals, constants folded into compares, store probes
+        inlined.  Produces exactly the ops ``_evaluate_compiled`` would —
+        the differential property suite holds all three strategies to
+        identical violations, counters, and ledgers.
+        """
+        program = self._codegen_program
+        if program is None:
+            program = self._build_codegen()
+        fn = program.eval_fns.get(type(event))
+        if fn is None:
+            return []
+        return fn(event, fields)
+
+    def _run_codegen_batch(self, events: Sequence[DataplaneEvent]) -> None:
+        """Columnar batch driver behind ``observe_batch`` for codegen.
+
+        Chunks the stream (so the per-chunk packet-fields cache stays
+        bounded), transposes each same-class run into a
+        :class:`~repro.core.codegen.ColumnarBatch` — per-field columns
+        built once, stage-0 prefilters matched against whole columns —
+        then evaluates events in order against their column rows.
+        Semantically ``for e in events: self.observe(e)``.
+        """
+        program = self._codegen_program
+        if program is None:
+            program = self._build_codegen()
+        advance_to = self.advance_to
+        inc_event = self._c_events.inc
+        apply_op = self._apply
+        set_live = self._g_live.set
+        columnar = program.columnar
+        batch_fns = program.batch_fns
+        for start in range(0, len(events), CODEGEN_CHUNK):
+            chunk = events[start:start + CODEGEN_CHUNK]
+            pf_cache: Dict[int, Mapping[str, object]] = {}
+            # Partition the chunk by concrete class and transpose each
+            # class's events into columns ONCE — the stream interleaves
+            # classes, so transposing per consecutive run would rebuild
+            # columns every couple of events.  Column and prefilter
+            # contents are state-independent (stage 0 cannot reference
+            # bound variables), so hoisting them ahead of evaluation
+            # cannot change results; events are then evaluated strictly
+            # in stream order via per-class cursors.
+            by_cls: Dict[type, List[DataplaneEvent]] = {}
+            for event in chunk:
+                cls = type(event)
+                run = by_cls.get(cls)
+                if run is None:
+                    by_cls[cls] = [event]
+                else:
+                    run.append(event)
+            prepped: Dict[type, Optional[Tuple]] = {}
+            for cls, run in by_cls.items():
+                batch = columnar(cls, run, pf_cache)
+                # None: no plans watch this class (e.g. TimerFired) —
+                # such events still advance the clock and count below.
+                prepped[cls] = None if batch is None else (
+                    batch_fns[cls].eval_batch, batch.columns, batch.creates)
+            cursor = dict.fromkeys(by_cls, 0)
+            for event in chunk:
+                cls = type(event)
+                i = cursor[cls]
+                cursor[cls] = i + 1
+                advance_to(event.time)
+                inc_event()
+                prep = prepped[cls]
+                if prep is not None:
+                    eval_batch, columns, creates = prep
+                    for op in eval_batch(event, columns, i, creates):
+                        apply_op(op)
+                set_live(float(self._live_total))
+
     def _evaluate_interpreted(
         self, event: DataplaneEvent, fields: Mapping[str, object]
     ) -> List[_Op]:
@@ -861,15 +990,12 @@ class Monitor:
         return ops
 
     def _should_refresh(self, prop: PropertySpec, stage0: Observe) -> bool:
-        if not stage0.refresh_on_repeat or prop.num_stages < 2:
-            return False
-        stage1 = prop.stages[1]
-        if isinstance(stage1, Absent):
-            # Feature 7 subtlety: with the sound "never" policy a repeated
-            # prior observation must NOT reset the negative-observation
-            # timer, or a request storm every T-1 seconds evades detection.
-            return stage1.refresh == "on_prior"
-        return True
+        # Feature 7 subtlety folded in spec.refresh_applies: with the sound
+        # "never" policy a repeated prior observation must NOT reset the
+        # negative-observation timer, or a request storm every T-1 seconds
+        # evades detection.  Shared with the codegen backend so every
+        # strategy folds the same policy.
+        return refresh_applies(prop)
 
     def _pattern_matches(
         self,

@@ -210,3 +210,22 @@ class PropertySpec:
             for bind in stage.pattern.binds:
                 origin.setdefault(bind.var, bind.field)
         return origin
+
+
+def refresh_applies(prop: PropertySpec) -> bool:
+    """Whether re-matching stage 0 refreshes an existing keyed instance.
+
+    A repeat observation restarts the clock only when the property opted
+    in (``refresh_on_repeat``) *and* refreshing is sound for the next
+    stage: for an ``Absent`` stage the paper's Sec. 3.2 bug is exactly an
+    unconditional reset, so only the explicit ``refresh="on_prior"``
+    policy re-arms the timer.  Shared by the monitor's evaluators and the
+    codegen backend so all strategies fold the same policy.
+    """
+    stage0 = prop.stages[0]
+    if not stage0.refresh_on_repeat or prop.num_stages < 2:
+        return False
+    stage1 = prop.stages[1]
+    if isinstance(stage1, Absent):
+        return stage1.refresh == "on_prior"
+    return True

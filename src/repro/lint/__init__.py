@@ -16,7 +16,14 @@ Three pass families over parsed ASTs and compiled
   pipeline/rule/register cost estimates (:mod:`repro.lint.splitmode`).
 """
 
-from .calibration import CALIBRATION, MeasuredCost, measured_cost
+from .calibration import (
+    CALIBRATION,
+    CALIBRATION_CODEGEN,
+    MeasuredCodegenCost,
+    MeasuredCost,
+    measured_codegen_cost,
+    measured_cost,
+)
 from .dataflow import rule_cross_stage_contradiction, stage_environments
 from .diagnostics import Diagnostic, Related, Rule, RULES, Severity
 from .dispatch import (
@@ -63,12 +70,14 @@ from .splitmode import (
     DEFAULT_SPLIT_LAG,
     INLINE_REQUIRED,
     SPLIT_SAFE,
+    CodegenCostEstimate,
     CostEstimate,
     Hazard,
     SplitLagSpec,
     SplitReport,
     analyze_split,
     backend_lag_profile,
+    estimate_codegen_cost,
     estimate_cost,
     parse_split_lag,
     resolve_split_lag,
@@ -77,7 +86,10 @@ from .splitmode import (
 
 __all__ = [
     "CALIBRATION",
+    "CALIBRATION_CODEGEN",
+    "MeasuredCodegenCost",
     "MeasuredCost",
+    "measured_codegen_cost",
     "measured_cost",
     "rule_cross_stage_contradiction",
     "stage_environments",
@@ -120,7 +132,9 @@ __all__ = [
     "DEFAULT_SPLIT_LAG",
     "INLINE_REQUIRED",
     "SPLIT_SAFE",
+    "CodegenCostEstimate",
     "CostEstimate",
+    "estimate_codegen_cost",
     "Hazard",
     "SplitLagSpec",
     "SplitReport",

@@ -1,12 +1,15 @@
-"""Differential property tests: compiled dispatch vs interpreted matching.
+"""Differential property tests: compiled vs interpreted vs codegen matching.
 
 The compiled engine (per-event-class dispatch plans + specialized guard
-closures, ``repro.core.compile``) is a performance rewrite of the monitor
-hot path.  It must be *observationally invisible*: on any event stream,
-both match strategies — crossed with both instance-store strategies —
-must produce identical violations and identical counters.  These tests
-drive random streams through all four configurations and compare
-everything the monitor exposes.
+closures, ``repro.core.compile``) and the codegen engine (straight-line
+source emitted per (property, event class) and exec'd once,
+``repro.core.codegen``) are performance rewrites of the monitor hot
+path.  They must be *observationally invisible*: on any event stream,
+all three match strategies — crossed with both instance-store strategies
+— must produce identical violations and identical counters.  These tests
+drive random streams through every configuration and compare everything
+the monitor exposes, including the codegen columnar batch path and the
+sharded fabric.
 
 The probe catalog here is deliberately richer than the one in
 ``test_engine_properties``: it adds negative observations (Absent),
@@ -27,11 +30,13 @@ from repro.core import (
     Const,
     EventKind,
     EventPattern,
+    FieldCmp,
     FieldEq,
     FieldNe,
     MismatchAny,
     Monitor,
     Observe,
+    Predicate,
     PropertySpec,
     Var,
 )
@@ -48,7 +53,7 @@ from repro.switch.events import (
 addr = st.integers(min_value=1, max_value=4)
 
 STORE_STRATEGIES = ("indexed", "linear")
-MATCH_STRATEGIES = ("compiled", "interpreted")
+MATCH_STRATEGIES = ("compiled", "interpreted", "codegen")
 
 STAT_FIELDS = (
     "events",
@@ -211,6 +216,32 @@ def probe_catalog():
             ),
             key_vars=("S",),
         ),
+        # Predicate guards plus ordered compare and an egress-action
+        # refinement.  A stage-0 Predicate keeps this property OFF the
+        # codegen columnar prefilter (predicates may consult auxiliary
+        # state, so they must run per event, in order); the stage-1
+        # Predicate reads the full field mapping, exercising the batch
+        # path's fields-dict column.
+        PropertySpec(
+            name="predy", description="",
+            stages=(
+                Observe("a", EventPattern(
+                    kind=EventKind.ARRIVAL,
+                    guards=(Predicate(
+                        lambda fields, env: fields.get("in_port", 0) != 3,
+                        "in_port != 3"),),
+                    binds=(Bind("S", "eth.src"),))),
+                Observe("b", EventPattern(
+                    kind=EventKind.EGRESS,
+                    guards=(FieldCmp("out_port", "<", Const(4)),
+                            Predicate(
+                                lambda fields, env:
+                                fields.get("eth.dst") == env.get("S"),
+                                "dst == $S")),
+                    egress_action=EgressAction.UNICAST)),
+            ),
+            key_vars=("S",),
+        ),
     ]
 
 
@@ -234,11 +265,12 @@ def run_config(events, store_strategy, match_strategy):
 class TestMatchStrategyEquivalence:
     @settings(max_examples=50, deadline=None)
     @given(event_streams())
-    def test_all_four_configs_agree(self, events):
+    def test_all_configs_agree(self, events):
         """Violations (name, time, message, bindings) are identical across
-        {compiled, interpreted} x {indexed, linear}; the full counter set
-        is identical across match strategies within each store (different
-        stores may legitimately examine different candidate counts)."""
+        {compiled, interpreted, codegen} x {indexed, linear}; the full
+        counter set is identical across match strategies within each store
+        (different stores may legitimately examine different candidate
+        counts)."""
         results = {
             (store, match): run_config(events, store, match)
             for store, match in itertools.product(
@@ -249,38 +281,71 @@ class TestMatchStrategyEquivalence:
             assert other == violation_sets[0]
         for store in STORE_STRATEGIES:
             _, compiled_stats = results[(store, "compiled")]
-            _, interp_stats = results[(store, "interpreted")]
-            assert compiled_stats == interp_stats
+            for match in MATCH_STRATEGIES[1:]:
+                _, other_stats = results[(store, match)]
+                assert other_stats == compiled_stats, (store, match)
 
     @settings(max_examples=30, deadline=None)
     @given(event_streams())
     def test_candidate_counts_match_within_store(self, events):
         """Dispatch planning skips whole (property, stage) pairs, but the
         candidates it *does* examine must be the same set the interpreted
-        walk reaches after its own kind/stage filters."""
+        walk reaches after its own kind/stage filters.  The codegen
+        engine batches its counter increments (one add per event), which
+        must still land on the same totals."""
         for store in STORE_STRATEGIES:
-            _, compiled_stats = run_config(events, store, "compiled")
             _, interp_stats = run_config(events, store, "interpreted")
-            assert (compiled_stats["candidates_examined"]
-                    == interp_stats["candidates_examined"])
+            for match in ("compiled", "codegen"):
+                _, fast_stats = run_config(events, store, match)
+                assert (fast_stats["candidates_examined"]
+                        == interp_stats["candidates_examined"]), (store, match)
 
     @settings(max_examples=30, deadline=None)
     @given(event_streams())
     def test_batch_equals_loop(self, events):
-        """observe_batch's hoisted fast path is just a loop unroll: same
-        violations, same counters as event-at-a-time observe."""
+        """observe_batch must be just a loop unroll: the compiled fast
+        path hoists attribute lookups, the codegen path transposes chunks
+        into ColumnarBatch columns and prefilters stage-0 matches — both
+        must yield the violations and counters of event-at-a-time
+        observe."""
         looped = run_config(events, "indexed", "compiled")
 
-        monitor = Monitor()
-        for prop in probe_catalog():
-            monitor.add_property(prop)
-        monitor.observe_batch(events)
-        monitor.advance_to(events[-1].time + 100.0)
-        batched_violations = [
+        for match in ("compiled", "codegen"):
+            monitor = Monitor(match_strategy=match)
+            for prop in probe_catalog():
+                monitor.add_property(prop)
+            monitor.observe_batch(events)
+            monitor.advance_to(events[-1].time + 100.0)
+            batched_violations = [
+                (v.property_name, round(v.time, 9), v.message, tuple(sorted(
+                    (k, str(val)) for k, val in v.bindings.items())))
+                for v in monitor.violations
+            ]
+            batched_stats = {name: getattr(monitor.stats, name)
+                             for name in STAT_FIELDS}
+            assert (batched_violations, batched_stats) == looped, match
+
+    @settings(max_examples=15, deadline=None)
+    @given(event_streams())
+    def test_codegen_under_shards(self, events):
+        """The fabric passes ``match_strategy`` through ``monitor_kwargs``
+        unchanged, so codegen composes with ``--shards``: a 2-shard
+        fabric running codegen produces the single-monitor compiled
+        violation set (order-insensitive: the fabric may interleave
+        same-timestamp violations differently)."""
+        from repro.fabric import ShardedMonitor
+
+        reference, _ = run_config(events, "indexed", "compiled")
+
+        sharded = ShardedMonitor(
+            probe_catalog(), num_shards=2, mode="inprocess",
+            monitor_kwargs=dict(match_strategy="codegen"))
+        sharded.observe_batch(events)
+        sharded.advance_to(events[-1].time + 100.0)
+        sharded.stop()
+        fingerprints = sorted(
             (v.property_name, round(v.time, 9), v.message, tuple(sorted(
                 (k, str(val)) for k, val in v.bindings.items())))
-            for v in monitor.violations
-        ]
-        batched_stats = {name: getattr(monitor.stats, name)
-                         for name in STAT_FIELDS}
-        assert (batched_violations, batched_stats) == looped
+            for v in sharded.violations
+        )
+        assert fingerprints == sorted(reference)

@@ -1,14 +1,18 @@
-"""Regenerate the compiler-calibration table in ``repro/lint/calibration.py``.
+"""Regenerate the calibration tables in ``repro/lint/calibration.py``.
 
-Run after a deliberate Varanus-compiler rule-plan change::
+Run after a deliberate Varanus-compiler rule-plan change or a codegen
+emission change::
 
     PYTHONPATH=src python -m tests.regen_calibration
 
 The script measures every calibration-corpus property with
-``plan_property`` and splices the resulting dict literal over the
-``CALIBRATION = {...}`` block in the module source.  ``--check`` compares
-the live measurements against the checked-in table without writing (exit
-1 on drift) — CI runs this so the table cannot go stale silently.
+``plan_property`` (the compiler table) and every codegen-corpus property
+with a single-property codegen monitor (the codegen table), then splices
+the resulting dict literals over the ``CALIBRATION = {...}`` and
+``CALIBRATION_CODEGEN = {...}`` blocks in the module source.  ``--check``
+compares the live measurements against the checked-in tables without
+writing (exit 1 on drift) — CI runs this so the tables cannot go stale
+silently.
 """
 
 import argparse
@@ -17,60 +21,78 @@ import re
 import sys
 
 from repro.lint import calibration
-from repro.lint.calibration import CALIBRATION, regenerate
+from repro.lint.calibration import (
+    CALIBRATION,
+    CALIBRATION_CODEGEN,
+    regenerate,
+    regenerate_codegen,
+)
 
 SOURCE = calibration.__file__
 
-_TABLE_RE = re.compile(
-    r"^CALIBRATION: Dict\[str, Tuple\[int, int, int\]\] = \{$.*?^\}$",
-    re.MULTILINE | re.DOTALL,
+#: (table name, checked-in table, live measurer) for each spliced block.
+TABLES = (
+    ("CALIBRATION", CALIBRATION, regenerate),
+    ("CALIBRATION_CODEGEN", CALIBRATION_CODEGEN, regenerate_codegen),
 )
 
 
-def render_table(table):
-    lines = ["CALIBRATION: Dict[str, Tuple[int, int, int]] = {"]
-    for name in sorted(table):
-        lines.append(f"    {name!r}: {table[name]!r},")
+def _table_re(name):
+    return re.compile(
+        rf"^{name}: Dict\[str, Tuple\[int, int, int\]\] = \{{$.*?^\}}$",
+        re.MULTILINE | re.DOTALL,
+    )
+
+
+def render_table(name, table):
+    lines = [f"{name}: Dict[str, Tuple[int, int, int]] = {{"]
+    for key in sorted(table):
+        lines.append(f"    {key!r}: {table[key]!r},")
     lines.append("}")
     return "\n".join(lines)
 
 
 def check():
-    live = regenerate()
-    if live == CALIBRATION:
-        print(f"calibration table up to date ({len(live)} properties)")
-        return 0
-    for name in sorted(set(live) | set(CALIBRATION)):
-        if live.get(name) != CALIBRATION.get(name):
-            print(f"  {name}: checked-in {CALIBRATION.get(name)} "
-                  f"vs measured {live.get(name)}")
-    print("calibration table drifted: rerun "
-          "PYTHONPATH=src python -m tests.regen_calibration")
-    return 1
+    failed = 0
+    for name, checked_in, measure in TABLES:
+        live = measure()
+        if live == checked_in:
+            print(f"{name} up to date ({len(live)} properties)")
+            continue
+        failed = 1
+        for key in sorted(set(live) | set(checked_in)):
+            if live.get(key) != checked_in.get(key):
+                print(f"  {name}[{key}]: checked-in {checked_in.get(key)} "
+                      f"vs measured {live.get(key)}")
+        print(f"{name} drifted: rerun "
+              "PYTHONPATH=src python -m tests.regen_calibration")
+    return failed
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--check", action="store_true",
-        help="compare the checked-in table against live measurements "
-             "instead of rewriting it")
+        help="compare the checked-in tables against live measurements "
+             "instead of rewriting them")
     args = parser.parse_args()
     if args.check:
         raise SystemExit(check())
     with open(SOURCE, encoding="utf-8") as fp:
         source = fp.read()
-    if not _TABLE_RE.search(source):
-        print(f"could not locate the CALIBRATION block in {SOURCE}",
-              file=sys.stderr)
-        raise SystemExit(2)
-    table = regenerate()
-    updated = _TABLE_RE.sub(render_table(table).replace("\\", r"\\"),
-                            source, count=1)
+    for name, _, measure in TABLES:
+        pattern = _table_re(name)
+        if not pattern.search(source):
+            print(f"could not locate the {name} block in {SOURCE}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        table = measure()
+        source = pattern.sub(
+            render_table(name, table).replace("\\", r"\\"), source, count=1)
+        print(f"measured {len(table)} {name} rows")
     with open(SOURCE, "w", encoding="utf-8") as fp:
-        fp.write(updated)
-    print(f"wrote {len(table)} measured rows to "
-          f"{os.path.relpath(SOURCE)}")
+        fp.write(source)
+    print(f"wrote {os.path.relpath(SOURCE)}")
 
 
 if __name__ == "__main__":

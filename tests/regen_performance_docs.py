@@ -1,0 +1,99 @@
+"""Regenerate the codegen speedup table in ``docs/PERFORMANCE.md``.
+
+The table between the ``<!-- codegen-speedup:start -->`` and
+``<!-- codegen-speedup:end -->`` markers is rendered deterministically
+from the checked-in measurement record
+``benchmarks/records/codegen_speedup.json`` (written by
+``test_codegen_speedup`` when ``REPRO_BENCH_CODEGEN_OUT`` is set).  To
+refresh the numbers themselves::
+
+    REPRO_BENCH_CODEGEN_OUT=benchmarks/records/codegen_speedup.json \\
+        PYTHONPATH=src python -m pytest \\
+        benchmarks/bench_monitor_throughput.py::test_codegen_speedup -q -s
+    PYTHONPATH=src python -m tests.regen_performance_docs
+
+``--check`` re-renders from the record and diffs against the docs
+without writing (exit 1 on drift) — CI runs this so the published table
+cannot disagree with the record it claims to report.
+"""
+
+import argparse
+import difflib
+import json
+import os
+import sys
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+RECORD = os.path.join(ROOT, "benchmarks", "records", "codegen_speedup.json")
+DOC = os.path.join(ROOT, "docs", "PERFORMANCE.md")
+START = "<!-- codegen-speedup:start -->"
+END = "<!-- codegen-speedup:end -->"
+
+
+def render_block():
+    with open(RECORD, encoding="utf-8") as fp:
+        rec = json.load(fp)
+    rate = lambda ms: rec["num_events"] / (ms / 1e3) / 1e3  # noqa: E731
+    lines = [
+        START,
+        f"| Configuration | {rec['properties']}-property catalog, "
+        f"{rec['num_events']} events (1 core, best of {rec['rounds']}) "
+        "| Rate |",
+        "|---|---|---|",
+        "| compiled closures, `observe_batch` | "
+        f"{rec['compiled_ms']:.1f} ms | ~{rate(rec['compiled_ms']):.1f}k "
+        "events/s |",
+        "| codegen + columnar batches, `observe_batch` | "
+        f"{rec['codegen_ms']:.1f} ms | ~{rate(rec['codegen_ms']):.1f}k "
+        "events/s |",
+        "",
+        f"Measured speedup **{rec['speedup']:.2f}x** "
+        f"(`test_codegen_speedup` asserts ≥ {rec['gate']:.1f}x); the "
+        "one-time program generation + `exec` for the catalog costs "
+        f"{rec['build_ms']:.1f} ms at startup, outside the timed region.",
+        END,
+    ]
+    return "\n".join(lines)
+
+
+def spliced():
+    with open(DOC, encoding="utf-8") as fp:
+        doc = fp.read()
+    try:
+        head, rest = doc.split(START, 1)
+        _, tail = rest.split(END, 1)
+    except ValueError:
+        print(f"could not locate the {START} / {END} markers in {DOC}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return doc, head + render_block() + tail
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="diff the re-rendered table against the docs instead of "
+             "writing")
+    args = parser.parse_args()
+    current, updated = spliced()
+    if args.check:
+        if current == updated:
+            print("PERFORMANCE.md codegen speedup table up to date")
+            raise SystemExit(0)
+        sys.stdout.writelines(difflib.unified_diff(
+            current.splitlines(keepends=True),
+            updated.splitlines(keepends=True),
+            fromfile="docs/PERFORMANCE.md",
+            tofile="rendered-from-record"))
+        print("PERFORMANCE.md speedup table drifted from "
+              "benchmarks/records/codegen_speedup.json: rerun "
+              "PYTHONPATH=src python -m tests.regen_performance_docs")
+        raise SystemExit(1)
+    with open(DOC, "w", encoding="utf-8") as fp:
+        fp.write(updated)
+    print(f"wrote {os.path.relpath(DOC, ROOT)}")
+
+
+if __name__ == "__main__":
+    main()

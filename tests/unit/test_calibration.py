@@ -20,14 +20,20 @@ from repro.backends.varanus_compiler import (
 )
 from repro.lint.calibration import (
     CALIBRATION,
+    CALIBRATION_CODEGEN,
+    MeasuredCodegenCost,
     MeasuredCost,
     calibration_corpus,
+    codegen_corpus,
+    measured_codegen_cost,
     measured_cost,
     regenerate,
+    regenerate_codegen,
 )
-from repro.lint.splitmode import estimate_cost
+from repro.lint.splitmode import estimate_codegen_cost, estimate_cost
 
 CORPUS = {prop.name: prop for prop in calibration_corpus()}
+CODEGEN_CORPUS = {prop.name: prop for prop in codegen_corpus()}
 
 
 def test_corpus_is_rule_compilable():
@@ -86,6 +92,53 @@ def test_uncalibrated_property_has_no_measurement():
     est = estimate_cost(renamed)
     assert est.measured is None
     assert est.source == "model"
+
+
+class TestCodegenCalibration:
+    """The codegen side of the estimate-vs-measured loop."""
+
+    def test_corpus_spans_rule_shapes_and_the_catalog(self):
+        # Every compiler-calibration shape recurs, plus the full Table-1
+        # catalog — codegen hosts everything, so nothing waits on
+        # rule-compilability.
+        assert set(CORPUS) <= set(CODEGEN_CORPUS)
+        assert sum(1 for n in CODEGEN_CORPUS if not n.startswith("cal-")) >= 13
+
+    @pytest.mark.parametrize("name", sorted(CODEGEN_CORPUS))
+    def test_estimate_matches_emitted_program(self, name):
+        """The analytic dispatch-plan walk predicts exactly what the
+        emitter generated: event classes and inline boolean terms."""
+        from repro.core import Monitor
+
+        est = estimate_codegen_cost(CODEGEN_CORPUS[name])
+        monitor = Monitor(match_strategy="codegen")
+        monitor.add_property(CODEGEN_CORPUS[name])
+        emission = monitor.codegen_emissions()[name]
+        assert est.event_classes == emission.event_classes
+        assert est.inline_terms == emission.inline_terms
+        assert emission.matcher_lines > 0  # measured-only, sanity floor
+
+    def test_checked_in_table_matches_live_emissions(self):
+        assert regenerate_codegen() == CALIBRATION_CODEGEN, (
+            "CALIBRATION_CODEGEN drifted from the emitter: rerun "
+            "PYTHONPATH=src python -m tests.regen_calibration")
+
+    def test_estimator_consults_the_table(self):
+        est = estimate_codegen_cost(CODEGEN_CORPUS["knocking-invalidated"])
+        assert est.source == "calibrated"
+        assert est.measured == MeasuredCodegenCost(
+            *CALIBRATION_CODEGEN["knocking-invalidated"])
+
+    def test_cost_estimate_carries_codegen_for_engine_props(self):
+        # Catalog rows are engine-model for the rule compiler, but the
+        # codegen block still prices them.
+        est = estimate_cost(CODEGEN_CORPUS["knocking-invalidated"])
+        assert est.model == "engine"
+        assert est.codegen is not None
+        assert est.codegen.source == "calibrated"
+
+    def test_uncalibrated_property_has_no_measurement(self):
+        assert measured_codegen_cost("not-in-the-table") is None
 
 
 def test_planned_flow_mods_match_metered_run():

@@ -1,0 +1,89 @@
+"""Codegen backend unit tests.
+
+The generated programs for two representative Table-1 properties are
+pinned by golden files under ``tests/fixtures/codegen/`` (regenerate
+with ``PYTHONPATH=src python -m tests.regen_codegen_goldens``); the rest
+of this file covers the program's observable surface — emission stats,
+rebuild-on-add invalidation, and the ``repro explain --codegen`` dump —
+while the Hypothesis differential suite owns semantic equivalence.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import Monitor
+from repro.props.catalog import build_table1
+from tests.regen_codegen_goldens import GOLDEN, PINNED, generated_source
+
+CATALOG = {entry.prop.name: entry.prop for entry in build_table1()}
+
+
+class TestGoldenSources:
+    @pytest.mark.parametrize("prop_name", PINNED)
+    def test_generated_source_matches_golden(self, prop_name):
+        fixture = os.path.join(
+            GOLDEN, prop_name.replace("-", "_") + ".py.txt")
+        with open(fixture) as fp:
+            want = fp.read()
+        assert generated_source(prop_name) == want, (
+            "generated matcher drifted from the golden; if deliberate, "
+            "rerun PYTHONPATH=src python -m tests.regen_codegen_goldens")
+
+    def test_source_header_names_all_properties(self):
+        monitor = Monitor(match_strategy="codegen")
+        for entry in build_table1():
+            monitor.add_property(entry.prop)
+        source = monitor.codegen_source()
+        header = source.splitlines()[1]
+        for entry in build_table1():
+            assert entry.prop.name in header
+
+
+class TestProgramSurface:
+    def test_emission_stats_are_populated(self):
+        monitor = Monitor(match_strategy="codegen")
+        monitor.add_property(CATALOG["knocking-invalidated"])
+        monitor.codegen_source()  # forces the lazy build
+        program = monitor._codegen_program
+        (emission,) = program.emissions.values()
+        assert emission.name == "knocking-invalidated"
+        assert emission.event_classes >= 1
+        assert emission.inline_terms >= 1
+        assert emission.matcher_lines >= emission.event_classes
+
+    def test_add_property_invalidates_program(self):
+        monitor = Monitor(match_strategy="codegen")
+        monitor.add_property(CATALOG["knocking-invalidated"])
+        first = monitor.codegen_source()
+        monitor.add_property(CATALOG["dhcp-reply-within"])
+        second = monitor.codegen_source()
+        assert first != second
+        assert "dhcp-reply-within" in second
+
+    def test_generated_functions_compile_under_marker_filename(self):
+        monitor = Monitor(match_strategy="codegen")
+        monitor.add_property(CATALOG["dhcp-reply-within"])
+        monitor.codegen_source()
+        program = monitor._codegen_program
+        for fn in program.eval_fns.values():
+            assert fn.__code__.co_filename == "<repro-codegen>"
+
+
+class TestExplainCommand:
+    def test_explain_codegen_dumps_program(self):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            rc = cli_main(["explain", "knocking-invalidated", "--codegen"])
+        assert rc in (0, None)
+        out = buf.getvalue()
+        assert out.startswith("# repro codegen program")
+        assert "_eval__PacketArrival" in out
+
+    def test_explain_unknown_property_fails(self, capsys):
+        rc = cli_main(["explain", "no-such-property"])
+        assert rc == 2
+        assert "no-such-property" in capsys.readouterr().err
